@@ -1,0 +1,105 @@
+//! Ablation: why apropos backtracking + validation exist at all.
+//!
+//! Sweeping the skid model from precise (1 instruction, what a
+//! hypothetical precise-trap chip would deliver) through the default
+//! to an exaggerated skid shows how the three accuracy measures
+//! degrade:
+//!
+//! * exact-trigger rate of the *delivered* PC (what naive profiling
+//!   would attribute to) — bad even at minimal skid;
+//! * exact-trigger rate of the backtracked candidate — high until the
+//!   skid routinely crosses other memory instructions;
+//! * effectiveness (events not lost to `(Unresolvable)`), which is
+//!   what the validation machinery trades accuracy against.
+//!
+//! The printed table is the experiment; Criterion times collection
+//! under each model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use memprof_core::analyze::Analysis;
+use memprof_core::{collect, parse_counter_spec, CollectConfig};
+use mcf_bench::Scale;
+use minic::CompileOptions;
+use simsparc_machine::{CounterEvent, Machine, SkidModel};
+
+fn skid_with_ecrm(lo: u32, hi: u32) -> SkidModel {
+    let mut m = SkidModel::default();
+    m.ranges[CounterEvent::ECReadMiss as usize] = (lo, hi);
+    m
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let instance = Scale::test().instance();
+    let binary = mcf::compile_mcf(
+        &instance,
+        mcf::Layout::Baseline,
+        &mcf::McfParams::default(),
+        CompileOptions::profiling(),
+    )
+    .unwrap();
+
+    let run_with_skid = |skid: SkidModel| {
+        let mut cfg = mcf::paper_machine_config();
+        cfg.skid = skid;
+        let mut machine = Machine::new(cfg);
+        machine.load(&binary.program.image);
+        mcf::stage_instance(&mut machine, &binary, &instance);
+        let config = CollectConfig {
+            counters: parse_counter_spec("+ecrm,101").unwrap(),
+            clock_profiling: false,
+            clock_period_cycles: 0,
+            max_insns: mcf::MAX_INSNS,
+        };
+        collect(&mut machine, &config).unwrap()
+    };
+
+    println!("\n== skid ablation (ecrm on MCF, test scale) ==");
+    println!(
+        "{:<12} {:>8} {:>16} {:>18} {:>14}",
+        "skid", "events", "delivered-exact", "candidate-exact", "effectiveness"
+    );
+    for (name, lo, hi) in [
+        ("precise", 1, 1),
+        ("default", 1, 3),
+        ("moderate", 2, 8),
+        ("severe", 4, 20),
+    ] {
+        let exp = run_with_skid(skid_with_ecrm(lo, hi));
+        let analysis = Analysis::new(&[&exp], &binary.program.syms);
+        let mut delivered_exact = 0u64;
+        let mut candidate_exact = 0u64;
+        let mut total = 0u64;
+        for ev in &exp.hwc_events {
+            total += 1;
+            // Naive attribution: the delivered PC minus one slot.
+            if ev.delivered_pc == ev.truth_trigger_pc + 4 {
+                delivered_exact += 1;
+            }
+            if ev.candidate_pc == Some(ev.truth_trigger_pc) {
+                candidate_exact += 1;
+            }
+        }
+        let eff = analysis.effectiveness().remove(0);
+        println!(
+            "{:<12} {:>8} {:>15.1}% {:>17.1}% {:>13.1}%",
+            name,
+            total,
+            100.0 * delivered_exact as f64 / total.max(1) as f64,
+            100.0 * candidate_exact as f64 / total.max(1) as f64,
+            eff.effectiveness_pct,
+        );
+    }
+
+    let mut group = c.benchmark_group("backtracking_ablation");
+    group.sample_size(10);
+    for (name, lo, hi) in [("precise", 1, 1), ("default", 1, 3), ("severe", 4, 20)] {
+        group.bench_function(format!("collect_skid_{name}"), |b| {
+            b.iter(|| run_with_skid(skid_with_ecrm(lo, hi)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

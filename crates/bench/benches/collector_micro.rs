@@ -1,0 +1,68 @@
+//! Microbenchmarks of the collector's per-trap work: the apropos
+//! backtracking search and effective-address clobber analysis. The
+//! paper's efficiency claim rests on these being cheap relative to
+//! the overflow interval.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use memprof_core::{backtrack, event_accepts};
+use simsparc_isa::{AluOp, Insn, Operand, Reg};
+use simsparc_machine::{CounterEvent, TEXT_BASE};
+
+/// A synthetic text segment shaped like compiled code: ~1 memory op
+/// every `gap` instructions.
+fn synthetic_text(len: usize, gap: usize) -> Vec<Insn> {
+    (0..len)
+        .map(|i| {
+            if i % gap == 0 {
+                Insn::load_x(Reg::O3, Operand::Imm((i % 128) as i16 * 8), Reg::G1)
+            } else if i % gap == 1 {
+                Insn::store_x(Reg::G1, Reg::O3, Operand::Imm(8))
+            } else {
+                Insn::alu(AluOp::Add, Reg::G2, Operand::Imm(1), Reg::G2)
+            }
+        })
+        .collect()
+}
+
+fn bench_collector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collector_micro");
+
+    for gap in [4usize, 16, 48] {
+        let text = synthetic_text(4096, gap);
+        group.bench_function(format!("backtrack_gap_{gap}"), |b| {
+            let mut pc = TEXT_BASE + 2048 * 4;
+            b.iter(|| {
+                pc += 4;
+                if pc >= TEXT_BASE + 4000 * 4 {
+                    pc = TEXT_BASE + 1024 * 4;
+                }
+                black_box(backtrack(&text, pc, CounterEvent::ECReadMiss))
+            })
+        });
+    }
+
+    group.bench_function("event_accepts", |b| {
+        let ld = Insn::load_x(Reg::O3, Operand::Imm(56), Reg::O2);
+        let st = Insn::store_x(Reg::O2, Reg::O3, Operand::Imm(88));
+        b.iter(|| {
+            black_box(event_accepts(CounterEvent::ECReadMiss, &ld));
+            black_box(event_accepts(CounterEvent::ECRef, &st));
+        })
+    });
+
+    group.bench_function("disasm", |b| {
+        let insns = synthetic_text(64, 4);
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % insns.len();
+            black_box(simsparc_isa::disasm(&insns[i], TEXT_BASE + i as u64 * 4))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_collector);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! E1–E7: the compile → collect → analyze pipeline behind Figures
+//! 1–7, benchmarked end-to-end and per phase.
+//!
+//! The `figures` binary regenerates the tables themselves; these
+//! benches measure the cost of regenerating them (collection
+//! dominates: it simulates the whole program run), and keep each
+//! phase honest against performance regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use memprof_core::analyze::Analysis;
+use memprof_core::{collect, parse_counter_spec, CollectConfig};
+use mcf_bench::{paper_machine_config, Scale};
+use minic::CompileOptions;
+use simsparc_machine::{CounterEvent, Machine};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let scale = Scale::test();
+    let instance = scale.instance();
+
+    // Compile once; collection/analysis benches reuse the binary.
+    let binary = mcf::compile_mcf(
+        &instance,
+        mcf::Layout::Baseline,
+        &mcf::McfParams::default(),
+        CompileOptions::profiling(),
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("figure_pipeline");
+    group.sample_size(10);
+
+    group.bench_function("compile_mcf_profiling", |b| {
+        b.iter(|| {
+            mcf::compile_mcf(
+                &instance,
+                mcf::Layout::Baseline,
+                &mcf::McfParams::default(),
+                CompileOptions::profiling(),
+            )
+            .unwrap()
+        })
+    });
+
+    let run_exp = |spec: &str, clock: bool| {
+        let mut machine = Machine::new(paper_machine_config());
+        machine.load(&binary.program.image);
+        mcf::stage_instance(&mut machine, &binary, &instance);
+        let config = CollectConfig {
+            counters: parse_counter_spec(spec).unwrap(),
+            clock_profiling: clock,
+            clock_period_cycles: 10007,
+            max_insns: mcf::MAX_INSNS,
+        };
+        collect(&mut machine, &config).unwrap()
+    };
+
+    group.bench_function("collect_exp1_ecstall_ecrm", |b| {
+        b.iter(|| black_box(run_exp("+ecstall,49999,+ecrm,251", true)))
+    });
+    group.bench_function("collect_exp2_ecref_dtlbm", |b| {
+        b.iter(|| black_box(run_exp("+ecref,997,+dtlbm,53", false)))
+    });
+
+    // Analysis phase on pre-collected experiments.
+    let exp1 = run_exp("+ecstall,49999,+ecrm,251", true);
+    let exp2 = run_exp("+ecref,997,+dtlbm,53", false);
+
+    group.bench_function("analyze_reduce", |b| {
+        b.iter(|| Analysis::new(black_box(&[&exp1, &exp2]), &binary.program.syms).totals())
+    });
+
+    let analysis = Analysis::new(&[&exp1, &exp2], &binary.program.syms);
+    group.bench_function("fig2_function_list", |b| {
+        b.iter(|| black_box(analysis.function_list(0)))
+    });
+    group.bench_function("fig3_annotated_source", |b| {
+        b.iter(|| black_box(analysis.render_annotated_source("refresh_potential")))
+    });
+    group.bench_function("fig4_annotated_disasm", |b| {
+        b.iter(|| {
+            black_box(
+                analysis.render_annotated_disasm("refresh_potential", &binary.program.image.text),
+            )
+        })
+    });
+    group.bench_function("fig5_pc_list", |b| {
+        let col = analysis.col_by_event(CounterEvent::ECReadMiss).unwrap();
+        b.iter(|| black_box(analysis.pc_list(col, 20)))
+    });
+    group.bench_function("fig6_data_objects", |b| {
+        let col = analysis.col_by_event(CounterEvent::ECStallCycles).unwrap();
+        b.iter(|| black_box(analysis.data_objects(col)))
+    });
+    group.bench_function("fig7_struct_expansion", |b| {
+        b.iter(|| black_box(analysis.expand_struct("node")))
+    });
+    group.bench_function("addrviews_instances", |b| {
+        b.iter(|| black_box(analysis.instances("node", 512, 50)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

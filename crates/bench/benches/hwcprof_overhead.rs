@@ -1,0 +1,60 @@
+//! E8 (§2.1): the runtime cost of compiling with `-xhwcprof`
+//! (paper: ~1.3% on MCF). The printed summary reports simulated
+//! cycles; the Criterion timings track the simulation cost of each
+//! build.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mcf_bench::{paper_machine_config, run_cycles, Layout, Scale};
+use minic::CompileOptions;
+
+fn bench_overhead(c: &mut Criterion) {
+    let instance = Scale::test().instance();
+    let cfg = paper_machine_config();
+
+    let (r_plain, c_plain) = run_cycles(
+        &instance,
+        Layout::Baseline,
+        CompileOptions::default(),
+        cfg.clone(),
+    );
+    let (r_prof, c_prof) = run_cycles(
+        &instance,
+        Layout::Baseline,
+        CompileOptions::profiling(),
+        cfg.clone(),
+    );
+    assert_eq!(r_plain.cost, r_prof.cost);
+    println!(
+        "\n== E8: -xhwcprof overhead == {:.2}% cycles, {:.2}% instructions (paper: ~1.3%)",
+        100.0 * (c_prof.cycles as f64 - c_plain.cycles as f64) / c_plain.cycles as f64,
+        100.0 * (c_prof.insts as f64 - c_plain.insts as f64) / c_plain.insts as f64,
+    );
+
+    let mut group = c.benchmark_group("hwcprof_overhead");
+    group.sample_size(10);
+    group.bench_function("plain_build", |b| {
+        b.iter(|| {
+            run_cycles(
+                &instance,
+                Layout::Baseline,
+                CompileOptions::default(),
+                cfg.clone(),
+            )
+        })
+    });
+    group.bench_function("hwcprof_build", |b| {
+        b.iter(|| {
+            run_cycles(
+                &instance,
+                Layout::Baseline,
+                CompileOptions::profiling(),
+                cfg.clone(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E9 (§3.3): the layout/page-size tuning study as a Criterion bench.
+//!
+//! Each variant runs the identical workload to completion on the
+//! simulated machine; the wall time measured here is dominated by the
+//! number of *simulated* cycles, so the Criterion deltas between
+//! variants track the simulated speedups reported by the `figures
+//! tuning` table (the simulator costs more per stall-heavy
+//! instruction because stalls walk the cache hierarchy).
+//!
+//! The printed summary is the real experiment: simulated cycles per
+//! variant, with the paper's numbers alongside.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mcf_bench::{paper_machine_config, run_cycles, Layout, Scale};
+use minic::CompileOptions;
+
+fn bench_tuning(c: &mut Criterion) {
+    let instance = Scale::test().instance();
+    let base_cfg = paper_machine_config();
+    let large_cfg = base_cfg.clone().with_large_heap_pages();
+
+    // Print the simulated-cycle table once, up front.
+    let variants: [(&str, Layout, simsparc_machine::MachineConfig, f64); 4] = [
+        ("baseline", Layout::Baseline, base_cfg.clone(), 0.0),
+        ("tuned_layout", Layout::Tuned, base_cfg.clone(), 16.2),
+        ("large_pages", Layout::Baseline, large_cfg.clone(), 3.9),
+        ("combined", Layout::Tuned, large_cfg.clone(), 20.7),
+    ];
+    let baseline_cycles = run_cycles(
+        &instance,
+        Layout::Baseline,
+        CompileOptions::default(),
+        base_cfg.clone(),
+    )
+    .1
+    .cycles;
+    println!("\n== E9: simulated cycles per variant (test scale) ==");
+    for (name, layout, cfg, paper_pct) in &variants {
+        let (_, counts) = run_cycles(&instance, *layout, CompileOptions::default(), cfg.clone());
+        let speedup = 100.0 * (baseline_cycles as f64 - counts.cycles as f64)
+            / baseline_cycles as f64;
+        println!(
+            "{name:<14} {:>12} cycles  speedup {speedup:>5.1}%  (paper: {paper_pct}%)",
+            counts.cycles
+        );
+    }
+
+    let mut group = c.benchmark_group("layout_tuning");
+    group.sample_size(10);
+    for (name, layout, cfg, _) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run_cycles(
+                    &instance,
+                    layout,
+                    CompileOptions::default(),
+                    cfg.clone(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tuning);
+criterion_main!(benches);

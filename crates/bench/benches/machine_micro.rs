@@ -1,0 +1,136 @@
+//! Microbenchmarks of the simulator substrate: cache and TLB model
+//! throughput, and raw interpreter speed on a hot loop. These bound
+//! how fast every other experiment can run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use simsparc_isa::{trap, AluOp, Cond, Insn, Operand, Reg};
+use simsparc_machine::{
+    CacheConfig, Image, Machine, MachineConfig, NullHook, SetAssocCache, Tlb, TlbConfig,
+    DATA_BASE, TEXT_BASE,
+};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_micro");
+
+    group.bench_function("dcache_hit_stream", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig {
+            bytes: 64 * 1024,
+            ways: 4,
+            line_bytes: 32,
+        });
+        // Warm a small set.
+        for i in 0..64u64 {
+            cache.access(i * 32);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            black_box(cache.access(i * 32))
+        })
+    });
+
+    group.bench_function("ecache_miss_stream", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig {
+            bytes: 128 * 1024,
+            ways: 2,
+            line_bytes: 512,
+        });
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(512 * 7919);
+            black_box(cache.access(addr % (1 << 30)))
+        })
+    });
+
+    group.bench_function("tlb_mixed_pages", |b| {
+        let mut tlb = Tlb::new(TlbConfig {
+            entries: 64,
+            ways: 2,
+        });
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x3fb5);
+            let heap = i.is_multiple_of(2);
+            let page = if heap { 512 * 1024 } else { 8 * 1024 };
+            black_box(tlb.access(0x4000_0000 + (i * 8192) % (1 << 26), page))
+        })
+    });
+
+    // Interpreter throughput: a tight ALU loop (no memory).
+    group.bench_function("interp_alu_loop_1M", |b| {
+        let text = vec![
+            Insn::mov(Operand::Imm(0), Reg::O0),
+            // loop:
+            Insn::alu(AluOp::Add, Reg::O0, Operand::Imm(1), Reg::O0),
+            Insn::cmp(Reg::O0, Operand::Imm(1000)),
+            Insn::Branch {
+                cond: Cond::L,
+                annul: false,
+                pred_taken: true,
+                disp: -2,
+            },
+            Insn::Nop,
+            Insn::Trap { num: trap::EXIT },
+        ];
+        let image = Image {
+            text,
+            data: vec![],
+            bss_bytes: 0,
+            entry: TEXT_BASE,
+        };
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::default());
+            m.load(&image);
+            black_box(m.run(10_000_000, &mut NullHook).unwrap().counts.insts)
+        })
+    });
+
+    // Interpreter throughput with memory traffic.
+    group.bench_function("interp_mem_loop", |b| {
+        let text = vec![
+            Insn::Sethi {
+                imm21: (DATA_BASE >> 11) as u32,
+                rd: Reg::G1,
+            },
+            Insn::mov(Operand::Imm(0), Reg::O0),
+            Insn::mov(Operand::Imm(0), Reg::G3),
+            // loop: ldx [g1+g3], g2 ; add o0,g2,o0 ; add g3,8 ; cmp ; bl
+            Insn::Load {
+                width: simsparc_isa::MemWidth::X,
+                signed: false,
+                rs1: Reg::G1,
+                op2: Operand::Reg(Reg::G3),
+                rd: Reg::G2,
+            },
+            Insn::alu(AluOp::Add, Reg::O0, Operand::Reg(Reg::G2), Reg::O0),
+            Insn::alu(AluOp::Add, Reg::G3, Operand::Imm(8), Reg::G3),
+            Insn::cmp(Reg::G3, Operand::Imm(4000)),
+            Insn::Branch {
+                cond: Cond::L,
+                annul: false,
+                pred_taken: true,
+                disp: -4,
+            },
+            Insn::Nop,
+            Insn::Trap { num: trap::EXIT },
+        ];
+        let image = Image {
+            text,
+            data: vec![1u8; 4096],
+            bss_bytes: 0,
+            entry: TEXT_BASE,
+        };
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::default());
+            m.load(&image);
+            black_box(m.run(10_000_000, &mut NullHook).unwrap().counts.loads)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

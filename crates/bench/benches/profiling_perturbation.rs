@@ -1,0 +1,67 @@
+//! Ablation: collection perturbation vs overflow interval.
+//!
+//! §2 of the paper: "since collection perturbation can be controlled
+//! through configuration of the processors' counter overflow rates,
+//! the tools are efficient and convenient". In the simulator the
+//! profiled program's *simulated* cycles are unperturbed (the trap
+//! handler runs in the host), so the measurable cost of aggressive
+//! intervals is (a) host-side collection time and (b) *dropped*
+//! overflow events once traps overlap their own skid — the real
+//! hardware's failure mode. The printed table shows events recorded
+//! and dropped per interval; the benches measure collection cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use memprof_core::{collect, parse_counter_spec, CollectConfig};
+use mcf_bench::{paper_machine_config, Scale};
+use minic::CompileOptions;
+use simsparc_machine::Machine;
+
+fn bench_perturbation(c: &mut Criterion) {
+    let instance = Scale::test().instance();
+    let binary = mcf::compile_mcf(
+        &instance,
+        mcf::Layout::Baseline,
+        &mcf::McfParams::default(),
+        CompileOptions::profiling(),
+    )
+    .unwrap();
+
+    let run_with_interval = |interval: u64| {
+        let mut machine = Machine::new(paper_machine_config());
+        machine.load(&binary.program.image);
+        mcf::stage_instance(&mut machine, &binary, &instance);
+        let config = CollectConfig {
+            counters: parse_counter_spec(&format!("+ecref,{interval}")).unwrap(),
+            clock_profiling: false,
+            clock_period_cycles: 0,
+            max_insns: mcf::MAX_INSNS,
+        };
+        collect(&mut machine, &config).unwrap()
+    };
+
+    println!("\n== ablation: ecref overflow interval vs events recorded/dropped ==");
+    println!("{:>10} {:>10} {:>10} {:>10}", "interval", "recorded", "dropped", "est.total");
+    for interval in [2u64, 5, 17, 101, 997, 9973] {
+        let exp = run_with_interval(interval);
+        println!(
+            "{:>10} {:>10} {:>10} {:>10}",
+            interval,
+            exp.hwc_events.len(),
+            exp.run.dropped[0],
+            exp.estimated_total(0)
+        );
+    }
+
+    let mut group = c.benchmark_group("profiling_perturbation");
+    group.sample_size(10);
+    for interval in [17u64, 101, 997] {
+        group.bench_function(format!("collect_ecref_interval_{interval}"), |b| {
+            b.iter(|| run_with_interval(interval))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_perturbation);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Scale probe: run MCF at a given size and print the function-level
+//! profile shape, for tuning the figure-scale parameters against the
+//! paper's Figure 2.
+
+use memprof_core::analyze::Analysis;
+use mcf_bench::{run_paper_experiments, Scale};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(600);
+    let scale = Scale {
+        n_trips: n,
+        window: 60,
+        seed: 181,
+    };
+    let t0 = std::time::Instant::now();
+    let run = run_paper_experiments(scale);
+    eprintln!("wall time: {:?}", t0.elapsed());
+    eprintln!(
+        "insts: {} cycles: {} ecrm: {} ecref: {} dtlbm: {} stall: {} ({}% of cycles)",
+        run.exp1.run.counts.insts,
+        run.exp1.run.counts.cycles,
+        run.exp1.run.counts.ec_read_miss,
+        run.exp1.run.counts.ec_ref,
+        run.exp2.run.counts.dtlb_miss,
+        run.exp1.run.counts.ec_stall_cycles,
+        100 * run.exp1.run.counts.ec_stall_cycles / run.exp1.run.counts.cycles
+    );
+    eprintln!("result: {:?}", run.result);
+
+    let analysis = Analysis::new(&[&run.exp1, &run.exp2], &run.program.syms);
+    println!("{}", analysis.render_function_list(0));
+    println!("{}", analysis.render_data_objects(2));
+    for e in analysis.effectiveness() {
+        println!(
+            "{}: {:.1}% effective ({} events, {} unresolvable, {} unascertainable)",
+            e.title, e.effectiveness_pct, e.total, e.unresolvable, e.unascertainable
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Benchmark harness: reproduces every table and figure of the
+//! paper's evaluation (§3) against the simulated machine.
+//!
+//! The instance scale and machine geometry are fixed here so every
+//! figure is generated from the same pair of experiments the paper
+//! uses:
+//!
+//! ```text
+//! collect -S off -p on  -h +ecstall,lo,+ecrm,on  mcf.exe mcf.in   (E1)
+//! collect -S off -p off -h +ecref,on,+dtlbm,on   mcf.exe mcf.in   (E2)
+//! ```
+//!
+//! Overflow intervals are scaled to the simulated run length (the
+//! real tool's `lo`/`on` presets assume a 550-second run; ours lasts
+//! tens of simulated milliseconds) — interval selection is a
+//! first-class parameter of the real `collect` too.
+
+use memprof_core::{collect, parse_counter_spec, CollectConfig, Experiment};
+use minic::{CompileOptions, Program};
+use simsparc_machine::{Machine, MachineConfig};
+
+pub use mcf::{
+    paper_machine_config, Instance, InstanceParams, Layout, McfParams, McfResult,
+};
+
+/// Workload scale for the figure experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    pub n_trips: usize,
+    pub window: usize,
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The scale used for the published figures: big enough that the
+    /// working set exceeds the (scaled) E$ and DTLB reach.
+    pub fn paper() -> Scale {
+        Scale {
+            n_trips: 1200,
+            window: 60,
+            seed: 181,
+        }
+    }
+
+    /// A smaller scale for tests.
+    pub fn test() -> Scale {
+        Scale {
+            n_trips: 250,
+            window: 30,
+            seed: 181,
+        }
+    }
+
+    pub fn instance(&self) -> Instance {
+        Instance::generate(InstanceParams {
+            n_trips: self.n_trips,
+            window: self.window,
+            seed: self.seed,
+            ..Default::default()
+        })
+    }
+}
+
+/// Everything needed to regenerate the paper's figures.
+pub struct PaperRun {
+    pub program: Program,
+    /// Experiment 1: `-p on -h +ecstall,...,+ecrm,...`.
+    pub exp1: Experiment,
+    /// Experiment 2: `-p off -h +ecref,...,+dtlbm,...`.
+    pub exp2: Experiment,
+    pub result: McfResult,
+    pub instance: Instance,
+}
+
+/// Compile the baseline MCF with profiling support and run the
+/// paper's two collection experiments.
+pub fn run_paper_experiments(scale: Scale) -> PaperRun {
+    let instance = scale.instance();
+    let binary = mcf::compile_mcf(
+        &instance,
+        Layout::Baseline,
+        &McfParams::default(),
+        CompileOptions::profiling(),
+    )
+    .expect("mcf must compile");
+
+    let run_one = |spec: &str, clock: bool| -> Experiment {
+        let mut machine = Machine::new(paper_machine_config());
+        machine.load(&binary.program.image);
+        mcf::stage_instance(&mut machine, &binary, &instance);
+        let config = CollectConfig {
+            counters: parse_counter_spec(spec).unwrap(),
+            clock_profiling: clock,
+            clock_period_cycles: 20011,
+            max_insns: mcf::MAX_INSNS,
+        };
+        collect(&mut machine, &config).expect("collection must succeed")
+    };
+
+    // Paper experiment 1: E$ stall cycles (backtracked) + E$ read
+    // misses (backtracked), clock profiling on.
+    let exp1 = run_one("+ecstall,99991,+ecrm,499", true);
+    // Paper experiment 2: E$ references + DTLB misses.
+    let exp2 = run_one("+ecref,2003,+dtlbm,97", false);
+
+    let outcome = simsparc_machine::RunOutcome {
+        exit_code: exp1.run.exit_code,
+        output: exp1.run.output.clone(),
+        counts: exp1.run.counts,
+        dropped_overflows: [0, 0],
+    };
+    let result = mcf::parse_result(&outcome).expect("mcf must solve");
+    mcf::verify_against_oracle(&instance, &result).expect("oracle agreement");
+
+    PaperRun {
+        program: binary.program,
+        exp1,
+        exp2,
+        result,
+        instance,
+    }
+}
+
+/// Run MCF unprofiled and return the result plus ground-truth counts
+/// (for the overhead and tuning experiments).
+pub fn run_cycles(
+    instance: &Instance,
+    layout: Layout,
+    options: CompileOptions,
+    config: MachineConfig,
+) -> (McfResult, simsparc_machine::EventCounts) {
+    let (result, outcome) = mcf::run_mcf(instance, layout, &McfParams::default(), options, config)
+        .expect("mcf run");
+    (result, outcome.counts)
+}

@@ -1,0 +1,147 @@
+//! Address-space views — the §4 "future work" of the paper,
+//! implemented here as extensions: effective addresses broken down by
+//! memory segment, by page, by cache line, and aggregated by
+//! *structure instance* (with the E$-line straddle analysis that
+//! motivates the §3.3 padding optimization).
+
+use std::collections::HashMap;
+
+use minic::MemDesc;
+use simsparc_machine::SegmentKind;
+
+use super::{Analysis, Attribution};
+
+/// Per-segment event counts.
+#[derive(Clone, Debug)]
+pub struct SegmentRow {
+    pub segment: SegmentKind,
+    pub samples: Vec<u64>,
+}
+
+/// Per-page event counts (top pages by the sort column).
+#[derive(Clone, Debug)]
+pub struct PageRow {
+    pub page_base: u64,
+    pub segment: SegmentKind,
+    pub samples: Vec<u64>,
+}
+
+/// Per-cache-line event counts.
+#[derive(Clone, Debug)]
+pub struct CacheLineRow {
+    pub line_base: u64,
+    pub samples: Vec<u64>,
+}
+
+/// Instance-level aggregation for one structure type (§4: "translating
+/// the effective addresses into structure object instances, and
+/// aggregating data by instance, rather than only by type").
+#[derive(Clone, Debug)]
+pub struct InstanceReport {
+    pub struct_name: String,
+    pub struct_size: u64,
+    /// (instance base address, samples), hottest first.
+    pub instances: Vec<(u64, Vec<u64>)>,
+    /// Fraction of *referenced* instances whose extent straddles an
+    /// E$ line boundary (the paper's "28% of these 120-byte data
+    /// objects end up split this way").
+    pub straddle_fraction: f64,
+}
+
+impl<'a> Analysis<'a> {
+    /// Events with reconstructed effective addresses, by segment.
+    pub fn segments(&self) -> Vec<SegmentRow> {
+        let map = self.accumulate(|r| r.ea.map(SegmentKind::of_addr));
+        let mut rows: Vec<SegmentRow> = map
+            .into_iter()
+            .map(|(segment, samples)| SegmentRow { segment, samples })
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.samples.iter().sum::<u64>()));
+        rows
+    }
+
+    /// Top pages by total events. `page_bytes` must be a power of two.
+    pub fn pages(&self, page_bytes: u64, limit: usize) -> Vec<PageRow> {
+        assert!(page_bytes.is_power_of_two());
+        let map = self.accumulate(|r| r.ea.map(|ea| ea & !(page_bytes - 1)));
+        let mut rows: Vec<PageRow> = map
+            .into_iter()
+            .map(|(page_base, samples)| PageRow {
+                page_base,
+                segment: SegmentKind::of_addr(page_base),
+                samples,
+            })
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.samples.iter().sum::<u64>()));
+        rows.truncate(limit);
+        rows
+    }
+
+    /// Top cache lines by total events.
+    pub fn cache_lines(&self, line_bytes: u64, limit: usize) -> Vec<CacheLineRow> {
+        assert!(line_bytes.is_power_of_two());
+        let map = self.accumulate(|r| r.ea.map(|ea| ea & !(line_bytes - 1)));
+        let mut rows: Vec<CacheLineRow> = map
+            .into_iter()
+            .map(|(line_base, samples)| CacheLineRow { line_base, samples })
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.samples.iter().sum::<u64>()));
+        rows.truncate(limit);
+        rows
+    }
+
+    /// Aggregate events on one structure type by object *instance*:
+    /// the instance base is `ea - member_offset`, both known from the
+    /// event's effective address and the member descriptor.
+    pub fn instances(&self, struct_name: &str, ec_line_bytes: u64, limit: usize) -> Option<InstanceReport> {
+        let sinfo = self.syms.struct_by_name(struct_name)?;
+        let size = sinfo.size;
+        let ncols = self.columns.len();
+
+        let mut map: HashMap<u64, Vec<u64>> = HashMap::new();
+        for r in &self.reduced {
+            let Some(ea) = r.ea else { continue };
+            if let Attribution::DataObject {
+                desc:
+                    MemDesc::Member {
+                        struct_name: s,
+                        offset,
+                        ..
+                    },
+                ..
+            } = &r.attr
+            {
+                if s == struct_name {
+                    let base = ea.wrapping_sub(*offset);
+                    map.entry(base).or_insert_with(|| vec![0; ncols])[r.col] += 1;
+                }
+            }
+        }
+        if map.is_empty() {
+            return Some(InstanceReport {
+                struct_name: struct_name.to_string(),
+                struct_size: size,
+                instances: Vec::new(),
+                straddle_fraction: 0.0,
+            });
+        }
+
+        let straddling = map
+            .keys()
+            .filter(|&&base| (base / ec_line_bytes) != ((base + size - 1) / ec_line_bytes))
+            .count();
+        let straddle_fraction = straddling as f64 / map.len() as f64;
+
+        let mut instances: Vec<(u64, Vec<u64>)> = map.into_iter().collect();
+        instances.sort_by_key(|(base, samples)| {
+            (std::cmp::Reverse(samples.iter().sum::<u64>()), *base)
+        });
+        instances.truncate(limit);
+        Some(InstanceReport {
+            struct_name: struct_name.to_string(),
+            struct_size: size,
+            instances,
+            straddle_fraction,
+        })
+    }
+}

@@ -1,0 +1,282 @@
+//! The data-object views — the paper's headline contribution
+//! (§3.2.5): metrics aggregated by structure type (Figure 6), the
+//! per-member expansion (Figure 7), and the backtracking
+//! effectiveness analysis.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use minic::MemDesc;
+
+use super::{fmt_val_pct, Analysis, Attribution, UnknownKind};
+
+/// The key a data-object row aggregates under.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataObjectKey {
+    /// `{structure:arc -}`
+    Struct(String),
+    /// Named scalars and arrays.
+    Scalars,
+    /// One of the §3.2.5 indeterminate categories.
+    Unknown(UnknownKind),
+}
+
+/// One row of the Figure 6 table.
+#[derive(Clone, Debug)]
+pub struct DataObjectRow {
+    pub name: String,
+    pub samples: Vec<u64>,
+}
+
+/// The Figure 7 expansion of one structure.
+#[derive(Clone, Debug)]
+pub struct StructExpansion {
+    pub struct_name: String,
+    /// Whole-struct samples per column.
+    pub total: Vec<u64>,
+    /// (offset, rendered member, samples) per member, in layout order —
+    /// including members that were never referenced, as in Figure 7.
+    pub members: Vec<(u64, String, Vec<u64>)>,
+    pub struct_size: u64,
+}
+
+/// Backtracking effectiveness per data column (§3.2.5): 100% minus
+/// the metric values associated with `(Unresolvable)` and
+/// `(Unascertainable)`.
+#[derive(Clone, Debug)]
+pub struct EffectivenessRow {
+    pub column: usize,
+    pub title: String,
+    pub total: u64,
+    pub unresolvable: u64,
+    pub unascertainable: u64,
+    pub effectiveness_pct: f64,
+}
+
+impl<'a> Analysis<'a> {
+    /// Figure 6: data objects ranked by the given data column. Only
+    /// backtracked memory counters have data-object information.
+    pub fn data_objects(&self, sort_col: usize) -> Vec<DataObjectRow> {
+        let data_cols = self.data_columns();
+        let map = self.accumulate(|r| {
+            if !data_cols.contains(&r.col) {
+                return None;
+            }
+            Some(match &r.attr {
+                Attribution::DataObject { desc, .. } => match desc {
+                    MemDesc::Member { struct_name, .. } => {
+                        DataObjectKey::Struct(struct_name.clone())
+                    }
+                    MemDesc::Scalar { .. } => DataObjectKey::Scalars,
+                    _ => DataObjectKey::Unknown(UnknownKind::Unspecified),
+                },
+                Attribution::Unknown { kind, .. } => DataObjectKey::Unknown(*kind),
+                Attribution::Plain { .. } => return None,
+            })
+        });
+
+        let ncols = self.columns.len();
+        let mut unknown_total = vec![0u64; ncols];
+        for (k, v) in &map {
+            if matches!(k, DataObjectKey::Unknown(_)) {
+                for (t, x) in unknown_total.iter_mut().zip(v) {
+                    *t += x;
+                }
+            }
+        }
+
+        let mut rows: Vec<DataObjectRow> = map
+            .into_iter()
+            .map(|(k, samples)| DataObjectRow {
+                name: match k {
+                    DataObjectKey::Struct(s) => format!("{{structure:{s} -}}"),
+                    DataObjectKey::Scalars => "<Scalars>".to_string(),
+                    DataObjectKey::Unknown(u) => u.label().to_string(),
+                },
+                samples,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.samples[sort_col].cmp(&a.samples[sort_col]).then(a.name.cmp(&b.name)));
+
+        // <Total> and <Unknown> pseudo-rows, as in Figure 6.
+        let mut total = vec![0u64; ncols];
+        for r in &self.reduced {
+            if data_cols.contains(&r.col) && !matches!(r.attr, Attribution::Plain { .. }) {
+                total[r.col] += 1;
+            }
+        }
+        let mut out = vec![DataObjectRow {
+            name: "<Total>".to_string(),
+            samples: total,
+        }];
+        if unknown_total.iter().any(|&x| x > 0) {
+            // Insert <Unknown> at its sorted position later; simplest
+            // is to add and re-sort the tail.
+            rows.push(DataObjectRow {
+                name: "<Unknown>".to_string(),
+                samples: unknown_total,
+            });
+            rows.sort_by(|a, b| {
+                b.samples[sort_col]
+                    .cmp(&a.samples[sort_col])
+                    .then(a.name.cmp(&b.name))
+            });
+        }
+        out.extend(rows);
+        out
+    }
+
+    /// Render Figure 6. Only the backtracked memory counters carry
+    /// data-object information, so (as in the paper) only those
+    /// columns appear.
+    pub fn render_data_objects(&self, sort_col: usize) -> String {
+        let rows = self.data_objects(sort_col);
+        let data_cols = self.data_columns();
+        let totals = rows
+            .first()
+            .map(|t| t.samples.clone())
+            .unwrap_or_default();
+        let mut out = String::new();
+        let headers: Vec<String> = data_cols
+            .iter()
+            .map(|&i| format!("Data. {}", self.columns[i].title))
+            .collect();
+        writeln!(out, "{}   Name", headers.join(" | ")).unwrap();
+        for r in rows {
+            let cells: Vec<String> = data_cols
+                .iter()
+                .map(|&i| {
+                    fmt_val_pct(
+                        &self.columns[i],
+                        r.samples[i],
+                        totals.get(i).copied().unwrap_or(0),
+                    )
+                })
+                .collect();
+            writeln!(out, "{}   {}", cells.join("  "), r.name).unwrap();
+        }
+        out
+    }
+
+    /// Figure 7: expand one structure into per-member rows (all
+    /// members in layout order, referenced or not).
+    pub fn expand_struct(&self, struct_name: &str) -> Option<StructExpansion> {
+        let sinfo = self.syms.struct_by_name(struct_name)?;
+        let data_cols = self.data_columns();
+        let ncols = self.columns.len();
+
+        let mut by_member: HashMap<String, Vec<u64>> = HashMap::new();
+        let mut total = vec![0u64; ncols];
+        for r in &self.reduced {
+            if !data_cols.contains(&r.col) {
+                continue;
+            }
+            if let Attribution::DataObject {
+                desc:
+                    MemDesc::Member {
+                        struct_name: s,
+                        member,
+                        ..
+                    },
+                ..
+            } = &r.attr
+            {
+                if s == struct_name {
+                    by_member.entry(member.clone()).or_insert_with(|| vec![0; ncols])[r.col] += 1;
+                    total[r.col] += 1;
+                }
+            }
+        }
+
+        let members = sinfo
+            .fields
+            .iter()
+            .map(|f| {
+                let samples = by_member.remove(&f.name).unwrap_or_else(|| vec![0; ncols]);
+                (
+                    f.offset,
+                    format!("+{} {{{} {}}}", f.offset, f.type_desc, f.name),
+                    samples,
+                )
+            })
+            .collect();
+        Some(StructExpansion {
+            struct_name: struct_name.to_string(),
+            total,
+            members,
+            struct_size: sinfo.size,
+        })
+    }
+
+    /// Render Figure 7 (data columns only, like Figure 6).
+    pub fn render_struct_expansion(&self, struct_name: &str) -> Option<String> {
+        let exp = self.expand_struct(struct_name)?;
+        let data_cols = self.data_columns();
+        let mut out = String::new();
+        writeln!(
+            out,
+            "Data-object {{structure:{} -}} ({} bytes)",
+            exp.struct_name, exp.struct_size
+        )
+        .unwrap();
+        let data_total = exp.total.clone();
+        let render_row = |samples: &[u64]| -> String {
+            data_cols
+                .iter()
+                .map(|&i| fmt_val_pct(&self.columns[i], samples[i], data_total[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(
+            out,
+            "{}   {{structure:{} -}}",
+            render_row(&exp.total),
+            exp.struct_name
+        )
+        .unwrap();
+        for (_, name, samples) in &exp.members {
+            writeln!(out, "{}   {}", render_row(samples), name).unwrap();
+        }
+        Some(out)
+    }
+
+    /// §3.2.5: the effectiveness of the apropos backtracking per data
+    /// column.
+    pub fn effectiveness(&self) -> Vec<EffectivenessRow> {
+        self.data_columns()
+            .into_iter()
+            .map(|col| {
+                let mut total = 0u64;
+                let mut unresolvable = 0u64;
+                let mut unascertainable = 0u64;
+                for r in self.reduced.iter().filter(|r| r.col == col) {
+                    total += 1;
+                    match r.attr {
+                        Attribution::Unknown {
+                            kind: UnknownKind::Unresolvable,
+                            ..
+                        } => unresolvable += 1,
+                        Attribution::Unknown {
+                            kind: UnknownKind::Unascertainable,
+                            ..
+                        } => unascertainable += 1,
+                        _ => {}
+                    }
+                }
+                let eff = if total == 0 {
+                    100.0
+                } else {
+                    100.0 * (total - unresolvable - unascertainable) as f64 / total as f64
+                };
+                EffectivenessRow {
+                    column: col,
+                    title: self.columns[col].title.clone(),
+                    total,
+                    unresolvable,
+                    unascertainable,
+                    effectiveness_pct: eff,
+                }
+            })
+            .collect()
+    }
+}

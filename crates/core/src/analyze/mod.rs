@@ -1,0 +1,344 @@
+//! The analyzer (`er_print`/Analyzer, §2.3): data reduction,
+//! candidate-trigger-PC validation against the compiler's
+//! branch-target tables, and the metric views of §3.2 —
+//! function list, PCs, annotated source and disassembly, and the
+//! data-object views that are the paper's contribution.
+//!
+//! Multiple experiments can be analyzed together (the paper's two
+//! `collect` runs produce the five-column tables of Figures 2–7).
+
+mod addrviews;
+mod dataobjects;
+mod feedback;
+mod source;
+mod views;
+
+pub use addrviews::{CacheLineRow, InstanceReport, PageRow, SegmentRow};
+pub use dataobjects::{DataObjectRow, EffectivenessRow, StructExpansion};
+pub use source::{DisasmRow, LineRow, SourceRow};
+pub use views::{FunctionRow, PcRow, TotalMetrics};
+
+use minic::{MemDesc, SymbolTable};
+use simsparc_machine::CounterEvent;
+
+use crate::experiment::Experiment;
+
+/// What a metric column measures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ColKind {
+    /// Clock-profiling samples (User CPU time).
+    UserCpu { experiment: usize },
+    /// A hardware counter.
+    Hwc {
+        experiment: usize,
+        counter: usize,
+        event: CounterEvent,
+        backtrack: bool,
+    },
+}
+
+/// One metric column of the combined analysis.
+#[derive(Clone, Debug)]
+pub struct MetricCol {
+    pub kind: ColKind,
+    /// Display title (e.g. `E$ Stall Cycles`).
+    pub title: String,
+    /// Events (or cycles) represented by one recorded sample.
+    pub interval: u64,
+    /// Cycle-valued: display in seconds.
+    pub counts_cycles: bool,
+    pub clock_hz: u64,
+}
+
+impl MetricCol {
+    /// Scale a raw sample count to the estimated event total.
+    pub fn scaled(&self, samples: u64) -> f64 {
+        samples as f64 * self.interval as f64
+    }
+
+    /// Estimated seconds, for cycle-valued columns.
+    pub fn secs(&self, samples: u64) -> Option<f64> {
+        self.counts_cycles.then(|| self.scaled(samples) / self.clock_hz as f64)
+    }
+
+    /// Does this column carry data-object information (a backtracked
+    /// memory counter)?
+    pub fn is_data_column(&self) -> bool {
+        matches!(self.kind, ColKind::Hwc { backtrack: true, .. })
+    }
+}
+
+/// The taxonomy of §3.2.5 for events that cannot be attributed to a
+/// data object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnknownKind {
+    /// The compiler did not give a symbolic reference.
+    Unspecified,
+    /// The backtracking could not determine the trigger PC (either no
+    /// memory instruction in range or blocked by a branch target).
+    Unresolvable,
+    /// The module was not compiled with `-xhwcprof`.
+    Unascertainable,
+    /// The compiler did not identify the data object (a compiler
+    /// temporary).
+    Unidentified,
+    /// Branch-target information was inadequate to validate the
+    /// trigger PC (module without DWARF).
+    Unverifiable,
+}
+
+impl UnknownKind {
+    pub const ALL: [UnknownKind; 5] = [
+        UnknownKind::Unspecified,
+        UnknownKind::Unresolvable,
+        UnknownKind::Unascertainable,
+        UnknownKind::Unidentified,
+        UnknownKind::Unverifiable,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            UnknownKind::Unspecified => "(Unspecified)",
+            UnknownKind::Unresolvable => "(Unresolvable)",
+            UnknownKind::Unascertainable => "(Unascertainable)",
+            UnknownKind::Unidentified => "(Unidentified)",
+            UnknownKind::Unverifiable => "(Unverifiable)",
+        }
+    }
+}
+
+/// The result of validating one profile event.
+#[derive(Clone, Debug)]
+pub enum Attribution {
+    /// Validated candidate trigger PC with a data-object descriptor.
+    DataObject { pc: u64, desc: MemDesc },
+    /// Validated candidate, but the event cannot be mapped to a data
+    /// object; `kind` says why. For `Unresolvable` blocked by a
+    /// branch target, `pc` is the *artificial branch-target PC* the
+    /// metric is attributed to (§2.3).
+    Unknown { pc: u64, kind: UnknownKind },
+    /// Counter collected without backtracking (or a clock tick): the
+    /// event attributes to the delivered PC, as in classic
+    /// instruction-space profiling.
+    Plain { pc: u64 },
+}
+
+impl Attribution {
+    /// The PC the event's metric is charged to.
+    pub fn pc(&self) -> u64 {
+        match *self {
+            Attribution::DataObject { pc, .. }
+            | Attribution::Unknown { pc, .. }
+            | Attribution::Plain { pc } => pc,
+        }
+    }
+
+    /// Was the event attributed to an artificial `<branch target>` PC?
+    pub fn is_artificial(&self) -> bool {
+        matches!(
+            self,
+            Attribution::Unknown {
+                kind: UnknownKind::Unresolvable,
+                ..
+            }
+        )
+    }
+}
+
+/// One reduced (validated) event.
+#[derive(Clone, Debug)]
+pub struct Reduced {
+    /// Metric column the event belongs to.
+    pub col: usize,
+    pub attr: Attribution,
+    /// Reconstructed effective address, if any.
+    pub ea: Option<u64>,
+    /// (experiment index, event index) — for callstack access.
+    pub source: (usize, usize, bool),
+}
+
+/// A combined analysis over one or more experiments.
+pub struct Analysis<'a> {
+    pub experiments: Vec<&'a Experiment>,
+    pub syms: &'a SymbolTable,
+    pub columns: Vec<MetricCol>,
+    pub reduced: Vec<Reduced>,
+}
+
+impl<'a> Analysis<'a> {
+    /// Reduce the experiments: build the column set, validate every
+    /// hardware-counter event, and attribute clock ticks.
+    pub fn new(experiments: &[&'a Experiment], syms: &'a SymbolTable) -> Analysis<'a> {
+        let mut columns = Vec::new();
+        for (xi, exp) in experiments.iter().enumerate() {
+            if let Some(period) = exp.clock_period {
+                columns.push(MetricCol {
+                    kind: ColKind::UserCpu { experiment: xi },
+                    title: "User CPU".to_string(),
+                    interval: period,
+                    counts_cycles: true,
+                    clock_hz: exp.run.clock_hz,
+                });
+            }
+        }
+        for (xi, exp) in experiments.iter().enumerate() {
+            for (ci, req) in exp.counters.iter().enumerate() {
+                columns.push(MetricCol {
+                    kind: ColKind::Hwc {
+                        experiment: xi,
+                        counter: ci,
+                        event: req.event,
+                        backtrack: req.backtrack,
+                    },
+                    title: req.event.title().to_string(),
+                    interval: req.interval,
+                    counts_cycles: req.event.counts_cycles(),
+                    clock_hz: exp.run.clock_hz,
+                });
+            }
+        }
+
+        let mut reduced = Vec::new();
+        for (col_idx, col) in columns.iter().enumerate() {
+            match col.kind {
+                ColKind::UserCpu { experiment } => {
+                    for (ei, ev) in experiments[experiment].clock_events.iter().enumerate() {
+                        reduced.push(Reduced {
+                            col: col_idx,
+                            attr: Attribution::Plain { pc: ev.pc },
+                            ea: None,
+                            source: (experiment, ei, true),
+                        });
+                    }
+                }
+                ColKind::Hwc {
+                    experiment,
+                    counter,
+                    backtrack,
+                    ..
+                } => {
+                    for (ei, ev) in experiments[experiment]
+                        .hwc_events
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| e.counter == counter)
+                    {
+                        let attr = if backtrack {
+                            validate(syms, ev.candidate_pc, ev.delivered_pc)
+                        } else {
+                            Attribution::Plain {
+                                pc: ev.delivered_pc,
+                            }
+                        };
+                        reduced.push(Reduced {
+                            col: col_idx,
+                            attr,
+                            ea: ev.ea,
+                            source: (experiment, ei, false),
+                        });
+                    }
+                }
+            }
+        }
+
+        Analysis {
+            experiments: experiments.to_vec(),
+            syms,
+            columns,
+            reduced,
+        }
+    }
+
+    /// Total raw sample counts per column.
+    pub fn totals(&self) -> Vec<u64> {
+        let mut t = vec![0u64; self.columns.len()];
+        for r in &self.reduced {
+            t[r.col] += 1;
+        }
+        t
+    }
+
+    /// Helper: accumulate per-key sample counts over reduced events.
+    pub(crate) fn accumulate<K: std::hash::Hash + Eq, F>(
+        &self,
+        mut key_of: F,
+    ) -> std::collections::HashMap<K, Vec<u64>>
+    where
+        F: FnMut(&Reduced) -> Option<K>,
+    {
+        let ncols = self.columns.len();
+        let mut map: std::collections::HashMap<K, Vec<u64>> = std::collections::HashMap::new();
+        for r in &self.reduced {
+            if let Some(k) = key_of(r) {
+                map.entry(k).or_insert_with(|| vec![0; ncols])[r.col] += 1;
+            }
+        }
+        map
+    }
+}
+
+/// Validate a candidate trigger PC (§2.3): the module must have been
+/// compiled for memory profiling, with DWARF (so branch-target
+/// information exists), and no branch target may lie between the
+/// candidate and the delivered PC — otherwise "the analysis code can
+/// not determine how the code got to the point of the interrupt".
+pub fn validate(syms: &SymbolTable, candidate_pc: Option<u64>, delivered_pc: u64) -> Attribution {
+    let Some(c) = candidate_pc else {
+        return Attribution::Unknown {
+            pc: delivered_pc,
+            kind: UnknownKind::Unresolvable,
+        };
+    };
+    let Some(module) = syms.module_at(c) else {
+        return Attribution::Unknown {
+            pc: c,
+            kind: UnknownKind::Unascertainable,
+        };
+    };
+    if !module.hwcprof {
+        return Attribution::Unknown {
+            pc: c,
+            kind: UnknownKind::Unascertainable,
+        };
+    }
+    if !module.dwarf {
+        return Attribution::Unknown {
+            pc: c,
+            kind: UnknownKind::Unverifiable,
+        };
+    }
+    if let Some(bt) = syms.branch_target_between(c, delivered_pc) {
+        // Attributed to an artificial branch-target PC.
+        return Attribution::Unknown {
+            pc: bt,
+            kind: UnknownKind::Unresolvable,
+        };
+    }
+    match syms.meta_at(c).map(|m| &m.memdesc) {
+        Some(MemDesc::Member { .. }) | Some(MemDesc::Scalar { .. }) => Attribution::DataObject {
+            pc: c,
+            desc: syms.meta_at(c).unwrap().memdesc.clone(),
+        },
+        Some(MemDesc::Temporary) => Attribution::Unknown {
+            pc: c,
+            kind: UnknownKind::Unidentified,
+        },
+        _ => Attribution::Unknown {
+            pc: c,
+            kind: UnknownKind::Unspecified,
+        },
+    }
+}
+
+/// Format a value/percent pair the way the paper's tables do.
+pub(crate) fn fmt_val_pct(col: &MetricCol, samples: u64, total: u64) -> String {
+    let pct = if total == 0 {
+        0.0
+    } else {
+        100.0 * samples as f64 / total as f64
+    };
+    match col.secs(samples) {
+        Some(s) => format!("{s:>10.3} {pct:>5.1}"),
+        None => format!("{pct:>5.1}"),
+    }
+}

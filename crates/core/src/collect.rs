@@ -1,0 +1,353 @@
+//! The collector (`collect` command, §2.2): runs a target program on
+//! the simulated machine, receives counter-overflow traps and clock
+//! ticks, performs the **apropos backtracking search** (§2.2.3) and
+//! effective-address reconstruction, and records an [`Experiment`].
+//!
+//! The collector deliberately does *not* consult branch-target tables:
+//! "It is too expensive to locate branch targets at data collection
+//! time, so the candidate trigger PC is always recorded, but it is
+//! validated during data reduction." Validation lives in
+//! [`crate::analyze`].
+
+use simsparc_isa::Insn;
+use simsparc_machine::{
+    CounterEvent, CpuState, Machine, MachineError, OverflowTrap, ProfileHook, TEXT_BASE,
+};
+
+use crate::counters::{assign_slots, CounterRequest, CounterSpecError};
+use crate::experiment::{ClockEvent, Experiment, HwcEvent, RunInfo};
+
+/// How far the backtracking search walks before giving up (in
+/// instructions). Skid is at most a dozen instructions; anything
+/// farther back cannot be the trigger.
+pub const MAX_BACKTRACK_INSNS: u64 = 64;
+
+/// Collection parameters (what the `collect` command line encodes).
+#[derive(Clone, Debug)]
+pub struct CollectConfig {
+    /// Counters to collect (`-h`), already parsed.
+    pub counters: Vec<CounterRequest>,
+    /// Clock profiling (`-p on`).
+    pub clock_profiling: bool,
+    /// Clock profiling period in cycles. The real tool samples every
+    /// ~10 ms (9e6 cycles at 900 MHz); scaled-down simulated runs use
+    /// proportionally smaller periods.
+    pub clock_period_cycles: u64,
+    /// Abort the run after this many instructions.
+    pub max_insns: u64,
+}
+
+impl Default for CollectConfig {
+    fn default() -> Self {
+        CollectConfig {
+            counters: Vec::new(),
+            clock_profiling: false,
+            clock_period_cycles: 9_000_000,
+            max_insns: 2_000_000_000,
+        }
+    }
+}
+
+/// Errors from a collection run.
+#[derive(Debug)]
+pub enum CollectError {
+    Spec(CounterSpecError),
+    Machine(MachineError),
+}
+
+impl std::fmt::Display for CollectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectError::Spec(e) => write!(f, "{e}"),
+            CollectError::Machine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CollectError {}
+
+impl From<CounterSpecError> for CollectError {
+    fn from(e: CounterSpecError) -> Self {
+        CollectError::Spec(e)
+    }
+}
+
+impl From<MachineError> for CollectError {
+    fn from(e: MachineError) -> Self {
+        CollectError::Machine(e)
+    }
+}
+
+/// Does `insn` match the memory-reference type a counter event
+/// triggers on? Read-miss counters trigger on loads; reference and
+/// TLB counters trigger on loads and stores.
+pub fn event_accepts(event: CounterEvent, insn: &Insn) -> bool {
+    match event {
+        CounterEvent::ECReadMiss | CounterEvent::ECStallCycles | CounterEvent::DCReadMiss => {
+            insn.is_load()
+        }
+        CounterEvent::ECRef | CounterEvent::DTLBMiss => insn.is_memory_ref(),
+        _ => false,
+    }
+}
+
+#[inline]
+fn insn_at(text: &[Insn], pc: u64) -> Option<Insn> {
+    if pc < TEXT_BASE || !pc.is_multiple_of(4) {
+        return None;
+    }
+    text.get(((pc - TEXT_BASE) / 4) as usize).copied()
+}
+
+/// The apropos backtracking search (§2.2.3): walk back in the address
+/// space from the delivered PC until a memory-reference instruction of
+/// the appropriate type is found. The instruction *at* the delivered
+/// PC has not yet executed, so the walk starts one instruction before
+/// it.
+pub fn backtrack(text: &[Insn], delivered_pc: u64, event: CounterEvent) -> Option<u64> {
+    let mut pc = delivered_pc.checked_sub(4)?;
+    for _ in 0..MAX_BACKTRACK_INSNS {
+        let insn = insn_at(text, pc)?;
+        if event_accepts(event, &insn) {
+            return Some(pc);
+        }
+        pc = pc.checked_sub(4)?;
+    }
+    None
+}
+
+/// Reconstruct the effective data address of the candidate trigger
+/// (§2.2.3): disassemble it to find the address registers, then check
+/// whether any instruction between the candidate and the delivered PC
+/// (in address order) — or the candidate itself, for a load that
+/// overwrites its own base register — clobbered them. If not, the
+/// current register file still holds the address operands and the
+/// putative effective address is computable; otherwise the collector
+/// "indicates that the address could not be determined".
+pub fn reconstruct_ea(
+    text: &[Insn],
+    candidate_pc: u64,
+    delivered_pc: u64,
+    cpu: &CpuState,
+) -> Option<u64> {
+    let cand = insn_at(text, candidate_pc)?;
+    let (rs1, rs2) = cand.mem_addr_regs()?;
+    let clobbers = |insn: &Insn| {
+        insn.dest_reg()
+            .is_some_and(|d| d == rs1 || Some(d) == rs2)
+    };
+    // The candidate itself (e.g. `ldx [%o3+24], %o3`).
+    if clobbers(&cand) {
+        return None;
+    }
+    let mut pc = candidate_pc + 4;
+    while pc < delivered_pc {
+        let insn = insn_at(text, pc)?;
+        if clobbers(&insn) {
+            return None;
+        }
+        pc += 4;
+    }
+    let base = cpu.reg(rs1);
+    let off = match cand {
+        Insn::Load { op2, .. } | Insn::Store { op2, .. } | Insn::Prefetch { op2, .. } => match op2
+        {
+            simsparc_isa::Operand::Imm(v) => v as i64 as u64,
+            simsparc_isa::Operand::Reg(r) => cpu.reg(r),
+        },
+        _ => return None,
+    };
+    Some(base.wrapping_add(off))
+}
+
+/// The [`ProfileHook`] that records events during the run.
+struct CollectorHook {
+    text: Vec<Insn>,
+    counters: Vec<CounterRequest>,
+    slot_to_counter: [Option<usize>; 2],
+    hwc_events: Vec<HwcEvent>,
+    clock_events: Vec<ClockEvent>,
+}
+
+impl ProfileHook for CollectorHook {
+    fn on_overflow(&mut self, cpu: &CpuState, trap: &OverflowTrap) {
+        let Some(ci) = self.slot_to_counter[trap.slot] else {
+            return;
+        };
+        let req = self.counters[ci];
+        debug_assert_eq!(req.event, trap.event);
+        let (candidate_pc, ea) = if req.backtrack {
+            match backtrack(&self.text, trap.delivered_pc, req.event) {
+                Some(c) => (
+                    Some(c),
+                    reconstruct_ea(&self.text, c, trap.delivered_pc, cpu),
+                ),
+                None => (None, None),
+            }
+        } else {
+            (None, None)
+        };
+        self.hwc_events.push(HwcEvent {
+            counter: ci,
+            delivered_pc: trap.delivered_pc,
+            candidate_pc,
+            ea,
+            callstack: cpu.callstack().to_vec(),
+            truth_trigger_pc: trap.trigger_pc,
+            truth_skid: trap.skid,
+        });
+    }
+
+    fn on_clock_sample(&mut self, cpu: &CpuState, pc: u64) {
+        self.clock_events.push(ClockEvent {
+            pc,
+            callstack: cpu.callstack().to_vec(),
+        });
+    }
+}
+
+/// Run the loaded program under profiling and produce an experiment.
+/// The machine must already have the target image loaded.
+pub fn collect(machine: &mut Machine, config: &CollectConfig) -> Result<Experiment, CollectError> {
+    let slots = assign_slots(&config.counters)?;
+    let mut slot_to_counter = [None, None];
+    for (ci, (&slot, req)) in slots.iter().zip(&config.counters).enumerate() {
+        machine
+            .program_counter(slot, req.event, req.interval)
+            .map_err(|e| CollectError::Spec(CounterSpecError(e.to_string())))?;
+        slot_to_counter[slot] = Some(ci);
+    }
+    if config.clock_profiling {
+        machine.set_clock_sample_period(Some(config.clock_period_cycles));
+    }
+
+    let mut log = vec![format!(
+        "{} collect start: {} counter(s), clock profiling {}",
+        machine.counts().cycles,
+        config.counters.len(),
+        if config.clock_profiling { "on" } else { "off" }
+    )];
+    for (ci, req) in config.counters.iter().enumerate() {
+        log.push(format!(
+            "{} counter {}: {}{} interval {}",
+            machine.counts().cycles,
+            ci,
+            if req.backtrack { "+" } else { "" },
+            req.event.name(),
+            req.interval
+        ));
+    }
+
+    let mut hook = CollectorHook {
+        text: machine.text().to_vec(),
+        counters: config.counters.clone(),
+        slot_to_counter,
+        hwc_events: Vec::new(),
+        clock_events: Vec::new(),
+    };
+    let outcome = machine.run(config.max_insns, &mut hook)?;
+    log.push(format!(
+        "{} exit {} ({} hwc events, {} clock events)",
+        outcome.counts.cycles,
+        outcome.exit_code,
+        hook.hwc_events.len(),
+        hook.clock_events.len()
+    ));
+
+    let dropped: Vec<u64> = slots
+        .iter()
+        .map(|&s| outcome.dropped_overflows[s])
+        .collect();
+    Ok(Experiment {
+        counters: config.counters.clone(),
+        clock_period: config.clock_profiling.then_some(config.clock_period_cycles),
+        hwc_events: hook.hwc_events,
+        clock_events: hook.clock_events,
+        run: RunInfo {
+            exit_code: outcome.exit_code,
+            output: outcome.output,
+            counts: outcome.counts,
+            clock_hz: machine.config.clock_hz,
+            dropped,
+        },
+        log,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simsparc_isa::{AluOp, Operand, Reg};
+
+    fn text_with(insns: &[Insn]) -> Vec<Insn> {
+        insns.to_vec()
+    }
+
+    #[test]
+    fn backtrack_finds_nearest_load() {
+        // [ld, add, nop, cmp, <delivered>]
+        let text = text_with(&[
+            Insn::load_x(Reg::O3, Operand::Imm(56), Reg::O2),
+            Insn::alu(AluOp::Add, Reg::G1, Operand::Reg(Reg::G5), Reg::G2),
+            Insn::Nop,
+            Insn::cmp(Reg::O2, Operand::Imm(1)),
+            Insn::Nop,
+        ]);
+        let delivered = TEXT_BASE + 16;
+        assert_eq!(
+            backtrack(&text, delivered, CounterEvent::ECReadMiss),
+            Some(TEXT_BASE)
+        );
+    }
+
+    #[test]
+    fn backtrack_respects_event_type() {
+        // A store between the load and the delivered PC: read-miss
+        // counters must skip it; reference counters must stop at it.
+        let text = text_with(&[
+            Insn::load_x(Reg::O3, Operand::Imm(56), Reg::O2),
+            Insn::store_x(Reg::G2, Reg::O3, Operand::Imm(88)),
+            Insn::Nop,
+        ]);
+        let delivered = TEXT_BASE + 8;
+        assert_eq!(
+            backtrack(&text, delivered, CounterEvent::ECReadMiss),
+            Some(TEXT_BASE),
+            "read miss skips the store"
+        );
+        assert_eq!(
+            backtrack(&text, delivered, CounterEvent::ECRef),
+            Some(TEXT_BASE + 4),
+            "ecref stops at the store"
+        );
+    }
+
+    #[test]
+    fn backtrack_gives_up_outside_text() {
+        let text = text_with(&[Insn::Nop, Insn::Nop]);
+        assert_eq!(backtrack(&text, TEXT_BASE + 4, CounterEvent::ECReadMiss), None);
+    }
+
+    #[test]
+    fn backtrack_gives_up_after_limit() {
+        let mut insns = vec![Insn::load_x(Reg::O3, Operand::Imm(0), Reg::O2)];
+        insns.extend(std::iter::repeat_n(Insn::Nop, 100));
+        let delivered = TEXT_BASE + 4 * 100;
+        assert_eq!(
+            backtrack(&insns, delivered, CounterEvent::ECReadMiss),
+            None,
+            "trigger farther than MAX_BACKTRACK_INSNS is not found"
+        );
+    }
+
+    #[test]
+    fn event_type_filters() {
+        let ld = Insn::load_x(Reg::O3, Operand::Imm(0), Reg::O2);
+        let st = Insn::store_x(Reg::O2, Reg::O3, Operand::Imm(0));
+        assert!(event_accepts(CounterEvent::ECReadMiss, &ld));
+        assert!(!event_accepts(CounterEvent::ECReadMiss, &st));
+        assert!(event_accepts(CounterEvent::ECRef, &st));
+        assert!(event_accepts(CounterEvent::DTLBMiss, &st));
+        assert!(!event_accepts(CounterEvent::Cycles, &ld));
+    }
+}

@@ -1,0 +1,212 @@
+//! Counter request parsing and slot assignment — the `collect -h`
+//! command line of §2.2: `-h +ecstall,lo,+ecrm,on`.
+//!
+//! A `+` prefix requests the apropos backtracking search for that
+//! counter (only meaningful for memory-related counters). The
+//! interval may be `hi`/`on`/`lo` (primes, chosen "to reduce the
+//! probability of correlations in the profiles") or numeric.
+
+use simsparc_machine::{CounterEvent, NUM_COUNTER_SLOTS};
+
+/// One requested counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterRequest {
+    pub event: CounterEvent,
+    /// Apropos backtracking search requested (`+` prefix).
+    pub backtrack: bool,
+    /// Overflow interval in events.
+    pub interval: u64,
+}
+
+/// Named overflow intervals. On the real tool `hi`/`on`/`lo`
+/// correspond to ~1 ms / ~10 ms / ~100 ms for the `cycles` counter at
+/// 900 MHz; all values are prime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Interval {
+    Hi,
+    On,
+    Lo,
+    Custom(u64),
+}
+
+impl Interval {
+    /// Resolve to a concrete event count for `event`.
+    pub fn resolve(self, event: CounterEvent) -> u64 {
+        match (self, event.counts_cycles()) {
+            (Interval::Custom(n), _) => n,
+            (Interval::Hi, true) => 1_000_003,
+            (Interval::On, true) => 9_999_991,
+            (Interval::Lo, true) => 100_000_007,
+            (Interval::Hi, false) => 10_007,
+            (Interval::On, false) => 100_003,
+            (Interval::Lo, false) => 1_000_003,
+        }
+    }
+}
+
+/// Error from `-h` parsing or slot assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSpecError(pub String);
+
+impl std::fmt::Display for CounterSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad counter specification: {}", self.0)
+    }
+}
+
+impl std::error::Error for CounterSpecError {}
+
+/// Parse a `collect -h` argument, e.g. `+ecstall,lo,+ecrm,on` or
+/// `cycles,1000003` or `+dtlbm,on`.
+pub fn parse_counter_spec(spec: &str) -> Result<Vec<CounterRequest>, CounterSpecError> {
+    let parts: Vec<&str> = spec.split(',').map(str::trim).collect();
+    if !parts.len().is_multiple_of(2) {
+        return Err(CounterSpecError(format!(
+            "`{spec}`: expected name,interval pairs"
+        )));
+    }
+    let mut out = Vec::with_capacity(parts.len() / 2);
+    for pair in parts.chunks(2) {
+        let (name, ivl) = (pair[0], pair[1]);
+        let (backtrack, name) = match name.strip_prefix('+') {
+            Some(rest) => (true, rest),
+            None => (false, name),
+        };
+        let Some(event) = CounterEvent::parse(name) else {
+            return Err(CounterSpecError(format!("unknown counter `{name}`")));
+        };
+        if backtrack && !event.is_memory_event() {
+            return Err(CounterSpecError(format!(
+                "`+` (backtracking) is only valid for memory-related counters, not `{name}`"
+            )));
+        }
+        let interval = match ivl {
+            "hi" | "high" => Interval::Hi,
+            "on" => Interval::On,
+            "lo" | "low" => Interval::Lo,
+            n => match n.parse::<u64>() {
+                Ok(v) if v > 0 => Interval::Custom(v),
+                _ => {
+                    return Err(CounterSpecError(format!("bad interval `{n}`")));
+                }
+            },
+        };
+        out.push(CounterRequest {
+            event,
+            backtrack,
+            interval: interval.resolve(event),
+        });
+    }
+    if out.len() > NUM_COUNTER_SLOTS {
+        return Err(CounterSpecError(format!(
+            "at most {NUM_COUNTER_SLOTS} counters supported, {} requested",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// Assign requests to counter registers, honouring the per-register
+/// event constraints ("if two counters are requested, they must be on
+/// different registers", §2.2).
+pub fn assign_slots(requests: &[CounterRequest]) -> Result<Vec<usize>, CounterSpecError> {
+    match requests {
+        [] => Ok(vec![]),
+        [a] => a
+            .event
+            .allowed_slots()
+            .first()
+            .map(|&s| vec![s])
+            .ok_or_else(|| CounterSpecError(format!("`{}` unavailable", a.event))),
+        [a, b] => {
+            for &sa in a.event.allowed_slots() {
+                for &sb in b.event.allowed_slots() {
+                    if sa != sb {
+                        return Ok(vec![sa, sb]);
+                    }
+                }
+            }
+            Err(CounterSpecError(format!(
+                "counters `{}` and `{}` require the same register; \
+                 collect them in separate experiments",
+                a.event, b.event
+            )))
+        }
+        _ => Err(CounterSpecError("too many counters".to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_experiment_lines() {
+        // collect -h +ecstall,lo,+ecrm,on
+        let reqs = parse_counter_spec("+ecstall,lo,+ecrm,on").unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].event, CounterEvent::ECStallCycles);
+        assert!(reqs[0].backtrack);
+        assert_eq!(reqs[0].interval, 100_000_007);
+        assert_eq!(reqs[1].event, CounterEvent::ECReadMiss);
+        assert_eq!(reqs[1].interval, 100_003);
+
+        // collect -h +ecref,on,+dtlbm,on
+        let reqs = parse_counter_spec("+ecref,on,+dtlbm,on").unwrap();
+        assert_eq!(reqs[0].event, CounterEvent::ECRef);
+        assert_eq!(reqs[1].event, CounterEvent::DTLBMiss);
+    }
+
+    #[test]
+    fn numeric_intervals() {
+        let reqs = parse_counter_spec("cycles,12345").unwrap();
+        assert_eq!(reqs[0].interval, 12345);
+        assert!(!reqs[0].backtrack);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(parse_counter_spec("nosuch,on").is_err());
+        assert!(parse_counter_spec("cycles").is_err());
+        assert!(parse_counter_spec("cycles,0").is_err());
+        assert!(parse_counter_spec("+insts,on").is_err(), "insts is not a memory event");
+        assert!(parse_counter_spec("cycles,on,insts,on,icm,on").is_err());
+    }
+
+    #[test]
+    fn slot_assignment_respects_constraints() {
+        let reqs = parse_counter_spec("+ecstall,lo,+ecrm,on").unwrap();
+        let slots = assign_slots(&reqs).unwrap();
+        assert_ne!(slots[0], slots[1]);
+        assert!(CounterEvent::ECStallCycles.allowed_slots().contains(&slots[0]));
+        assert!(CounterEvent::ECReadMiss.allowed_slots().contains(&slots[1]));
+    }
+
+    #[test]
+    fn conflicting_events_rejected() {
+        // dcrm and dtlbm both live on PIC0 only.
+        let reqs = parse_counter_spec("+dcrm,on,+dtlbm,on").unwrap();
+        assert!(assign_slots(&reqs).is_err());
+    }
+
+    #[test]
+    fn intervals_are_prime() {
+        fn is_prime(n: u64) -> bool {
+            if n < 2 {
+                return false;
+            }
+            let mut d = 2;
+            while d * d <= n {
+                if n.is_multiple_of(d) {
+                    return false;
+                }
+                d += 1;
+            }
+            true
+        }
+        for ivl in [Interval::Hi, Interval::On, Interval::Lo] {
+            assert!(is_prime(ivl.resolve(CounterEvent::Cycles)));
+            assert!(is_prime(ivl.resolve(CounterEvent::ECReadMiss)));
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Disassembler producing listings in the style of the paper's
+//! Figure 4 (`er_print` annotated disassembly): pseudo-ops like `cmp`,
+//! `mov` and `ret` are recognized, branches show `,a`/`,pt`/`,pn`
+//! suffixes and absolute targets.
+
+use std::fmt;
+
+use crate::insn::{AluOp, Cond, Insn, MemWidth, Operand};
+use crate::reg::Reg;
+
+/// An instruction paired with its PC, for `Display` formatting.
+///
+/// ```
+/// use simsparc_isa::{DisasmInsn, Insn, Reg, Operand};
+/// let d = DisasmInsn { insn: Insn::cmp(Reg::O2, Operand::Imm(1)), pc: 0x100 };
+/// assert_eq!(d.to_string(), "cmp  %o2, 1");
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct DisasmInsn {
+    pub insn: Insn,
+    pub pc: u64,
+}
+
+impl fmt::Display for DisasmInsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_insn(&self.insn, self.pc, f)
+    }
+}
+
+/// Disassemble one instruction located at `pc` (the PC is needed to
+/// print absolute branch/call targets).
+pub fn disasm(insn: &Insn, pc: u64) -> String {
+    DisasmInsn { insn: *insn, pc }.to_string()
+}
+
+fn mem_operand(rs1: Reg, op2: Operand) -> String {
+    match op2 {
+        Operand::Imm(0) => format!("[{rs1}]"),
+        Operand::Imm(v) if v < 0 => format!("[{rs1} - {}]", -(v as i32)),
+        Operand::Imm(v) => format!("[{rs1} + {v}]"),
+        Operand::Reg(r) => format!("[{rs1} + {r}]"),
+    }
+}
+
+fn op2_str(op2: Operand) -> String {
+    match op2 {
+        Operand::Imm(v) => v.to_string(),
+        Operand::Reg(r) => r.to_string(),
+    }
+}
+
+fn load_mnemonic(width: MemWidth, signed: bool) -> &'static str {
+    match (width, signed) {
+        (MemWidth::B, false) => "ldub",
+        (MemWidth::B, true) => "ldsb",
+        (MemWidth::H, false) => "lduh",
+        (MemWidth::H, true) => "ldsh",
+        (MemWidth::W, false) => "lduw",
+        (MemWidth::W, true) => "ldsw",
+        (MemWidth::X, _) => "ldx",
+    }
+}
+
+fn store_mnemonic(width: MemWidth) -> &'static str {
+    match width {
+        MemWidth::B => "stb",
+        MemWidth::H => "sth",
+        MemWidth::W => "stw",
+        MemWidth::X => "stx",
+    }
+}
+
+fn fmt_insn(insn: &Insn, pc: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match *insn {
+        Insn::Nop => f.write_str("nop"),
+        Insn::Sethi { imm21, rd } => {
+            write!(f, "sethi  %hi({:#x}), {rd}", (imm21 as u64) << 11)
+        }
+        Insn::Branch {
+            cond,
+            annul,
+            pred_taken,
+            disp,
+        } => {
+            let target = pc.wrapping_add_signed(disp as i64 * 4);
+            if cond == Cond::A && !annul {
+                // Unconditional branches print without hints, as in Fig. 4.
+                write!(f, "ba   {target:#x}")
+            } else {
+                let a = if annul { ",a" } else { "" };
+                let hint = if pred_taken { ",pt" } else { ",pn" };
+                write!(f, "{}{a}{hint}  %xcc,{target:#x}", cond.mnemonic())
+            }
+        }
+        Insn::Call { disp } => {
+            let target = pc.wrapping_add_signed(disp as i64 * 4);
+            write!(f, "call {target:#x}")
+        }
+        Insn::Trap { num } => write!(f, "ta   {num}"),
+        Insn::Jmpl { rs1, op2, rd } => {
+            if *insn == Insn::ret() {
+                f.write_str("ret")
+            } else {
+                write!(f, "jmpl {}, {rd}", mem_operand(rs1, op2))
+            }
+        }
+        Insn::Prefetch { rs1, op2 } => {
+            write!(f, "prefetch {}", mem_operand(rs1, op2))
+        }
+        Insn::Alu {
+            op,
+            cc,
+            rs1,
+            op2,
+            rd,
+        } => {
+            // Pseudo-ops, in the order er_print prefers them.
+            if op == AluOp::Sub && cc && rd.is_zero() {
+                return write!(f, "cmp  {rs1}, {}", op2_str(op2));
+            }
+            if op == AluOp::Or && !cc && rs1.is_zero() {
+                return write!(f, "mov  {}, {rd}", op2_str(op2));
+            }
+            if op == AluOp::Add && !cc && matches!(op2, Operand::Imm(1)) && rs1 == rd {
+                return write!(f, "inc  {rd}");
+            }
+            let ccs = if cc { "cc" } else { "" };
+            write!(f, "{}{ccs}  {rs1}, {}, {rd}", op.mnemonic(), op2_str(op2))
+        }
+        Insn::Load {
+            width,
+            signed,
+            rs1,
+            op2,
+            rd,
+        } => write!(
+            f,
+            "{}  {}, {rd}",
+            load_mnemonic(width, signed),
+            mem_operand(rs1, op2)
+        ),
+        Insn::Store {
+            width,
+            src,
+            rs1,
+            op2,
+        } => write!(
+            f,
+            "{}  {src}, {}",
+            store_mnemonic(width),
+            mem_operand(rs1, op2)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_style_listing() {
+        // Shapes from Figure 4 of the paper.
+        assert_eq!(
+            disasm(&Insn::load_x(Reg::O3, Operand::Imm(56), Reg::O2), 0),
+            "ldx  [%o3 + 56], %o2"
+        );
+        assert_eq!(
+            disasm(&Insn::store_x(Reg::G2, Reg::O3, Operand::Imm(88)), 0),
+            "stx  %g2, [%o3 + 88]"
+        );
+        assert_eq!(disasm(&Insn::cmp(Reg::O2, Operand::Imm(1)), 0), "cmp  %o2, 1");
+        assert_eq!(
+            disasm(&Insn::mov(Operand::Reg(Reg::O3), Reg::O5), 0),
+            "mov  %o3, %o5"
+        );
+        assert_eq!(
+            disasm(
+                &Insn::alu(AluOp::Add, Reg::G1, Operand::Reg(Reg::G5), Reg::G2),
+                0
+            ),
+            "add  %g1, %g5, %g2"
+        );
+        assert_eq!(disasm(&Insn::Nop, 0), "nop");
+        assert_eq!(disasm(&Insn::ret(), 0), "ret");
+    }
+
+    #[test]
+    fn branch_targets_are_absolute() {
+        let b = Insn::Branch {
+            cond: Cond::Ne,
+            annul: false,
+            pred_taken: false,
+            disp: -42,
+        };
+        let s = disasm(&b, 0x100003110 + 42 * 4);
+        assert_eq!(s, "bne,pn  %xcc,0x100003110");
+
+        let ba = Insn::Branch {
+            cond: Cond::A,
+            annul: false,
+            pred_taken: false,
+            disp: 12,
+        };
+        assert_eq!(disasm(&ba, 0x1000031e8), "ba   0x100003218");
+    }
+
+    #[test]
+    fn inc_pseudo_op() {
+        let inc = Insn::alu(AluOp::Add, Reg::G3, Operand::Imm(1), Reg::G3);
+        assert_eq!(disasm(&inc, 0), "inc  %g3");
+        // Not an inc when source and dest differ.
+        let add = Insn::alu(AluOp::Add, Reg::G3, Operand::Imm(1), Reg::G4);
+        assert_eq!(disasm(&add, 0), "add  %g3, 1, %g4");
+    }
+
+    #[test]
+    fn negative_mem_offset() {
+        let st = Insn::store_x(Reg::L0, Reg::Sp, Operand::Imm(-16));
+        assert_eq!(disasm(&st, 0), "stx  %l0, [%sp - 16]");
+    }
+
+    #[test]
+    fn zero_offset_omitted() {
+        let ld = Insn::load_x(Reg::G4, Operand::Imm(0), Reg::G1);
+        assert_eq!(disasm(&ld, 0), "ldx  [%g4], %g1");
+    }
+    #[test]
+    fn remaining_instruction_forms() {
+        assert_eq!(
+            disasm(
+                &Insn::Sethi {
+                    imm21: 0x40000,
+                    rd: Reg::G1
+                },
+                0
+            ),
+            "sethi  %hi(0x20000000), %g1"
+        );
+        assert_eq!(disasm(&Insn::Trap { num: 16 }, 0), "ta   16");
+        assert_eq!(
+            disasm(
+                &Insn::Jmpl {
+                    rs1: Reg::G1,
+                    op2: Operand::Imm(0),
+                    rd: Reg::O7
+                },
+                0
+            ),
+            "jmpl [%g1], %o7"
+        );
+        assert_eq!(
+            disasm(
+                &Insn::Prefetch {
+                    rs1: Reg::G4,
+                    op2: Operand::Reg(Reg::G2)
+                },
+                0
+            ),
+            "prefetch [%g4 + %g2]"
+        );
+        assert_eq!(disasm(&Insn::Call { disp: 4 }, 0x100), "call 0x110");
+        let sr = Insn::alu(AluOp::Srl, Reg::G1, Operand::Imm(4), Reg::G2);
+        assert_eq!(disasm(&sr, 0), "srlx  %g1, 4, %g2");
+        let lduw = Insn::Load {
+            width: crate::insn::MemWidth::W,
+            signed: false,
+            rs1: Reg::G1,
+            op2: Operand::Imm(12),
+            rd: Reg::G2,
+        };
+        assert_eq!(disasm(&lduw, 0), "lduw  [%g1 + 12], %g2");
+        let annulled = Insn::Branch {
+            cond: Cond::E,
+            annul: true,
+            pred_taken: true,
+            disp: 2,
+        };
+        assert_eq!(disasm(&annulled, 0x100), "be,a,pt  %xcc,0x108");
+        // ba with annul prints with its suffixes too.
+        let baa = Insn::Branch {
+            cond: Cond::A,
+            annul: true,
+            pred_taken: true,
+            disp: 2,
+        };
+        assert_eq!(disasm(&baa, 0x100), "ba,a,pt  %xcc,0x108");
+    }
+}
+

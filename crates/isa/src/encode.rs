@@ -1,0 +1,322 @@
+//! A compact 32-bit binary encoding for SimSPARC.
+//!
+//! This is *not* the real SPARC-V9 encoding — it is a simplified fixed
+//! layout that preserves the property the profiler needs: every
+//! instruction occupies exactly 4 bytes, so text addresses can be
+//! walked in either direction, and the collector's disassembler can
+//! decode any word it lands on. All encodings round-trip exactly
+//! (see the proptest in `tests/`).
+//!
+//! Layout (`op` = bits `[31:26]`):
+//!
+//! | opcode     | instruction | fields |
+//! |-----------:|-------------|--------|
+//! | 0          | `nop`       | — |
+//! | 1          | `sethi`     | `rd[25:21] imm21[20:0]` |
+//! | 2          | branch      | `cond[25:23] a[22] pt[21] disp21[20:0]` |
+//! | 3          | `call`      | `disp26[25:0]` |
+//! | 4          | `ta`        | `num[7:0]` |
+//! | 5          | `jmpl`      | reg-form |
+//! | 6          | `prefetch`  | reg-form (no `rd`) |
+//! | 8..=17     | ALU         | reg-form + `cc[14]` |
+//! | 32..=39    | loads       | reg-form; `width[1:0]`,`signed` in opcode |
+//! | 40..=43    | stores      | reg-form (`src` in the `rd` field) |
+//!
+//! reg-form: `rd[25:21] rs1[20:16] i[13]`, then `simm13[12:0]` when
+//! `i = 1` or `rs2[4:0]` when `i = 0`.
+
+use crate::insn::{AluOp, Cond, Insn, MemWidth, Operand};
+use crate::reg::Reg;
+
+/// Error returned by [`Insn::decode`] for words that are not valid
+/// SimSPARC encodings.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid SimSPARC instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const OP_NOP: u32 = 0;
+const OP_SETHI: u32 = 1;
+const OP_BRANCH: u32 = 2;
+const OP_CALL: u32 = 3;
+const OP_TRAP: u32 = 4;
+const OP_JMPL: u32 = 5;
+const OP_PREFETCH: u32 = 6;
+const OP_ALU_BASE: u32 = 8; // ..=17
+const OP_LOAD_BASE: u32 = 32; // ..=39
+const OP_STORE_BASE: u32 = 40; // ..=43
+
+/// Signed range of the 21-bit branch displacement (in words).
+pub const DISP21_MIN: i32 = -(1 << 20);
+/// Signed range of the 21-bit branch displacement (in words).
+pub const DISP21_MAX: i32 = (1 << 20) - 1;
+/// Signed range of the 26-bit call displacement (in words).
+pub const DISP26_MIN: i32 = -(1 << 25);
+/// Signed range of the 26-bit call displacement (in words).
+pub const DISP26_MAX: i32 = (1 << 25) - 1;
+
+fn encode_regform(rd: u32, rs1: u32, op2: Operand) -> u32 {
+    let base = (rd << 21) | (rs1 << 16);
+    match op2 {
+        Operand::Imm(v) => {
+            debug_assert!((-4096..=4095).contains(&v), "simm13 out of range: {v}");
+            base | (1 << 13) | ((v as u32) & 0x1fff)
+        }
+        Operand::Reg(r) => base | (r.index() as u32),
+    }
+}
+
+fn decode_op2(word: u32) -> Operand {
+    if word & (1 << 13) != 0 {
+        // Sign-extend the 13-bit immediate.
+        let raw = (word & 0x1fff) as i32;
+        let v = (raw << 19) >> 19;
+        Operand::Imm(v as i16)
+    } else {
+        Operand::Reg(Reg::from_index((word & 0x1f) as u8))
+    }
+}
+
+fn decode_rd(word: u32) -> Reg {
+    Reg::from_index(((word >> 21) & 0x1f) as u8)
+}
+
+fn decode_rs1(word: u32) -> Reg {
+    Reg::from_index(((word >> 16) & 0x1f) as u8)
+}
+
+impl Insn {
+    /// Encode to a 32-bit word. Panics (in debug builds) on field
+    /// overflow; codegen is responsible for staying within the
+    /// displacement and immediate ranges.
+    pub fn encode(&self) -> u32 {
+        match *self {
+            Insn::Nop => OP_NOP << 26,
+            Insn::Sethi { imm21, rd } => {
+                debug_assert!(imm21 < (1 << 21), "sethi imm21 out of range");
+                (OP_SETHI << 26) | ((rd.index() as u32) << 21) | (imm21 & 0x1f_ffff)
+            }
+            Insn::Branch {
+                cond,
+                annul,
+                pred_taken,
+                disp,
+            } => {
+                debug_assert!(
+                    (DISP21_MIN..=DISP21_MAX).contains(&disp),
+                    "branch disp out of range: {disp}"
+                );
+                (OP_BRANCH << 26)
+                    | ((cond as u32) << 23)
+                    | ((annul as u32) << 22)
+                    | ((pred_taken as u32) << 21)
+                    | ((disp as u32) & 0x1f_ffff)
+            }
+            Insn::Call { disp } => {
+                debug_assert!(
+                    (DISP26_MIN..=DISP26_MAX).contains(&disp),
+                    "call disp out of range: {disp}"
+                );
+                (OP_CALL << 26) | ((disp as u32) & 0x03ff_ffff)
+            }
+            Insn::Trap { num } => (OP_TRAP << 26) | num as u32,
+            Insn::Jmpl { rs1, op2, rd } => {
+                (OP_JMPL << 26) | encode_regform(rd.index() as u32, rs1.index() as u32, op2)
+            }
+            Insn::Prefetch { rs1, op2 } => {
+                (OP_PREFETCH << 26) | encode_regform(0, rs1.index() as u32, op2)
+            }
+            Insn::Alu {
+                op,
+                cc,
+                rs1,
+                op2,
+                rd,
+            } => {
+                (OP_ALU_BASE + op as u32) << 26
+                    | ((cc as u32) << 14)
+                    | encode_regform(rd.index() as u32, rs1.index() as u32, op2)
+            }
+            Insn::Load {
+                width,
+                signed,
+                rs1,
+                op2,
+                rd,
+            } => {
+                let op = OP_LOAD_BASE + (width as u32) * 2 + signed as u32;
+                (op << 26) | encode_regform(rd.index() as u32, rs1.index() as u32, op2)
+            }
+            Insn::Store {
+                width,
+                src,
+                rs1,
+                op2,
+            } => {
+                let op = OP_STORE_BASE + width as u32;
+                (op << 26) | encode_regform(src.index() as u32, rs1.index() as u32, op2)
+            }
+        }
+    }
+
+    /// Decode a 32-bit word.
+    pub fn decode(word: u32) -> Result<Insn, DecodeError> {
+        let op = word >> 26;
+        let insn = match op {
+            OP_NOP => Insn::Nop,
+            OP_SETHI => Insn::Sethi {
+                imm21: word & 0x1f_ffff,
+                rd: decode_rd(word),
+            },
+            OP_BRANCH => {
+                let cond = match (word >> 23) & 0x7 {
+                    0 => Cond::A,
+                    1 => Cond::N,
+                    2 => Cond::E,
+                    3 => Cond::Ne,
+                    4 => Cond::L,
+                    5 => Cond::Le,
+                    6 => Cond::G,
+                    _ => Cond::Ge,
+                };
+                let disp = (((word & 0x1f_ffff) as i32) << 11) >> 11;
+                Insn::Branch {
+                    cond,
+                    annul: word & (1 << 22) != 0,
+                    pred_taken: word & (1 << 21) != 0,
+                    disp,
+                }
+            }
+            OP_CALL => {
+                let disp = (((word & 0x03ff_ffff) as i32) << 6) >> 6;
+                Insn::Call { disp }
+            }
+            OP_TRAP => Insn::Trap {
+                num: (word & 0xff) as u8,
+            },
+            OP_JMPL => Insn::Jmpl {
+                rs1: decode_rs1(word),
+                op2: decode_op2(word),
+                rd: decode_rd(word),
+            },
+            OP_PREFETCH => Insn::Prefetch {
+                rs1: decode_rs1(word),
+                op2: decode_op2(word),
+            },
+            op @ OP_ALU_BASE..=17 => {
+                let alu = AluOp::ALL[(op - OP_ALU_BASE) as usize];
+                Insn::Alu {
+                    op: alu,
+                    cc: word & (1 << 14) != 0,
+                    rs1: decode_rs1(word),
+                    op2: decode_op2(word),
+                    rd: decode_rd(word),
+                }
+            }
+            op @ OP_LOAD_BASE..=39 => {
+                let k = op - OP_LOAD_BASE;
+                Insn::Load {
+                    width: MemWidth::ALL[(k / 2) as usize],
+                    signed: k % 2 == 1,
+                    rs1: decode_rs1(word),
+                    op2: decode_op2(word),
+                    rd: decode_rd(word),
+                }
+            }
+            op @ OP_STORE_BASE..=43 => Insn::Store {
+                width: MemWidth::ALL[(op - OP_STORE_BASE) as usize],
+                src: decode_rd(word),
+                rs1: decode_rs1(word),
+                op2: decode_op2(word),
+            },
+            _ => return Err(DecodeError { word }),
+        };
+        Ok(insn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_basics() {
+        let samples = [
+            Insn::Nop,
+            Insn::Sethi {
+                imm21: 0x1f_ffff,
+                rd: Reg::G1,
+            },
+            Insn::Branch {
+                cond: Cond::Ne,
+                annul: true,
+                pred_taken: false,
+                disp: -777,
+            },
+            Insn::Call { disp: 123_456 },
+            Insn::Trap { num: 16 },
+            Insn::ret(),
+            Insn::cmp(Reg::O2, Operand::Imm(1)),
+            Insn::mov(Operand::Reg(Reg::O3), Reg::O5),
+            Insn::load_x(Reg::O3, Operand::Imm(56), Reg::O2),
+            Insn::store_x(Reg::G2, Reg::O3, Operand::Imm(88)),
+            Insn::Load {
+                width: MemWidth::W,
+                signed: true,
+                rs1: Reg::L4,
+                op2: Operand::Reg(Reg::I2),
+                rd: Reg::L5,
+            },
+            Insn::Prefetch {
+                rs1: Reg::G4,
+                op2: Operand::Imm(-4096),
+            },
+        ];
+        for insn in samples {
+            let word = insn.encode();
+            assert_eq!(Insn::decode(word), Ok(insn), "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn negative_immediates_sign_extend() {
+        let insn = Insn::alu(AluOp::Add, Reg::Sp, Operand::Imm(-64), Reg::Sp);
+        assert_eq!(Insn::decode(insn.encode()), Ok(insn));
+    }
+
+    #[test]
+    fn invalid_opcode_rejected() {
+        let word = 63u32 << 26;
+        assert_eq!(Insn::decode(word), Err(DecodeError { word }));
+    }
+
+    #[test]
+    fn branch_disp_extremes() {
+        for disp in [DISP21_MIN, DISP21_MAX, 0, 1, -1] {
+            let insn = Insn::Branch {
+                cond: Cond::A,
+                annul: false,
+                pred_taken: true,
+                disp,
+            };
+            assert_eq!(Insn::decode(insn.encode()), Ok(insn));
+        }
+    }
+
+    #[test]
+    fn call_disp_extremes() {
+        for disp in [DISP26_MIN, DISP26_MAX, 0, -1] {
+            let insn = Insn::Call { disp };
+            assert_eq!(Insn::decode(insn.encode()), Ok(insn));
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! Instruction definitions and the classification queries the profiler
+//! needs (is this a memory reference? which registers feed its address?
+//! which registers does it clobber?).
+
+use crate::reg::Reg;
+
+/// Integer condition codes, evaluated against the flags set by the
+/// last `cc`-flavoured ALU instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum Cond {
+    /// Always (`ba`).
+    A = 0,
+    /// Never (`bn`) — effectively a two-slot nop, kept for completeness.
+    N,
+    /// Equal (`be`).
+    E,
+    /// Not equal (`bne`).
+    Ne,
+    /// Signed less (`bl`).
+    L,
+    /// Signed less-or-equal (`ble`).
+    Le,
+    /// Signed greater (`bg`).
+    G,
+    /// Signed greater-or-equal (`bge`).
+    Ge,
+}
+
+impl Cond {
+    pub const ALL: [Cond; 8] = [
+        Cond::A,
+        Cond::N,
+        Cond::E,
+        Cond::Ne,
+        Cond::L,
+        Cond::Le,
+        Cond::G,
+        Cond::Ge,
+    ];
+
+    /// Mnemonic suffix (`ba`, `be`, `bne`, ...).
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::A => "ba",
+            Cond::N => "bn",
+            Cond::E => "be",
+            Cond::Ne => "bne",
+            Cond::L => "bl",
+            Cond::Le => "ble",
+            Cond::G => "bg",
+            Cond::Ge => "bge",
+        }
+    }
+
+    /// The inverse condition (used by codegen to flip branches).
+    pub const fn negate(self) -> Cond {
+        match self {
+            Cond::A => Cond::N,
+            Cond::N => Cond::A,
+            Cond::E => Cond::Ne,
+            Cond::Ne => Cond::E,
+            Cond::L => Cond::Ge,
+            Cond::Ge => Cond::L,
+            Cond::Le => Cond::G,
+            Cond::G => Cond::Le,
+        }
+    }
+}
+
+/// ALU operations. The `cc` flag on [`Insn::Alu`] selects the
+/// flag-setting variant (`subcc` etc.).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum AluOp {
+    Add = 0,
+    Sub,
+    /// 64-bit signed multiply (`mulx`).
+    Mul,
+    /// 64-bit signed divide (`sdivx`); division by zero traps.
+    Div,
+    And,
+    Or,
+    Xor,
+    /// Shift left logical.
+    Sll,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+}
+
+impl AluOp {
+    pub const ALL: [AluOp; 10] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+    ];
+
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mulx",
+            AluOp::Div => "sdivx",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sllx",
+            AluOp::Srl => "srlx",
+            AluOp::Sra => "srax",
+        }
+    }
+}
+
+/// Access width of a load or store.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum MemWidth {
+    /// 1 byte.
+    B = 0,
+    /// 2 bytes.
+    H,
+    /// 4 bytes.
+    W,
+    /// 8 bytes.
+    X,
+}
+
+impl MemWidth {
+    pub const ALL: [MemWidth; 4] = [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::X];
+
+    /// Width in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B => 1,
+            MemWidth::H => 2,
+            MemWidth::W => 4,
+            MemWidth::X => 8,
+        }
+    }
+}
+
+/// The second operand of ALU and memory instructions: either a
+/// register or a 13-bit signed immediate (`simm13`), as on SPARC.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    Reg(Reg),
+    Imm(i16),
+}
+
+/// Inclusive range of a `simm13` immediate.
+pub const SIMM13_MIN: i64 = -4096;
+/// Inclusive range of a `simm13` immediate.
+pub const SIMM13_MAX: i64 = 4095;
+
+impl Operand {
+    /// Build an immediate operand if `v` fits in `simm13`.
+    #[inline]
+    pub fn imm(v: i64) -> Option<Operand> {
+        if (SIMM13_MIN..=SIMM13_MAX).contains(&v) {
+            Some(Operand::Imm(v as i16))
+        } else {
+            None
+        }
+    }
+
+    /// The register this operand reads, if any.
+    #[inline]
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+/// Trap numbers for [`Insn::Trap`] (`ta n`). Numbers `>= HOSTCALL_BASE`
+/// are host-service calls used by the `minic` runtime (arguments in
+/// `%o0..`, result in `%o0`); smaller numbers are reserved.
+pub mod trap {
+    /// Normal program exit; exit status in `%o0`.
+    pub const EXIT: u8 = 0;
+    /// First host-service trap number.
+    pub const HOSTCALL_BASE: u8 = 16;
+}
+
+/// One SimSPARC instruction.
+///
+/// Branches, calls and indirect jumps all have a single architectural
+/// **delay slot**: the instruction at `pc + 4` executes before control
+/// transfers. A conditional branch with the `annul` bit set skips its
+/// delay slot when the branch is *not* taken (SPARC `,a` semantics).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Insn {
+    /// `op [cc] rs1, op2, rd`. With `cc`, sets the integer condition
+    /// flags from the 64-bit signed result.
+    Alu {
+        op: AluOp,
+        cc: bool,
+        rs1: Reg,
+        op2: Operand,
+        rd: Reg,
+    },
+    /// `sethi imm21, rd`: `rd = imm21 << 11`, clearing the low bits.
+    /// (Real SPARC uses a 22-bit immediate shifted by 10; the 21/11
+    /// split keeps our custom encoding in 32 bits.)
+    Sethi { imm21: u32, rd: Reg },
+    /// Load `width` bytes from `[rs1 + op2]` into `rd`, sign- or
+    /// zero-extending to 64 bits.
+    Load {
+        width: MemWidth,
+        signed: bool,
+        rs1: Reg,
+        op2: Operand,
+        rd: Reg,
+    },
+    /// Store the low `width` bytes of `src` to `[rs1 + op2]`.
+    Store {
+        width: MemWidth,
+        src: Reg,
+        rs1: Reg,
+        op2: Operand,
+    },
+    /// Conditional branch; `disp` is a signed word displacement from
+    /// the branch's own PC. `pred_taken` is the static prediction hint
+    /// (`,pt` / `,pn`), which is cosmetic in the timing model but kept
+    /// because the paper's disassembly listings show it.
+    Branch {
+        cond: Cond,
+        annul: bool,
+        pred_taken: bool,
+        disp: i32,
+    },
+    /// `call disp`: write the call's own PC to `%o7` and jump (with a
+    /// delay slot).
+    Call { disp: i32 },
+    /// `jmpl [rs1 + op2], rd`: write the jump's own PC to `rd` and jump
+    /// to the effective address (with a delay slot). `jmpl %o7+8, %g0`
+    /// is `ret`.
+    Jmpl { rs1: Reg, op2: Operand, rd: Reg },
+    /// Software prefetch of the line containing `[rs1 + op2]`; never
+    /// faults, never counts as an architectural memory reference for
+    /// profiling purposes (matching how the paper treats `-xprefetch`
+    /// as orthogonal to `-xhwcprof`).
+    Prefetch { rs1: Reg, op2: Operand },
+    /// `ta num`: trap-always. `trap::EXIT` ends the program; numbers at
+    /// or above [`trap::HOSTCALL_BASE`] invoke host services.
+    Trap { num: u8 },
+    /// No operation. With `-xhwcprof` the compiler pads join points
+    /// with these (§2.1 of the paper).
+    Nop,
+}
+
+impl Insn {
+    // ------------------------------------------------------------------
+    // Convenience constructors (the common shapes used by codegen).
+    // ------------------------------------------------------------------
+
+    /// `ldx [rs1 + op2], rd`.
+    pub const fn load_x(rs1: Reg, op2: Operand, rd: Reg) -> Insn {
+        Insn::Load {
+            width: MemWidth::X,
+            signed: false,
+            rs1,
+            op2,
+            rd,
+        }
+    }
+
+    /// `stx src, [rs1 + op2]`.
+    pub const fn store_x(src: Reg, rs1: Reg, op2: Operand) -> Insn {
+        Insn::Store {
+            width: MemWidth::X,
+            src,
+            rs1,
+            op2,
+        }
+    }
+
+    /// `op rs1, op2, rd` without setting flags.
+    pub const fn alu(op: AluOp, rs1: Reg, op2: Operand, rd: Reg) -> Insn {
+        Insn::Alu {
+            op,
+            cc: false,
+            rs1,
+            op2,
+            rd,
+        }
+    }
+
+    /// `cmp rs1, op2` — `subcc rs1, op2, %g0`.
+    pub const fn cmp(rs1: Reg, op2: Operand) -> Insn {
+        Insn::Alu {
+            op: AluOp::Sub,
+            cc: true,
+            rs1,
+            op2,
+            rd: Reg::G0,
+        }
+    }
+
+    /// `mov src, rd` — `or %g0, src, rd`.
+    pub const fn mov(src: Operand, rd: Reg) -> Insn {
+        Insn::Alu {
+            op: AluOp::Or,
+            cc: false,
+            rs1: Reg::G0,
+            op2: src,
+            rd,
+        }
+    }
+
+    /// `ret` — `jmpl %o7 + 8, %g0`.
+    pub const fn ret() -> Insn {
+        Insn::Jmpl {
+            rs1: Reg::O7,
+            op2: Operand::Imm(8),
+            rd: Reg::G0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Classification queries used by the collector and analyzer.
+    // ------------------------------------------------------------------
+
+    /// Is this an architectural memory reference (load or store)?
+    /// `prefetch` is deliberately *not* one: the UltraSPARC counters
+    /// the paper profiles are triggered by demand references.
+    #[inline]
+    pub const fn is_memory_ref(&self) -> bool {
+        matches!(self, Insn::Load { .. } | Insn::Store { .. })
+    }
+
+    /// Is this a load?
+    #[inline]
+    pub const fn is_load(&self) -> bool {
+        matches!(self, Insn::Load { .. })
+    }
+
+    /// Is this a store?
+    #[inline]
+    pub const fn is_store(&self) -> bool {
+        matches!(self, Insn::Store { .. })
+    }
+
+    /// Does this instruction have a delay slot (i.e. is it a control
+    /// transfer)?
+    #[inline]
+    pub const fn is_delayed_transfer(&self) -> bool {
+        matches!(
+            self,
+            Insn::Branch { .. } | Insn::Call { .. } | Insn::Jmpl { .. }
+        )
+    }
+
+    /// The `(base, index)` registers that form this instruction's
+    /// effective address, if it references memory. This is what the
+    /// collector disassembles a candidate trigger PC to discover
+    /// (§2.2.3): which registers it must read to reconstruct the data
+    /// address.
+    pub fn mem_addr_regs(&self) -> Option<(Reg, Option<Reg>)> {
+        match *self {
+            Insn::Load { rs1, op2, .. }
+            | Insn::Store { rs1, op2, .. }
+            | Insn::Prefetch { rs1, op2 } => Some((rs1, op2.reg())),
+            _ => None,
+        }
+    }
+
+    /// The register this instruction writes, if any (`%g0` writes are
+    /// reported as `None` — they have no architectural effect). Used by
+    /// the collector's clobber analysis: if an instruction *between*
+    /// the candidate trigger PC and the delivered PC wrote one of the
+    /// address registers, the effective address is unreconstructable.
+    pub fn dest_reg(&self) -> Option<Reg> {
+        let rd = match *self {
+            Insn::Alu { rd, .. }
+            | Insn::Sethi { rd, .. }
+            | Insn::Load { rd, .. }
+            | Insn::Jmpl { rd, .. } => rd,
+            Insn::Call { .. } => Reg::O7,
+            _ => return None,
+        };
+        if rd.is_zero() {
+            None
+        } else {
+            Some(rd)
+        }
+    }
+
+    /// Absolute target address of a direct control transfer rooted at
+    /// `pc`, if this is a direct branch or call.
+    pub fn direct_target(&self, pc: u64) -> Option<u64> {
+        match *self {
+            Insn::Branch { disp, .. } | Insn::Call { disp } => {
+                Some(pc.wrapping_add_signed(disp as i64 * 4))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_imm_range() {
+        assert_eq!(Operand::imm(0), Some(Operand::Imm(0)));
+        assert_eq!(Operand::imm(4095), Some(Operand::Imm(4095)));
+        assert_eq!(Operand::imm(-4096), Some(Operand::Imm(-4096)));
+        assert_eq!(Operand::imm(4096), None);
+        assert_eq!(Operand::imm(-4097), None);
+    }
+
+    #[test]
+    fn cond_negate_is_involution() {
+        for c in Cond::ALL {
+            assert_eq!(c.negate().negate(), c);
+        }
+    }
+
+    #[test]
+    fn classification() {
+        let ld = Insn::load_x(Reg::O3, Operand::Imm(56), Reg::O2);
+        assert!(ld.is_memory_ref() && ld.is_load() && !ld.is_store());
+        assert_eq!(ld.mem_addr_regs(), Some((Reg::O3, None)));
+        assert_eq!(ld.dest_reg(), Some(Reg::O2));
+
+        let st = Insn::store_x(Reg::G2, Reg::O3, Operand::Imm(88));
+        assert!(st.is_memory_ref() && st.is_store());
+        assert_eq!(st.dest_reg(), None);
+
+        let pf = Insn::Prefetch {
+            rs1: Reg::G1,
+            op2: Operand::Reg(Reg::G2),
+        };
+        assert!(!pf.is_memory_ref());
+        assert_eq!(pf.mem_addr_regs(), Some((Reg::G1, Some(Reg::G2))));
+
+        assert!(Insn::ret().is_delayed_transfer());
+        assert!(!Insn::Nop.is_delayed_transfer());
+    }
+
+    #[test]
+    fn g0_dest_is_none() {
+        let cmp = Insn::cmp(Reg::O2, Operand::Imm(1));
+        assert_eq!(cmp.dest_reg(), None);
+    }
+
+    #[test]
+    fn call_writes_link() {
+        let call = Insn::Call { disp: 16 };
+        assert_eq!(call.dest_reg(), Some(Reg::O7));
+        assert_eq!(call.direct_target(0x1000), Some(0x1040));
+    }
+
+    #[test]
+    fn branch_target_negative_disp() {
+        let b = Insn::Branch {
+            cond: Cond::Ne,
+            annul: false,
+            pred_taken: true,
+            disp: -4,
+        };
+        assert_eq!(b.direct_target(0x100003218), Some(0x100003208));
+    }
+
+    #[test]
+    fn mem_width_bytes() {
+        assert_eq!(
+            MemWidth::ALL.map(MemWidth::bytes),
+            [1, 2, 4, 8] as [u64; 4]
+        );
+    }
+}

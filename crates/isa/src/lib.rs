@@ -1,0 +1,54 @@
+//! # SimSPARC ISA
+//!
+//! A simplified 64-bit SPARC-V9-like instruction set used by the
+//! `memprof` reproduction of *Memory Profiling using Hardware Counters*
+//! (Itzkowitz, Wylie, Aoki, Kosche; SC'03).
+//!
+//! The ISA keeps the properties of UltraSPARC-III that the paper's
+//! profiling technique depends on:
+//!
+//! * fixed 4-byte instructions, so a collector can walk *backwards* in
+//!   address order from a skidded trap PC (the "apropos backtracking
+//!   search" of §2.2.3),
+//! * explicit memory-reference instructions (`ldx`, `stx`, ...) whose
+//!   effective address is computed from `rs1 + (rs2 | simm13)`, so the
+//!   address can be *reconstructed from the register file* after the
+//!   fact — or found to be unreconstructable when the registers were
+//!   clobbered during counter skid,
+//! * branches with a single architectural **delay slot** (§2.1: with
+//!   `-xhwcprof` the compiler avoids scheduling loads and stores in
+//!   delay slots),
+//! * condition codes set only by `cc`-flavoured ALU ops (`cmp` is
+//!   `subcc` with `%g0` destination), matching the disassembly style of
+//!   the paper's Figure 4.
+//!
+//! Differences from real SPARC-V9 (documented so nobody mistakes this
+//! for a SPARC emulator): no register windows (a flat 32-register file;
+//! windows affect neither the cache behaviour nor the profiling
+//! mechanics under study), no floating point (MCF is integer-only), a
+//! simplified custom binary encoding, and a `ta`-style [`Insn::Trap`]
+//! used for program exit and host services.
+//!
+//! ```
+//! use simsparc_isa::{Insn, Reg, Operand, MemWidth, disasm};
+//!
+//! let ld = Insn::load_x(Reg::O3, Operand::Imm(56), Reg::O2);
+//! assert_eq!(disasm(&ld, 0x1000031b0), "ldx  [%o3 + 56], %o2");
+//! let bytes = ld.encode();
+//! assert_eq!(Insn::decode(bytes).unwrap(), ld);
+//! ```
+
+mod disasm;
+mod encode;
+mod insn;
+mod reg;
+
+pub use disasm::{disasm, DisasmInsn};
+pub use encode::DecodeError;
+pub use insn::{trap, AluOp, Cond, Insn, MemWidth, Operand};
+pub use reg::Reg;
+
+/// Size of one instruction in bytes. Fixed-width, as on SPARC: the
+/// backtracking search in the collector depends on being able to walk
+/// the text segment backwards instruction by instruction.
+pub const INSN_BYTES: u64 = 4;

@@ -1,0 +1,126 @@
+//! The integer register file: 32 64-bit registers with SPARC names.
+//!
+//! `%g0` reads as zero and ignores writes, exactly as on SPARC; the
+//! disassembler and the collector's effective-address reconstruction
+//! both rely on that. There are no register windows — `%o`/`%l`/`%i`
+//! are just names, and the calling convention (documented in `minic`)
+//! treats `%l0..%l7` and `%i0..%i5` as callee-saved.
+
+use std::fmt;
+
+/// One of the 32 integer registers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+#[repr(u8)]
+#[rustfmt::skip]
+pub enum Reg {
+    G0 = 0,  G1, G2, G3, G4, G5, G6, G7,
+    O0 = 8,  O1, O2, O3, O4, O5, Sp, O7,
+    L0 = 16, L1, L2, L3, L4, L5, L6, L7,
+    I0 = 24, I1, I2, I3, I4, I5, Fp, I7,
+}
+
+impl Reg {
+    /// All 32 registers in index order.
+    pub const ALL: [Reg; 32] = {
+        let mut a = [Reg::G0; 32];
+        let mut i = 0u8;
+        while i < 32 {
+            a[i as usize] = Reg::from_index(i);
+            i += 1;
+        }
+        a
+    };
+
+    /// The stack pointer alias (`%o6`).
+    pub const SP: Reg = Reg::Sp;
+    /// The frame pointer alias (`%i6`).
+    pub const FP: Reg = Reg::Fp;
+    /// The link register written by `call` (`%o7`).
+    pub const LINK: Reg = Reg::O7;
+
+    /// Register number, 0..=31.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Build a register from its number. Panics if `i >= 32`.
+    #[inline]
+    pub const fn from_index(i: u8) -> Reg {
+        assert!(i < 32, "register index out of range");
+        // SAFETY-free: match keeps this const-evaluable and panic-checked.
+        #[rustfmt::skip]
+        const TABLE: [Reg; 32] = [
+            Reg::G0, Reg::G1, Reg::G2, Reg::G3, Reg::G4, Reg::G5, Reg::G6, Reg::G7,
+            Reg::O0, Reg::O1, Reg::O2, Reg::O3, Reg::O4, Reg::O5, Reg::Sp, Reg::O7,
+            Reg::L0, Reg::L1, Reg::L2, Reg::L3, Reg::L4, Reg::L5, Reg::L6, Reg::L7,
+            Reg::I0, Reg::I1, Reg::I2, Reg::I3, Reg::I4, Reg::I5, Reg::Fp, Reg::I7,
+        ];
+        TABLE[i as usize]
+    }
+
+    /// True for `%g0`, which is hard-wired to zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        matches!(self, Reg::G0)
+    }
+
+    /// SPARC assembly name, e.g. `%o3`, `%sp`, `%fp`.
+    pub const fn name(self) -> &'static str {
+        #[rustfmt::skip]
+        const NAMES: [&str; 32] = [
+            "%g0", "%g1", "%g2", "%g3", "%g4", "%g5", "%g6", "%g7",
+            "%o0", "%o1", "%o2", "%o3", "%o4", "%o5", "%sp", "%o7",
+            "%l0", "%l1", "%l2", "%l3", "%l4", "%l5", "%l6", "%l7",
+            "%i0", "%i1", "%i2", "%i3", "%i4", "%i5", "%fp", "%i7",
+        ];
+        NAMES[self as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in 0..32u8 {
+            assert_eq!(Reg::from_index(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn aliases() {
+        assert_eq!(Reg::SP.index(), 14);
+        assert_eq!(Reg::FP.index(), 30);
+        assert_eq!(Reg::LINK.index(), 15);
+        assert_eq!(Reg::SP.name(), "%sp");
+        assert_eq!(Reg::Fp.name(), "%fp");
+    }
+
+    #[test]
+    fn only_g0_is_zero() {
+        let zeros: Vec<Reg> = Reg::ALL.iter().copied().filter(|r| r.is_zero()).collect();
+        assert_eq!(zeros, vec![Reg::G0]);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Reg::ALL.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_index_out_of_range_panics() {
+        let _ = Reg::from_index(32);
+    }
+}

@@ -1,0 +1,221 @@
+//! Vehicle-scheduling instance generation.
+//!
+//! `181.mcf` solves single-depot vehicle scheduling: timetabled trips
+//! must each be served by one vehicle; vehicles start and end at a
+//! depot and may run deadhead legs between compatible trips. We use
+//! the classic transportation-network formulation:
+//!
+//! * each trip `i` contributes a *start* node `s_i` (demand 1) and an
+//!   *end* node `e_i` (supply 1),
+//! * depot-out node `S` (supply `n`) and depot-in node `T`
+//!   (demand `n`),
+//! * arcs: pull-out `S → s_i`, pull-in `e_i → T`, unused-vehicle
+//!   `S → T` (capacity `n`), and deadhead `e_i → s_j` for *compatible*
+//!   trip pairs — the arcs MCF's `price_out_impl` generates by column
+//!   generation.
+//!
+//! Compatibility: trips are sorted by start time; `j` is a candidate
+//! successor of `i` when it lies within the next [`Instance::window`]
+//! trips and `end_time(i) + deadhead <= start_time(j)`. The window is
+//! part of the problem definition, shared by the in-simulator pricing
+//! and the Rust oracle.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One timetabled trip.
+#[derive(Clone, Copy, Debug)]
+pub struct Trip {
+    pub start_time: i64,
+    pub end_time: i64,
+    /// 1-D terminal coordinate; deadhead time/cost grows with the
+    /// distance between the previous trip's end and the next one's
+    /// start terminal.
+    pub start_loc: i64,
+    pub end_loc: i64,
+}
+
+/// Generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct InstanceParams {
+    pub n_trips: usize,
+    /// Timetable horizon (minutes).
+    pub horizon: i64,
+    /// Candidate-successor window (in start-time order).
+    pub window: usize,
+    pub seed: u64,
+}
+
+impl Default for InstanceParams {
+    fn default() -> Self {
+        InstanceParams {
+            n_trips: 300,
+            horizon: 16 * 60,
+            window: 40,
+            // 181 = the SPEC benchmark number of MCF.
+            seed: 181,
+        }
+    }
+}
+
+/// A generated instance.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    pub trips: Vec<Trip>,
+    pub window: usize,
+    pub seed: u64,
+}
+
+/// Cost of operating a vehicle (pull-out + pull-in dominate deadhead
+/// costs, so the optimum uses as few vehicles as possible — Löbel's
+/// fleet-minimization objective).
+pub const VEHICLE_COST: i64 = 50_000;
+/// Cost per minute of deadhead/waiting time.
+pub const DEADHEAD_COST_PER_MIN: i64 = 3;
+/// Cost per unit of terminal distance.
+pub const DISTANCE_COST: i64 = 7;
+/// Speed: minutes of travel per unit of terminal distance.
+pub const MIN_PER_DIST: i64 = 2;
+
+impl Instance {
+    /// Generate a random timetable, sorted by trip start time.
+    pub fn generate(params: InstanceParams) -> Instance {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut trips: Vec<Trip> = (0..params.n_trips)
+            .map(|_| {
+                let start_time = rng.random_range(0..params.horizon);
+                let duration = rng.random_range(15..=90);
+                let start_loc = rng.random_range(0..100);
+                let end_loc = rng.random_range(0..100);
+                Trip {
+                    start_time,
+                    end_time: start_time + duration,
+                    start_loc,
+                    end_loc,
+                }
+            })
+            .collect();
+        trips.sort_by_key(|t| t.start_time);
+        Instance {
+            trips,
+            window: params.window,
+            seed: params.seed,
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        self.trips.len()
+    }
+
+    /// Deadhead feasibility and cost between trip `i` and trip `j`
+    /// (`j` must start after `i` ends plus travel time). This exact
+    /// integer formula is re-implemented in the mini-C program;
+    /// divergence shows up as an oracle mismatch in tests.
+    pub fn deadhead(&self, i: usize, j: usize) -> Option<i64> {
+        let a = &self.trips[i];
+        let b = &self.trips[j];
+        let dist = (a.end_loc - b.start_loc).abs();
+        let ready = a.end_time + dist * MIN_PER_DIST;
+        if ready > b.start_time {
+            return None;
+        }
+        let wait = b.start_time - a.end_time;
+        Some(wait * DEADHEAD_COST_PER_MIN + dist * DISTANCE_COST)
+    }
+
+    /// All candidate deadhead arcs `(i, j, cost)` under the window
+    /// rule. This is the *full* column set; the simulated MCF
+    /// discovers a subset of it by pricing.
+    pub fn deadhead_arcs(&self) -> Vec<(usize, usize, i64)> {
+        let n = self.n();
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n.min(i + 1 + self.window) {
+                if let Some(cost) = self.deadhead(i, j) {
+                    out.push((i, j, cost));
+                }
+            }
+        }
+        out
+    }
+
+    /// Pull-out / pull-in cost split (sum = [`VEHICLE_COST`]).
+    pub fn pull_out_cost(&self) -> i64 {
+        VEHICLE_COST / 2
+    }
+
+    pub fn pull_in_cost(&self) -> i64 {
+        VEHICLE_COST - self.pull_out_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_sorted() {
+        let p = InstanceParams {
+            n_trips: 50,
+            seed: 7,
+            ..Default::default()
+        };
+        let a = Instance::generate(p);
+        let b = Instance::generate(p);
+        assert_eq!(a.trips.len(), 50);
+        for (x, y) in a.trips.iter().zip(&b.trips) {
+            assert_eq!(x.start_time, y.start_time);
+            assert_eq!(x.end_loc, y.end_loc);
+        }
+        assert!(a.trips.windows(2).all(|w| w[0].start_time <= w[1].start_time));
+    }
+
+    #[test]
+    fn deadheads_respect_time_feasibility() {
+        let inst = Instance::generate(InstanceParams {
+            n_trips: 100,
+            seed: 3,
+            ..Default::default()
+        });
+        for (i, j, cost) in inst.deadhead_arcs() {
+            assert!(i < j);
+            assert!(cost >= 0);
+            let a = &inst.trips[i];
+            let b = &inst.trips[j];
+            let dist = (a.end_loc - b.start_loc).abs();
+            assert!(a.end_time + dist * MIN_PER_DIST <= b.start_time);
+        }
+    }
+
+    #[test]
+    fn window_limits_candidates() {
+        let inst = Instance::generate(InstanceParams {
+            n_trips: 100,
+            window: 5,
+            seed: 3,
+            ..Default::default()
+        });
+        for (i, j, _) in inst.deadhead_arcs() {
+            assert!(j - i <= 5);
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = Instance::generate(InstanceParams {
+            n_trips: 30,
+            seed: 1,
+            ..Default::default()
+        });
+        let b = Instance::generate(InstanceParams {
+            n_trips: 30,
+            seed: 2,
+            ..Default::default()
+        });
+        assert!(a
+            .trips
+            .iter()
+            .zip(&b.trips)
+            .any(|(x, y)| x.start_time != y.start_time));
+    }
+}

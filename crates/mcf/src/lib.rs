@@ -1,0 +1,33 @@
+//! # mcf — the paper's case-study benchmark
+//!
+//! A reimplementation of the SPEC CPU2000 `181.mcf` workload (Löbel's
+//! single-depot vehicle scheduler, solved by primal network simplex
+//! with column generation), written in **mini-C** so it runs on the
+//! simulated machine and can be memory-profiled exactly as in §3 of
+//! the paper. The crate provides:
+//!
+//! * [`Instance`] — a vehicle-scheduling timetable generator (the SPEC
+//!   input `mcf.in` is licensed; the generator produces the same
+//!   *class* of network),
+//! * [`mcf_source`] — the mini-C program, with the paper's exact
+//!   120-byte `node` layout ([`Layout::Baseline`]) and the §3.3
+//!   reordered/padded layout ([`Layout::Tuned`]),
+//! * [`McfProblem`] — a pure-Rust min-cost-flow oracle (successive
+//!   shortest paths) used to verify every simulated solve,
+//! * runners that compile, stage, execute and parse results.
+
+mod instance;
+mod oracle;
+mod program;
+mod runner;
+
+pub use instance::{
+    Instance, InstanceParams, Trip, DEADHEAD_COST_PER_MIN, DISTANCE_COST, MIN_PER_DIST,
+    VEHICLE_COST,
+};
+pub use oracle::{McfProblem, OArc, OracleResult};
+pub use program::{dh_flags, mcf_source, Layout, McfParams, BIG_M};
+pub use runner::{
+    compile_mcf, paper_machine_config, parse_result, run_mcf, stage_instance,
+    verify_against_oracle, McfBinary, McfError, McfResult, MAX_INSNS,
+};

@@ -1,0 +1,303 @@
+//! A pure-Rust min-cost-flow oracle.
+//!
+//! Successive shortest paths with node potentials (Dijkstra on
+//! reduced costs). Independent of the simulated network simplex in
+//! every respect — different algorithm, different language, different
+//! machine — so agreement of objective values is strong evidence both
+//! are correct.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::instance::Instance;
+
+/// A directed arc with capacity and cost.
+#[derive(Clone, Copy, Debug)]
+pub struct OArc {
+    pub from: usize,
+    pub to: usize,
+    pub cap: i64,
+    pub cost: i64,
+}
+
+/// A min-cost-flow problem: `supply[v]` positive for sources,
+/// negative for sinks; must sum to zero.
+#[derive(Clone, Debug, Default)]
+pub struct McfProblem {
+    pub n: usize,
+    pub supply: Vec<i64>,
+    pub arcs: Vec<OArc>,
+}
+
+/// Result of the oracle solve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OracleResult {
+    Optimal { cost: i64, flows: Vec<i64> },
+    Infeasible,
+}
+
+impl McfProblem {
+    /// Build the vehicle-scheduling transportation network for an
+    /// instance, with the **full** candidate deadhead arc set (the
+    /// simulated MCF prices these out incrementally). Node layout
+    /// matches the simulated program: `e_i = i`, `s_i = n + i`,
+    /// `S = 2n`, `T = 2n + 1`.
+    pub fn from_instance(inst: &Instance) -> McfProblem {
+        let n = inst.n();
+        let e = |i: usize| i;
+        let s = |i: usize| n + i;
+        let depot_out = 2 * n;
+        let depot_in = 2 * n + 1;
+
+        let mut supply = vec![0i64; 2 * n + 2];
+        for i in 0..n {
+            supply[e(i)] = 1;
+            supply[s(i)] = -1;
+        }
+        supply[depot_out] = n as i64;
+        supply[depot_in] = -(n as i64);
+
+        let mut arcs = Vec::new();
+        for i in 0..n {
+            arcs.push(OArc {
+                from: depot_out,
+                to: s(i),
+                cap: 1,
+                cost: inst.pull_out_cost(),
+            });
+            arcs.push(OArc {
+                from: e(i),
+                to: depot_in,
+                cap: 1,
+                cost: inst.pull_in_cost(),
+            });
+        }
+        arcs.push(OArc {
+            from: depot_out,
+            to: depot_in,
+            cap: n as i64,
+            cost: 0,
+        });
+        for (i, j, cost) in inst.deadhead_arcs() {
+            arcs.push(OArc {
+                from: e(i),
+                to: s(j),
+                cap: 1,
+                cost,
+            });
+        }
+        McfProblem {
+            n: 2 * n + 2,
+            supply,
+            arcs,
+        }
+    }
+
+    /// Solve by successive shortest paths. Costs must be
+    /// non-negative (true for this problem class).
+    pub fn solve(&self) -> OracleResult {
+        assert_eq!(self.supply.iter().sum::<i64>(), 0, "unbalanced supplies");
+        let n = self.n;
+        let m = self.arcs.len();
+
+        // Residual graph: forward arc 2k, backward 2k+1.
+        let mut head = vec![0usize; 2 * m];
+        let mut cap = vec![0i64; 2 * m];
+        let mut cost = vec![0i64; 2 * m];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (k, a) in self.arcs.iter().enumerate() {
+            head[2 * k] = a.to;
+            cap[2 * k] = a.cap;
+            cost[2 * k] = a.cost;
+            adj[a.from].push(2 * k);
+            head[2 * k + 1] = a.from;
+            cap[2 * k + 1] = 0;
+            cost[2 * k + 1] = -a.cost;
+            adj[a.to].push(2 * k + 1);
+        }
+
+        let mut excess: Vec<i64> = self.supply.clone();
+        let mut potential = vec![0i64; n];
+        let mut total_cost = 0i64;
+
+        while let Some(source) = (0..n).find(|&v| excess[v] > 0) {
+            // Dijkstra on reduced costs from `source`.
+            const INF: i64 = i64::MAX / 4;
+            let mut dist = vec![INF; n];
+            let mut prev_arc = vec![usize::MAX; n];
+            let mut heap = BinaryHeap::new();
+            dist[source] = 0;
+            heap.push(Reverse((0i64, source)));
+            while let Some(Reverse((d, v))) = heap.pop() {
+                if d > dist[v] {
+                    continue;
+                }
+                for &eidx in &adj[v] {
+                    if cap[eidx] <= 0 {
+                        continue;
+                    }
+                    let w = head[eidx];
+                    let rc = cost[eidx] + potential[v] - potential[w];
+                    debug_assert!(rc >= 0, "negative reduced cost in SSP");
+                    let nd = d + rc;
+                    if nd < dist[w] {
+                        dist[w] = nd;
+                        prev_arc[w] = eidx;
+                        heap.push(Reverse((nd, w)));
+                    }
+                }
+            }
+            // Pick the nearest reachable node with negative excess.
+            let Some(sink) = (0..n)
+                .filter(|&v| excess[v] < 0 && dist[v] < INF)
+                .min_by_key(|&v| dist[v])
+            else {
+                return OracleResult::Infeasible;
+            };
+            // Update potentials, capping at the sink distance so
+            // reduced costs stay non-negative across the
+            // reached/unreached frontier.
+            let dsink = dist[sink];
+            for v in 0..n {
+                potential[v] += dist[v].min(dsink);
+            }
+            // Bottleneck along the path.
+            let mut push = excess[source].min(-excess[sink]);
+            let mut v = sink;
+            while v != source {
+                let e = prev_arc[v];
+                push = push.min(cap[e]);
+                v = head[e ^ 1];
+            }
+            // Apply.
+            let mut v = sink;
+            while v != source {
+                let e = prev_arc[v];
+                cap[e] -= push;
+                cap[e ^ 1] += push;
+                total_cost += push * cost[e];
+                v = head[e ^ 1];
+            }
+            excess[source] -= push;
+            excess[sink] += push;
+        }
+
+        let flows = (0..m).map(|k| cap[2 * k + 1]).collect();
+        OracleResult::Optimal {
+            cost: total_cost,
+            flows,
+        }
+    }
+
+    /// Check that a flow vector is feasible and compute its cost.
+    pub fn check_flow(&self, flows: &[i64]) -> Option<i64> {
+        if flows.len() != self.arcs.len() {
+            return None;
+        }
+        let mut balance = self.supply.clone();
+        let mut cost = 0i64;
+        for (a, &f) in self.arcs.iter().zip(flows) {
+            if f < 0 || f > a.cap {
+                return None;
+            }
+            balance[a.from] -= f;
+            balance[a.to] += f;
+            cost += f * a.cost;
+        }
+        balance.iter().all(|&b| b == 0).then_some(cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{Instance, InstanceParams};
+
+    #[test]
+    fn trivial_two_node_flow()
+    {
+        let p = McfProblem {
+            n: 2,
+            supply: vec![3, -3],
+            arcs: vec![
+                OArc { from: 0, to: 1, cap: 2, cost: 1 },
+                OArc { from: 0, to: 1, cap: 5, cost: 4 },
+            ],
+        };
+        let OracleResult::Optimal { cost, flows } = p.solve() else {
+            panic!("must be feasible");
+        };
+        assert_eq!(cost, 2 + 4);
+        assert_eq!(flows, vec![2, 1]);
+        assert_eq!(p.check_flow(&flows), Some(cost));
+    }
+
+    #[test]
+    fn chooses_cheaper_path() {
+        // 0 -> 1 -> 3 costs 2; 0 -> 2 -> 3 costs 10.
+        let p = McfProblem {
+            n: 4,
+            supply: vec![1, 0, 0, -1],
+            arcs: vec![
+                OArc { from: 0, to: 1, cap: 1, cost: 1 },
+                OArc { from: 1, to: 3, cap: 1, cost: 1 },
+                OArc { from: 0, to: 2, cap: 1, cost: 5 },
+                OArc { from: 2, to: 3, cap: 1, cost: 5 },
+            ],
+        };
+        let OracleResult::Optimal { cost, .. } = p.solve() else {
+            panic!()
+        };
+        assert_eq!(cost, 2);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let p = McfProblem {
+            n: 3,
+            supply: vec![1, 0, -1],
+            arcs: vec![OArc { from: 0, to: 1, cap: 1, cost: 1 }],
+        };
+        assert_eq!(p.solve(), OracleResult::Infeasible);
+    }
+
+    #[test]
+    fn vehicle_scheduling_is_feasible_and_bounded() {
+        let inst = Instance::generate(InstanceParams {
+            n_trips: 60,
+            seed: 11,
+            ..Default::default()
+        });
+        let p = McfProblem::from_instance(&inst);
+        let OracleResult::Optimal { cost, flows } = p.solve() else {
+            panic!("vehicle scheduling always feasible (one vehicle per trip)")
+        };
+        assert_eq!(p.check_flow(&flows), Some(cost));
+        let n = inst.n() as i64;
+        // Worst case: one vehicle per trip, no deadheads.
+        assert!(cost <= n * crate::instance::VEHICLE_COST);
+        // At least one vehicle is needed.
+        assert!(cost >= crate::instance::VEHICLE_COST);
+    }
+
+    #[test]
+    fn deadheads_reduce_cost() {
+        let inst = Instance::generate(InstanceParams {
+            n_trips: 80,
+            seed: 5,
+            ..Default::default()
+        });
+        let full = McfProblem::from_instance(&inst);
+        let OracleResult::Optimal { cost: with_dh, .. } = full.solve() else {
+            panic!()
+        };
+        // Remove deadhead arcs: every trip needs its own vehicle.
+        let mut no_dh = full.clone();
+        no_dh.arcs.truncate(2 * inst.n() + 1);
+        let OracleResult::Optimal { cost: without, .. } = no_dh.solve() else {
+            panic!()
+        };
+        assert_eq!(without, inst.n() as i64 * crate::instance::VEHICLE_COST);
+        assert!(with_dh < without, "chaining trips must save vehicles");
+    }
+}

@@ -1,0 +1,99 @@
+//! Correctness of the simulated MCF against the pure-Rust oracle:
+//! the network simplex running on the simulated SPARC must find the
+//! same optimal objective as successive-shortest-paths in Rust, for
+//! both structure layouts and several instances.
+
+use mcf::{
+    run_mcf, verify_against_oracle, Instance, InstanceParams, Layout, McfParams,
+};
+use minic::CompileOptions;
+use simsparc_machine::MachineConfig;
+
+fn check(n_trips: usize, seed: u64, layout: Layout) {
+    let inst = Instance::generate(InstanceParams {
+        n_trips,
+        seed,
+        window: 30,
+        ..Default::default()
+    });
+    let (result, outcome) = run_mcf(
+        &inst,
+        layout,
+        &McfParams::default(),
+        CompileOptions::profiling(),
+        MachineConfig::default(),
+    )
+    .unwrap_or_else(|e| panic!("mcf run failed (n={n_trips}, seed={seed}): {e}"));
+    verify_against_oracle(&inst, &result)
+        .unwrap_or_else(|e| panic!("oracle mismatch (n={n_trips}, seed={seed}): {e}"));
+    assert!(result.vehicles >= 1 && result.vehicles <= n_trips as i64);
+    assert!(result.iterations > 0);
+    assert!(outcome.counts.insts > 0);
+}
+
+#[test]
+fn tiny_instance_matches_oracle() {
+    check(10, 1, Layout::Baseline);
+}
+
+#[test]
+fn small_instances_match_oracle_across_seeds() {
+    for seed in [2, 3, 4] {
+        check(40, seed, Layout::Baseline);
+    }
+}
+
+#[test]
+fn medium_instance_matches_oracle() {
+    check(120, 7, Layout::Baseline);
+}
+
+#[test]
+fn tuned_layout_gives_identical_results() {
+    let inst = Instance::generate(InstanceParams {
+        n_trips: 60,
+        seed: 9,
+        window: 30,
+        ..Default::default()
+    });
+    let run = |layout| {
+        run_mcf(
+            &inst,
+            layout,
+            &McfParams::default(),
+            CompileOptions::profiling(),
+            MachineConfig::default(),
+        )
+        .unwrap()
+        .0
+    };
+    let base = run(Layout::Baseline);
+    let tuned = run(Layout::Tuned);
+    assert_eq!(base.cost, tuned.cost, "layout must not change the optimum");
+    assert_eq!(base.vehicles, tuned.vehicles);
+    verify_against_oracle(&inst, &base).unwrap();
+}
+
+#[test]
+fn unprofiled_build_gives_identical_results() {
+    let inst = Instance::generate(InstanceParams {
+        n_trips: 50,
+        seed: 12,
+        window: 30,
+        ..Default::default()
+    });
+    let run = |options| {
+        run_mcf(
+            &inst,
+            Layout::Baseline,
+            &McfParams::default(),
+            options,
+            MachineConfig::default(),
+        )
+        .unwrap()
+        .0
+    };
+    let plain = run(CompileOptions::default());
+    let prof = run(CompileOptions::profiling());
+    assert_eq!(plain, prof, "-xhwcprof must not change program results");
+}

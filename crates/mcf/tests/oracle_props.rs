@@ -1,0 +1,36 @@
+//! Property test: for random small instances, the simulated network
+//! simplex and the pure-Rust SSP oracle agree on the optimum.
+
+use proptest::prelude::*;
+
+use mcf::{run_mcf, verify_against_oracle, Instance, InstanceParams, Layout, McfParams};
+use minic::CompileOptions;
+use simsparc_machine::MachineConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn simplex_matches_oracle_on_random_instances(
+        n_trips in 12usize..40,
+        window in 8usize..25,
+        seed in 0u64..10_000,
+    ) {
+        let inst = Instance::generate(InstanceParams {
+            n_trips,
+            window,
+            seed,
+            ..Default::default()
+        });
+        let (result, _) = run_mcf(
+            &inst,
+            Layout::Baseline,
+            &McfParams::default(),
+            CompileOptions::default(),
+            MachineConfig::default(),
+        )
+        .map_err(|e| TestCaseError::fail(format!("run failed (n={n_trips}, seed={seed}): {e}")))?;
+        verify_against_oracle(&inst, &result)
+            .map_err(|e| TestCaseError::fail(format!("mismatch (n={n_trips}, w={window}, seed={seed}): {e}")))?;
+    }
+}

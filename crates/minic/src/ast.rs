@@ -1,0 +1,190 @@
+//! Untyped abstract syntax, as produced by the parser.
+
+/// A parsed (not yet resolved) type: a base name plus pointer depth.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedType {
+    pub base: BaseType,
+    pub ptr_depth: u32,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum BaseType {
+    Long,
+    Char,
+    Void,
+    /// `struct name`.
+    Struct(String),
+    /// A typedef name, resolved during sema.
+    Named(String),
+}
+
+/// One source module before semantic analysis.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    pub name: String,
+    pub typedefs: Vec<Typedef>,
+    pub structs: Vec<StructDecl>,
+    pub globals: Vec<GlobalDecl>,
+    pub funcs: Vec<FuncDecl>,
+    /// Prototypes (`extern` or bodiless declarations).
+    pub protos: Vec<Prototype>,
+    /// Source text, kept for the analyzer's annotated-source view.
+    pub source: String,
+}
+
+#[derive(Clone, Debug)]
+pub struct Typedef {
+    pub name: String,
+    pub ty: ParsedType,
+    pub line: u32,
+}
+
+#[derive(Clone, Debug)]
+pub struct StructDecl {
+    pub name: String,
+    pub fields: Vec<FieldDecl>,
+    pub line: u32,
+}
+
+#[derive(Clone, Debug)]
+pub struct FieldDecl {
+    pub name: String,
+    pub ty: ParsedType,
+    /// The typedef name used in the source, if any — the paper's
+    /// descriptors preserve it (`{cost_t=long cost}`).
+    pub line: u32,
+}
+
+#[derive(Clone, Debug)]
+pub struct GlobalDecl {
+    pub name: String,
+    pub ty: ParsedType,
+    /// `Some(n)` for `long name[n];`.
+    pub array_len: Option<u64>,
+    pub is_extern: bool,
+    pub line: u32,
+}
+
+#[derive(Clone, Debug)]
+pub struct Prototype {
+    pub name: String,
+    pub ret: ParsedType,
+    pub params: Vec<(String, ParsedType)>,
+    pub line: u32,
+}
+
+#[derive(Clone, Debug)]
+pub struct FuncDecl {
+    pub name: String,
+    pub ret: ParsedType,
+    pub params: Vec<(String, ParsedType)>,
+    pub body: Vec<Stmt>,
+    pub line: u32,
+}
+
+/// Statements.
+#[derive(Clone, Debug)]
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub line: u32,
+}
+
+#[derive(Clone, Debug)]
+pub enum StmtKind {
+    /// Local declaration, optionally initialized.
+    Decl {
+        name: String,
+        ty: ParsedType,
+        init: Option<Expr>,
+    },
+    /// `lhs = rhs;`
+    Assign { lhs: Expr, rhs: Expr },
+    /// Expression statement (a call, usually).
+    Expr(Expr),
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Vec<Stmt>,
+    },
+    Return(Option<Expr>),
+    Break,
+    Continue,
+    Block(Vec<Stmt>),
+}
+
+/// Expressions.
+#[derive(Clone, Debug)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub line: u32,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LogAnd,
+    LogOr,
+}
+
+impl BinOp {
+    /// Comparison operators produce a 0/1 `long`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+}
+
+#[derive(Clone, Debug)]
+pub enum ExprKind {
+    IntLit(i64),
+    Var(String),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `f(args...)`
+    Call(String, Vec<Expr>),
+    /// `base->field` (base must be a struct pointer).
+    Member(Box<Expr>, String),
+    /// `base[index]` (base must be a pointer or global array).
+    Index(Box<Expr>, Box<Expr>),
+    /// `*ptr`
+    Deref(Box<Expr>),
+    /// `&lvalue`
+    AddrOf(Box<Expr>),
+    /// `(type)expr`
+    Cast(ParsedType, Box<Expr>),
+    /// `sizeof(type)`
+    SizeofType(ParsedType),
+}

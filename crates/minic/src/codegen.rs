@@ -1,0 +1,1533 @@
+//! Code generation: HIR → SimSPARC, with the `-xhwcprof` codegen
+//! changes the paper describes (§2.1):
+//!
+//! * `nop` padding between memory operations and join nodes (labels or
+//!   branches), so a skidded counter event is captured in the same
+//!   basic block as the triggering instruction;
+//! * loads and stores are kept out of branch delay slots;
+//! * every memory operation carries its data-object descriptor, every
+//!   PC its source line, and every branch target is recorded.
+//!
+//! Neither flag suppresses optimization: the delay-slot filling pass
+//! still runs with `-xhwcprof`, it just refuses to move memory
+//! operations into slots. The residual cost (extra `nop`s and unfilled
+//! slots) is the ~1.3% overhead measured in the paper.
+//!
+//! Register model: locals live in the callee-saved registers
+//! `%l0..%l7,%i0..%i5` (14; spills go to frame slots); expressions
+//! evaluate in the caller-saved scratch pool `%g1..%g5,%o0..%o5`;
+//! arguments pass in `%o0..%o5`; results return in `%o0`.
+
+use simsparc_isa::{trap, AluOp, Cond, Insn, MemWidth, Operand, Reg};
+
+use crate::ast::{BinOp, UnOp};
+use crate::error::{CompileError, Result};
+use crate::feedback::Feedback;
+use crate::hir::*;
+use crate::symtab::PcMeta;
+use crate::types::{StructInfo, Type};
+
+/// Compiler flags, mirroring the paper's command line.
+#[derive(Clone, Copy, Debug)]
+pub struct CompileOptions {
+    /// `-xhwcprof`: memory-profiling support.
+    pub hwcprof: bool,
+    /// `-xdebugformat=dwarf`: symbol tables that support memory
+    /// profiling (STABS — `false` — does not carry branch-target
+    /// info, making trigger validation impossible).
+    pub dwarf: bool,
+    /// `-xprefetch`: honour `prefetch()` builtins (otherwise they
+    /// compile to nothing).
+    pub prefetch: bool,
+    /// `-O`: fill branch delay slots.
+    pub opt: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        // The paper's production build: `-fast` without profiling.
+        CompileOptions {
+            hwcprof: false,
+            dwarf: false,
+            prefetch: false,
+            opt: true,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// The paper's profiling build:
+    /// `-fast -xhwcprof -xdebugformat=dwarf`.
+    pub fn profiling() -> CompileOptions {
+        CompileOptions {
+            hwcprof: true,
+            dwarf: true,
+            prefetch: false,
+            opt: true,
+        }
+    }
+}
+
+/// Relocations resolved at link time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RelocKind {
+    /// Patch a `call` displacement to the named function.
+    Call(String),
+    /// Patch a `sethi` with the high 21 bits of a global's address.
+    GlobalHi(String),
+    /// Patch an `or` immediate with the low 11 bits.
+    GlobalLo(String),
+}
+
+/// A compiled (but not yet linked) module.
+#[derive(Clone, Debug)]
+pub struct ObjModule {
+    pub name: String,
+    pub options: CompileOptions,
+    pub source: String,
+    pub structs: Vec<StructInfo>,
+    pub globals: Vec<HGlobal>,
+    pub funcs: Vec<ObjFunc>,
+    pub insns: Vec<Insn>,
+    /// Parallel to `insns`.
+    pub metas: Vec<PcMeta>,
+    /// Relocations into `insns`.
+    pub relocs: Vec<(usize, RelocKind)>,
+}
+
+/// A function's extent within its module's instruction vector.
+#[derive(Clone, Debug)]
+pub struct ObjFunc {
+    pub name: String,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+/// Generate code for a typed module, optionally applying
+/// profile-feedback prefetch hints (§4).
+pub fn generate(hm: &HModule, options: CompileOptions, feedback: &Feedback) -> Result<ObjModule> {
+    let mut out = ObjModule {
+        name: hm.name.clone(),
+        options,
+        source: hm.source.clone(),
+        structs: hm.structs.clone(),
+        globals: hm.globals.clone(),
+        funcs: Vec::new(),
+        insns: Vec::new(),
+        metas: Vec::new(),
+        relocs: Vec::new(),
+    };
+    for f in &hm.funcs {
+        let start = out.insns.len();
+        let mut gen = FnGen::new(hm, f, options, feedback);
+        gen.run()?;
+        gen.finish(&mut out)?;
+        out.funcs.push(ObjFunc {
+            name: f.name.clone(),
+            start,
+            end: out.insns.len(),
+            line: f.line,
+        });
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------------------------
+// Virtual code: instructions with symbolic labels, so the padding and
+// delay-slot passes can edit freely before displacements are fixed.
+// ----------------------------------------------------------------------
+
+type LabelId = u32;
+
+#[derive(Clone, Debug)]
+enum VInsn {
+    Real {
+        insn: Insn,
+        line: u32,
+        desc: MemDesc,
+        reloc: Option<RelocKind>,
+    },
+    Br {
+        cond: Cond,
+        label: LabelId,
+        line: u32,
+    },
+    Label(LabelId),
+}
+
+impl VInsn {
+    fn real(insn: Insn, line: u32) -> VInsn {
+        VInsn::Real {
+            insn,
+            line,
+            desc: MemDesc::None,
+            reloc: None,
+        }
+    }
+
+    fn is_transfer(&self) -> bool {
+        match self {
+            VInsn::Br { .. } => true,
+            VInsn::Real { insn, .. } => insn.is_delayed_transfer(),
+            VInsn::Label(_) => false,
+        }
+    }
+}
+
+/// Where a local lives.
+#[derive(Clone, Copy, Debug)]
+enum Loc {
+    Reg(Reg),
+    /// Frame slot at `[%sp + offset]`.
+    Frame(i64),
+}
+
+/// Expression value: an owned scratch register (must be freed) or a
+/// borrowed local home register (must not be written or freed).
+#[derive(Clone, Copy, Debug)]
+enum Val {
+    Owned(Reg),
+    Borrowed(Reg),
+}
+
+impl Val {
+    fn reg(self) -> Reg {
+        match self {
+            Val::Owned(r) | Val::Borrowed(r) => r,
+        }
+    }
+}
+
+const CALLEE_SAVED: [Reg; 14] = [
+    Reg::L0,
+    Reg::L1,
+    Reg::L2,
+    Reg::L3,
+    Reg::L4,
+    Reg::L5,
+    Reg::L6,
+    Reg::L7,
+    Reg::I0,
+    Reg::I1,
+    Reg::I2,
+    Reg::I3,
+    Reg::I4,
+    Reg::I5,
+];
+
+const SCRATCH: [Reg; 11] = [
+    Reg::G1,
+    Reg::G2,
+    Reg::G3,
+    Reg::G4,
+    Reg::G5,
+    Reg::O0,
+    Reg::O1,
+    Reg::O2,
+    Reg::O3,
+    Reg::O4,
+    Reg::O5,
+];
+
+const ARG_REGS: [Reg; 6] = [Reg::O0, Reg::O1, Reg::O2, Reg::O3, Reg::O4, Reg::O5];
+
+struct FnGen<'a> {
+    hm: &'a HModule,
+    f: &'a HFunc,
+    options: CompileOptions,
+    feedback: &'a Feedback,
+    v: Vec<VInsn>,
+    next_label: LabelId,
+    locs: Vec<Loc>,
+    free: Vec<Reg>,
+    active: Vec<Reg>,
+    /// (break, continue) label stack.
+    loops: Vec<(LabelId, LabelId)>,
+    ret_label: LabelId,
+    line: u32,
+    makes_calls: bool,
+    used_callee: Vec<Reg>,
+    /// Next free temp-slot offset (relative to temp area start).
+    temp_next: i64,
+    temp_high: i64,
+}
+
+impl<'a> FnGen<'a> {
+    fn new(
+        hm: &'a HModule,
+        f: &'a HFunc,
+        options: CompileOptions,
+        feedback: &'a Feedback,
+    ) -> FnGen<'a> {
+        FnGen {
+            hm,
+            f,
+            options,
+            feedback,
+            v: Vec::with_capacity(64),
+            next_label: 0,
+            locs: Vec::new(),
+            free: SCRATCH.iter().rev().copied().collect(),
+            active: Vec::new(),
+            loops: Vec::new(),
+            ret_label: 0,
+            line: f.line,
+            makes_calls: false,
+            used_callee: Vec::new(),
+            temp_next: 0,
+            temp_high: 0,
+        }
+    }
+
+    fn err<T>(&self, msg: &str) -> Result<T> {
+        Err(CompileError::codegen(&self.hm.name, self.line, msg))
+    }
+
+    fn new_label(&mut self) -> LabelId {
+        self.next_label += 1;
+        self.next_label - 1
+    }
+
+    fn emit(&mut self, insn: Insn) {
+        self.v.push(VInsn::real(insn, self.line));
+    }
+
+    fn emit_desc(&mut self, insn: Insn, desc: MemDesc) {
+        // Descriptors are only recorded when compiling for memory
+        // profiling; a plain build strips them, like a compiler
+        // without -xhwcprof.
+        let desc = if self.options.hwcprof && self.options.dwarf {
+            desc
+        } else {
+            MemDesc::None
+        };
+        self.v.push(VInsn::Real {
+            insn,
+            line: self.line,
+            desc,
+            reloc: None,
+        });
+    }
+
+    fn emit_reloc(&mut self, insn: Insn, reloc: RelocKind) {
+        self.v.push(VInsn::Real {
+            insn,
+            line: self.line,
+            desc: MemDesc::None,
+            reloc: Some(reloc),
+        });
+    }
+
+    fn emit_label(&mut self, l: LabelId) {
+        self.v.push(VInsn::Label(l));
+    }
+
+    fn emit_branch(&mut self, cond: Cond, label: LabelId) {
+        self.v.push(VInsn::Br {
+            cond,
+            label,
+            line: self.line,
+        });
+        // Delay slot, possibly filled later.
+        self.emit(Insn::Nop);
+    }
+
+    // ------------------------------------------------------------------
+    // Scratch registers and temp slots
+    // ------------------------------------------------------------------
+
+    fn alloc(&mut self) -> Result<Reg> {
+        let Some(r) = self.free.pop() else {
+            return self.err("expression too complex: out of scratch registers");
+        };
+        self.active.push(r);
+        Ok(r)
+    }
+
+    fn free_val(&mut self, v: Val) {
+        if let Val::Owned(r) = v {
+            self.release(r);
+        }
+    }
+
+    fn release(&mut self, r: Reg) {
+        if let Some(pos) = self.active.iter().position(|&a| a == r) {
+            self.active.swap_remove(pos);
+            self.free.push(r);
+        }
+    }
+
+    /// Allocate a frame temp slot (stack discipline via `temp_reset`).
+    fn alloc_temp(&mut self) -> i64 {
+        let off = self.temp_next;
+        self.temp_next += 8;
+        self.temp_high = self.temp_high.max(self.temp_next);
+        off
+    }
+
+    fn temp_mark(&self) -> i64 {
+        self.temp_next
+    }
+
+    fn temp_reset(&mut self, mark: i64) {
+        self.temp_next = mark;
+    }
+
+    /// Offset of the temp area within the frame: after the %o7 save
+    /// and the callee-saved save area and named-local slots. Only
+    /// known at `finish` time; temps are emitted relative to a
+    /// placeholder base and patched. To keep it simple the frame is
+    /// laid out with the temp area *first*:
+    ///
+    /// ```text
+    /// [%sp + 0 ..)            temp spill slots
+    /// [%sp + T ..)            named local slots (locals beyond 14)
+    /// [%sp + T + N ..)        callee-saved saves + %o7 save
+    /// ```
+    ///
+    /// so temp offsets are final as soon as they are allocated.
+    fn stack_local_off(&self, slot_index: i64) -> i64 {
+        // Patched in finish(): slot offsets are assigned after the
+        // body is generated. We reserve a generous fixed temp area
+        // instead: 64 slots.
+        TEMP_AREA + slot_index * 8
+    }
+
+    // ------------------------------------------------------------------
+    // Value materialization
+    // ------------------------------------------------------------------
+
+    /// Materialize a constant into `dest`.
+    fn load_const(&mut self, value: i64, dest: Reg) -> Result<()> {
+        if let Some(op) = Operand::imm(value) {
+            self.emit(Insn::mov(op, dest));
+            return Ok(());
+        }
+        let neg = value < 0;
+        let abs = value.unsigned_abs();
+        if abs > u32::MAX as u64 {
+            return self.err(&format!("constant {value} out of 32-bit range"));
+        }
+        let hi = (abs >> 11) as u32;
+        let lo = (abs & 0x7ff) as i64;
+        self.emit(Insn::Sethi {
+            imm21: hi,
+            rd: dest,
+        });
+        if lo != 0 {
+            self.emit(Insn::alu(AluOp::Or, dest, Operand::Imm(lo as i16), dest));
+        }
+        if neg {
+            self.emit(Insn::alu(AluOp::Sub, Reg::G0, Operand::Reg(dest), dest));
+        }
+        Ok(())
+    }
+
+    /// Materialize a global's address into `dest` (link-time patch).
+    fn load_global_addr(&mut self, name: &str, dest: Reg) {
+        self.emit_reloc(
+            Insn::Sethi { imm21: 0, rd: dest },
+            RelocKind::GlobalHi(name.to_string()),
+        );
+        self.emit_reloc(
+            Insn::alu(AluOp::Or, dest, Operand::Imm(0), dest),
+            RelocKind::GlobalLo(name.to_string()),
+        );
+    }
+
+    fn width_of(ty: &Type) -> MemWidth {
+        match ty {
+            Type::Char => MemWidth::B,
+            _ => MemWidth::X,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    /// Sethi–Ullman-style estimate of how many scratch registers an
+    /// expression needs. Used to evaluate the register-hungrier
+    /// operand of a binary first, keeping deep trees within the
+    /// 11-register scratch pool. (Like C, mini-C leaves operand
+    /// evaluation order unspecified; expression evaluation has no
+    /// observable side effects besides calls, whose relative order
+    /// with sibling operands is unspecified too.)
+    fn reg_need(e: &HExpr) -> u32 {
+        match &e.kind {
+            HExprKind::Local(_) => 0,
+            HExprKind::Const(_) | HExprKind::GlobalAddr(_) => 1,
+            HExprKind::Load { base, .. } => Self::reg_need(base).max(1),
+            HExprKind::Unary(UnOp::Neg, x) => Self::reg_need(x).max(1),
+            // Boolean materialization holds an extra flag register.
+            HExprKind::Unary(UnOp::Not, x) => Self::reg_need(x) + 1,
+            HExprKind::Binary(op, l, r)
+                if op.is_comparison() || matches!(op, BinOp::LogAnd | BinOp::LogOr) =>
+            {
+                Self::reg_need(l).max(Self::reg_need(r)) + 1
+            }
+            HExprKind::Binary(_, l, r) => {
+                let (a, b) = (Self::reg_need(l), Self::reg_need(r));
+                if a == b {
+                    a + 1
+                } else {
+                    a.max(b)
+                }
+            }
+            // Arguments are staged through frame temps and live
+            // scratch is spilled around the call itself.
+            HExprKind::Call { .. } => 2,
+        }
+    }
+
+    /// Evaluate both operands of a binary, needier side first, and
+    /// return them in source order.
+    fn gen_pair(&mut self, l: &HExpr, r: &HExpr) -> Result<(Val, Val)> {
+        if Self::reg_need(r) > Self::reg_need(l) {
+            let rv = self.gen_expr(r)?;
+            let lv = self.gen_expr(l)?;
+            Ok((lv, rv))
+        } else {
+            let lv = self.gen_expr(l)?;
+            let rv = self.gen_expr(r)?;
+            Ok((lv, rv))
+        }
+    }
+
+    fn gen_expr(&mut self, e: &HExpr) -> Result<Val> {
+        self.line = e.line;
+        match &e.kind {
+            HExprKind::Local(i) => match self.locs[*i] {
+                Loc::Reg(r) => Ok(Val::Borrowed(r)),
+                Loc::Frame(off) => {
+                    let d = self.alloc()?;
+                    let name = self.f.locals[*i].name.clone();
+                    self.emit_desc(
+                        Insn::load_x(Reg::SP, Operand::Imm(off as i16), d),
+                        MemDesc::Scalar {
+                            name,
+                            type_desc: "long".to_string(),
+                        },
+                    );
+                    Ok(Val::Owned(d))
+                }
+            },
+            // Plain binary arithmetic: evaluate operands first and
+            // reuse an owned operand register as the destination, so a
+            // left-deep expression chain uses O(1) scratch registers
+            // instead of one per nesting level.
+            HExprKind::Binary(op, l, r)
+                if !op.is_comparison() && !matches!(op, BinOp::LogAnd | BinOp::LogOr) =>
+            {
+                let op = *op;
+                if op != BinOp::Rem {
+                    if let HExprKind::Const(c) = r.kind {
+                        if let Some(imm) = Operand::imm(c) {
+                            let lv = self.gen_expr(l)?;
+                            self.line = e.line;
+                            let dest = match lv {
+                                Val::Owned(r) => r,
+                                Val::Borrowed(_) => self.alloc()?,
+                            };
+                            self.emit_alu_op(op, lv.reg(), imm, dest)?;
+                            return Ok(Val::Owned(dest));
+                        }
+                    }
+                }
+                let (lv, rv) = self.gen_pair(l, r)?;
+                self.line = e.line;
+                if op == BinOp::Rem {
+                    // a % b = a - (a / b) * b; q is a distinct scratch.
+                    let q = self.alloc()?;
+                    self.emit(Insn::alu(AluOp::Div, lv.reg(), Operand::Reg(rv.reg()), q));
+                    self.emit(Insn::alu(AluOp::Mul, q, Operand::Reg(rv.reg()), q));
+                    let dest = match (lv, rv) {
+                        (Val::Owned(d), _) => d,
+                        (_, Val::Owned(d)) => d,
+                        _ => self.alloc()?,
+                    };
+                    self.emit(Insn::alu(AluOp::Sub, lv.reg(), Operand::Reg(q), dest));
+                    self.release(q);
+                    // Free whichever owned operand is not the dest.
+                    for v in [lv, rv] {
+                        if let Val::Owned(r) = v {
+                            if r != dest {
+                                self.release(r);
+                            }
+                        }
+                    }
+                    return Ok(Val::Owned(dest));
+                }
+                let dest = match (lv, rv) {
+                    (Val::Owned(d), _) => d,
+                    (_, Val::Owned(d)) => d,
+                    _ => self.alloc()?,
+                };
+                self.emit_alu_op(op, lv.reg(), Operand::Reg(rv.reg()), dest)?;
+                for v in [lv, rv] {
+                    if let Val::Owned(r) = v {
+                        if r != dest {
+                            self.release(r);
+                        }
+                    }
+                }
+                Ok(Val::Owned(dest))
+            }
+            _ => {
+                let d = self.alloc()?;
+                self.gen_expr_into(e, d)?;
+                Ok(Val::Owned(d))
+            }
+        }
+    }
+
+    /// Evaluate `e` into a specific destination register. `dest` may
+    /// be a local's home register; the generated code must complete
+    /// all reads of `e`'s operands before the final write to `dest`.
+    fn gen_expr_into(&mut self, e: &HExpr, dest: Reg) -> Result<()> {
+        self.line = e.line;
+        match &e.kind {
+            HExprKind::Const(v) => self.load_const(*v, dest),
+            HExprKind::Local(i) => {
+                match self.locs[*i] {
+                    Loc::Reg(r) => {
+                        if r != dest {
+                            self.emit(Insn::mov(Operand::Reg(r), dest));
+                        }
+                    }
+                    Loc::Frame(off) => {
+                        let name = self.f.locals[*i].name.clone();
+                        self.emit_desc(
+                            Insn::load_x(Reg::SP, Operand::Imm(off as i16), dest),
+                            MemDesc::Scalar {
+                                name,
+                                type_desc: "long".to_string(),
+                            },
+                        );
+                    }
+                }
+                Ok(())
+            }
+            HExprKind::GlobalAddr(name) => {
+                let name = name.clone();
+                self.load_global_addr(&name, dest);
+                Ok(())
+            }
+            HExprKind::Load {
+                base,
+                offset,
+                loaded_ty,
+                desc,
+            } => {
+                let (base_reg, op2) = self.gen_address(base, *offset)?;
+                let width = Self::width_of(loaded_ty);
+                self.line = e.line;
+                self.emit_desc(
+                    Insn::Load {
+                        width,
+                        signed: false,
+                        rs1: base_reg.reg(),
+                        op2,
+                        rd: dest,
+                    },
+                    desc.clone(),
+                );
+                // Profile-feedback prefetch (4): fetch `lookahead`
+                // bytes ahead of a load the profile flagged as
+                // miss-heavy. Only for base+imm addressing; indexed
+                // addresses would need an extra add.
+                if let Some(la) = self.feedback.lookahead_for(&self.f.name, e.line) {
+                    if let Operand::Imm(base_off) = op2 {
+                        if let Some(pf) = Operand::imm(base_off as i64 + la) {
+                            self.emit(Insn::Prefetch {
+                                rs1: base_reg.reg(),
+                                op2: pf,
+                            });
+                        }
+                    }
+                }
+                self.free_val(base_reg);
+                if let Operand::Reg(r) = op2 {
+                    self.release(r);
+                }
+                Ok(())
+            }
+            HExprKind::Unary(UnOp::Neg, inner) => {
+                let v = self.gen_expr(inner)?;
+                self.line = e.line;
+                self.emit(Insn::alu(AluOp::Sub, Reg::G0, Operand::Reg(v.reg()), dest));
+                self.free_val(v);
+                Ok(())
+            }
+            HExprKind::Unary(UnOp::Not, _)
+            | HExprKind::Binary(BinOp::LogAnd | BinOp::LogOr, _, _) => {
+                self.gen_bool_value(e, dest)
+            }
+            HExprKind::Binary(op, _, _) if op.is_comparison() => self.gen_bool_value(e, dest),
+            HExprKind::Binary(op, l, r) => {
+                // Constant rhs that fits simm13 avoids a register.
+                if !matches!(op, BinOp::Rem) {
+                    if let HExprKind::Const(c) = r.kind {
+                        if let Some(imm) = Operand::imm(c) {
+                            let lv = self.gen_expr(l)?;
+                            self.line = e.line;
+                            self.emit_alu_op(*op, lv.reg(), imm, dest)?;
+                            self.free_val(lv);
+                            return Ok(());
+                        }
+                    }
+                }
+                let (lv, rv) = self.gen_pair(l, r)?;
+                self.line = e.line;
+                if *op == BinOp::Rem {
+                    // a % b = a - (a / b) * b
+                    let q = self.alloc()?;
+                    self.emit(Insn::alu(AluOp::Div, lv.reg(), Operand::Reg(rv.reg()), q));
+                    self.emit(Insn::alu(AluOp::Mul, q, Operand::Reg(rv.reg()), q));
+                    self.emit(Insn::alu(AluOp::Sub, lv.reg(), Operand::Reg(q), dest));
+                    self.release(q);
+                } else {
+                    self.emit_alu_op(*op, lv.reg(), Operand::Reg(rv.reg()), dest)?;
+                }
+                self.free_val(lv);
+                self.free_val(rv);
+                Ok(())
+            }
+            HExprKind::Call { target, args } => {
+                self.gen_call(target, args, Some(dest))?;
+                Ok(())
+            }
+        }
+    }
+
+    fn emit_alu_op(&mut self, op: BinOp, rs1: Reg, op2: Operand, rd: Reg) -> Result<()> {
+        let alu = match op {
+            BinOp::Add => AluOp::Add,
+            BinOp::Sub => AluOp::Sub,
+            BinOp::Mul => AluOp::Mul,
+            BinOp::Div => AluOp::Div,
+            BinOp::And => AluOp::And,
+            BinOp::Or => AluOp::Or,
+            BinOp::Xor => AluOp::Xor,
+            BinOp::Shl => AluOp::Sll,
+            BinOp::Shr => AluOp::Sra,
+            other => return self.err(&format!("operator {other:?} has no ALU form")),
+        };
+        self.emit(Insn::alu(alu, rs1, op2, rd));
+        Ok(())
+    }
+
+    /// Compute an addressing mode for `base + offset`: a base register
+    /// plus either an immediate or an index register.
+    fn gen_address(&mut self, base: &HExpr, offset: i64) -> Result<(Val, Operand)> {
+        // Fold `(a + b) + offset` where b is a scaled index: use
+        // reg+reg addressing when offset is 0.
+        if offset == 0 {
+            if let HExprKind::Binary(BinOp::Add, a, b) = &base.kind {
+                if a.ty.is_ptr() && b.ty == Type::Long {
+                    let av = self.gen_expr(a)?;
+                    let bv = self.gen_expr(b)?;
+                    let op2 = Operand::Reg(bv.reg());
+                    // Ownership of bv's register passes to the caller
+                    // via the operand; caller releases it.
+                    if let Val::Borrowed(r) = bv {
+                        // Borrowed registers must not be released by the
+                        // caller; copy to a scratch so release is safe.
+                        let t = self.alloc()?;
+                        self.emit(Insn::mov(Operand::Reg(r), t));
+                        return Ok((av, Operand::Reg(t)));
+                    }
+                    // Keep bv active; caller releases via release().
+                    if let Val::Owned(r) = bv {
+                        debug_assert!(self.active.contains(&r));
+                    }
+                    return Ok((av, op2));
+                }
+            }
+        }
+        let bv = self.gen_expr(base)?;
+        if let Some(imm) = Operand::imm(offset) {
+            Ok((bv, imm))
+        } else {
+            let t = self.alloc()?;
+            self.load_const(offset, t)?;
+            Ok((bv, Operand::Reg(t)))
+        }
+    }
+
+    /// Materialize a boolean expression as 0/1.
+    fn gen_bool_value(&mut self, e: &HExpr, dest: Reg) -> Result<()> {
+        // `dest` may be a local read inside `e`, so build in a scratch
+        // register and move at the end.
+        let t = self.alloc()?;
+        let l_false = self.new_label();
+        let l_end = self.new_label();
+        self.emit(Insn::mov(Operand::Imm(1), t));
+        self.gen_cond_false(e, l_false)?;
+        self.emit_branch(Cond::A, l_end);
+        self.emit_label(l_false);
+        self.emit(Insn::mov(Operand::Imm(0), t));
+        self.emit_label(l_end);
+        if t != dest {
+            self.emit(Insn::mov(Operand::Reg(t), dest));
+        }
+        self.release(t);
+        Ok(())
+    }
+
+    /// Branch to `l_false` when `e` evaluates to zero; fall through
+    /// otherwise.
+    fn gen_cond_false(&mut self, e: &HExpr, l_false: LabelId) -> Result<()> {
+        self.line = e.line;
+        match &e.kind {
+            HExprKind::Binary(op, l, r) if op.is_comparison() => {
+                self.gen_compare_branch(*op, l, r, l_false, true)
+            }
+            HExprKind::Binary(BinOp::LogAnd, l, r) => {
+                self.gen_cond_false(l, l_false)?;
+                self.gen_cond_false(r, l_false)
+            }
+            HExprKind::Binary(BinOp::LogOr, l, r) => {
+                let l_true = self.new_label();
+                self.gen_cond_true(l, l_true)?;
+                self.gen_cond_false(r, l_false)?;
+                self.emit_label(l_true);
+                Ok(())
+            }
+            HExprKind::Unary(UnOp::Not, inner) => self.gen_cond_true(inner, l_false),
+            _ => {
+                let v = self.gen_expr(e)?;
+                self.line = e.line;
+                self.emit(Insn::cmp(v.reg(), Operand::Imm(0)));
+                self.free_val(v);
+                self.emit_branch(Cond::E, l_false);
+                Ok(())
+            }
+        }
+    }
+
+    /// Branch to `l_true` when `e` evaluates nonzero.
+    fn gen_cond_true(&mut self, e: &HExpr, l_true: LabelId) -> Result<()> {
+        self.line = e.line;
+        match &e.kind {
+            HExprKind::Binary(op, l, r) if op.is_comparison() => {
+                self.gen_compare_branch(*op, l, r, l_true, false)
+            }
+            HExprKind::Binary(BinOp::LogAnd, l, r) => {
+                let l_false = self.new_label();
+                self.gen_cond_false(l, l_false)?;
+                self.gen_cond_true(r, l_true)?;
+                self.emit_label(l_false);
+                Ok(())
+            }
+            HExprKind::Binary(BinOp::LogOr, l, r) => {
+                self.gen_cond_true(l, l_true)?;
+                self.gen_cond_true(r, l_true)
+            }
+            HExprKind::Unary(UnOp::Not, inner) => self.gen_cond_false(inner, l_true),
+            _ => {
+                let v = self.gen_expr(e)?;
+                self.line = e.line;
+                self.emit(Insn::cmp(v.reg(), Operand::Imm(0)));
+                self.free_val(v);
+                self.emit_branch(Cond::Ne, l_true);
+                Ok(())
+            }
+        }
+    }
+
+    fn gen_compare_branch(
+        &mut self,
+        op: BinOp,
+        l: &HExpr,
+        r: &HExpr,
+        label: LabelId,
+        negate: bool,
+    ) -> Result<()> {
+        let const_imm = if let HExprKind::Const(c) = r.kind {
+            Operand::imm(c)
+        } else {
+            None
+        };
+        let (lv, op2, rv) = match const_imm {
+            Some(imm) => (self.gen_expr(l)?, imm, None),
+            None => {
+                let (lv, rv) = self.gen_pair(l, r)?;
+                (lv, Operand::Reg(rv.reg()), Some(rv))
+            }
+        };
+        self.emit(Insn::cmp(lv.reg(), op2));
+        self.free_val(lv);
+        if let Some(rv) = rv {
+            self.free_val(rv);
+        }
+        let cond = match op {
+            BinOp::Lt => Cond::L,
+            BinOp::Le => Cond::Le,
+            BinOp::Gt => Cond::G,
+            BinOp::Ge => Cond::Ge,
+            BinOp::Eq => Cond::E,
+            BinOp::Ne => Cond::Ne,
+            _ => unreachable!("not a comparison"),
+        };
+        let cond = if negate { cond.negate() } else { cond };
+        self.emit_branch(cond, label);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Calls
+    // ------------------------------------------------------------------
+
+    fn gen_call(
+        &mut self,
+        target: &CallTarget,
+        args: &[HExpr],
+        dest: Option<Reg>,
+    ) -> Result<()> {
+        let line = self.line;
+        match target {
+            CallTarget::Builtin(b) => self.gen_builtin(*b, args, line),
+            CallTarget::Func(name) => {
+                self.makes_calls = true;
+                let mark = self.temp_mark();
+                // Evaluate each argument into a frame temp.
+                let mut slots = Vec::with_capacity(args.len());
+                for a in args {
+                    let v = self.gen_expr(a)?;
+                    let off = self.alloc_temp();
+                    self.emit_desc(
+                        Insn::store_x(v.reg(), Reg::SP, Operand::Imm(off as i16)),
+                        MemDesc::Temporary,
+                    );
+                    self.free_val(v);
+                    slots.push(off);
+                }
+                // Spill live scratch registers across the call — except
+                // the destination, whose pre-call value is dead (we are
+                // about to overwrite it with the result; restoring over
+                // it would clobber the result).
+                let live: Vec<Reg> = self
+                    .active
+                    .iter()
+                    .copied()
+                    .filter(|r| Some(*r) != dest)
+                    .collect();
+                let mut spills = Vec::with_capacity(live.len());
+                for r in &live {
+                    let off = self.alloc_temp();
+                    self.emit_desc(
+                        Insn::store_x(*r, Reg::SP, Operand::Imm(off as i16)),
+                        MemDesc::Temporary,
+                    );
+                    spills.push((*r, off));
+                }
+                // Stage arguments.
+                for (i, off) in slots.iter().enumerate() {
+                    self.emit_desc(
+                        Insn::load_x(Reg::SP, Operand::Imm(*off as i16), ARG_REGS[i]),
+                        MemDesc::Temporary,
+                    );
+                }
+                self.line = line;
+                self.emit_reloc(Insn::Call { disp: 0 }, RelocKind::Call(name.clone()));
+                self.emit(Insn::Nop); // delay slot
+                // Capture the result before restoring spills; the
+                // destination is never in `spills` by construction.
+                if let Some(d) = dest {
+                    if d != Reg::O0 {
+                        self.emit(Insn::mov(Operand::Reg(Reg::O0), d));
+                    }
+                }
+                for (r, off) in spills {
+                    self.emit_desc(
+                        Insn::load_x(Reg::SP, Operand::Imm(off as i16), r),
+                        MemDesc::Temporary,
+                    );
+                }
+                self.temp_reset(mark);
+                Ok(())
+            }
+        }
+    }
+
+    fn gen_builtin(&mut self, b: Builtin, args: &[HExpr], line: u32) -> Result<()> {
+        match b {
+            Builtin::Prefetch => {
+                let v = self.gen_expr(&args[0])?;
+                self.line = line;
+                if self.options.prefetch {
+                    self.emit(Insn::Prefetch {
+                        rs1: v.reg(),
+                        op2: Operand::Imm(0),
+                    });
+                }
+                self.free_val(v);
+                Ok(())
+            }
+            Builtin::PrintLong | Builtin::PrintChar | Builtin::Exit => {
+                // These need %o0; spill it if live.
+                let v = self.gen_expr(&args[0])?;
+                self.line = line;
+                let o0_live = self.active.contains(&Reg::O0) && v.reg() != Reg::O0;
+                let mark = self.temp_mark();
+                let spill = if o0_live {
+                    let off = self.alloc_temp();
+                    self.emit_desc(
+                        Insn::store_x(Reg::O0, Reg::SP, Operand::Imm(off as i16)),
+                        MemDesc::Temporary,
+                    );
+                    Some(off)
+                } else {
+                    None
+                };
+                if v.reg() != Reg::O0 {
+                    self.emit(Insn::mov(Operand::Reg(v.reg()), Reg::O0));
+                }
+                let num = match b {
+                    Builtin::PrintLong => trap::HOSTCALL_BASE,
+                    Builtin::PrintChar => trap::HOSTCALL_BASE + 1,
+                    Builtin::Exit => trap::EXIT,
+                    Builtin::Prefetch => unreachable!(),
+                };
+                self.emit(Insn::Trap { num });
+                if let Some(off) = spill {
+                    self.emit_desc(
+                        Insn::load_x(Reg::SP, Operand::Imm(off as i16), Reg::O0),
+                        MemDesc::Temporary,
+                    );
+                }
+                self.temp_reset(mark);
+                self.free_val(v);
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn gen_stmt(&mut self, s: &HStmt) -> Result<()> {
+        match s {
+            HStmt::AssignLocal { index, value, line } => {
+                self.line = *line;
+                match self.locs[*index] {
+                    Loc::Reg(home) => self.gen_expr_into(value, home)?,
+                    Loc::Frame(off) => {
+                        let v = self.gen_expr(value)?;
+                        self.line = *line;
+                        let name = self.f.locals[*index].name.clone();
+                        self.emit_desc(
+                            Insn::store_x(v.reg(), Reg::SP, Operand::Imm(off as i16)),
+                            MemDesc::Scalar {
+                                name,
+                                type_desc: "long".to_string(),
+                            },
+                        );
+                        self.free_val(v);
+                    }
+                }
+                Ok(())
+            }
+            HStmt::Store {
+                base,
+                offset,
+                value,
+                ty,
+                desc,
+                line,
+            } => {
+                self.line = *line;
+                let v = self.gen_expr(value)?;
+                let (bv, op2) = self.gen_address(base, *offset)?;
+                self.line = *line;
+                self.emit_desc(
+                    Insn::Store {
+                        width: Self::width_of(ty),
+                        src: v.reg(),
+                        rs1: bv.reg(),
+                        op2,
+                    },
+                    desc.clone(),
+                );
+                self.free_val(v);
+                self.free_val(bv);
+                if let Operand::Reg(r) = op2 {
+                    self.release(r);
+                }
+                Ok(())
+            }
+            HStmt::Expr(e, line) => {
+                self.line = *line;
+                if let HExprKind::Call { target, args } = &e.kind {
+                    self.gen_call(target, args, None)
+                } else {
+                    let v = self.gen_expr(e)?;
+                    self.free_val(v);
+                    Ok(())
+                }
+            }
+            HStmt::If {
+                cond,
+                then_body,
+                else_body,
+                line,
+            } => {
+                self.line = *line;
+                if else_body.is_empty() {
+                    let l_end = self.new_label();
+                    self.gen_cond_false(cond, l_end)?;
+                    for st in then_body {
+                        self.gen_stmt(st)?;
+                    }
+                    self.emit_label(l_end);
+                } else {
+                    let l_else = self.new_label();
+                    let l_end = self.new_label();
+                    self.gen_cond_false(cond, l_else)?;
+                    for st in then_body {
+                        self.gen_stmt(st)?;
+                    }
+                    self.emit_branch(Cond::A, l_end);
+                    self.emit_label(l_else);
+                    for st in else_body {
+                        self.gen_stmt(st)?;
+                    }
+                    self.emit_label(l_end);
+                }
+                Ok(())
+            }
+            HStmt::While { cond, body, line } => {
+                self.line = *line;
+                let l_body = self.new_label();
+                let l_cond = self.new_label();
+                let l_end = self.new_label();
+                // Rotated loop: one branch per iteration.
+                self.emit_branch(Cond::A, l_cond);
+                self.emit_label(l_body);
+                self.loops.push((l_end, l_cond));
+                for st in body {
+                    self.gen_stmt(st)?;
+                }
+                self.loops.pop();
+                self.emit_label(l_cond);
+                self.line = *line;
+                self.gen_cond_true(cond, l_body)?;
+                self.emit_label(l_end);
+                Ok(())
+            }
+            HStmt::For {
+                init,
+                cond,
+                step,
+                body,
+                line,
+            } => {
+                self.line = *line;
+                if let Some(init) = init {
+                    self.gen_stmt(init)?;
+                }
+                let l_body = self.new_label();
+                let l_step = self.new_label();
+                let l_cond = self.new_label();
+                let l_end = self.new_label();
+                self.emit_branch(Cond::A, l_cond);
+                self.emit_label(l_body);
+                self.loops.push((l_end, l_step));
+                for st in body {
+                    self.gen_stmt(st)?;
+                }
+                self.loops.pop();
+                self.emit_label(l_step);
+                if let Some(step) = step {
+                    self.gen_stmt(step)?;
+                }
+                self.emit_label(l_cond);
+                self.line = *line;
+                match cond {
+                    Some(c) => self.gen_cond_true(c, l_body)?,
+                    None => self.emit_branch(Cond::A, l_body),
+                }
+                self.emit_label(l_end);
+                Ok(())
+            }
+            HStmt::Return(v, line) => {
+                self.line = *line;
+                if let Some(v) = v {
+                    self.gen_expr_into(v, Reg::O0)?;
+                }
+                self.emit_branch(Cond::A, self.ret_label);
+                Ok(())
+            }
+            HStmt::Break(line) => {
+                self.line = *line;
+                let Some(&(l_break, _)) = self.loops.last() else {
+                    return self.err("break outside loop");
+                };
+                self.emit_branch(Cond::A, l_break);
+                Ok(())
+            }
+            HStmt::Continue(line) => {
+                self.line = *line;
+                let Some(&(_, l_cont)) = self.loops.last() else {
+                    return self.err("continue outside loop");
+                };
+                self.emit_branch(Cond::A, l_cont);
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Function assembly
+    // ------------------------------------------------------------------
+
+    fn run(&mut self) -> Result<()> {
+        self.ret_label = self.new_label();
+        // Assign local homes.
+        for (i, _) in self.f.locals.iter().enumerate() {
+            let loc = if i < CALLEE_SAVED.len() {
+                let r = CALLEE_SAVED[i];
+                self.used_callee.push(r);
+                Loc::Reg(r)
+            } else {
+                Loc::Frame(self.stack_local_off((i - CALLEE_SAVED.len()) as i64))
+            };
+            self.locs.push(loc);
+        }
+        // Parameter moves are emitted in finish() as part of the
+        // prologue; here we only generate the body.
+        for s in &self.f.body {
+            self.gen_stmt(s)?;
+        }
+        // Implicit `return 0;` for a function falling off the end.
+        if self.f.ret != Type::Void {
+            self.emit(Insn::mov(Operand::Imm(0), Reg::O0));
+        }
+        self.emit_label(self.ret_label);
+        Ok(())
+    }
+
+    /// Assemble prologue + body + epilogue, run the hwcprof padding
+    /// and delay-slot passes, resolve labels, and append to `out`.
+    fn finish(self, out: &mut ObjModule) -> Result<()> {
+        let FnGen {
+            f,
+            options,
+            v: body,
+            locs,
+            used_callee,
+            makes_calls,
+            temp_high,
+            hm,
+            ..
+        } = self;
+
+        let n_stack_locals = f.locals.len().saturating_sub(CALLEE_SAVED.len()) as i64;
+        // Frame: [0..TEMP_AREA) reserved temp slots + named stack
+        // locals, then the save area.
+        let save_base = TEMP_AREA + n_stack_locals * 8;
+        let n_saves = used_callee.len() as i64 + i64::from(makes_calls);
+        let mut frame = save_base + n_saves * 8;
+        frame = (frame + 15) & !15;
+        let needs_frame = n_saves > 0 || temp_high > 0 || n_stack_locals > 0;
+        if temp_high > TEMP_AREA {
+            return Err(CompileError::codegen(
+                &hm.name,
+                f.line,
+                "temp spill area overflow",
+            ));
+        }
+
+        let mut vcode: Vec<VInsn> = Vec::with_capacity(body.len() + 16);
+        let fline = f.line;
+
+        // Prologue.
+        if needs_frame {
+            vcode.push(VInsn::real(
+                Insn::alu(AluOp::Sub, Reg::SP, Operand::Imm(frame as i16), Reg::SP),
+                fline,
+            ));
+            if makes_calls {
+                vcode.push(VInsn::real(
+                    Insn::store_x(Reg::O7, Reg::SP, Operand::Imm(save_base as i16)),
+                    fline,
+                ));
+            }
+            for (k, r) in used_callee.iter().enumerate() {
+                let off = save_base + (k as i64 + i64::from(makes_calls)) * 8;
+                vcode.push(VInsn::real(
+                    Insn::store_x(*r, Reg::SP, Operand::Imm(off as i16)),
+                    fline,
+                ));
+            }
+        }
+        // Move parameters from %o registers to their homes.
+        for i in 0..f.param_count {
+            match locs[i] {
+                Loc::Reg(home) => {
+                    vcode.push(VInsn::real(Insn::mov(Operand::Reg(ARG_REGS[i]), home), fline))
+                }
+                Loc::Frame(off) => vcode.push(VInsn::real(
+                    Insn::store_x(ARG_REGS[i], Reg::SP, Operand::Imm(off as i16)),
+                    fline,
+                )),
+            }
+        }
+
+        vcode.extend(body);
+
+        // Epilogue (the ret label is the last Label in the body).
+        if needs_frame {
+            for (k, r) in used_callee.iter().enumerate() {
+                let off = save_base + (k as i64 + i64::from(makes_calls)) * 8;
+                vcode.push(VInsn::real(
+                    Insn::load_x(Reg::SP, Operand::Imm(off as i16), *r),
+                    fline,
+                ));
+            }
+            if makes_calls {
+                vcode.push(VInsn::real(
+                    Insn::load_x(Reg::SP, Operand::Imm(save_base as i16), Reg::O7),
+                    fline,
+                ));
+            }
+            vcode.push(VInsn::real(
+                Insn::alu(AluOp::Add, Reg::SP, Operand::Imm(frame as i16), Reg::SP),
+                fline,
+            ));
+        }
+        vcode.push(VInsn::real(Insn::ret(), fline));
+        vcode.push(VInsn::real(Insn::Nop, fline));
+
+        if options.hwcprof {
+            pad_memops_before_join_nodes(&mut vcode);
+        }
+        if options.opt {
+            fill_delay_slots(&mut vcode, options.hwcprof);
+        }
+
+        resolve(vcode, out)
+    }
+}
+
+/// Reserved frame bytes for expression/call spill slots.
+const TEMP_AREA: i64 = 64 * 8;
+
+// ----------------------------------------------------------------------
+// Post passes
+// ----------------------------------------------------------------------
+
+/// §2.1: "It may add nop instructions between loads and any join-nodes
+/// (labels or branches) to help ensure that a profile event is
+/// captured in the same basic block as the triggering instruction."
+/// We guarantee at least [`PAD_DISTANCE`] non-memory instructions
+/// between a memory reference and the next label or control transfer.
+const PAD_DISTANCE: usize = 2;
+
+fn pad_memops_before_join_nodes(v: &mut Vec<VInsn>) {
+    let mut i = 0;
+    // Distance (in real instructions) since the last memory op;
+    // "far away" initially.
+    let mut since_mem = PAD_DISTANCE;
+    while i < v.len() {
+        let is_join = matches!(v[i], VInsn::Label(_)) || v[i].is_transfer();
+        if is_join && since_mem < PAD_DISTANCE {
+            let line = line_of(&v[i.saturating_sub(1)]).unwrap_or(0);
+            let need = PAD_DISTANCE - since_mem;
+            for _ in 0..need {
+                v.insert(i, VInsn::real(Insn::Nop, line));
+            }
+            i += need;
+            since_mem = PAD_DISTANCE;
+        }
+        match &v[i] {
+            VInsn::Real { insn, .. } if insn.is_memory_ref() => since_mem = 0,
+            VInsn::Real { .. } | VInsn::Br { .. } => since_mem = since_mem.saturating_add(1),
+            VInsn::Label(_) => {}
+        }
+        i += 1;
+    }
+}
+
+fn line_of(v: &VInsn) -> Option<u32> {
+    match v {
+        VInsn::Real { line, .. } | VInsn::Br { line, .. } => Some(*line),
+        VInsn::Label(_) => None,
+    }
+}
+
+/// Fill branch delay slots by hoisting a safe preceding instruction
+/// into the slot (removing it from its old position — labels are
+/// symbolic elements of the vector, so removal cannot break them).
+/// With `-xhwcprof` the compiler "avoids scheduling load or store
+/// instructions in branch delay slots" (§2.1), so memory references
+/// are not eligible then.
+fn fill_delay_slots(v: &mut Vec<VInsn>, hwcprof: bool) {
+    let mut i = 0;
+    while i < v.len() {
+        if !v[i].is_transfer() {
+            i += 1;
+            continue;
+        }
+        // The delay slot must currently be an emitted Nop.
+        let slot_is_nop = matches!(
+            v.get(i + 1),
+            Some(VInsn::Real {
+                insn: Insn::Nop,
+                ..
+            })
+        );
+        if !slot_is_nop {
+            i += 1;
+            continue;
+        }
+        // Candidate: the instruction just before the transfer,
+        // skipping one cc-setting compare if present.
+        let Some(mut j) = i.checked_sub(1) else {
+            i += 1;
+            continue;
+        };
+        let mut cmp_pos = None;
+        if let VInsn::Real {
+            insn: Insn::Alu { cc: true, .. },
+            ..
+        } = v[j]
+        {
+            cmp_pos = Some(j);
+            match j.checked_sub(1) {
+                Some(k) => j = k,
+                None => {
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+        #[allow(clippy::nonminimal_bool)]
+        let legal = {
+            let VInsn::Real {
+                insn: cand, reloc, ..
+            } = &v[j]
+            else {
+                i += 1;
+                continue; // label or branch: different basic block
+            };
+            let cand = *cand;
+            let mut ok = !matches!(cand, Insn::Nop | Insn::Trap { .. } | Insn::Sethi { .. })
+                && !cand.is_delayed_transfer()
+                && !matches!(cand, Insn::Alu { cc: true, .. })
+                && reloc.is_none()
+                && !(hwcprof && cand.is_memory_ref());
+            // Candidate must not itself be a delay slot.
+            if ok && j > 0 && v[j - 1].is_transfer() {
+                ok = false;
+            }
+            // The intervening compare and an indirect jump must not
+            // read the candidate's destination.
+            if ok {
+                if let Some(d) = cand.dest_reg() {
+                    if let Some(cp) = cmp_pos {
+                        if let VInsn::Real {
+                            insn: Insn::Alu { rs1, op2, .. },
+                            ..
+                        } = v[cp]
+                        {
+                            if rs1 == d || op2.reg() == Some(d) {
+                                ok = false;
+                            }
+                        }
+                    }
+                    if let VInsn::Real {
+                        insn: Insn::Jmpl { rs1, op2, .. },
+                        ..
+                    } = v[i]
+                    {
+                        if rs1 == d || op2.reg() == Some(d) {
+                            ok = false;
+                        }
+                    }
+                }
+            }
+            ok
+        };
+        if !legal {
+            i += 1;
+            continue;
+        }
+        // Hoist: remove the candidate and place it in the slot. After
+        // removal every index from `j` on shifts down by one: the
+        // transfer is at `i - 1` and its slot at `i`.
+        let cand = v.remove(j);
+        v[i] = cand;
+        // Continue after the slot.
+    }
+}
+
+/// Resolve labels, drop removable nops, emit final instructions and
+/// metadata into the module.
+fn resolve(v: Vec<VInsn>, out: &mut ObjModule) -> Result<()> {
+    // First pass: assign final indices (labels occupy no space).
+    let mut label_pos = std::collections::HashMap::new();
+    let mut idx = out.insns.len();
+    for vi in &v {
+        match vi {
+            VInsn::Label(l) => {
+                label_pos.insert(*l, idx);
+            }
+            _ => idx += 1,
+        }
+    }
+    // Second pass: emit.
+    let mut referenced = std::collections::HashSet::new();
+    for vi in &v {
+        match vi {
+            VInsn::Label(_) => {}
+            VInsn::Real {
+                insn,
+                line,
+                desc,
+                reloc,
+            } => {
+                if let Some(r) = reloc {
+                    out.relocs.push((out.insns.len(), r.clone()));
+                }
+                out.insns.push(*insn);
+                out.metas.push(PcMeta {
+                    line: *line,
+                    memdesc: desc.clone(),
+                    is_branch_target: false,
+                });
+            }
+            VInsn::Br { cond, label, line } => {
+                let target = *label_pos
+                    .get(label)
+                    .expect("branch to undefined label");
+                referenced.insert(*label);
+                let disp = target as i64 - out.insns.len() as i64;
+                out.insns.push(Insn::Branch {
+                    cond: *cond,
+                    annul: false,
+                    // Backward branches predicted taken (loops).
+                    pred_taken: disp < 0,
+                    disp: disp as i32,
+                });
+                out.metas.push(PcMeta {
+                    line: *line,
+                    memdesc: MemDesc::None,
+                    is_branch_target: false,
+                });
+            }
+        }
+    }
+    // Mark branch targets (only labels actually referenced by
+    // branches; function entries are marked at link time).
+    for l in referenced {
+        let pos = label_pos[&l];
+        if pos < out.metas.len() {
+            out.metas[pos].is_branch_target = true;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Compile- and link-time errors.
+
+/// Result alias for compiler phases.
+pub type Result<T> = std::result::Result<T, CompileError>;
+
+/// A diagnostic with module and line context.
+#[derive(Clone, Debug)]
+pub struct CompileError {
+    pub phase: Phase,
+    pub module: String,
+    pub line: u32,
+    pub message: String,
+}
+
+/// Which phase produced the diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    Lex,
+    Parse,
+    Sema,
+    Codegen,
+    Link,
+}
+
+impl CompileError {
+    pub fn lex(module: &str, line: u32, message: &str) -> CompileError {
+        Self::new(Phase::Lex, module, line, message)
+    }
+    pub fn parse(module: &str, line: u32, message: &str) -> CompileError {
+        Self::new(Phase::Parse, module, line, message)
+    }
+    pub fn sema(module: &str, line: u32, message: &str) -> CompileError {
+        Self::new(Phase::Sema, module, line, message)
+    }
+    pub fn codegen(module: &str, line: u32, message: &str) -> CompileError {
+        Self::new(Phase::Codegen, module, line, message)
+    }
+    pub fn link(message: &str) -> CompileError {
+        Self::new(Phase::Link, "<link>", 0, message)
+    }
+
+    fn new(phase: Phase, module: &str, line: u32, message: &str) -> CompileError {
+        CompileError {
+            phase,
+            module: module.to_string(),
+            line,
+            message: message.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Sema => "type",
+            Phase::Codegen => "codegen",
+            Phase::Link => "link",
+        };
+        if self.line > 0 {
+            write!(f, "{}:{}: {phase} error: {}", self.module, self.line, self.message)
+        } else {
+            write!(f, "{}: {phase} error: {}", self.module, self.message)
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}

@@ -1,0 +1,119 @@
+//! Profile-feedback support (§4 of the paper: "the data can be used
+//! to construct a feedback file, allowing a recompilation of the
+//! target to be done with the insertion of prefetch instructions").
+//!
+//! A [`Feedback`] names source positions whose memory operations miss
+//! heavily; when recompiling with it, codegen emits a software
+//! prefetch of `address + lookahead` alongside each matching load —
+//! useful for streaming scans (positive lookahead covers the next
+//! cache line), useless for pointer chasing (no address to prefetch),
+//! exactly the economics the paper's related work discusses.
+
+/// One feedback entry: "the loads at this source position miss; fetch
+/// ahead".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrefetchHint {
+    /// Function containing the hot load.
+    pub function: String,
+    /// Source line of the hot load.
+    pub line: u32,
+    /// Byte offset to prefetch relative to the load's effective
+    /// address (typically one E$ line; may be negative for backward
+    /// scans). Must fit in a 13-bit immediate together with the
+    /// load's own offset.
+    pub lookahead: i64,
+}
+
+/// A feedback file: the analyzer produces it, the compiler consumes
+/// it on recompilation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Feedback {
+    pub hints: Vec<PrefetchHint>,
+}
+
+impl Feedback {
+    pub fn is_empty(&self) -> bool {
+        self.hints.is_empty()
+    }
+
+    /// Lookahead for a load at `(function, line)`, if hinted.
+    pub fn lookahead_for(&self, function: &str, line: u32) -> Option<i64> {
+        self.hints
+            .iter()
+            .find(|h| h.line == line && h.function == function)
+            .map(|h| h.lookahead)
+    }
+
+    /// Serialize in the classic one-line-per-hint feedback-file form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for h in &self.hints {
+            out.push_str(&format!("prefetch {} {} {}\n", h.function, h.line, h.lookahead));
+        }
+        out
+    }
+
+    /// Parse the text form; lines that do not parse are ignored
+    /// (feedback is advisory).
+    pub fn from_text(text: &str) -> Feedback {
+        let mut hints = Vec::new();
+        for line in text.lines() {
+            let f: Vec<&str> = line.split_whitespace().collect();
+            if f.len() == 4 && f[0] == "prefetch" {
+                if let (Ok(l), Ok(la)) = (f[2].parse(), f[3].parse()) {
+                    hints.push(PrefetchHint {
+                        function: f[1].to_string(),
+                        line: l,
+                        lookahead: la,
+                    });
+                }
+            }
+        }
+        Feedback { hints }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trip() {
+        let fb = Feedback {
+            hints: vec![
+                PrefetchHint {
+                    function: "primal_bea_mpp".into(),
+                    line: 120,
+                    lookahead: 512,
+                },
+                PrefetchHint {
+                    function: "refresh_potential".into(),
+                    line: 84,
+                    lookahead: -128,
+                },
+            ],
+        };
+        assert_eq!(Feedback::from_text(&fb.to_text()), fb);
+    }
+
+    #[test]
+    fn lookup() {
+        let fb = Feedback {
+            hints: vec![PrefetchHint {
+                function: "f".into(),
+                line: 10,
+                lookahead: 512,
+            }],
+        };
+        assert_eq!(fb.lookahead_for("f", 10), Some(512));
+        assert_eq!(fb.lookahead_for("f", 11), None);
+        assert_eq!(fb.lookahead_for("g", 10), None);
+    }
+
+    #[test]
+    fn malformed_lines_ignored() {
+        let fb = Feedback::from_text("garbage\nprefetch f ten 512\nprefetch g 5 64\n");
+        assert_eq!(fb.hints.len(), 1);
+        assert_eq!(fb.hints[0].function, "g");
+    }
+}

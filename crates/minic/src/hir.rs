@@ -1,0 +1,198 @@
+//! Typed intermediate representation (HIR), produced by sema and
+//! consumed by codegen.
+//!
+//! Every memory access in the HIR carries a [`MemDesc`] — the
+//! data-object descriptor the compiler records for `-xhwcprof`.
+//! Codegen copies the descriptor onto the emitted load/store
+//! instruction, which is how the analyzer later maps a profile event
+//! back to `{structure:node -}{long orientation}`.
+
+use crate::ast::{BinOp, UnOp};
+use crate::types::{StructInfo, Type};
+
+/// The data-object descriptor attached to a memory-referencing
+/// instruction (§2.1: "cross-referencing each memory operation with
+/// the name of the variable or structure member being referenced").
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MemDesc {
+    /// A struct member access through a pointer (or a global struct):
+    /// rendered `{structure:node -}{cost_t=long cost}`.
+    Member {
+        struct_name: String,
+        member: String,
+        /// Rendered member type (`long`, `cost_t=long`,
+        /// `pointer+structure:node`, ...).
+        member_type: String,
+        offset: u64,
+    },
+    /// A named scalar or array (globals): aggregated under
+    /// `<Scalars>` by the data-object view.
+    Scalar { name: String, type_desc: String },
+    /// A compiler temporary (spill slots): the `(Unidentified)`
+    /// category of §3.2.5.
+    Temporary,
+    /// No symbolic information (prologue/epilogue register saves):
+    /// the `(Unspecified)` category.
+    None,
+}
+
+/// A typed expression.
+#[derive(Clone, Debug)]
+pub struct HExpr {
+    pub kind: HExprKind,
+    pub ty: Type,
+    pub line: u32,
+}
+
+/// Call targets after resolution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CallTarget {
+    /// A mini-C function, resolved by name at link time.
+    Func(String),
+    /// A compiler builtin lowered inline.
+    Builtin(Builtin),
+}
+
+/// Builtins lowered to host-service traps or special instructions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Builtin {
+    /// `print_long(x)` — prints a decimal integer and newline.
+    PrintLong,
+    /// `print_char(c)` — prints one character.
+    PrintChar,
+    /// `exit(code)` — terminates the program.
+    Exit,
+    /// `prefetch(ptr)` — software prefetch of the addressed line
+    /// (a nop unless compiled with `-xprefetch`).
+    Prefetch,
+}
+
+impl Builtin {
+    pub fn by_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "print_long" => Builtin::PrintLong,
+            "print_char" => Builtin::PrintChar,
+            "exit" => Builtin::Exit,
+            "prefetch" => Builtin::Prefetch,
+            _ => return None,
+        })
+    }
+
+    /// Number of arguments.
+    pub fn arity(self) -> usize {
+        1
+    }
+}
+
+#[derive(Clone, Debug)]
+pub enum HExprKind {
+    /// Integer constant.
+    Const(i64),
+    /// Read of a local variable (register-allocated by codegen).
+    Local(usize),
+    /// Address of a global (patched at link time).
+    GlobalAddr(String),
+    /// Memory load from `base + offset`. `loaded_ty` is the storage
+    /// type at the address (`Char` loads are byte-wide and widen to
+    /// `long` in the value domain, so the expression's own `ty`
+    /// cannot recover the width).
+    Load {
+        base: Box<HExpr>,
+        offset: i64,
+        loaded_ty: Type,
+        desc: MemDesc,
+    },
+    Unary(UnOp, Box<HExpr>),
+    /// Binary op. Pointer arithmetic has already been scaled by sema
+    /// (an explicit multiply by the pointee size appears here).
+    Binary(BinOp, Box<HExpr>, Box<HExpr>),
+    Call {
+        target: CallTarget,
+        args: Vec<HExpr>,
+    },
+}
+
+/// A typed statement.
+#[derive(Clone, Debug)]
+pub enum HStmt {
+    /// `local = value`.
+    AssignLocal {
+        index: usize,
+        value: HExpr,
+        line: u32,
+    },
+    /// `*(base + offset) = value`.
+    Store {
+        base: HExpr,
+        offset: i64,
+        value: HExpr,
+        ty: Type,
+        desc: MemDesc,
+        line: u32,
+    },
+    /// Expression evaluated for effect (calls).
+    Expr(HExpr, u32),
+    If {
+        cond: HExpr,
+        then_body: Vec<HStmt>,
+        else_body: Vec<HStmt>,
+        line: u32,
+    },
+    While {
+        cond: HExpr,
+        body: Vec<HStmt>,
+        line: u32,
+    },
+    /// `for` is kept structured so `continue` can target the step.
+    For {
+        init: Option<Box<HStmt>>,
+        cond: Option<HExpr>,
+        step: Option<Box<HStmt>>,
+        body: Vec<HStmt>,
+        line: u32,
+    },
+    Return(Option<HExpr>, u32),
+    Break(u32),
+    Continue(u32),
+}
+
+/// A local variable (parameters come first).
+#[derive(Clone, Debug)]
+pub struct HLocal {
+    pub name: String,
+    pub ty: Type,
+}
+
+/// A typed function.
+#[derive(Clone, Debug)]
+pub struct HFunc {
+    pub name: String,
+    pub ret: Type,
+    /// The first `param_count` locals are the parameters.
+    pub param_count: usize,
+    pub locals: Vec<HLocal>,
+    pub body: Vec<HStmt>,
+    pub line: u32,
+}
+
+/// A global variable after sema.
+#[derive(Clone, Debug)]
+pub struct HGlobal {
+    pub name: String,
+    pub ty: Type,
+    pub array_len: Option<u64>,
+    pub is_extern: bool,
+    /// Total size in bytes (element size × len for arrays).
+    pub size: u64,
+    pub align: u64,
+}
+
+/// A typed module, ready for codegen.
+#[derive(Clone, Debug)]
+pub struct HModule {
+    pub name: String,
+    pub structs: Vec<StructInfo>,
+    pub globals: Vec<HGlobal>,
+    pub funcs: Vec<HFunc>,
+    pub source: String,
+}

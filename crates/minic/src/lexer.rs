@@ -1,0 +1,226 @@
+//! Hand-written lexer for mini-C: C-style `//` and `/* */` comments,
+//! decimal and hex integer literals, identifiers and the operator set.
+
+use crate::error::{CompileError, Result};
+use crate::token::{Tok, Token};
+
+/// Tokenize `src`; `module` names the source in error messages.
+pub fn lex(src: &str, module: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(src.len() / 4);
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    macro_rules! push {
+        ($kind:expr) => {
+            out.push(Token { kind: $kind, line })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::lex(module, line, "unterminated comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let (radix, digits_start) =
+                    if c == b'0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+                        i += 2;
+                        (16u32, i)
+                    } else {
+                        (10, i)
+                    };
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                let text = &src[digits_start..i];
+                let v = i64::from_str_radix(text, radix).map_err(|_| {
+                    CompileError::lex(module, line, &format!("bad integer literal `{}`", &src[start..i]))
+                })?;
+                push!(Tok::Int(v));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                match Tok::keyword(word) {
+                    Some(kw) => push!(kw),
+                    None => push!(Tok::Ident(word.to_string())),
+                }
+            }
+            _ => {
+                let two = |a: u8, b: u8| c == a && bytes.get(i + 1) == Some(&b);
+                let (tok, len) = if two(b'-', b'>') {
+                    (Tok::Arrow, 2)
+                } else if two(b'<', b'<') {
+                    (Tok::Shl, 2)
+                } else if two(b'>', b'>') {
+                    (Tok::Shr, 2)
+                } else if two(b'<', b'=') {
+                    (Tok::Le, 2)
+                } else if two(b'>', b'=') {
+                    (Tok::Ge, 2)
+                } else if two(b'=', b'=') {
+                    (Tok::EqEq, 2)
+                } else if two(b'!', b'=') {
+                    (Tok::NotEq, 2)
+                } else if two(b'&', b'&') {
+                    (Tok::AndAnd, 2)
+                } else if two(b'|', b'|') {
+                    (Tok::OrOr, 2)
+                } else {
+                    let t = match c {
+                        b'(' => Tok::LParen,
+                        b')' => Tok::RParen,
+                        b'{' => Tok::LBrace,
+                        b'}' => Tok::RBrace,
+                        b'[' => Tok::LBracket,
+                        b']' => Tok::RBracket,
+                        b';' => Tok::Semi,
+                        b',' => Tok::Comma,
+                        b'.' => Tok::Dot,
+                        b'+' => Tok::Plus,
+                        b'-' => Tok::Minus,
+                        b'*' => Tok::Star,
+                        b'/' => Tok::Slash,
+                        b'%' => Tok::Percent,
+                        b'&' => Tok::Amp,
+                        b'|' => Tok::Pipe,
+                        b'^' => Tok::Caret,
+                        b'<' => Tok::Lt,
+                        b'>' => Tok::Gt,
+                        b'!' => Tok::Bang,
+                        b'=' => Tok::Assign,
+                        other => {
+                            return Err(CompileError::lex(
+                                module,
+                                line,
+                                &format!("unexpected character `{}`", other as char),
+                            ))
+                        }
+                    };
+                    (t, 1)
+                };
+                push!(tok);
+                i += len;
+            }
+        }
+    }
+    out.push(Token {
+        kind: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src, "t").unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("long x = 42;"),
+            vec![
+                Tok::KwLong,
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(42),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_vs_minus() {
+        assert_eq!(
+            kinds("p->f - 1"),
+            vec![
+                Tok::Ident("p".into()),
+                Tok::Arrow,
+                Tok::Ident("f".into()),
+                Tok::Minus,
+                Tok::Int(1),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("a // c1\n/* c2\nc3 */ b", "t").unwrap();
+        assert_eq!(toks[0].kind, Tok::Ident("a".into()));
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].kind, Tok::Ident("b".into()));
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn hex_literals() {
+        assert_eq!(kinds("0x40 0XFF"), vec![Tok::Int(64), Tok::Int(255), Tok::Eof]);
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("<= >= == != && || << >>"),
+            vec![
+                Tok::Le,
+                Tok::Ge,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_char_reports_line() {
+        let err = lex("a\n@", "m").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("m:2"), "{msg}");
+    }
+
+    #[test]
+    fn unterminated_comment() {
+        assert!(lex("/* nope", "t").is_err());
+    }
+}

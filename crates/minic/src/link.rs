@@ -1,0 +1,256 @@
+//! The linker: combines compiled modules into a loadable
+//! [`Image`](simsparc_machine::Image) plus the [`SymbolTable`] the
+//! analyzer reads.
+//!
+//! A synthetic `<startup>` module (like `crt0`) is prepended: it calls
+//! `main` and passes the return value to the exit trap. Globals are
+//! laid out in the data segment (all zero-initialized — the host
+//! stages inputs by writing global arrays through
+//! [`Program::global_addr`]... via the symbol table).
+
+use std::collections::HashMap;
+
+use simsparc_isa::{trap, Insn, Operand};
+use simsparc_machine::{Image, DATA_BASE, TEXT_BASE};
+
+use crate::codegen::{ObjModule, RelocKind};
+use crate::error::{CompileError, Result};
+use crate::hir::MemDesc;
+use crate::symtab::{FuncSym, GlobalSym, ModuleSym, PcMeta, SymbolTable};
+use crate::types::StructInfo;
+
+/// A linked, loadable program with its symbolic information.
+#[derive(Clone, Debug)]
+pub struct Program {
+    pub image: Image,
+    pub syms: SymbolTable,
+}
+
+impl Program {
+    /// Data address of a global (for staging inputs / reading results).
+    pub fn global_addr(&self, name: &str) -> Option<u64> {
+        self.syms.global_addr(name)
+    }
+}
+
+/// Link modules. The first module containing `main` provides the
+/// entry; duplicate function or global definitions are errors.
+pub fn link(modules: &[ObjModule]) -> Result<Program> {
+    // ------------------------------------------------------------------
+    // Startup stub.
+    // ------------------------------------------------------------------
+    let stub_insns = vec![
+        Insn::Call { disp: 0 }, // patched to main below
+        Insn::Nop,
+        Insn::Trap { num: trap::EXIT }, // exit(%o0)
+    ];
+    let stub_len = stub_insns.len();
+
+    // ------------------------------------------------------------------
+    // Lay out text: stub, then each module in order.
+    // ------------------------------------------------------------------
+    let mut text: Vec<Insn> = stub_insns;
+    let mut metas: Vec<PcMeta> = (0..stub_len)
+        .map(|_| PcMeta {
+            line: 0,
+            memdesc: MemDesc::None,
+            is_branch_target: false,
+        })
+        .collect();
+    let mut module_syms = vec![ModuleSym {
+        name: "<startup>".to_string(),
+        hwcprof: false,
+        dwarf: false,
+        source: String::new(),
+    }];
+    let mut funcs: Vec<FuncSym> = vec![FuncSym {
+        name: "_start".to_string(),
+        entry: TEXT_BASE,
+        end: TEXT_BASE + (stub_len as u64) * 4,
+        module: 0,
+        line: 0,
+    }];
+
+    let mut func_index: HashMap<String, usize> = HashMap::new(); // name -> text idx
+    func_index.insert("_start".to_string(), 0);
+
+    let mut module_bases = Vec::with_capacity(modules.len());
+    for (mi, m) in modules.iter().enumerate() {
+        let base = text.len();
+        module_bases.push(base);
+        text.extend_from_slice(&m.insns);
+        metas.extend(m.metas.iter().cloned());
+        module_syms.push(ModuleSym {
+            name: m.name.clone(),
+            hwcprof: m.options.hwcprof,
+            dwarf: m.options.dwarf,
+            source: m.source.clone(),
+        });
+        for f in &m.funcs {
+            if func_index.contains_key(&f.name) {
+                return Err(CompileError::link(&format!(
+                    "duplicate definition of function `{}`",
+                    f.name
+                )));
+            }
+            func_index.insert(f.name.clone(), base + f.start);
+            funcs.push(FuncSym {
+                name: f.name.clone(),
+                entry: TEXT_BASE + ((base + f.start) as u64) * 4,
+                end: TEXT_BASE + ((base + f.end) as u64) * 4,
+                module: mi + 1,
+                line: f.line,
+            });
+            // Function entries are call targets.
+            if f.start < f.end {
+                metas[base + f.start].is_branch_target = true;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lay out globals.
+    // ------------------------------------------------------------------
+    let mut global_addrs: HashMap<String, u64> = HashMap::new();
+    let mut globals: Vec<GlobalSym> = Vec::new();
+    let mut cursor = DATA_BASE;
+    for m in modules {
+        for g in &m.globals {
+            if g.is_extern {
+                continue;
+            }
+            if global_addrs.contains_key(&g.name) {
+                return Err(CompileError::link(&format!(
+                    "duplicate definition of global `{}`",
+                    g.name
+                )));
+            }
+            cursor = cursor.next_multiple_of(g.align.max(8));
+            global_addrs.insert(g.name.clone(), cursor);
+            globals.push(GlobalSym {
+                name: g.name.clone(),
+                addr: cursor,
+                size: g.size,
+                type_desc: String::new(),
+            });
+            cursor += g.size.max(8);
+        }
+    }
+    // Extern references must resolve.
+    for m in modules {
+        for g in &m.globals {
+            if g.is_extern && !global_addrs.contains_key(&g.name) {
+                return Err(CompileError::link(&format!(
+                    "undefined global `{}` (declared extern in `{}`)",
+                    g.name, m.name
+                )));
+            }
+        }
+    }
+    let bss_bytes = cursor - DATA_BASE;
+
+    // ------------------------------------------------------------------
+    // Apply relocations.
+    // ------------------------------------------------------------------
+    let main_idx = *func_index
+        .get("main")
+        .ok_or_else(|| CompileError::link("no `main` function defined"))?;
+    text[0] = Insn::Call {
+        disp: main_idx as i32,
+    };
+    metas[main_idx].is_branch_target = true;
+
+    for (mi, m) in modules.iter().enumerate() {
+        let base = module_bases[mi];
+        for (idx, reloc) in &m.relocs {
+            let at = base + idx;
+            match reloc {
+                RelocKind::Call(name) => {
+                    let Some(&target) = func_index.get(name) else {
+                        return Err(CompileError::link(&format!(
+                            "undefined function `{name}` (called from `{}`)",
+                            m.name
+                        )));
+                    };
+                    let disp = target as i64 - at as i64;
+                    text[at] = Insn::Call { disp: disp as i32 };
+                }
+                RelocKind::GlobalHi(name) | RelocKind::GlobalLo(name) => {
+                    let Some(&addr) = global_addrs.get(name) else {
+                        return Err(CompileError::link(&format!(
+                            "undefined global `{name}` (referenced from `{}`)",
+                            m.name
+                        )));
+                    };
+                    match (reloc, text[at]) {
+                        (RelocKind::GlobalHi(_), Insn::Sethi { rd, .. }) => {
+                            text[at] = Insn::Sethi {
+                                imm21: (addr >> 11) as u32,
+                                rd,
+                            };
+                        }
+                        (
+                            RelocKind::GlobalLo(_),
+                            Insn::Alu {
+                                op, cc, rs1, rd, ..
+                            },
+                        ) => {
+                            text[at] = Insn::Alu {
+                                op,
+                                cc,
+                                rs1,
+                                op2: Operand::Imm((addr & 0x7ff) as i16),
+                                rd,
+                            };
+                        }
+                        _ => {
+                            return Err(CompileError::link(
+                                "relocation does not match instruction",
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Merge struct layouts (same-named structs must agree).
+    // ------------------------------------------------------------------
+    let mut structs: Vec<StructInfo> = Vec::new();
+    for m in modules {
+        for s in &m.structs {
+            match structs.iter().find(|e| e.name == s.name) {
+                Some(existing) => {
+                    if existing.size != s.size || existing.fields.len() != s.fields.len() {
+                        return Err(CompileError::link(&format!(
+                            "struct `{}` has conflicting layouts across modules",
+                            s.name
+                        )));
+                    }
+                }
+                None => structs.push(s.clone()),
+            }
+        }
+    }
+
+    let image = Image {
+        text,
+        data: Vec::new(),
+        bss_bytes,
+        entry: TEXT_BASE,
+    };
+    let syms = SymbolTable {
+        modules: module_syms,
+        funcs: {
+            let mut fs = funcs;
+            fs.sort_by_key(|f| f.entry);
+            fs
+        },
+        pc_meta: metas,
+        text_base: TEXT_BASE,
+        structs,
+        globals,
+    };
+    Ok(Program { image, syms })
+}

@@ -1,0 +1,93 @@
+//! Tokens of the mini-C language.
+
+/// A token with its source line (1-based). Lines drive the PC→line
+/// tables that `-xhwcprof` records and the analyzer's annotated-source
+/// view uses.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    // Literals and identifiers.
+    Int(i64),
+    Ident(String),
+
+    // Keywords.
+    KwLong,
+    KwChar,
+    KwVoid,
+    KwStruct,
+    KwTypedef,
+    KwExtern,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwSizeof,
+
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Arrow, // ->
+    Dot,
+
+    // Operators.
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    NotEq,
+    AndAnd,
+    OrOr,
+    Bang,
+    Assign,
+
+    Eof,
+}
+
+impl Tok {
+    /// Keyword lookup for identifiers.
+    pub fn keyword(s: &str) -> Option<Tok> {
+        Some(match s {
+            "long" => Tok::KwLong,
+            "char" => Tok::KwChar,
+            "void" => Tok::KwVoid,
+            "struct" => Tok::KwStruct,
+            "typedef" => Tok::KwTypedef,
+            "extern" => Tok::KwExtern,
+            "if" => Tok::KwIf,
+            "else" => Tok::KwElse,
+            "while" => Tok::KwWhile,
+            "for" => Tok::KwFor,
+            "return" => Tok::KwReturn,
+            "break" => Tok::KwBreak,
+            "continue" => Tok::KwContinue,
+            "sizeof" => Tok::KwSizeof,
+            _ => return None,
+        })
+    }
+}

@@ -1,0 +1,183 @@
+//! Resolved types and C-style struct layout.
+//!
+//! Layout follows the C rules the paper's MCF analysis depends on:
+//! fields at naturally-aligned offsets in declaration order, struct
+//! size rounded up to the maximum field alignment. The 15-field
+//! `node` structure of the paper lays out to exactly 120 bytes, which
+//! is what makes every fifth heap-allocated node straddle a 512-byte
+//! E$ line (§3.2.5) — the effect the layout optimization removes.
+
+/// Index into a module's struct table.
+pub type StructId = usize;
+
+/// A fully-resolved type.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Type {
+    Long,
+    /// `char` is a storage-only type: values widen to `long` when
+    /// loaded and truncate when stored; it appears behind pointers.
+    Char,
+    Void,
+    Ptr(Box<Type>),
+    Struct(StructId),
+}
+
+impl Type {
+    pub fn ptr_to(t: Type) -> Type {
+        Type::Ptr(Box::new(t))
+    }
+
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// The pointee of a pointer type.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Size in bytes (structs require the table).
+    pub fn size(&self, structs: &[StructInfo]) -> u64 {
+        match self {
+            Type::Long | Type::Ptr(_) => 8,
+            Type::Char => 1,
+            Type::Void => 0,
+            Type::Struct(id) => structs[*id].size,
+        }
+    }
+
+    /// Natural alignment in bytes.
+    pub fn align(&self, structs: &[StructInfo]) -> u64 {
+        match self {
+            Type::Long | Type::Ptr(_) => 8,
+            Type::Char => 1,
+            Type::Void => 1,
+            Type::Struct(id) => structs[*id].align,
+        }
+    }
+
+    /// Are two types assignment-compatible (exact match; the `0`
+    /// null-pointer literal is special-cased in sema)?
+    pub fn compatible(&self, other: &Type) -> bool {
+        self == other
+    }
+}
+
+/// One laid-out struct field.
+#[derive(Clone, Debug)]
+pub struct FieldInfo {
+    pub name: String,
+    pub ty: Type,
+    pub offset: u64,
+    /// Rendered type descriptor as the paper prints it:
+    /// `long`, `cost_t=long`, `pointer+structure:node`, `pointer+char`.
+    pub type_desc: String,
+}
+
+/// A laid-out struct.
+#[derive(Clone, Debug)]
+pub struct StructInfo {
+    pub name: String,
+    pub fields: Vec<FieldInfo>,
+    pub size: u64,
+    pub align: u64,
+    pub line: u32,
+}
+
+impl StructInfo {
+    /// Find a field by name.
+    pub fn field(&self, name: &str) -> Option<(usize, &FieldInfo)> {
+        self.fields.iter().enumerate().find(|(_, f)| f.name == name)
+    }
+}
+
+/// Compute C-style layout from (name, type, rendered descriptor)
+/// triples. Returns the fields with offsets plus (size, align).
+pub fn layout_fields(
+    fields: Vec<(String, Type, String)>,
+    structs: &[StructInfo],
+) -> (Vec<FieldInfo>, u64, u64) {
+    let mut out = Vec::with_capacity(fields.len());
+    let mut offset = 0u64;
+    let mut max_align = 1u64;
+    for (name, ty, type_desc) in fields {
+        let align = ty.align(structs);
+        let size = ty.size(structs);
+        offset = offset.next_multiple_of(align);
+        out.push(FieldInfo {
+            name,
+            ty,
+            offset,
+            type_desc,
+        });
+        offset += size;
+        max_align = max_align.max(align);
+    }
+    let size = offset.next_multiple_of(max_align).max(max_align);
+    (out, size, max_align)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(name: &str, ty: Type) -> (String, Type, String) {
+        (name.to_string(), ty, "long".to_string())
+    }
+
+    #[test]
+    fn paper_node_is_120_bytes() {
+        // The 15 eight-byte members of the paper's Figure 7.
+        let fields: Vec<_> = [
+            "number", "ident", "pred", "child", "sibling", "sibling_prev", "depth",
+            "orientation", "basic_arc", "firstout", "firstin", "potential", "flow",
+            "mark", "time",
+        ]
+        .iter()
+        .map(|n| f(n, Type::Long))
+        .collect();
+        let (fields, size, align) = layout_fields(fields, &[]);
+        assert_eq!(size, 120);
+        assert_eq!(align, 8);
+        assert_eq!(fields[7].name, "orientation");
+        assert_eq!(fields[7].offset, 56);
+        assert_eq!(fields[3].offset, 24); // child
+        assert_eq!(fields[11].offset, 88); // potential
+    }
+
+    #[test]
+    fn char_packing_and_padding() {
+        let (fields, size, align) = layout_fields(
+            vec![
+                f("a", Type::Char),
+                f("b", Type::Long),
+                f("c", Type::Char),
+            ],
+            &[],
+        );
+        assert_eq!(fields[0].offset, 0);
+        assert_eq!(fields[1].offset, 8);
+        assert_eq!(fields[2].offset, 16);
+        assert_eq!(size, 24);
+        assert_eq!(align, 8);
+    }
+
+    #[test]
+    fn empty_struct_has_nonzero_size() {
+        let (_, size, _) = layout_fields(vec![], &[]);
+        assert_eq!(size, 1);
+    }
+
+    #[test]
+    fn pointer_size() {
+        assert_eq!(Type::ptr_to(Type::Char).size(&[]), 8);
+        assert!(Type::ptr_to(Type::Long).is_ptr());
+        assert_eq!(
+            Type::ptr_to(Type::Long).pointee(),
+            Some(&Type::Long)
+        );
+    }
+}

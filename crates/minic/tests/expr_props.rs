@@ -1,0 +1,223 @@
+//! Differential property testing of the compiler: random expression
+//! trees are rendered to mini-C, compiled, executed on the simulated
+//! machine, and compared against a Rust evaluator implementing C's
+//! (wrapping, truncating) semantics. Any divergence in parsing,
+//! typing, constant handling, register allocation, spilling, or the
+//! ALU implementation shows up here.
+
+use proptest::prelude::*;
+
+use minic::{compile_and_link, CompileOptions};
+use simsparc_machine::{Machine, MachineConfig, NullHook};
+
+/// Expression tree over three variables.
+#[derive(Clone, Debug)]
+enum E {
+    Const(i64),
+    Var(u8), // 0=a 1=b 2=c
+    Neg(Box<E>),
+    Not(Box<E>),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    /// Division by a nonzero constant (runtime div-by-zero traps).
+    DivC(Box<E>, i64),
+    RemC(Box<E>, i64),
+    And(Box<E>, Box<E>),
+    Or(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    /// Shift by a constant in 0..63.
+    ShlC(Box<E>, u8),
+    ShrC(Box<E>, u8),
+    Lt(Box<E>, Box<E>),
+    Le(Box<E>, Box<E>),
+    Eq(Box<E>, Box<E>),
+    Ne(Box<E>, Box<E>),
+    LogAnd(Box<E>, Box<E>),
+    LogOr(Box<E>, Box<E>),
+}
+
+impl E {
+    fn render(&self) -> String {
+        match self {
+            E::Const(v) => {
+                if *v < 0 {
+                    // mini-C has no negative literals; parenthesized 0-x.
+                    format!("(0 - {})", -v)
+                } else {
+                    v.to_string()
+                }
+            }
+            E::Var(i) => ["a", "b", "c"][*i as usize].to_string(),
+            E::Neg(x) => format!("(-{})", x.render()),
+            E::Not(x) => format!("(!{})", x.render()),
+            E::Add(l, r) => format!("({} + {})", l.render(), r.render()),
+            E::Sub(l, r) => format!("({} - {})", l.render(), r.render()),
+            E::Mul(l, r) => format!("({} * {})", l.render(), r.render()),
+            E::DivC(l, d) => format!("({} / {})", l.render(), d),
+            E::RemC(l, d) => format!("({} % {})", l.render(), d),
+            E::And(l, r) => format!("({} & {})", l.render(), r.render()),
+            E::Or(l, r) => format!("({} | {})", l.render(), r.render()),
+            E::Xor(l, r) => format!("({} ^ {})", l.render(), r.render()),
+            E::ShlC(l, s) => format!("({} << {})", l.render(), s),
+            E::ShrC(l, s) => format!("({} >> {})", l.render(), s),
+            E::Lt(l, r) => format!("({} < {})", l.render(), r.render()),
+            E::Le(l, r) => format!("({} <= {})", l.render(), r.render()),
+            E::Eq(l, r) => format!("({} == {})", l.render(), r.render()),
+            E::Ne(l, r) => format!("({} != {})", l.render(), r.render()),
+            E::LogAnd(l, r) => format!("({} && {})", l.render(), r.render()),
+            E::LogOr(l, r) => format!("({} || {})", l.render(), r.render()),
+        }
+    }
+
+    /// C semantics on i64: wrapping arithmetic, truncating division,
+    /// arithmetic right shift, 0/1 booleans, short-circuit logicals.
+    fn eval(&self, v: &[i64; 3]) -> i64 {
+        match self {
+            E::Const(c) => *c,
+            E::Var(i) => v[*i as usize],
+            E::Neg(x) => 0i64.wrapping_sub(x.eval(v)),
+            E::Not(x) => (x.eval(v) == 0) as i64,
+            E::Add(l, r) => l.eval(v).wrapping_add(r.eval(v)),
+            E::Sub(l, r) => l.eval(v).wrapping_sub(r.eval(v)),
+            E::Mul(l, r) => l.eval(v).wrapping_mul(r.eval(v)),
+            E::DivC(l, d) => l.eval(v).wrapping_div(*d),
+            E::RemC(l, d) => {
+                let a = l.eval(v);
+                a.wrapping_sub(a.wrapping_div(*d).wrapping_mul(*d))
+            }
+            E::And(l, r) => l.eval(v) & r.eval(v),
+            E::Or(l, r) => l.eval(v) | r.eval(v),
+            E::Xor(l, r) => l.eval(v) ^ r.eval(v),
+            E::ShlC(l, s) => ((l.eval(v) as u64) << s) as i64,
+            E::ShrC(l, s) => l.eval(v) >> s,
+            E::Lt(l, r) => (l.eval(v) < r.eval(v)) as i64,
+            E::Le(l, r) => (l.eval(v) <= r.eval(v)) as i64,
+            E::Eq(l, r) => (l.eval(v) == r.eval(v)) as i64,
+            E::Ne(l, r) => (l.eval(v) != r.eval(v)) as i64,
+            E::LogAnd(l, r) => (l.eval(v) != 0 && r.eval(v) != 0) as i64,
+            E::LogOr(l, r) => (l.eval(v) != 0 || r.eval(v) != 0) as i64,
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-4096i64..=4095).prop_map(E::Const),
+        // Large constants exercise sethi/or materialization.
+        prop_oneof![Just(1_000_000_000i64), Just(-999_999_937i64), Just(123_456_789i64)]
+            .prop_map(E::Const),
+        (0u8..3).prop_map(E::Var),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|x| E::Neg(Box::new(x))),
+            inner.clone().prop_map(|x| E::Not(Box::new(x))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Add(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Sub(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Mul(Box::new(l), Box::new(r))),
+            (inner.clone(), prop_oneof![1i64..1000, -1000i64..-1])
+                .prop_map(|(l, d)| E::DivC(Box::new(l), d)),
+            (inner.clone(), 1i64..1000).prop_map(|(l, d)| E::RemC(Box::new(l), d)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::And(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Or(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Xor(Box::new(l), Box::new(r))),
+            (inner.clone(), 0u8..63).prop_map(|(l, s)| E::ShlC(Box::new(l), s)),
+            (inner.clone(), 0u8..63).prop_map(|(l, s)| E::ShrC(Box::new(l), s)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Lt(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Le(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Eq(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Ne(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| E::LogAnd(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::LogOr(Box::new(l), Box::new(r))),
+        ]
+    })
+}
+
+/// Compile and run a program returning `expr`, with variables staged
+/// through globals so constant folding cannot cheat.
+fn run_program(expr: &E, vals: [i64; 3]) -> i64 {
+    let src = format!(
+        r#"
+long ga;
+long gb;
+long gc;
+long main() {{
+    long a = ga;
+    long b = gb;
+    long c = gc;
+    return {};
+}}
+"#,
+        expr.render()
+    );
+    let program = compile_and_link(&[("prop.c", &src)], CompileOptions::default())
+        .unwrap_or_else(|e| panic!("compile failed for `{}`: {e}", expr.render()));
+    let mut machine = Machine::new(MachineConfig::default());
+    machine.load(&program.image);
+    for (name, v) in [("ga", vals[0]), ("gb", vals[1]), ("gc", vals[2])] {
+        let addr = program.global_addr(name).unwrap();
+        machine.mem_mut().write_u64(addr, v as u64);
+    }
+    machine
+        .run(10_000_000, &mut NullHook)
+        .unwrap_or_else(|e| panic!("run failed for `{}`: {e}", expr.render()))
+        .exit_code
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compiled_expressions_match_c_semantics(
+        expr in arb_expr(),
+        a in any::<i64>(),
+        b in -1_000_000i64..1_000_000,
+        c in -100i64..100,
+    ) {
+        let vals = [a, b, c];
+        let expected = expr.eval(&vals);
+        let got = run_program(&expr, vals);
+        prop_assert_eq!(
+            got,
+            expected,
+            "expr `{}` with a={} b={} c={}",
+            expr.render(),
+            a,
+            b,
+            c
+        );
+    }
+
+    /// The same expression under all four compile-option combinations
+    /// returns the same value (padding/delay-slot passes are
+    /// semantics-preserving on arbitrary expression code).
+    #[test]
+    fn option_combinations_agree(expr in arb_expr(), a in -1000i64..1000) {
+        let vals = [a, a ^ 0x55, 7 - a];
+        let src = format!(
+            "long ga;\nlong gb;\nlong gc;\nlong main() {{ long a = ga; long b = gb; long c = gc; return {}; }}",
+            expr.render()
+        );
+        let mut results = Vec::new();
+        for (hwcprof, opt) in [(false, true), (true, true), (true, false), (false, false)] {
+            let options = CompileOptions {
+                hwcprof,
+                dwarf: hwcprof,
+                prefetch: false,
+                opt,
+            };
+            let program = compile_and_link(&[("prop.c", &src)], options).unwrap();
+            let mut machine = Machine::new(MachineConfig::default());
+            machine.load(&program.image);
+            for (name, v) in [("ga", vals[0]), ("gb", vals[1]), ("gc", vals[2])] {
+                machine
+                    .mem_mut()
+                    .write_u64(program.global_addr(name).unwrap(), v as u64);
+            }
+            results.push(machine.run(10_000_000, &mut NullHook).unwrap().exit_code);
+        }
+        prop_assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Link-time error paths: duplicate definitions, unresolved symbols,
+//! missing `main`, and cross-module consistency checks.
+
+use minic::{compile_and_link, compile_module, link, runtime_module, CompileOptions};
+
+fn opts() -> CompileOptions {
+    CompileOptions::default()
+}
+
+#[test]
+fn missing_main_is_a_link_error() {
+    let err = compile_and_link(&[("a.c", "long helper() { return 1; }")], opts()).unwrap_err();
+    assert!(err.to_string().contains("no `main`"), "{err}");
+}
+
+#[test]
+fn duplicate_function_across_modules() {
+    let m1 = compile_module("a.c", "long f() { return 1; } long main() { return f(); }", opts())
+        .unwrap();
+    let m2 = compile_module("b.c", "long f() { return 2; }", opts()).unwrap();
+    let err = link(&[m1, m2]).unwrap_err();
+    assert!(err.to_string().contains("duplicate definition of function `f`"), "{err}");
+}
+
+#[test]
+fn duplicate_global_across_modules() {
+    let m1 = compile_module("a.c", "long g; long main() { return g; }", opts()).unwrap();
+    let m2 = compile_module("b.c", "long g;", opts()).unwrap();
+    let err = link(&[m1, m2]).unwrap_err();
+    assert!(err.to_string().contains("duplicate definition of global `g`"), "{err}");
+}
+
+#[test]
+fn undefined_function_call() {
+    let m = compile_module(
+        "a.c",
+        "long nothere(long x); long main() { return nothere(1); }",
+        opts(),
+    )
+    .unwrap();
+    let err = link(&[m]).unwrap_err();
+    assert!(err.to_string().contains("undefined function `nothere`"), "{err}");
+}
+
+#[test]
+fn undefined_extern_global() {
+    let m = compile_module("a.c", "extern long missing; long main() { return missing; }", opts())
+        .unwrap();
+    let err = link(&[m, runtime_module()]).unwrap_err();
+    assert!(err.to_string().contains("undefined global `missing`"), "{err}");
+}
+
+#[test]
+fn extern_global_resolves_across_modules() {
+    let def = compile_module("def.c", "long shared;", opts()).unwrap();
+    let user = compile_module(
+        "use.c",
+        "extern long shared; long main() { shared = 7; return shared; }",
+        opts(),
+    )
+    .unwrap();
+    let program = link(&[user, def]).unwrap();
+    let mut m = simsparc_machine::Machine::new(simsparc_machine::MachineConfig::default());
+    m.load(&program.image);
+    let out = m.run(10_000, &mut simsparc_machine::NullHook).unwrap();
+    assert_eq!(out.exit_code, 7);
+}
+
+#[test]
+fn conflicting_struct_layouts_rejected() {
+    let m1 = compile_module(
+        "a.c",
+        "struct s { long a; long b; }; long main() { return sizeof(struct s); }",
+        opts(),
+    )
+    .unwrap();
+    let m2 = compile_module(
+        "b.c",
+        "struct s { long a; }; long f(struct s *p) { return p->a; }",
+        opts(),
+    )
+    .unwrap();
+    let err = link(&[m1, m2]).unwrap_err();
+    assert!(err.to_string().contains("conflicting layouts"), "{err}");
+}
+
+#[test]
+fn same_struct_layout_merges_fine() {
+    let decl = "struct s { long a; long b; };";
+    let m1 = compile_module(
+        "a.c",
+        &format!("{decl} extern long take(struct s *p); long main() {{ return take(0); }}"),
+        opts(),
+    )
+    .unwrap();
+    let m2 = compile_module(
+        "b.c",
+        &format!("{decl} long take(struct s *p) {{ if (p) {{ return p->b; }} return 9; }}"),
+        opts(),
+    )
+    .unwrap();
+    let program = link(&[m1, m2]).unwrap();
+    let mut m = simsparc_machine::Machine::new(simsparc_machine::MachineConfig::default());
+    m.load(&program.image);
+    assert_eq!(
+        m.run(10_000, &mut simsparc_machine::NullHook).unwrap().exit_code,
+        9
+    );
+}

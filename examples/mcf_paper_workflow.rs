@@ -1,0 +1,117 @@
+//! The full §3 case study: compile MCF, run the paper's two `collect`
+//! experiments, and print the analyses of Figures 1–7.
+//!
+//! This is the example-sized version (a few hundred trips); the
+//! `figures` binary in `crates/bench` runs the publication scale:
+//! `cargo run --release -p mcf-bench --bin figures -- all`.
+//!
+//! Run with: `cargo run --release --example mcf_paper_workflow`
+
+use memprof::machine::{CounterEvent, Machine};
+use memprof::mcf::{
+    self, paper_machine_config, Instance, InstanceParams, Layout, McfParams,
+};
+use memprof::minic::CompileOptions;
+use memprof::profiler::{analyze::Analysis, collect, parse_counter_spec, CollectConfig};
+
+fn main() {
+    // The workload: a synthetic vehicle-scheduling timetable.
+    let instance = Instance::generate(InstanceParams {
+        n_trips: 400,
+        window: 40,
+        seed: 181,
+        ..Default::default()
+    });
+    println!(
+        "instance: {} trips, window {} (≈{} candidate deadheads)",
+        instance.n(),
+        instance.window,
+        instance.deadhead_arcs().len()
+    );
+
+    // Compile with -xhwcprof -xdebugformat=dwarf.
+    let binary = mcf::compile_mcf(
+        &instance,
+        Layout::Baseline,
+        &McfParams::default(),
+        CompileOptions::profiling(),
+    )
+    .expect("compile");
+
+    // The paper's two collect lines (intervals scaled to run length).
+    let run_experiment = |spec: &str, clock: bool| {
+        let mut machine = Machine::new(paper_machine_config());
+        machine.load(&binary.program.image);
+        mcf::stage_instance(&mut machine, &binary, &instance);
+        let config = CollectConfig {
+            counters: parse_counter_spec(spec).unwrap(),
+            clock_profiling: clock,
+            clock_period_cycles: 10007,
+            max_insns: mcf::MAX_INSNS,
+        };
+        collect(&mut machine, &config).expect("collect")
+    };
+    println!("\ncollect -S off -p on  -h +ecstall,...,+ecrm,...  mcf.exe");
+    let exp1 = run_experiment("+ecstall,20011,+ecrm,211", true);
+    println!("collect -S off -p off -h +ecref,...,+dtlbm,...  mcf.exe");
+    let exp2 = run_experiment("+ecref,997,+dtlbm,53", false);
+
+    // The solution itself, verified against the pure-Rust oracle.
+    let outcome = memprof::machine::RunOutcome {
+        exit_code: exp1.run.exit_code,
+        output: exp1.run.output.clone(),
+        counts: exp1.run.counts,
+        dropped_overflows: [0, 0],
+    };
+    let result = mcf::parse_result(&outcome).expect("solve");
+    mcf::verify_against_oracle(&instance, &result).expect("oracle agreement");
+    println!(
+        "\nsolved: cost {} with {} vehicles in {} pivots (verified against SSP oracle)",
+        result.cost, result.vehicles, result.iterations
+    );
+
+    // Joint analysis of both experiments — the five-column tables.
+    let analysis = Analysis::new(&[&exp1, &exp2], &binary.program.syms);
+
+    println!("\n=== Figure 1: <Total> metrics ===");
+    print!("{}", analysis.total_metrics().render());
+
+    println!("\n=== Figure 2: function list ===");
+    print!(
+        "{}",
+        analysis.render_function_list(analysis.user_cpu_col().unwrap())
+    );
+
+    println!("\n=== Figure 3: annotated source of refresh_potential (hot lines) ===");
+    let src = analysis
+        .render_annotated_source("refresh_potential")
+        .unwrap();
+    for line in src.lines().filter(|l| l.starts_with("##")) {
+        println!("{line}");
+    }
+
+    println!("\n=== Figure 5: top PCs by E$ Read Misses ===");
+    print!(
+        "{}",
+        analysis.render_pc_list(analysis.col_by_event(CounterEvent::ECReadMiss).unwrap(), 6)
+    );
+
+    println!("\n=== Figure 6: data objects ===");
+    print!(
+        "{}",
+        analysis.render_data_objects(
+            analysis.col_by_event(CounterEvent::ECStallCycles).unwrap()
+        )
+    );
+
+    println!("\n=== Figure 7: structure:node expansion ===");
+    print!("{}", analysis.render_struct_expansion("node").unwrap());
+
+    println!("\n=== §3.2.5: backtracking effectiveness ===");
+    for e in analysis.effectiveness() {
+        println!(
+            "{:<18} {:>6.1}% effective over {} events",
+            e.title, e.effectiveness_pct, e.total
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! §4 future work, implemented: profile-directed prefetch insertion.
+//!
+//! The loop the paper sketches: collect an experiment, build a
+//! feedback file naming the miss-heavy loads, recompile with prefetch
+//! insertion, and measure. The workload is a streaming scan (where a
+//! one-line lookahead genuinely helps); the pointer-chasing half of
+//! the program shows the technique's limit — there is no address to
+//! prefetch before the load that produces it.
+//!
+//! Run with: `cargo run --release --example prefetch_feedback`
+
+use memprof::machine::{CounterEvent, Machine, MachineConfig, NullHook};
+use memprof::minic::{
+    compile_and_link, compile_and_link_with_feedback, CompileOptions, Feedback,
+};
+use memprof::profiler::{analyze::Analysis, collect, parse_counter_spec, CollectConfig};
+
+const PROGRAM: &str = r#"
+extern char *malloc(long nbytes);
+
+struct sample {
+    long value;
+    long weight;
+    long tag;
+    long pad;
+};
+
+struct link {
+    struct link *next;
+    long value;
+    long pad0;
+    long pad1;
+};
+
+long stream_sum(struct sample *xs, long n) {
+    struct sample *x;
+    struct sample *end = xs + n;
+    long s = 0;
+    for (x = xs; x < end; x = x + 1) {
+        s = s + x->value * x->weight;
+    }
+    return s;
+}
+
+long chase_sum(struct link *head) {
+    long s = 0;
+    while (head) {
+        s = s + head->value;
+        head = head->next;
+    }
+    return s;
+}
+
+long main() {
+    long n = 400000;
+    struct sample *xs = (struct sample*)malloc(n * sizeof(struct sample));
+    struct link *links = (struct link*)malloc(n * sizeof(struct link));
+    struct link *head = 0;
+    long i;
+    long acc = 0;
+    for (i = 0; i < n; i = i + 1) {
+        (xs + i)->value = i % 17;
+        (xs + i)->weight = i % 5;
+        // Scatter the list across the array so chasing misses.
+        struct link *l = links + ((i * 7919) % n);
+        l->value = i % 13;
+        l->next = head;
+        head = l;
+    }
+    for (i = 0; i < 4; i = i + 1) {
+        acc = acc + stream_sum(xs, n);
+        acc = acc + chase_sum(head);
+    }
+    print_long(acc);
+    return 0;
+}
+"#;
+
+fn run_cycles(feedback: &Feedback) -> (u64, u64, String) {
+    let options = CompileOptions {
+        prefetch: true,
+        ..CompileOptions::default()
+    };
+    let program = compile_and_link_with_feedback(&[("stream.c", PROGRAM)], options, feedback)
+        .expect("compile");
+    let mut machine = Machine::new(MachineConfig::default());
+    machine.load(&program.image);
+    let out = machine.run(2_000_000_000, &mut NullHook).expect("run");
+    (out.counts.cycles, out.counts.ec_stall_cycles, out.output)
+}
+
+fn main() {
+    // 1. Profile the baseline build.
+    let program =
+        compile_and_link(&[("stream.c", PROGRAM)], CompileOptions::profiling()).expect("compile");
+    let mut machine = Machine::new(MachineConfig::default());
+    machine.load(&program.image);
+    let config = CollectConfig {
+        counters: parse_counter_spec("+ecstall,20011,+ecrm,211").unwrap(),
+        clock_profiling: false,
+        clock_period_cycles: 0,
+        ..CollectConfig::default()
+    };
+    let experiment = collect(&mut machine, &config).expect("collect");
+    let analysis = Analysis::new(&[&experiment], &program.syms);
+
+    // 2. Construct the feedback file from the miss profile: loads
+    //    with a meaningful share of E$ read misses whose effective
+    //    addresses stream forward, one-E$-line lookahead.
+    let col = analysis.col_by_event(CounterEvent::ECReadMiss).unwrap();
+    let feedback = analysis.prefetch_feedback(col, 0.015, 512);
+    println!("feedback file:\n{}", feedback.to_text());
+
+    // 3. Recompile with the feedback and measure.
+    let (base_cycles, base_stall, out0) = run_cycles(&Feedback::default());
+    let (pf_cycles, pf_stall, out1) = run_cycles(&feedback);
+    assert_eq!(out0, out1, "prefetching must not change results");
+
+    println!("baseline:      {base_cycles:>12} cycles ({base_stall} E$ stall)");
+    println!("with feedback: {pf_cycles:>12} cycles ({pf_stall} E$ stall)");
+    println!(
+        "speedup: {:.1}%",
+        100.0 * (base_cycles as f64 - pf_cycles as f64) / base_cycles as f64
+    );
+    println!(
+        "\n(The streaming scan's misses are prefetchable; the scattered \
+         list chase's are not — its next address is itself the loaded \
+         value. Profile-directed prefetching recovers the first kind \
+         only, which is the §4/related-work point.)"
+    );
+}

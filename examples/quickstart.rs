@@ -1,0 +1,93 @@
+//! Quickstart: the paper's three-step user model (§2) in one file.
+//!
+//! 1. compile the target with `-xhwcprof -xdebugformat=dwarf`,
+//! 2. collect an experiment with counter-overflow + clock profiling,
+//! 3. analyze: function list, then the data-object view.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use memprof::machine::{CounterEvent, Machine, MachineConfig};
+use memprof::minic::{compile_and_link, CompileOptions};
+use memprof::profiler::{analyze::Analysis, collect, parse_counter_spec, CollectConfig};
+
+const PROGRAM: &str = r#"
+extern char *malloc(long nbytes);
+
+struct particle {
+    long x;
+    long y;
+    long vx;
+    long vy;
+    long mass;
+    long charge;
+};
+
+long main() {
+    struct particle *ps = (struct particle*)malloc(250000 * sizeof(struct particle));
+    struct particle *p;
+    struct particle *end = ps + 250000;
+    long step;
+    long energy = 0;
+    for (p = ps; p < end; p = p + 1) {
+        p->x = (long)p % 97;
+        p->y = (long)p % 89;
+        p->vx = 1;
+        p->vy = 2;
+        p->mass = 3;
+        p->charge = 1;
+    }
+    for (step = 0; step < 6; step = step + 1) {
+        for (p = ps; p < end; p = p + 1) {
+            p->x = p->x + p->vx;
+            p->y = p->y + p->vy;
+            energy = energy + p->mass * (p->vx * p->vx + p->vy * p->vy);
+        }
+    }
+    print_long(energy);
+    return 0;
+}
+"#;
+
+fn main() {
+    // Step 1: compile for memory profiling.
+    let program = compile_and_link(&[("particles.c", PROGRAM)], CompileOptions::profiling())
+        .expect("compile");
+
+    // Step 2: collect. E$ stall cycles and E$ read misses with the
+    // apropos backtracking search (`+` prefix), plus clock profiling.
+    let mut machine = Machine::new(MachineConfig::default());
+    machine.load(&program.image);
+    let config = CollectConfig {
+        counters: parse_counter_spec("+ecstall,20011,+ecrm,101").expect("counter spec"),
+        clock_profiling: true,
+        clock_period_cycles: 10007,
+        ..CollectConfig::default()
+    };
+    let experiment = collect(&mut machine, &config).expect("collect");
+    println!(
+        "collected {} counter events and {} clock ticks (program output: {})",
+        experiment.hwc_events.len(),
+        experiment.clock_events.len(),
+        experiment.run.output.trim()
+    );
+
+    // Step 3: analyze.
+    let analysis = Analysis::new(&[&experiment], &program.syms);
+
+    println!("--- function list (by E$ stall) ---");
+    let col = analysis
+        .col_by_event(CounterEvent::ECStallCycles)
+        .expect("ecstall column");
+    print!("{}", analysis.render_function_list(col));
+
+    println!("\n--- data objects ---");
+    print!("{}", analysis.render_data_objects(col));
+
+    println!("\n--- structure:particle members ---");
+    print!(
+        "{}",
+        analysis
+            .render_struct_expansion("particle")
+            .expect("particle is known")
+    );
+}

@@ -1,0 +1,170 @@
+//! `mp-collect` — the `collect` command (§2.2) for mini-C programs.
+//!
+//! ```text
+//! mp-collect -o EXPDIR [options] SOURCE.c [SOURCE2.c ...]
+//!
+//!   -o DIR            experiment directory to write (required)
+//!   -h SPEC           counters, e.g. "+ecstall,lo,+ecrm,on" or
+//!                     "+ecrm,101" (up to two, '+' = backtracking)
+//!   -p on|off         clock profiling (default on)
+//!   --period N        clock period in cycles (default 100003)
+//!   --machine paper|default
+//!                     memory-hierarchy config (default: default)
+//!   --max-insns N     instruction budget (default 2e9)
+//! ```
+//!
+//! Like the real tool run with no `-h`, `mp-collect` with no
+//! arguments prints the available counters.
+//!
+//! The experiment directory additionally receives `image.txt` and
+//! `syms.txt` (the executable and its symbol tables) so `mp-er-print`
+//! can analyze it standalone.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use memprof::machine::{CounterEvent, Machine, MachineConfig};
+use memprof::minic::{compile_and_link, CompileOptions};
+use memprof::profiler::{collect, parse_counter_spec, CollectConfig, Interval};
+
+fn print_counters() {
+    println!("Available counters (prefix with `+` for apropos backtracking):");
+    for e in CounterEvent::ALL {
+        println!(
+            "  {:<9} {:<24} registers {:?}{}",
+            e.name(),
+            e.title(),
+            e.allowed_slots(),
+            if e.is_memory_event() { "  [memory]" } else { "" }
+        );
+    }
+    println!("Intervals: hi | on | lo | <number>  (e.g. -h +ecstall,lo,+ecrm,on)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_counters();
+        return;
+    }
+
+    let mut out_dir: Option<PathBuf> = None;
+    let mut spec = String::new();
+    let mut clock = true;
+    let mut period = 100_003u64;
+    let mut machine_kind = "default".to_string();
+    let mut max_insns = 2_000_000_000u64;
+    let mut sources: Vec<PathBuf> = Vec::new();
+
+    let mut i = 0;
+    let usage = |msg: &str| -> ! {
+        eprintln!("mp-collect: {msg}\nrun with no arguments for counter help");
+        exit(2)
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" => {
+                i += 1;
+                out_dir = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage("-o needs a value"))));
+            }
+            "-h" => {
+                i += 1;
+                spec = args.get(i).unwrap_or_else(|| usage("-h needs a value")).clone();
+            }
+            "-p" => {
+                i += 1;
+                clock = match args.get(i).map(String::as_str) {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => usage("-p takes on|off"),
+                };
+            }
+            "--period" => {
+                i += 1;
+                period = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("bad --period"));
+            }
+            "--machine" => {
+                i += 1;
+                machine_kind = args.get(i).unwrap_or_else(|| usage("--machine needs a value")).clone();
+            }
+            "--max-insns" => {
+                i += 1;
+                max_insns = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("bad --max-insns"));
+            }
+            other if other.starts_with('-') => usage(&format!("unknown option {other}")),
+            src => sources.push(PathBuf::from(src)),
+        }
+        i += 1;
+    }
+    let Some(out_dir) = out_dir else {
+        usage("missing -o EXPDIR")
+    };
+    if sources.is_empty() {
+        usage("no source files given");
+    }
+
+    // Compile with -xhwcprof -xdebugformat=dwarf.
+    let mut named: Vec<(String, String)> = Vec::new();
+    for path in &sources {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("mp-collect: cannot read {}: {e}", path.display());
+            exit(1)
+        });
+        named.push((path.file_name().unwrap().to_string_lossy().to_string(), text));
+    }
+    let refs: Vec<(&str, &str)> = named.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
+    let program = compile_and_link(&refs, CompileOptions::profiling()).unwrap_or_else(|e| {
+        eprintln!("mp-collect: {e}");
+        exit(1)
+    });
+
+    // Collect.
+    let counters = if spec.is_empty() {
+        vec![]
+    } else {
+        parse_counter_spec(&spec).unwrap_or_else(|e| {
+            eprintln!("mp-collect: {e}");
+            exit(1)
+        })
+    };
+    let config = CollectConfig {
+        counters,
+        clock_profiling: clock,
+        clock_period_cycles: period,
+        max_insns,
+    };
+    let machine_config = match machine_kind.as_str() {
+        "paper" => memprof::mcf::paper_machine_config(),
+        "default" => MachineConfig::default(),
+        other => usage(&format!("unknown machine `{other}`")),
+    };
+    let mut machine = Machine::new(machine_config);
+    machine.load(&program.image);
+    let experiment = collect(&mut machine, &config).unwrap_or_else(|e| {
+        eprintln!("mp-collect: {e}");
+        exit(1)
+    });
+
+    // Persist the experiment bundle.
+    experiment.save(&out_dir).unwrap_or_else(|e| {
+        eprintln!("mp-collect: cannot write experiment: {e}");
+        exit(1)
+    });
+    program.image.save(&out_dir.join("image.txt")).unwrap();
+    program.syms.save(&out_dir.join("syms.txt")).unwrap();
+
+    eprintln!(
+        "mp-collect: {} hwc events, {} clock ticks, exit {} -> {}",
+        experiment.hwc_events.len(),
+        experiment.clock_events.len(),
+        experiment.run.exit_code,
+        out_dir.display()
+    );
+    let _ = Interval::On; // (re-exported for library users)
+}

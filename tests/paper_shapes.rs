@@ -1,0 +1,241 @@
+//! The headline integration test: at test scale, the reproduction
+//! must exhibit the qualitative findings of the paper's evaluation —
+//! who is hot, who wins, and in which direction each optimization
+//! moves. (EXPERIMENTS.md records the quantitative paper-vs-measured
+//! comparison at the publication scale.)
+
+use memprof::machine::{CounterEvent, Machine};
+use memprof::mcf::{
+    self, paper_machine_config, Instance, InstanceParams, Layout, McfParams,
+};
+use memprof::minic::CompileOptions;
+use memprof::profiler::{analyze::Analysis, collect, parse_counter_spec, CollectConfig, Experiment};
+
+fn instance() -> Instance {
+    Instance::generate(InstanceParams {
+        n_trips: 220,
+        window: 40,
+        seed: 181,
+        ..Default::default()
+    })
+}
+
+fn run_experiments(inst: &Instance) -> (memprof::minic::Program, Experiment, Experiment) {
+    let binary = mcf::compile_mcf(
+        inst,
+        Layout::Baseline,
+        &McfParams::default(),
+        CompileOptions::profiling(),
+    )
+    .unwrap();
+    let run_one = |spec: &str, clock: bool| {
+        let mut machine = Machine::new(paper_machine_config());
+        machine.load(&binary.program.image);
+        mcf::stage_instance(&mut machine, &binary, inst);
+        let config = CollectConfig {
+            counters: parse_counter_spec(spec).unwrap(),
+            clock_profiling: clock,
+            clock_period_cycles: 10007,
+            max_insns: mcf::MAX_INSNS,
+        };
+        collect(&mut machine, &config).unwrap()
+    };
+    let e1 = run_one("+ecstall,20011,+ecrm,211", true);
+    let e2 = run_one("+ecref,997,+dtlbm,53", false);
+    (binary.program, e1, e2)
+}
+
+#[test]
+fn paper_shape_holds_at_test_scale() {
+    let inst = instance();
+    let (program, e1, e2) = run_experiments(&inst);
+
+    // The solve is verified against the oracle.
+    let outcome = memprof::machine::RunOutcome {
+        exit_code: e1.run.exit_code,
+        output: e1.run.output.clone(),
+        counts: e1.run.counts,
+        dropped_overflows: [0, 0],
+    };
+    let result = mcf::parse_result(&outcome).unwrap();
+    mcf::verify_against_oracle(&inst, &result).unwrap();
+
+    let a = Analysis::new(&[&e1, &e2], &program.syms);
+
+    // ---- §3.2.1: the program is dominated by memory behaviour.
+    let counts = &e1.run.counts;
+    let stall_frac = counts.ec_stall_cycles as f64 / counts.cycles as f64;
+    assert!(
+        stall_frac > 0.30,
+        "E$ stall should dominate run time (paper 54%), got {:.0}%",
+        stall_frac * 100.0
+    );
+
+    // ---- §3.2.2 (Figure 2): refresh_potential is the hottest
+    // function in User CPU, E$ stall, and DTLB misses.
+    let cpu = a.user_cpu_col().unwrap();
+    let stall = a.col_by_event(CounterEvent::ECStallCycles).unwrap();
+    let dtlb = a.col_by_event(CounterEvent::DTLBMiss).unwrap();
+    for col in [cpu, stall] {
+        let rows = a.function_list(col);
+        assert_eq!(
+            rows[1].name, "refresh_potential",
+            "refresh_potential must top column {}",
+            a.columns[col].title
+        );
+    }
+    // At the full figure scale refresh_potential also tops DTLB
+    // misses (76%, paper 88%); at this small test scale the arc scan
+    // can edge it out, so require top-2 here.
+    let rows = a.function_list(dtlb);
+    assert!(
+        rows[1..3].iter().any(|r| r.name == "refresh_potential"),
+        "refresh_potential must be a top-2 DTLB misser: {:?} {:?}",
+        rows[1].name,
+        rows[2].name
+    );
+    // The paper's top three carry >95% of User CPU.
+    let rows = a.function_list(cpu);
+    let total: u64 = rows[0].samples[cpu];
+    let top3: u64 = rows[1..4].iter().map(|r| r.samples[cpu]).sum();
+    assert!(
+        top3 as f64 / total as f64 > 0.80,
+        "top-3 functions should dominate User CPU: {:.0}%",
+        100.0 * top3 as f64 / total as f64
+    );
+
+    // ---- §3.2.5 (Figure 6): structure:node and structure:arc
+    // account for nearly all attributable stall.
+    let objs = a.data_objects(stall);
+    let total_stall = objs[0].samples[stall];
+    let get = |name: &str| {
+        objs.iter()
+            .find(|r| r.name == name)
+            .map(|r| r.samples[stall])
+            .unwrap_or(0)
+    };
+    let node = get("{structure:node -}");
+    let arc = get("{structure:arc -}");
+    assert!(
+        (node + arc) as f64 / total_stall as f64 > 0.90,
+        "node+arc must dominate stall: {node}+{arc} of {total_stall}"
+    );
+    assert!(node > 0 && arc > 0);
+
+    // ---- Figure 7: inside structure:node the hot members are
+    // orientation / potential / pred-or-child, not the cold ones.
+    let exp = a.expand_struct("node").unwrap();
+    assert_eq!(exp.struct_size, 120, "paper layout");
+    let member_stall = |name: &str| {
+        exp.members
+            .iter()
+            .find(|(_, label, _)| label.contains(&format!(" {name}}}")))
+            .map(|(_, _, s)| s[stall])
+            .unwrap()
+    };
+    let hot = member_stall("orientation") + member_stall("potential");
+    let cold = member_stall("number")
+        + member_stall("mark")
+        + member_stall("flow")
+        + member_stall("firstout");
+    assert!(
+        hot > 10 * cold.max(1),
+        "orientation+potential ({hot}) must dwarf cold members ({cold})"
+    );
+
+    // ---- §3.2.5: effectiveness ladder. dtlbm precise (100%), ecrm
+    // ~100%, ecstall >95%, ecref clearly the weakest.
+    let eff: std::collections::HashMap<String, f64> = a
+        .effectiveness()
+        .into_iter()
+        .map(|e| (e.title.clone(), e.effectiveness_pct))
+        .collect();
+    assert!(eff["DTLB Misses"] >= 99.9, "{eff:?}");
+    assert!(eff["E$ Read Misses"] >= 98.0, "{eff:?}");
+    assert!(eff["E$ Stall Cycles"] >= 95.0, "{eff:?}");
+    assert!(
+        eff["E$ Refs"] < eff["E$ Read Misses"] - 3.0,
+        "ecref must be clearly less effective: {eff:?}"
+    );
+
+    // ---- Figure 4 machinery: the annotated disassembly of the
+    // critical loop shows descriptors and artificial branch targets.
+    let dis = a
+        .render_annotated_disasm("refresh_potential", &program.image.text)
+        .unwrap();
+    assert!(dis.contains("{structure:node -}{long orientation}"));
+    assert!(dis.contains("{structure:arc -}{cost_t=long cost}"));
+    assert!(dis.contains("<branch target>"));
+    assert!(dis.contains("nop"), "hwcprof padding visible");
+}
+
+#[test]
+fn tuning_improves_and_preserves_results() {
+    let inst = instance();
+    let params = McfParams::default();
+    let base_cfg = paper_machine_config();
+    let large_cfg = base_cfg.clone().with_large_heap_pages();
+    let opts = CompileOptions::default();
+
+    let (r0, o0) = mcf::run_mcf(&inst, Layout::Baseline, &params, opts, base_cfg.clone()).unwrap();
+    let (r1, o1) = mcf::run_mcf(&inst, Layout::Tuned, &params, opts, base_cfg).unwrap();
+    let (r2, o2) =
+        mcf::run_mcf(&inst, Layout::Baseline, &params, opts, large_cfg.clone()).unwrap();
+    let (r3, o3) = mcf::run_mcf(&inst, Layout::Tuned, &params, opts, large_cfg).unwrap();
+
+    // §3.3: optimizations never change the answer...
+    for (r, name) in [(&r1, "tuned"), (&r2, "pages"), (&r3, "combined")] {
+        assert_eq!(r.cost, r0.cost, "{name} changed the optimum");
+        assert_eq!(r.vehicles, r0.vehicles, "{name} changed the fleet");
+    }
+    // ... and all three variants run faster than the baseline.
+    assert!(
+        o1.counts.cycles < o0.counts.cycles,
+        "layout tuning must win: {} vs {}",
+        o1.counts.cycles,
+        o0.counts.cycles
+    );
+    assert!(
+        o2.counts.cycles < o0.counts.cycles,
+        "large pages must win: {} vs {}",
+        o2.counts.cycles,
+        o0.counts.cycles
+    );
+    assert!(
+        o3.counts.cycles < o1.counts.cycles.min(o2.counts.cycles),
+        "combined must beat either alone"
+    );
+    // Large pages work by removing DTLB misses.
+    assert!(o2.counts.dtlb_miss * 5 < o0.counts.dtlb_miss);
+}
+
+#[test]
+fn hwcprof_overhead_is_minor_and_results_identical() {
+    let inst = instance();
+    let params = McfParams::default();
+    let cfg = paper_machine_config();
+    let (r_plain, o_plain) = mcf::run_mcf(
+        &inst,
+        Layout::Baseline,
+        &params,
+        CompileOptions::default(),
+        cfg.clone(),
+    )
+    .unwrap();
+    let (r_prof, o_prof) = mcf::run_mcf(
+        &inst,
+        Layout::Baseline,
+        &params,
+        CompileOptions::profiling(),
+        cfg,
+    )
+    .unwrap();
+    assert_eq!(r_plain, r_prof);
+    let overhead =
+        (o_prof.counts.cycles as f64 - o_plain.counts.cycles as f64) / o_plain.counts.cycles as f64;
+    assert!(
+        (0.0..0.10).contains(&overhead),
+        "hwcprof overhead should be a few percent (paper 1.3%), got {:.1}%",
+        overhead * 100.0
+    );
+}

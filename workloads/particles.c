@@ -1,0 +1,39 @@
+// A self-contained mini-C workload for the mp-collect / mp-er-print
+// command-line demo: an array-of-structs particle sweep whose hot
+// fields span multiple cache lines.
+extern char *malloc(long nbytes);
+
+struct particle {
+    long x;
+    long y;
+    long vx;
+    long vy;
+    long mass;
+    long charge;
+};
+
+long main() {
+    long n = 250000;
+    struct particle *ps = (struct particle*)malloc(n * sizeof(struct particle));
+    struct particle *p;
+    struct particle *end = ps + n;
+    long step;
+    long energy = 0;
+    for (p = ps; p < end; p = p + 1) {
+        p->x = (long)p % 97;
+        p->y = (long)p % 89;
+        p->vx = 1;
+        p->vy = 2;
+        p->mass = 3;
+        p->charge = 1;
+    }
+    for (step = 0; step < 6; step = step + 1) {
+        for (p = ps; p < end; p = p + 1) {
+            p->x = p->x + p->vx;
+            p->y = p->y + p->vy;
+            energy = energy + p->mass * (p->vx * p->vx + p->vy * p->vy);
+        }
+    }
+    print_long(energy);
+    return 0;
+}
