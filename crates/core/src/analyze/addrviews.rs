@@ -10,6 +10,7 @@ use minic::MemDesc;
 use simsparc_machine::SegmentKind;
 
 use super::{Analysis, Attribution};
+use crate::experiment::EventSource;
 
 /// Per-segment event counts.
 #[derive(Clone, Debug)]
@@ -48,7 +49,7 @@ pub struct InstanceReport {
     pub straddle_fraction: f64,
 }
 
-impl<'a> Analysis<'a> {
+impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     /// Events with reconstructed effective addresses, by segment.
     pub fn segments(&self) -> Vec<SegmentRow> {
         let map = self.accumulate(|r| r.ea.map(SegmentKind::of_addr));

@@ -9,6 +9,7 @@ use std::fmt::Write as _;
 use minic::MemDesc;
 
 use super::{fmt_val_pct, Analysis, Attribution, UnknownKind};
+use crate::experiment::EventSource;
 
 /// The key a data-object row aggregates under.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -53,7 +54,7 @@ pub struct EffectivenessRow {
     pub effectiveness_pct: f64,
 }
 
-impl<'a> Analysis<'a> {
+impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     /// Figure 6: data objects ranked by the given data column. Only
     /// backtracked memory counters have data-object information.
     pub fn data_objects(&self, sort_col: usize) -> Vec<DataObjectRow> {

@@ -7,8 +7,9 @@
 use minic::{Feedback, PrefetchHint};
 
 use super::{Analysis, Attribution};
+use crate::experiment::EventSource;
 
-impl<'a> Analysis<'a> {
+impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     /// Build a prefetch feedback file from a miss column: every
     /// validated data-object load whose share of the column exceeds
     /// `min_share` *and whose reconstructed effective addresses

@@ -21,7 +21,7 @@ pub use views::{FunctionRow, PcRow, TotalMetrics};
 use minic::{MemDesc, SymbolTable};
 use simsparc_machine::CounterEvent;
 
-use crate::experiment::Experiment;
+use crate::experiment::{EventSource, Experiment};
 
 /// What a metric column measures.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -157,32 +157,34 @@ pub struct Reduced {
     pub source: (usize, usize, bool),
 }
 
-/// A combined analysis over one or more experiments.
-pub struct Analysis<'a> {
-    pub experiments: Vec<&'a Experiment>,
+/// A combined analysis over one or more event sources (text
+/// experiment directories, packed binary stores, or merged sets —
+/// anything implementing [`EventSource`]).
+pub struct Analysis<'a, S: EventSource + ?Sized = Experiment> {
+    pub experiments: Vec<&'a S>,
     pub syms: &'a SymbolTable,
     pub columns: Vec<MetricCol>,
     pub reduced: Vec<Reduced>,
 }
 
-impl<'a> Analysis<'a> {
+impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     /// Reduce the experiments: build the column set, validate every
     /// hardware-counter event, and attribute clock ticks.
-    pub fn new(experiments: &[&'a Experiment], syms: &'a SymbolTable) -> Analysis<'a> {
+    pub fn new(experiments: &[&'a S], syms: &'a SymbolTable) -> Analysis<'a, S> {
         let mut columns = Vec::new();
         for (xi, exp) in experiments.iter().enumerate() {
-            if let Some(period) = exp.clock_period {
+            if let Some(period) = exp.clock_period() {
                 columns.push(MetricCol {
                     kind: ColKind::UserCpu { experiment: xi },
                     title: "User CPU".to_string(),
                     interval: period,
                     counts_cycles: true,
-                    clock_hz: exp.run.clock_hz,
+                    clock_hz: exp.run().clock_hz,
                 });
             }
         }
         for (xi, exp) in experiments.iter().enumerate() {
-            for (ci, req) in exp.counters.iter().enumerate() {
+            for (ci, req) in exp.counters().iter().enumerate() {
                 columns.push(MetricCol {
                     kind: ColKind::Hwc {
                         experiment: xi,
@@ -193,7 +195,7 @@ impl<'a> Analysis<'a> {
                     title: req.event.title().to_string(),
                     interval: req.interval,
                     counts_cycles: req.event.counts_cycles(),
-                    clock_hz: exp.run.clock_hz,
+                    clock_hz: exp.run().clock_hz,
                 });
             }
         }
@@ -202,7 +204,7 @@ impl<'a> Analysis<'a> {
         for (col_idx, col) in columns.iter().enumerate() {
             match col.kind {
                 ColKind::UserCpu { experiment } => {
-                    for (ei, ev) in experiments[experiment].clock_events.iter().enumerate() {
+                    for (ei, ev) in experiments[experiment].clock_events().iter().enumerate() {
                         reduced.push(Reduced {
                             col: col_idx,
                             attr: Attribution::Plain { pc: ev.pc },
@@ -218,7 +220,7 @@ impl<'a> Analysis<'a> {
                     ..
                 } => {
                     for (ei, ev) in experiments[experiment]
-                        .hwc_events
+                        .hwc_events()
                         .iter()
                         .enumerate()
                         .filter(|(_, e)| e.counter == counter)

@@ -11,6 +11,7 @@ use minic::render_memdesc;
 use simsparc_isa::disasm;
 
 use super::Analysis;
+use crate::experiment::EventSource;
 
 /// One line of annotated source.
 #[derive(Clone, Debug)]
@@ -44,7 +45,7 @@ pub struct DisasmRow {
     pub samples: Vec<u64>,
 }
 
-impl<'a> Analysis<'a> {
+impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     /// Figure 3: the function's source, annotated per line.
     pub fn annotated_source(&self, func: &str) -> Option<Vec<SourceRow>> {
         let f = self.syms.funcs.iter().find(|f| f.name == func)?;

@@ -5,6 +5,7 @@
 use std::fmt::Write as _;
 
 use super::{fmt_val_pct, Analysis, Attribution, ColKind, MetricCol};
+use crate::experiment::EventSource;
 use minic::render_memdesc;
 
 /// The `<Total>` pseudo-function metrics of Figure 1.
@@ -54,7 +55,7 @@ pub struct PcRow {
     pub samples: Vec<u64>,
 }
 
-impl<'a> Analysis<'a> {
+impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     /// Figure 1: the `<Total>` metrics.
     pub fn total_metrics(&self) -> TotalMetrics {
         let totals = self.totals();
@@ -68,7 +69,7 @@ impl<'a> Analysis<'a> {
         let total_lwp_secs = self
             .experiments
             .first()
-            .map(|e| e.run.counts.cycles as f64 / e.run.clock_hz as f64)
+            .map(|e| e.run().counts.cycles as f64 / e.run().clock_hz as f64)
             .unwrap_or(0.0);
         TotalMetrics {
             rows,
@@ -201,9 +202,9 @@ impl<'a> Analysis<'a> {
             }
             let (xi, ei, is_clock) = r.source;
             let stack = if is_clock {
-                &self.experiments[xi].clock_events[ei].callstack
+                &self.experiments[xi].clock_events()[ei].callstack
             } else {
-                &self.experiments[xi].hwc_events[ei].callstack
+                &self.experiments[xi].hwc_events()[ei].callstack
             };
             let caller = stack
                 .last()
@@ -229,9 +230,9 @@ impl<'a> Analysis<'a> {
         let map = self.accumulate(|r| {
             let (xi, ei, is_clock) = r.source;
             let stack = if is_clock {
-                &self.experiments[xi].clock_events[ei].callstack
+                &self.experiments[xi].clock_events()[ei].callstack
             } else {
-                &self.experiments[xi].hwc_events[ei].callstack
+                &self.experiments[xi].hwc_events()[ei].callstack
             };
             // Find `func` as the innermost matching frame.
             let pos = stack.iter().rposition(|&pc| {
@@ -300,9 +301,9 @@ impl<'a> Analysis<'a> {
         for r in &self.reduced {
             let (xi, ei, is_clock) = r.source;
             let stack = if is_clock {
-                &self.experiments[xi].clock_events[ei].callstack
+                &self.experiments[xi].clock_events()[ei].callstack
             } else {
-                &self.experiments[xi].hwc_events[ei].callstack
+                &self.experiments[xi].hwc_events()[ei].callstack
             };
             let leaf_is = self
                 .syms

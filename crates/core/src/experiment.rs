@@ -80,6 +80,47 @@ pub struct Experiment {
     pub log: Vec<String>,
 }
 
+/// Anything the analyzer can consume as a source of profile events:
+/// a text experiment directory loaded into an [`Experiment`], a packed
+/// binary store, or a merged multi-experiment set (`memprof-store`).
+/// The analyzer ([`crate::analyze::Analysis`]) is generic over this
+/// trait, so every view — functions, PCs, source, data objects —
+/// works unchanged over any backend.
+pub trait EventSource {
+    /// The counters that were collected (with resolved intervals).
+    fn counters(&self) -> &[CounterRequest];
+    /// Clock-profiling period in cycles, if clock profiling was on.
+    fn clock_period(&self) -> Option<u64>;
+    /// All hardware-counter overflow events.
+    fn hwc_events(&self) -> &[HwcEvent];
+    /// All clock-profiling ticks.
+    fn clock_events(&self) -> &[ClockEvent];
+    /// Run summary (exit code, ground-truth counts, clock rate).
+    fn run(&self) -> &RunInfo;
+}
+
+impl EventSource for Experiment {
+    fn counters(&self) -> &[CounterRequest] {
+        &self.counters
+    }
+
+    fn clock_period(&self) -> Option<u64> {
+        self.clock_period
+    }
+
+    fn hwc_events(&self) -> &[HwcEvent] {
+        &self.hwc_events
+    }
+
+    fn clock_events(&self) -> &[ClockEvent] {
+        &self.clock_events
+    }
+
+    fn run(&self) -> &RunInfo {
+        &self.run
+    }
+}
+
 impl Experiment {
     /// Estimated total for a counter: overflow count × interval. The
     /// central approximation of counter-overflow profiling.

@@ -64,4 +64,4 @@ pub use collect::{
     MAX_BACKTRACK_INSNS,
 };
 pub use counters::{assign_slots, parse_counter_spec, CounterRequest, CounterSpecError, Interval};
-pub use experiment::{ClockEvent, Experiment, HwcEvent, RunInfo};
+pub use experiment::{ClockEvent, EventSource, Experiment, HwcEvent, RunInfo};

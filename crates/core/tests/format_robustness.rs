@@ -2,7 +2,7 @@
 //! files must produce clean errors, never panics or garbage data.
 
 use memprof_core::Experiment;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn scratch(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("memprof_fmt_{}_{tag}", std::process::id()));
@@ -11,7 +11,7 @@ fn scratch(tag: &str) -> PathBuf {
     d
 }
 
-fn minimal_valid(dir: &PathBuf) {
+fn minimal_valid(dir: &Path) {
     std::fs::write(dir.join("log"), "0 collect start\n").unwrap();
     std::fs::write(dir.join("counters"), "ecrm 1 101\n").unwrap();
     std::fs::write(

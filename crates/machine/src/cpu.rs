@@ -676,8 +676,16 @@ impl Machine {
             }
             self.step(hook)?;
         }
+        // The program has halted, so a trap still counting down its
+        // skid will never be delivered; account it as dropped to keep
+        // delivered + dropped an exact overflow count.
         let dropped = std::array::from_fn(|s| {
-            self.counters[s].as_ref().map_or(0, |c| c.dropped)
+            self.counters[s].as_mut().map_or(0, |c| {
+                if c.pending.take().is_some() {
+                    c.dropped += 1;
+                }
+                c.dropped
+            })
         });
         Ok(RunOutcome {
             exit_code: self.halted.unwrap_or(0),

@@ -1,0 +1,388 @@
+//! The multi-experiment aggregation engine.
+//!
+//! Aggregation reduces raw profile events to per-PC sample histograms
+//! — the common substrate under `stat`, `diff`, and quick multi-run
+//! summaries. Columns are keyed by *what was measured* (clock period,
+//! or counter event + backtracking + interval), not by which
+//! experiment an event came from, so runs of the same collection
+//! recipe fold together.
+//!
+//! The parallel path shards each experiment's event slice across
+//! scoped threads; every shard fills a private `HashMap`, and the
+//! shard maps are folded into one `BTreeMap` at the end. Addition is
+//! commutative and the final map is ordered, so the result is
+//! *identical* — not just equivalent — to the serial path's, which the
+//! tests assert byte-for-byte on the rendered output.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+use memprof_core::EventSource;
+use simsparc_machine::CounterEvent;
+
+use crate::StoreError;
+
+/// What one aggregate column measures.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ColSpec {
+    /// Clock-profiling ticks at `period` cycles.
+    Clock { period: u64 },
+    /// A hardware counter overflowing every `interval` events.
+    Hwc {
+        event: CounterEvent,
+        backtrack: bool,
+        interval: u64,
+    },
+}
+
+impl ColSpec {
+    pub fn title(&self) -> String {
+        match self {
+            ColSpec::Clock { .. } => "User CPU".to_string(),
+            ColSpec::Hwc { event, .. } => event.title().to_string(),
+        }
+    }
+}
+
+/// Per-PC sample histogram over a set of experiments.
+pub struct Aggregate {
+    pub columns: Vec<ColSpec>,
+    /// PC → one sample count per column, ordered by PC.
+    pub pc_samples: BTreeMap<u64, Vec<u64>>,
+    /// Total samples per column.
+    pub totals: Vec<u64>,
+}
+
+/// The PC a raw event's sample is charged to: the backtracked
+/// candidate trigger when one exists, the delivered PC otherwise.
+/// This is the raw histogram the paper's tools summarize with; full
+/// validation against branch-target tables lives in the analyzer.
+fn charge_pc(candidate_pc: Option<u64>, delivered_pc: u64, backtrack: bool) -> u64 {
+    if backtrack {
+        candidate_pc.unwrap_or(delivered_pc)
+    } else {
+        delivered_pc
+    }
+}
+
+/// Build the deduplicated column list for a set of experiments, in
+/// first-seen order (clock first, mirroring the analyzer).
+fn column_specs<S: EventSource + ?Sized>(exps: &[&S]) -> Vec<ColSpec> {
+    let mut columns: Vec<ColSpec> = Vec::new();
+    for exp in exps {
+        if let Some(period) = exp.clock_period() {
+            let spec = ColSpec::Clock { period };
+            if !columns.contains(&spec) {
+                columns.push(spec);
+            }
+        }
+    }
+    for exp in exps {
+        for req in exp.counters() {
+            let spec = ColSpec::Hwc {
+                event: req.event,
+                backtrack: req.backtrack,
+                interval: req.interval,
+            };
+            if !columns.contains(&spec) {
+                columns.push(spec);
+            }
+        }
+    }
+    columns
+}
+
+type ShardMap = HashMap<u64, Vec<u64>>;
+
+/// One shard's contribution: scan `[lo, hi)` of every experiment's
+/// event lists into a private map.
+fn scan_shard<S: EventSource + ?Sized>(
+    exps: &[&S],
+    columns: &[ColSpec],
+    col_of: &[Vec<usize>],
+    clock_col_of: &[Option<usize>],
+    shard: usize,
+    shards: usize,
+) -> (ShardMap, Vec<u64>) {
+    let ncols = columns.len();
+    let mut map: ShardMap = HashMap::new();
+    let mut totals = vec![0u64; ncols];
+    let mut bump = |pc: u64, col: usize| {
+        map.entry(pc).or_insert_with(|| vec![0; ncols])[col] += 1;
+        totals[col] += 1;
+    };
+    let range = |len: usize| {
+        let per = len.div_ceil(shards);
+        let lo = (shard * per).min(len);
+        let hi = ((shard + 1) * per).min(len);
+        lo..hi
+    };
+    for (xi, exp) in exps.iter().enumerate() {
+        if let Some(col) = clock_col_of[xi] {
+            let events = exp.clock_events();
+            for ev in &events[range(events.len())] {
+                bump(ev.pc, col);
+            }
+        }
+        let events = exp.hwc_events();
+        for ev in &events[range(events.len())] {
+            let col = col_of[xi][ev.counter];
+            let backtrack = matches!(columns[col], ColSpec::Hwc { backtrack: true, .. });
+            bump(charge_pc(ev.candidate_pc, ev.delivered_pc, backtrack), col);
+        }
+    }
+    (map, totals)
+}
+
+/// Aggregate a set of experiments into a per-PC histogram.
+///
+/// `shards = 1` runs serially on the calling thread; larger values
+/// split the event lists across that many scoped threads. The result
+/// is identical either way.
+pub fn aggregate<S: EventSource + ?Sized + Sync>(
+    exps: &[&S],
+    shards: usize,
+) -> Result<Aggregate, StoreError> {
+    let shards = shards.max(1);
+    let columns = column_specs(exps);
+
+    // Pre-resolve every (experiment, counter) to its column index so
+    // the scan loop is a plain array lookup.
+    let mut col_of: Vec<Vec<usize>> = Vec::with_capacity(exps.len());
+    let mut clock_col_of: Vec<Option<usize>> = Vec::with_capacity(exps.len());
+    for exp in exps {
+        clock_col_of.push(exp.clock_period().map(|period| {
+            columns
+                .iter()
+                .position(|c| *c == ColSpec::Clock { period })
+                .unwrap()
+        }));
+        col_of.push(
+            exp.counters()
+                .iter()
+                .map(|req| {
+                    let spec = ColSpec::Hwc {
+                        event: req.event,
+                        backtrack: req.backtrack,
+                        interval: req.interval,
+                    };
+                    columns.iter().position(|c| *c == spec).unwrap()
+                })
+                .collect(),
+        );
+    }
+    for exp in exps {
+        for ev in exp.hwc_events() {
+            if ev.counter >= exp.counters().len() {
+                return Err(StoreError::Corrupt("event references unknown counter"));
+            }
+        }
+    }
+
+    let shard_results: Vec<(ShardMap, Vec<u64>)> = if shards == 1 {
+        vec![scan_shard(exps, &columns, &col_of, &clock_col_of, 0, 1)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|s| {
+                    let columns = &columns;
+                    let col_of = &col_of;
+                    let clock_col_of = &clock_col_of;
+                    scope.spawn(move || {
+                        scan_shard(exps, columns, col_of, clock_col_of, s, shards)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
+
+    // Final merge: fold the shard maps into one ordered map. The fold
+    // order cannot matter — addition commutes — and the BTreeMap fixes
+    // the iteration order, so serial and parallel results are equal.
+    let ncols = columns.len();
+    let mut pc_samples: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut totals = vec![0u64; ncols];
+    for (map, shard_totals) in shard_results {
+        for (pc, samples) in map {
+            let slot = pc_samples.entry(pc).or_insert_with(|| vec![0; ncols]);
+            for (dst, src) in slot.iter_mut().zip(&samples) {
+                *dst += src;
+            }
+        }
+        for (dst, src) in totals.iter_mut().zip(&shard_totals) {
+            *dst += src;
+        }
+    }
+
+    Ok(Aggregate {
+        columns,
+        pc_samples,
+        totals,
+    })
+}
+
+impl Aggregate {
+    /// Render the histogram as deterministic text: a totals line per
+    /// column, then one line per PC. Used by `mp-store stat` and by
+    /// the serial-vs-parallel equivalence tests (byte equality).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (spec, total) in self.columns.iter().zip(&self.totals) {
+            let detail = match spec {
+                ColSpec::Clock { period } => format!("period {period}"),
+                ColSpec::Hwc {
+                    backtrack,
+                    interval,
+                    ..
+                } => format!(
+                    "interval {interval}{}",
+                    if *backtrack { ", backtracking" } else { "" }
+                ),
+            };
+            writeln!(out, "{:<16} {:>9} samples  ({detail})", spec.title(), total).unwrap();
+        }
+        for (pc, samples) in &self.pc_samples {
+            write!(out, "{pc:#012x}").unwrap();
+            for s in samples {
+                write!(out, " {s:>7}").unwrap();
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One row of a diff: a PC with per-column sample counts on each side.
+pub struct DiffRow {
+    pub pc: u64,
+    pub a: Vec<u64>,
+    pub b: Vec<u64>,
+}
+
+/// The difference between two aggregates with identical column sets.
+pub struct AggDiff {
+    pub columns: Vec<ColSpec>,
+    pub totals_a: Vec<u64>,
+    pub totals_b: Vec<u64>,
+    /// Rows where any column differs, ordered by PC.
+    pub rows: Vec<DiffRow>,
+}
+
+/// Diff two aggregates. The column sets must match — diffing
+/// experiments collected with different recipes is a configuration
+/// error, not a large diff.
+pub fn diff_aggregates(a: &Aggregate, b: &Aggregate) -> Result<AggDiff, StoreError> {
+    if a.columns != b.columns {
+        return Err(StoreError::Incompatible(format!(
+            "column sets differ: [{}] vs [{}]",
+            a.columns.iter().map(|c| c.title()).collect::<Vec<_>>().join(", "),
+            b.columns.iter().map(|c| c.title()).collect::<Vec<_>>().join(", "),
+        )));
+    }
+    let ncols = a.columns.len();
+    let zeros = vec![0u64; ncols];
+    let mut rows = Vec::new();
+    let pcs: std::collections::BTreeSet<u64> = a
+        .pc_samples
+        .keys()
+        .chain(b.pc_samples.keys())
+        .copied()
+        .collect();
+    for pc in pcs {
+        let sa = a.pc_samples.get(&pc).unwrap_or(&zeros);
+        let sb = b.pc_samples.get(&pc).unwrap_or(&zeros);
+        if sa != sb {
+            rows.push(DiffRow {
+                pc,
+                a: sa.clone(),
+                b: sb.clone(),
+            });
+        }
+    }
+    Ok(AggDiff {
+        columns: a.columns.clone(),
+        totals_a: a.totals.clone(),
+        totals_b: b.totals.clone(),
+        rows,
+    })
+}
+
+impl AggDiff {
+    /// Fold the per-PC rows up to functions using a symbol table
+    /// (PC → enclosing function), rendering a per-function delta
+    /// table per column. PCs outside any function fold into
+    /// `(unknown)`.
+    pub fn render_by_function(&self, syms: &minic::SymbolTable) -> String {
+        let ncols = self.columns.len();
+        let mut per_fn: BTreeMap<String, (Vec<u64>, Vec<u64>)> = BTreeMap::new();
+        for row in &self.rows {
+            let name = syms
+                .func_at(row.pc)
+                .map(|f| f.name.clone())
+                .unwrap_or_else(|| "(unknown)".to_string());
+            let slot = per_fn
+                .entry(name)
+                .or_insert_with(|| (vec![0; ncols], vec![0; ncols]));
+            for i in 0..ncols {
+                slot.0[i] += row.a[i];
+                slot.1[i] += row.b[i];
+            }
+        }
+        let mut out = String::new();
+        for (i, spec) in self.columns.iter().enumerate() {
+            writeln!(
+                out,
+                "{:<16} total {:>9} -> {:>9}  ({:+})",
+                spec.title(),
+                self.totals_a[i],
+                self.totals_b[i],
+                self.totals_b[i] as i64 - self.totals_a[i] as i64
+            )
+            .unwrap();
+        }
+        let mut rows: Vec<_> = per_fn.iter().collect();
+        // Largest absolute movement first; name breaks ties so the
+        // ordering is total.
+        rows.sort_by_key(|(name, (a, b))| {
+            let movement: i64 = a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (*y as i64 - *x as i64).abs())
+                .sum();
+            (std::cmp::Reverse(movement), (*name).clone())
+        });
+        for (name, (a, b)) in rows {
+            write!(out, "{name:<24}").unwrap();
+            for i in 0..ncols {
+                write!(out, "  {:>7} -> {:>7}", a[i], b[i]).unwrap();
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render the raw per-PC rows (no symbols required).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, spec) in self.columns.iter().enumerate() {
+            writeln!(
+                out,
+                "{:<16} total {:>9} -> {:>9}  ({:+})",
+                spec.title(),
+                self.totals_a[i],
+                self.totals_b[i],
+                self.totals_b[i] as i64 - self.totals_a[i] as i64
+            )
+            .unwrap();
+        }
+        for row in &self.rows {
+            write!(out, "{:#012x}", row.pc).unwrap();
+            for i in 0..self.columns.len() {
+                write!(out, "  {:>7} -> {:>7}", row.a[i], row.b[i]).unwrap();
+            }
+            out.push('\n');
+        }
+        out
+    }
+}

@@ -1,0 +1,458 @@
+//! The packed binary experiment format.
+//!
+//! A text experiment directory (§2.2) is human-greppable but bulky:
+//! every PC is eight hex digits and every callstack frame costs a
+//! comma. The packed format stores the same information in a single
+//! file at a fraction of the size, with events grouped per counter so
+//! a reader can stream one counter's events without touching the
+//! others.
+//!
+//! ## Layout
+//!
+//! ```text
+//! file     := magic(4)=b"MPES" version(1)=1 checksum(8, LE) body
+//! body     := header index payload
+//! header   := counters clock_period run log attachments
+//! counters := n, n × { name:str backtrack:u8 interval }
+//! run      := exit:zigzag clock_hz output:str
+//!             dropped(n, n × varint) counts(10 × varint)
+//! log      := n, n × str
+//! attach   := n, n × { name:str contents:str }
+//! index    := n, n × { kind:u8 counter offset len count }
+//! str      := len, bytes (UTF-8)
+//! ```
+//!
+//! All integers are LEB128 varints unless sized above; signed values
+//! are zigzag-mapped. The checksum is FNV-1a 64 over `body`: cheap,
+//! dependency-free, and enough to catch truncation and bit rot (this
+//! is an integrity check, not an authenticity one).
+//!
+//! ## Segments
+//!
+//! The payload holds one segment per collected counter (kind 1) plus
+//! one clock segment (kind 0). `offset`/`len` are relative to the
+//! payload start, so a reader seeks straight to the counter it wants.
+//!
+//! Hardware-counter events interleave between counters in collection
+//! order; splitting them per counter would lose that order, so each
+//! event carries the *gap* from the previous event of the same counter
+//! in the experiment-global sequence. Merging the per-counter streams
+//! by global index reconstructs the original order exactly — that is
+//! what makes the converter lossless.
+//!
+//! ```text
+//! hwc event   := gap flags:u8 delivered_pc
+//!                [candidate_delta:zigzag] [ea] truth_delta:zigzag
+//!                truth_skid stack
+//! clock event := pc stack
+//! stack       := n, first_frame, (n-1) × frame_delta:zigzag
+//! ```
+//!
+//! Deltas are relative to `delivered_pc` (candidate and truth PCs sit
+//! within a few instructions of delivery — the skid, §2.2.2) and to
+//! the previous callstack frame, so most fields fit in one or two
+//! bytes.
+
+use std::path::Path;
+
+use memprof_core::{ClockEvent, CounterRequest, Experiment, HwcEvent, RunInfo};
+use simsparc_machine::{CounterEvent, EventCounts};
+
+use crate::varint::{get_str, put_i64, put_str, put_u64, Cursor};
+use crate::StoreError;
+
+pub(crate) const MAGIC: [u8; 4] = *b"MPES";
+pub(crate) const VERSION: u8 = 1;
+/// magic + version + checksum.
+pub(crate) const PREAMBLE_LEN: usize = 4 + 1 + 8;
+
+/// Size ceiling for any single decoded allocation (strings, counts).
+pub(crate) const LIMIT: usize = 1 << 31;
+
+/// Segment kinds in the payload index.
+pub(crate) const SEG_CLOCK: u8 = 0;
+pub(crate) const SEG_HWC: u8 = 1;
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Segment {
+    pub kind: u8,
+    /// Counter index for `SEG_HWC` segments; 0 for the clock segment.
+    pub counter: usize,
+    /// Byte range relative to the payload start.
+    pub offset: usize,
+    pub len: usize,
+    /// Number of events encoded in the range.
+    pub count: usize,
+}
+
+/// FNV-1a 64-bit hash, used as the file checksum.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn put_stack(out: &mut Vec<u8>, stack: &[u64]) {
+    put_u64(out, stack.len() as u64);
+    let mut prev = 0u64;
+    for (i, &frame) in stack.iter().enumerate() {
+        if i == 0 {
+            put_u64(out, frame);
+        } else {
+            put_i64(out, frame.wrapping_sub(prev) as i64);
+        }
+        prev = frame;
+    }
+}
+
+pub(crate) fn get_stack(cur: &mut Cursor<'_>) -> Result<Vec<u64>, StoreError> {
+    let n = cur.get_len(LIMIT)?;
+    let mut stack = Vec::with_capacity(n.min(64));
+    let mut prev = 0u64;
+    for i in 0..n {
+        let frame = if i == 0 {
+            cur.get_u64()?
+        } else {
+            prev.wrapping_add(cur.get_i64()? as u64)
+        };
+        stack.push(frame);
+        prev = frame;
+    }
+    Ok(stack)
+}
+
+const FLAG_CANDIDATE: u8 = 1;
+const FLAG_EA: u8 = 2;
+
+fn put_hwc_event(out: &mut Vec<u8>, gap: u64, ev: &HwcEvent) {
+    put_u64(out, gap);
+    let mut flags = 0u8;
+    if ev.candidate_pc.is_some() {
+        flags |= FLAG_CANDIDATE;
+    }
+    if ev.ea.is_some() {
+        flags |= FLAG_EA;
+    }
+    out.push(flags);
+    put_u64(out, ev.delivered_pc);
+    if let Some(c) = ev.candidate_pc {
+        put_i64(out, c.wrapping_sub(ev.delivered_pc) as i64);
+    }
+    if let Some(ea) = ev.ea {
+        put_u64(out, ea);
+    }
+    put_i64(out, ev.truth_trigger_pc.wrapping_sub(ev.delivered_pc) as i64);
+    put_u64(out, ev.truth_skid as u64);
+    put_stack(out, &ev.callstack);
+}
+
+/// Decode one hwc event; returns `(gap, event)`. The counter index is
+/// implied by the segment and filled in by the caller.
+pub(crate) fn get_hwc_event(
+    cur: &mut Cursor<'_>,
+    counter: usize,
+) -> Result<(u64, HwcEvent), StoreError> {
+    let gap = cur.get_u64()?;
+    let flags = cur.take_byte()?;
+    if flags & !(FLAG_CANDIDATE | FLAG_EA) != 0 {
+        return Err(StoreError::Corrupt("unknown hwc event flags"));
+    }
+    let delivered_pc = cur.get_u64()?;
+    let candidate_pc = if flags & FLAG_CANDIDATE != 0 {
+        Some(delivered_pc.wrapping_add(cur.get_i64()? as u64))
+    } else {
+        None
+    };
+    let ea = if flags & FLAG_EA != 0 {
+        Some(cur.get_u64()?)
+    } else {
+        None
+    };
+    let truth_trigger_pc = delivered_pc.wrapping_add(cur.get_i64()? as u64);
+    let truth_skid = u32::try_from(cur.get_u64()?)
+        .map_err(|_| StoreError::Corrupt("skid overflows u32"))?;
+    let callstack = get_stack(cur)?;
+    Ok((
+        gap,
+        HwcEvent {
+            counter,
+            delivered_pc,
+            candidate_pc,
+            ea,
+            callstack,
+            truth_trigger_pc,
+            truth_skid,
+        },
+    ))
+}
+
+pub(crate) fn get_clock_event(cur: &mut Cursor<'_>) -> Result<ClockEvent, StoreError> {
+    Ok(ClockEvent {
+        pc: cur.get_u64()?,
+        callstack: get_stack(cur)?,
+    })
+}
+
+/// Encode an experiment (plus auxiliary text files such as `syms.txt`
+/// and `image.txt`) into a packed store image.
+pub fn pack_experiment(exp: &Experiment, attachments: &[(String, String)]) -> Vec<u8> {
+    let mut body = Vec::new();
+
+    // -- header
+    put_u64(&mut body, exp.counters.len() as u64);
+    for c in &exp.counters {
+        put_str(&mut body, c.event.name());
+        body.push(c.backtrack as u8);
+        put_u64(&mut body, c.interval);
+    }
+    put_u64(&mut body, exp.clock_period.unwrap_or(0));
+    put_i64(&mut body, exp.run.exit_code);
+    put_u64(&mut body, exp.run.clock_hz);
+    put_str(&mut body, &exp.run.output);
+    put_u64(&mut body, exp.run.dropped.len() as u64);
+    for &d in &exp.run.dropped {
+        put_u64(&mut body, d);
+    }
+    let c = &exp.run.counts;
+    for v in [
+        c.cycles,
+        c.insts,
+        c.ic_miss,
+        c.dc_read_miss,
+        c.dtlb_miss,
+        c.ec_ref,
+        c.ec_read_miss,
+        c.ec_stall_cycles,
+        c.loads,
+        c.stores,
+    ] {
+        put_u64(&mut body, v);
+    }
+    put_u64(&mut body, exp.log.len() as u64);
+    for line in &exp.log {
+        put_str(&mut body, line);
+    }
+    put_u64(&mut body, attachments.len() as u64);
+    for (name, contents) in attachments {
+        put_str(&mut body, name);
+        put_str(&mut body, contents);
+    }
+
+    // -- segments: one per counter, plus the clock segment.
+    let mut segments: Vec<(u8, usize, Vec<u8>, usize)> = Vec::new();
+    for ci in 0..exp.counters.len() {
+        let mut seg = Vec::new();
+        let mut count = 0usize;
+        let mut prev_global = 0u64;
+        for (gi, ev) in exp.hwc_events.iter().enumerate() {
+            if ev.counter != ci {
+                continue;
+            }
+            // First event stores its absolute index; later ones the gap.
+            let gap = gi as u64 - prev_global;
+            prev_global = gi as u64;
+            put_hwc_event(&mut seg, gap, ev);
+            count += 1;
+        }
+        segments.push((SEG_HWC, ci, seg, count));
+    }
+    let mut clock_seg = Vec::new();
+    for ev in &exp.clock_events {
+        put_u64(&mut clock_seg, ev.pc);
+        put_stack(&mut clock_seg, &ev.callstack);
+    }
+    segments.push((SEG_CLOCK, 0, clock_seg, exp.clock_events.len()));
+
+    // -- index
+    put_u64(&mut body, segments.len() as u64);
+    let mut offset = 0usize;
+    for (kind, counter, seg, count) in &segments {
+        body.push(*kind);
+        put_u64(&mut body, *counter as u64);
+        put_u64(&mut body, offset as u64);
+        put_u64(&mut body, seg.len() as u64);
+        put_u64(&mut body, *count as u64);
+        offset += seg.len();
+    }
+
+    // -- payload
+    for (_, _, seg, _) in &segments {
+        body.extend_from_slice(seg);
+    }
+
+    let mut out = Vec::with_capacity(PREAMBLE_LEN + body.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&fnv1a64(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Parsed header of a packed store (everything except the event
+/// payload, which stays encoded until iterated).
+pub(crate) struct ParsedStore {
+    pub counters: Vec<CounterRequest>,
+    pub clock_period: Option<u64>,
+    pub run: RunInfo,
+    pub log: Vec<String>,
+    pub attachments: Vec<(String, String)>,
+    pub segments: Vec<Segment>,
+    /// Byte offset of the payload within the file image.
+    pub payload_start: usize,
+}
+
+/// Validate the preamble and checksum and parse the header + index.
+pub(crate) fn parse_store(bytes: &[u8]) -> Result<ParsedStore, StoreError> {
+    if bytes.len() < PREAMBLE_LEN {
+        return Err(StoreError::Truncated);
+    }
+    if bytes[..4] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    if bytes[4] != VERSION {
+        return Err(StoreError::BadVersion(bytes[4]));
+    }
+    let stored = u64::from_le_bytes(bytes[5..13].try_into().unwrap());
+    let body = &bytes[PREAMBLE_LEN..];
+    if fnv1a64(body) != stored {
+        return Err(StoreError::ChecksumMismatch);
+    }
+
+    let mut cur = Cursor::new(body);
+    let n_counters = cur.get_len(4096)?;
+    let mut counters = Vec::with_capacity(n_counters);
+    for _ in 0..n_counters {
+        let name = get_str(&mut cur, 256)?;
+        let event = CounterEvent::parse(&name)
+            .ok_or(StoreError::Corrupt("unknown counter event name"))?;
+        let backtrack = match cur.take_byte()? {
+            0 => false,
+            1 => true,
+            _ => return Err(StoreError::Corrupt("bad backtrack flag")),
+        };
+        let interval = cur.get_u64()?;
+        counters.push(CounterRequest {
+            event,
+            backtrack,
+            interval,
+        });
+    }
+    let period = cur.get_u64()?;
+    let clock_period = (period > 0).then_some(period);
+    let exit_code = cur.get_i64()?;
+    let clock_hz = cur.get_u64()?;
+    let output = get_str(&mut cur, LIMIT)?;
+    let n_dropped = cur.get_len(4096)?;
+    let mut dropped = Vec::with_capacity(n_dropped);
+    for _ in 0..n_dropped {
+        dropped.push(cur.get_u64()?);
+    }
+    let mut counts = EventCounts::default();
+    for field in [
+        &mut counts.cycles,
+        &mut counts.insts,
+        &mut counts.ic_miss,
+        &mut counts.dc_read_miss,
+        &mut counts.dtlb_miss,
+        &mut counts.ec_ref,
+        &mut counts.ec_read_miss,
+        &mut counts.ec_stall_cycles,
+        &mut counts.loads,
+        &mut counts.stores,
+    ] {
+        *field = cur.get_u64()?;
+    }
+    let n_log = cur.get_len(LIMIT)?;
+    let mut log = Vec::with_capacity(n_log.min(4096));
+    for _ in 0..n_log {
+        log.push(get_str(&mut cur, LIMIT)?);
+    }
+    let n_attach = cur.get_len(4096)?;
+    let mut attachments = Vec::with_capacity(n_attach);
+    for _ in 0..n_attach {
+        let name = get_str(&mut cur, 4096)?;
+        let contents = get_str(&mut cur, LIMIT)?;
+        attachments.push((name, contents));
+    }
+
+    let n_segments = cur.get_len(8192)?;
+    let mut segments = Vec::with_capacity(n_segments);
+    for _ in 0..n_segments {
+        let kind = cur.take_byte()?;
+        if kind != SEG_CLOCK && kind != SEG_HWC {
+            return Err(StoreError::Corrupt("unknown segment kind"));
+        }
+        let counter = cur.get_len(4096)?;
+        if kind == SEG_HWC && counter >= counters.len() {
+            return Err(StoreError::Corrupt("segment references unknown counter"));
+        }
+        segments.push(Segment {
+            kind,
+            counter,
+            offset: cur.get_len(LIMIT)?,
+            len: cur.get_len(LIMIT)?,
+            count: cur.get_len(LIMIT)?,
+        });
+    }
+
+    let payload_start = PREAMBLE_LEN + (body.len() - cur.remaining());
+    let payload_len = bytes.len() - payload_start;
+    for seg in &segments {
+        let end = seg
+            .offset
+            .checked_add(seg.len)
+            .ok_or(StoreError::Corrupt("segment range overflows"))?;
+        if end > payload_len {
+            return Err(StoreError::Corrupt("segment extends past end of payload"));
+        }
+    }
+
+    Ok(ParsedStore {
+        counters,
+        clock_period,
+        run: RunInfo {
+            exit_code,
+            output,
+            counts,
+            clock_hz,
+            dropped,
+        },
+        log,
+        attachments,
+        segments,
+        payload_start,
+    })
+}
+
+/// The auxiliary files `mp-collect` writes next to the experiment
+/// proper. They are packed as attachments so `pack` → `unpack`
+/// reproduces the directory exactly.
+pub const ATTACHMENT_FILES: [&str; 2] = ["syms.txt", "image.txt"];
+
+/// Pack a text experiment directory into a packed store file.
+pub fn pack_dir(dir: &Path, out: &Path) -> Result<(), StoreError> {
+    let exp = Experiment::load(dir)?;
+    let mut attachments = Vec::new();
+    for name in ATTACHMENT_FILES {
+        let p = dir.join(name);
+        if p.exists() {
+            attachments.push((name.to_string(), std::fs::read_to_string(p)?));
+        }
+    }
+    std::fs::write(out, pack_experiment(&exp, &attachments))?;
+    Ok(())
+}
+
+/// Unpack a packed store file back into a text experiment directory.
+pub fn unpack_to_dir(file: &Path, dir: &Path) -> Result<(), StoreError> {
+    let store = crate::StoreFile::open(file)?;
+    let exp = store.to_experiment()?;
+    exp.save(dir)?;
+    for (name, contents) in store.attachments() {
+        std::fs::write(dir.join(name), contents)?;
+    }
+    Ok(())
+}

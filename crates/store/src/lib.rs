@@ -1,0 +1,442 @@
+//! # memprof-store — binary experiment store + multi-experiment aggregation
+//!
+//! The collector's text experiment directories (§2.2) are the format
+//! of record: greppable, diffable, stable. This crate adds the layer
+//! the paper's production tool had and the reproduction lacked —
+//! archival and aggregation at scale:
+//!
+//! * a compact, versioned, checksummed **binary store** for a whole
+//!   experiment (events, run summary, log, and the `syms.txt` /
+//!   `image.txt` companions), losslessly convertible to and from the
+//!   text directory ([`pack_dir`] / [`unpack_to_dir`]);
+//! * a **streaming reader** ([`StoreFile`]) that decodes one
+//!   counter's events at a time straight from the packed bytes;
+//! * a **parallel aggregation engine** ([`aggregate`]) reducing many
+//!   experiments to per-PC histograms with scoped threads, with
+//!   results identical to the serial path;
+//! * [`merge_experiments`] and [`diff_experiments`], which fold
+//!   same-recipe runs together (feeding the ordinary analyzer views)
+//!   and compare two runs function by function.
+//!
+//! Sources are addressed by [`ExperimentRef`], which accepts either a
+//! text directory or a packed file and distinguishes them by the
+//! store magic.
+
+mod aggregate;
+mod format;
+mod reader;
+mod varint;
+
+use std::path::{Path, PathBuf};
+
+use memprof_core::Experiment;
+
+pub use aggregate::{aggregate, diff_aggregates, AggDiff, Aggregate, ColSpec, DiffRow};
+pub use format::{pack_dir, pack_experiment, unpack_to_dir, ATTACHMENT_FILES};
+pub use reader::{ClockIter, HwcIter, StoreFile};
+
+/// Everything that can go wrong opening, decoding, or combining
+/// stores.
+#[derive(Debug)]
+pub enum StoreError {
+    Io(std::io::Error),
+    /// Input ended mid-record.
+    Truncated,
+    /// The file does not start with the store magic.
+    BadMagic,
+    /// The file is a store, but a version this build does not read.
+    BadVersion(u8),
+    /// The body does not hash to the stored checksum.
+    ChecksumMismatch,
+    /// Structurally invalid content (with a static reason).
+    Corrupt(&'static str),
+    /// Experiments whose collection recipes do not line up.
+    Incompatible(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "{e}"),
+            StoreError::Truncated => write!(f, "unexpected end of input"),
+            StoreError::BadMagic => write!(f, "not a packed experiment store (bad magic)"),
+            StoreError::BadVersion(v) => write!(f, "unsupported store version {v}"),
+            StoreError::ChecksumMismatch => write!(f, "checksum mismatch (file corrupted?)"),
+            StoreError::Corrupt(why) => write!(f, "corrupt store: {why}"),
+            StoreError::Incompatible(why) => write!(f, "incompatible experiments: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// A reference to an experiment on disk, in either representation.
+#[derive(Clone, Debug)]
+pub enum ExperimentRef {
+    /// A text experiment directory written by `mp-collect`.
+    TextDir(PathBuf),
+    /// A packed store file written by `mp-store pack`.
+    Packed(PathBuf),
+}
+
+impl ExperimentRef {
+    /// Identify what `path` points at: directories are text
+    /// experiments, files are sniffed for the store magic.
+    pub fn open(path: &Path) -> Result<ExperimentRef, StoreError> {
+        if path.is_dir() {
+            return Ok(ExperimentRef::TextDir(path.to_path_buf()));
+        }
+        let mut magic = [0u8; 4];
+        let mut f = std::fs::File::open(path)?;
+        std::io::Read::read_exact(&mut f, &mut magic).map_err(|_| StoreError::Truncated)?;
+        if magic == format::MAGIC {
+            Ok(ExperimentRef::Packed(path.to_path_buf()))
+        } else {
+            Err(StoreError::BadMagic)
+        }
+    }
+
+    pub fn path(&self) -> &Path {
+        match self {
+            ExperimentRef::TextDir(p) | ExperimentRef::Packed(p) => p,
+        }
+    }
+
+    /// Load the full experiment, whichever representation it is in.
+    pub fn load(&self) -> Result<Experiment, StoreError> {
+        match self {
+            ExperimentRef::TextDir(dir) => Ok(Experiment::load(dir)?),
+            ExperimentRef::Packed(file) => StoreFile::open(file)?.to_experiment(),
+        }
+    }
+
+    /// Load the symbol table that travels with the experiment
+    /// (`syms.txt` beside a text directory, the attachment inside a
+    /// packed store), if present.
+    pub fn load_syms(&self) -> Option<minic::SymbolTable> {
+        match self {
+            ExperimentRef::TextDir(dir) => minic::SymbolTable::load(&dir.join("syms.txt")).ok(),
+            ExperimentRef::Packed(file) => {
+                let store = StoreFile::open(file).ok()?;
+                let contents = store.attachment("syms.txt")?;
+                // SymbolTable's loader is path-based; round-trip the
+                // attachment through a scratch file.
+                let tmp = scratch_path("syms");
+                std::fs::write(&tmp, contents).ok()?;
+                let syms = minic::SymbolTable::load(&tmp).ok();
+                std::fs::remove_file(&tmp).ok();
+                syms
+            }
+        }
+    }
+}
+
+fn scratch_path(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "memprof_store_{tag}_{}_{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Check that two experiments were collected with the same recipe —
+/// the precondition for folding their events together.
+fn check_compatible(a: &Experiment, b: &Experiment) -> Result<(), StoreError> {
+    if a.counters != b.counters {
+        return Err(StoreError::Incompatible(format!(
+            "counter sets differ: {:?} vs {:?}",
+            a.counters, b.counters
+        )));
+    }
+    if a.clock_period != b.clock_period {
+        return Err(StoreError::Incompatible(format!(
+            "clock profiling differs: {:?} vs {:?}",
+            a.clock_period, b.clock_period
+        )));
+    }
+    if a.run.clock_hz != b.run.clock_hz {
+        return Err(StoreError::Incompatible(format!(
+            "clock rates differ: {} vs {}",
+            a.run.clock_hz, b.run.clock_hz
+        )));
+    }
+    Ok(())
+}
+
+/// Merge already-loaded experiments collected with the same recipe
+/// into one. Events concatenate in argument order (per-experiment
+/// order is preserved), dropped-overflow and ground-truth counts sum,
+/// and the logs concatenate under `merged from` markers. The result
+/// is an ordinary [`Experiment`], so every analyzer view works on it
+/// unchanged, and per-function / per-data-object totals equal the
+/// element-wise sum of the inputs' individual analyses.
+pub fn merge_loaded(exps: &[Experiment]) -> Result<Experiment, StoreError> {
+    let first = exps
+        .first()
+        .ok_or(StoreError::Incompatible("nothing to merge".to_string()))?;
+    for other in &exps[1..] {
+        check_compatible(first, other)?;
+    }
+    let mut merged = Experiment {
+        counters: first.counters.clone(),
+        clock_period: first.clock_period,
+        ..Experiment::default()
+    };
+    merged.run.clock_hz = first.run.clock_hz;
+    merged.run.exit_code = first.run.exit_code;
+    merged.run.dropped = vec![0; first.counters.len()];
+    for (i, exp) in exps.iter().enumerate() {
+        merged.hwc_events.extend(exp.hwc_events.iter().cloned());
+        merged.clock_events.extend(exp.clock_events.iter().cloned());
+        merged.run.output.push_str(&exp.run.output);
+        for (dst, src) in merged.run.dropped.iter_mut().zip(&exp.run.dropped) {
+            *dst += src;
+        }
+        let (c, e) = (&mut merged.run.counts, &exp.run.counts);
+        c.cycles += e.cycles;
+        c.insts += e.insts;
+        c.ic_miss += e.ic_miss;
+        c.dc_read_miss += e.dc_read_miss;
+        c.dtlb_miss += e.dtlb_miss;
+        c.ec_ref += e.ec_ref;
+        c.ec_read_miss += e.ec_read_miss;
+        c.ec_stall_cycles += e.ec_stall_cycles;
+        c.loads += e.loads;
+        c.stores += e.stores;
+        merged.log.push(format!("merged from experiment {i}"));
+        merged.log.extend(exp.log.iter().cloned());
+    }
+    Ok(merged)
+}
+
+/// Load and merge a set of experiment references (text directories or
+/// packed stores, freely mixed).
+pub fn merge_experiments(refs: &[ExperimentRef]) -> Result<Experiment, StoreError> {
+    let exps = refs
+        .iter()
+        .map(|r| r.load())
+        .collect::<Result<Vec<Experiment>, StoreError>>()?;
+    merge_loaded(&exps)
+}
+
+/// Compare two experiments collected with the same recipe: aggregate
+/// each side and diff the per-PC histograms. Render the result with
+/// [`AggDiff::render`] or, with a symbol table,
+/// [`AggDiff::render_by_function`].
+pub fn diff_experiments(a: &ExperimentRef, b: &ExperimentRef) -> Result<AggDiff, StoreError> {
+    let ea = a.load()?;
+    let eb = b.load()?;
+    check_compatible(&ea, &eb)?;
+    let agg_a = aggregate(&[&ea], 1)?;
+    let agg_b = aggregate(&[&eb], 1)?;
+    diff_aggregates(&agg_a, &agg_b)
+}
+
+/// Convenience for tools: aggregate whatever `refs` point at.
+pub fn aggregate_refs(refs: &[ExperimentRef], shards: usize) -> Result<Aggregate, StoreError> {
+    let exps = refs
+        .iter()
+        .map(|r| r.load())
+        .collect::<Result<Vec<Experiment>, StoreError>>()?;
+    let views: Vec<&Experiment> = exps.iter().collect();
+    aggregate(&views, shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memprof_core::{ClockEvent, CounterRequest, HwcEvent};
+    use simsparc_machine::CounterEvent;
+
+    pub(crate) fn sample_experiment() -> Experiment {
+        Experiment {
+            counters: vec![
+                CounterRequest {
+                    event: CounterEvent::ECStallCycles,
+                    backtrack: true,
+                    interval: 1009,
+                },
+                CounterRequest {
+                    event: CounterEvent::DTLBMiss,
+                    backtrack: false,
+                    interval: 53,
+                },
+            ],
+            clock_period: Some(10007),
+            hwc_events: vec![
+                HwcEvent {
+                    counter: 0,
+                    delivered_pc: 0x1000_31b8,
+                    candidate_pc: Some(0x1000_31b0),
+                    ea: Some(0x4000_0038),
+                    callstack: vec![0x1000_0010, 0x1000_0200],
+                    truth_trigger_pc: 0x1000_31b0,
+                    truth_skid: 2,
+                },
+                HwcEvent {
+                    counter: 1,
+                    delivered_pc: 0x1000_31d8,
+                    candidate_pc: None,
+                    ea: None,
+                    callstack: vec![],
+                    truth_trigger_pc: 0x1000_31d4,
+                    truth_skid: 1,
+                },
+                HwcEvent {
+                    counter: 0,
+                    delivered_pc: 0x1000_31b8,
+                    candidate_pc: Some(0x1000_31b0),
+                    ea: Some(0x4000_0110),
+                    callstack: vec![0x1000_0010],
+                    truth_trigger_pc: 0x1000_31b4,
+                    truth_skid: 1,
+                },
+            ],
+            clock_events: vec![
+                ClockEvent {
+                    pc: 0x1000_31d8,
+                    callstack: vec![0x1000_0010],
+                },
+                ClockEvent {
+                    pc: 0x1000_31b8,
+                    callstack: vec![],
+                },
+            ],
+            run: memprof_core::RunInfo {
+                exit_code: 0,
+                output: "cost 42\n".to_string(),
+                counts: simsparc_machine::EventCounts {
+                    cycles: 1_000_000,
+                    insts: 400_000,
+                    ec_stall_cycles: 250_000,
+                    dtlb_miss: 1_200,
+                    ..Default::default()
+                },
+                clock_hz: 900_000_000,
+                dropped: vec![3, 0],
+            },
+            log: vec!["0 collect start".to_string(), "1000000 exit 0".to_string()],
+        }
+    }
+
+    #[test]
+    fn pack_round_trips_losslessly() {
+        let exp = sample_experiment();
+        let attachments = vec![("syms.txt".to_string(), "module m 1 1\n".to_string())];
+        let bytes = pack_experiment(&exp, &attachments);
+        let store = StoreFile::from_bytes(bytes).unwrap();
+        assert_eq!(store.attachments(), &attachments[..]);
+        let back = store.to_experiment().unwrap();
+        assert_eq!(back.counters, exp.counters);
+        assert_eq!(back.clock_period, exp.clock_period);
+        assert_eq!(back.hwc_events, exp.hwc_events);
+        assert_eq!(back.clock_events, exp.clock_events);
+        assert_eq!(back.run, exp.run);
+        assert_eq!(back.log, exp.log);
+    }
+
+    #[test]
+    fn packed_is_smaller_than_text() {
+        let exp = sample_experiment();
+        let dir = scratch_path("size");
+        exp.save(&dir).unwrap();
+        let text_size: u64 = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().metadata().unwrap().len())
+            .sum();
+        std::fs::remove_dir_all(&dir).ok();
+        let packed = pack_experiment(&exp, &[]);
+        assert!(
+            (packed.len() as u64) < text_size,
+            "packed {} vs text {text_size}",
+            packed.len()
+        );
+    }
+
+    #[test]
+    fn streaming_reader_sees_per_counter_events_in_order() {
+        let exp = sample_experiment();
+        let store = StoreFile::from_bytes(pack_experiment(&exp, &[])).unwrap();
+        assert_eq!(store.hwc_count(0), 2);
+        assert_eq!(store.hwc_count(1), 1);
+        assert_eq!(store.clock_count(), 2);
+        let evs: Vec<(u64, HwcEvent)> =
+            store.hwc_events(0).collect::<Result<_, _>>().unwrap();
+        assert_eq!(evs[0].0, 0);
+        assert_eq!(evs[1].0, 2);
+        assert_eq!(evs[0].1, exp.hwc_events[0]);
+        assert_eq!(evs[1].1, exp.hwc_events[2]);
+    }
+
+    #[test]
+    fn merge_requires_matching_recipes() {
+        let a = sample_experiment();
+        let mut b = sample_experiment();
+        b.counters[0].interval = 997;
+        assert!(matches!(
+            merge_loaded(&[a, b]),
+            Err(StoreError::Incompatible(_))
+        ));
+        assert!(matches!(
+            merge_loaded(&[]),
+            Err(StoreError::Incompatible(_))
+        ));
+    }
+
+    #[test]
+    fn merge_concatenates_and_sums() {
+        let a = sample_experiment();
+        let b = sample_experiment();
+        let m = merge_loaded(&[a.clone(), b]).unwrap();
+        assert_eq!(m.hwc_events.len(), 2 * a.hwc_events.len());
+        assert_eq!(m.clock_events.len(), 2 * a.clock_events.len());
+        assert_eq!(m.run.counts.cycles, 2 * a.run.counts.cycles);
+        assert_eq!(m.run.dropped, vec![6, 0]);
+    }
+
+    #[test]
+    fn serial_and_parallel_aggregation_agree() {
+        let a = sample_experiment();
+        let b = sample_experiment();
+        let views: Vec<&Experiment> = vec![&a, &b];
+        let serial = aggregate(&views, 1).unwrap();
+        for shards in [2, 3, 8] {
+            let par = aggregate(&views, shards).unwrap();
+            assert_eq!(par.columns, serial.columns);
+            assert_eq!(par.pc_samples, serial.pc_samples);
+            assert_eq!(par.totals, serial.totals);
+            assert_eq!(par.render(), serial.render());
+        }
+    }
+
+    #[test]
+    fn diff_reports_moved_pcs_only() {
+        let a = sample_experiment();
+        let mut b = sample_experiment();
+        b.hwc_events.push(HwcEvent {
+            counter: 1,
+            delivered_pc: 0x1000_4000,
+            candidate_pc: None,
+            ea: None,
+            callstack: vec![],
+            truth_trigger_pc: 0x1000_4000,
+            truth_skid: 0,
+        });
+        let agg_a = aggregate(&[&a], 1).unwrap();
+        let agg_b = aggregate(&[&b], 1).unwrap();
+        let diff = diff_aggregates(&agg_a, &agg_b).unwrap();
+        assert_eq!(diff.rows.len(), 1);
+        assert_eq!(diff.rows[0].pc, 0x1000_4000);
+        // Identical sides diff to nothing.
+        let same = diff_aggregates(&agg_a, &agg_a).unwrap();
+        assert!(same.rows.is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! Streaming access to packed store files.
+//!
+//! [`StoreFile`] parses the (small) header and segment index eagerly
+//! and leaves the event payload encoded. Per-counter iterators decode
+//! events on the fly, so aggregating one counter of a large store
+//! never materializes the other counters — the analyzer-facing
+//! [`StoreFile::to_experiment`] is the only path that decodes
+//! everything.
+
+use std::path::Path;
+
+use memprof_core::{ClockEvent, CounterRequest, Experiment, HwcEvent, RunInfo};
+
+use crate::format::{
+    get_clock_event, get_hwc_event, parse_store, ParsedStore, Segment, SEG_CLOCK, SEG_HWC,
+};
+use crate::varint::Cursor;
+use crate::StoreError;
+
+/// An open packed store: header in memory, events decoded lazily.
+pub struct StoreFile {
+    bytes: Vec<u8>,
+    parsed: ParsedStore,
+}
+
+impl StoreFile {
+    /// Parse a packed store image, validating magic, version,
+    /// checksum, and segment ranges.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<StoreFile, StoreError> {
+        let parsed = parse_store(&bytes)?;
+        Ok(StoreFile { bytes, parsed })
+    }
+
+    pub fn open(path: &Path) -> Result<StoreFile, StoreError> {
+        StoreFile::from_bytes(std::fs::read(path)?)
+    }
+
+    pub fn counters(&self) -> &[CounterRequest] {
+        &self.parsed.counters
+    }
+
+    pub fn clock_period(&self) -> Option<u64> {
+        self.parsed.clock_period
+    }
+
+    pub fn run(&self) -> &RunInfo {
+        &self.parsed.run
+    }
+
+    pub fn log(&self) -> &[String] {
+        &self.parsed.log
+    }
+
+    /// Auxiliary text files (`syms.txt`, `image.txt`) packed with the
+    /// experiment.
+    pub fn attachments(&self) -> &[(String, String)] {
+        &self.parsed.attachments
+    }
+
+    pub fn attachment(&self, name: &str) -> Option<&str> {
+        self.parsed
+            .attachments
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c.as_str())
+    }
+
+    fn segment(&self, kind: u8, counter: usize) -> Option<&Segment> {
+        self.parsed
+            .segments
+            .iter()
+            .find(|s| s.kind == kind && (kind == SEG_CLOCK || s.counter == counter))
+    }
+
+    fn segment_bytes(&self, seg: &Segment) -> &[u8] {
+        let start = self.parsed.payload_start + seg.offset;
+        &self.bytes[start..start + seg.len]
+    }
+
+    /// Recorded event count for one counter, straight from the index
+    /// (no decoding).
+    pub fn hwc_count(&self, counter: usize) -> usize {
+        self.segment(SEG_HWC, counter).map_or(0, |s| s.count)
+    }
+
+    pub fn clock_count(&self) -> usize {
+        self.segment(SEG_CLOCK, 0).map_or(0, |s| s.count)
+    }
+
+    /// Stream one counter's events in collection order. Each item is
+    /// `(global_index, event)` where `global_index` is the event's
+    /// position in the original interleaved sequence.
+    pub fn hwc_events(&self, counter: usize) -> HwcIter<'_> {
+        match self.segment(SEG_HWC, counter) {
+            Some(seg) => HwcIter {
+                cur: Cursor::new(self.segment_bytes(seg)),
+                counter,
+                remaining: seg.count,
+                prev_global: 0,
+            },
+            None => HwcIter {
+                cur: Cursor::new(&[]),
+                counter,
+                remaining: 0,
+                prev_global: 0,
+            },
+        }
+    }
+
+    /// Stream the clock-profiling ticks in collection order.
+    pub fn clock_events(&self) -> ClockIter<'_> {
+        match self.segment(SEG_CLOCK, 0) {
+            Some(seg) => ClockIter {
+                cur: Cursor::new(self.segment_bytes(seg)),
+                remaining: seg.count,
+            },
+            None => ClockIter {
+                cur: Cursor::new(&[]),
+                remaining: 0,
+            },
+        }
+    }
+
+    /// Decode the full store back into an [`Experiment`], merging the
+    /// per-counter streams by global index to restore the original
+    /// interleaved event order.
+    pub fn to_experiment(&self) -> Result<Experiment, StoreError> {
+        let mut indexed: Vec<(u64, HwcEvent)> = Vec::new();
+        for ci in 0..self.parsed.counters.len() {
+            for item in self.hwc_events(ci) {
+                indexed.push(item?);
+            }
+        }
+        indexed.sort_by_key(|(gi, _)| *gi);
+        for (want, (gi, _)) in indexed.iter().enumerate() {
+            if *gi != want as u64 {
+                return Err(StoreError::Corrupt("event indices are not contiguous"));
+            }
+        }
+        let clock_events = self
+            .clock_events()
+            .collect::<Result<Vec<ClockEvent>, StoreError>>()?;
+        Ok(Experiment {
+            counters: self.parsed.counters.clone(),
+            clock_period: self.parsed.clock_period,
+            hwc_events: indexed.into_iter().map(|(_, ev)| ev).collect(),
+            clock_events,
+            run: self.parsed.run.clone(),
+            log: self.parsed.log.clone(),
+        })
+    }
+}
+
+/// Streaming decoder for one counter's events.
+pub struct HwcIter<'a> {
+    cur: Cursor<'a>,
+    counter: usize,
+    remaining: usize,
+    prev_global: u64,
+}
+
+impl Iterator for HwcIter<'_> {
+    type Item = Result<(u64, HwcEvent), StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            // A well-formed segment is fully consumed by `count` events.
+            if !self.cur.is_empty() {
+                self.cur = Cursor::new(&[]);
+                return Some(Err(StoreError::Corrupt("trailing bytes in segment")));
+            }
+            return None;
+        }
+        self.remaining -= 1;
+        match get_hwc_event(&mut self.cur, self.counter) {
+            Ok((gap, ev)) => {
+                let global = self.prev_global + gap;
+                self.prev_global = global;
+                Some(Ok((global, ev)))
+            }
+            Err(e) => {
+                self.remaining = 0;
+                Some(Err(e))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.remaining))
+    }
+}
+
+/// Streaming decoder for the clock segment.
+pub struct ClockIter<'a> {
+    cur: Cursor<'a>,
+    remaining: usize,
+}
+
+impl Iterator for ClockIter<'_> {
+    type Item = Result<ClockEvent, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            if !self.cur.is_empty() {
+                self.cur = Cursor::new(&[]);
+                return Some(Err(StoreError::Corrupt("trailing bytes in segment")));
+            }
+            return None;
+        }
+        self.remaining -= 1;
+        match get_clock_event(&mut self.cur) {
+            Ok(ev) => Some(Ok(ev)),
+            Err(e) => {
+                self.remaining = 0;
+                Some(Err(e))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.remaining))
+    }
+}

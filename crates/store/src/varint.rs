@@ -1,0 +1,182 @@
+//! LEB128 varints and zigzag signed encoding — the primitive codec
+//! under the packed store. Hand-rolled on purpose: the build
+//! environment has no registry access, and the format is small enough
+//! that a dependency would cost more than it saves.
+
+use crate::StoreError;
+
+/// Append `v` as an unsigned LEB128 varint (7 bits per byte, high bit
+/// = continuation). At most 10 bytes for a `u64`.
+pub fn put_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append `v` zigzag-mapped (`0, -1, 1, -2, ...` → `0, 1, 2, 3, ...`)
+/// so small deltas of either sign stay short.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    put_u64(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// A bounds-checked read cursor over a byte slice. Every decoder in
+/// the crate goes through this so truncated input is always a clean
+/// [`StoreError::Truncated`], never a panic.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    pub fn take_byte(&mut self) -> Result<u8, StoreError> {
+        let b = *self.buf.get(self.pos).ok_or(StoreError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self.pos.checked_add(n).ok_or(StoreError::Truncated)?;
+        let s = self.buf.get(self.pos..end).ok_or(StoreError::Truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, StoreError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.take_byte()?;
+            let payload = (byte & 0x7f) as u64;
+            // The 10th byte may only carry the top single bit of a u64.
+            if shift == 63 && payload > 1 {
+                return Err(StoreError::Corrupt("varint overflows u64"));
+            }
+            v |= payload << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(StoreError::Corrupt("varint longer than 10 bytes"))
+    }
+
+    pub fn get_i64(&mut self) -> Result<i64, StoreError> {
+        let z = self.get_u64()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    /// A `usize` with a sanity ceiling, for counts and lengths that
+    /// will be used to size allocations.
+    pub fn get_len(&mut self, limit: usize) -> Result<usize, StoreError> {
+        let v = self.get_u64()?;
+        if v > limit as u64 {
+            return Err(StoreError::Corrupt("implausible length"));
+        }
+        Ok(v as usize)
+    }
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+pub fn get_str(cur: &mut Cursor<'_>, limit: usize) -> Result<String, StoreError> {
+    let n = cur.get_len(limit)?;
+    let bytes = cur.take_bytes(n)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| StoreError::Corrupt("string is not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trip_edges() {
+        let vals = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &vals {
+            put_u64(&mut buf, v);
+        }
+        let mut cur = Cursor::new(&buf);
+        for &v in &vals {
+            assert_eq!(cur.get_u64().unwrap(), v);
+        }
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn i64_round_trip_edges() {
+        let vals = [0i64, -1, 1, -64, 64, i64::MIN, i64::MAX];
+        let mut buf = Vec::new();
+        for &v in &vals {
+            put_i64(&mut buf, v);
+        }
+        let mut cur = Cursor::new(&buf);
+        for &v in &vals {
+            assert_eq!(cur.get_i64().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+        put_i64(&mut buf, -3);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn truncated_varint_is_an_error() {
+        // Continuation bit set but no next byte.
+        let mut cur = Cursor::new(&[0x80]);
+        assert!(matches!(cur.get_u64(), Err(StoreError::Truncated)));
+    }
+
+    #[test]
+    fn overlong_varint_is_an_error() {
+        let buf = [0xff; 11];
+        let mut cur = Cursor::new(&buf);
+        assert!(cur.get_u64().is_err());
+    }
+
+    #[test]
+    fn strings_round_trip() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "");
+        put_str(&mut buf, "hello κόσμε");
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(get_str(&mut cur, 1024).unwrap(), "");
+        assert_eq!(get_str(&mut cur, 1024).unwrap(), "hello κόσμε");
+    }
+}

@@ -1,0 +1,249 @@
+//! Robustness of the packed store format: property-tested lossless
+//! round-trips over arbitrary experiments, and rejection of
+//! truncated, bit-flipped, or structurally corrupt input. Mirrors the
+//! text-format robustness suite in memprof-core.
+
+use memprof_core::{ClockEvent, CounterRequest, Experiment, HwcEvent, RunInfo};
+use memprof_store::{pack_experiment, StoreError, StoreFile};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use simsparc_machine::{CounterEvent, EventCounts};
+
+/// The two counters every generated experiment collects; field values
+/// come from the proptest strategies.
+fn counters(i0: u64, i1: u64) -> Vec<CounterRequest> {
+    vec![
+        CounterRequest {
+            event: CounterEvent::ECStallCycles,
+            backtrack: true,
+            interval: i0,
+        },
+        CounterRequest {
+            event: CounterEvent::DTLBMiss,
+            backtrack: false,
+            interval: i1,
+        },
+    ]
+}
+
+type RawHwc = (usize, u64, bool, u64, bool, u64, u64, Vec<u64>);
+
+fn build_experiment(
+    intervals: (u64, u64),
+    period: u64,
+    raw_events: Vec<RawHwc>,
+    raw_clocks: Vec<(u64, Vec<u64>)>,
+    dropped: (u64, u64),
+) -> Experiment {
+    let hwc_events = raw_events
+        .into_iter()
+        .map(
+            |(counter, delivered, has_cand, cand_delta, has_ea, ea, skid, stack)| HwcEvent {
+                counter,
+                delivered_pc: delivered,
+                candidate_pc: has_cand.then(|| delivered.wrapping_sub(cand_delta)),
+                ea: has_ea.then_some(ea),
+                callstack: stack,
+                truth_trigger_pc: delivered.wrapping_sub(cand_delta / 2),
+                truth_skid: (skid % 8) as u32,
+            },
+        )
+        .collect();
+    let clock_events = raw_clocks
+        .into_iter()
+        .map(|(pc, callstack)| ClockEvent { pc, callstack })
+        .collect();
+    Experiment {
+        counters: counters(intervals.0, intervals.1),
+        clock_period: (period > 0).then_some(period),
+        hwc_events,
+        clock_events,
+        run: RunInfo {
+            exit_code: 0,
+            output: "ok\n".to_string(),
+            counts: EventCounts {
+                cycles: 123_456,
+                insts: 60_000,
+                ..Default::default()
+            },
+            clock_hz: 900_000_000,
+            dropped: vec![dropped.0, dropped.1],
+        },
+        log: vec!["0 collect start".to_string()],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pack_unpack_round_trip(
+        intervals in (1u64..100_000, 1u64..100_000),
+        period in 0u64..20_000,
+        raw_events in vec(
+            (
+                0usize..2,
+                0x1_0000u64..0x200_0000,
+                any::<bool>(),
+                0u64..64,
+                any::<bool>(),
+                0u64..0x4000_0000,
+                0u64..8,
+                vec(0x1_0000u64..0x200_0000, 0..5),
+            ),
+            0..48,
+        ),
+        raw_clocks in vec((0x1_0000u64..0x200_0000, vec(0x1_0000u64..0x200_0000, 0..4)), 0..24),
+        dropped in (0u64..10, 0u64..10),
+    ) {
+        let exp = build_experiment(intervals, period, raw_events, raw_clocks, dropped);
+        let bytes = pack_experiment(&exp, &[("syms.txt".to_string(), "s\n".to_string())]);
+        let store = StoreFile::from_bytes(bytes)?;
+        let back = store.to_experiment()?;
+        prop_assert_eq!(&back.counters, &exp.counters);
+        prop_assert_eq!(back.clock_period, exp.clock_period);
+        prop_assert_eq!(&back.hwc_events, &exp.hwc_events);
+        prop_assert_eq!(&back.clock_events, &exp.clock_events);
+        prop_assert_eq!(&back.run, &exp.run);
+        prop_assert_eq!(&back.log, &exp.log);
+    }
+
+    #[test]
+    fn truncation_at_any_point_is_rejected(cut_permille in 0u64..1000) {
+        let exp = build_experiment((4001, 53), 10007, sample_events(), sample_clocks(), (1, 0));
+        let bytes = pack_experiment(&exp, &[]);
+        let cut = (bytes.len() as u64 * cut_permille / 1000) as usize;
+        prop_assert!(cut < bytes.len());
+        prop_assert!(StoreFile::from_bytes(bytes[..cut].to_vec()).is_err());
+    }
+
+    #[test]
+    fn bit_flips_are_rejected(pos_permille in 0u64..1000, bit in 0u8..8) {
+        let exp = build_experiment((4001, 53), 10007, sample_events(), sample_clocks(), (1, 0));
+        let mut bytes = pack_experiment(&exp, &[]);
+        let pos = (bytes.len() as u64 * pos_permille / 1000) as usize;
+        bytes[pos] ^= 1 << bit;
+        // Any single-bit flip must surface as *some* StoreError —
+        // magic, version, or checksum — never as silent misparse.
+        prop_assert!(StoreFile::from_bytes(bytes).is_err());
+    }
+}
+
+/// A small deterministic event mix used by the corruption tests.
+fn sample_events() -> Vec<RawHwc> {
+    (0..24)
+        .map(|i| {
+            (
+                (i % 2) as usize,
+                0x1_0000 + i * 8,
+                i % 3 == 0,
+                (i % 16) * 4,
+                i % 4 == 0,
+                0x4000_0000 + i * 16,
+                i % 8,
+                vec![0x1_0000, 0x1_0040 + i],
+            )
+        })
+        .collect()
+}
+
+fn sample_clocks() -> Vec<(u64, Vec<u64>)> {
+    (0..12).map(|i| (0x1_0100 + i * 4, vec![0x1_0000])).collect()
+}
+
+#[test]
+fn empty_input_is_truncated() {
+    assert!(matches!(
+        StoreFile::from_bytes(Vec::new()),
+        Err(StoreError::Truncated)
+    ));
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    let exp = build_experiment((4001, 53), 10007, sample_events(), sample_clocks(), (1, 0));
+    let mut bytes = pack_experiment(&exp, &[]);
+    bytes[0] = b'X';
+    assert!(matches!(
+        StoreFile::from_bytes(bytes),
+        Err(StoreError::BadMagic)
+    ));
+    // A random non-store file is BadMagic, not a parse explosion.
+    assert!(matches!(
+        StoreFile::from_bytes(b"counters 2\nhello world\n".to_vec()),
+        Err(StoreError::BadMagic)
+    ));
+}
+
+#[test]
+fn future_version_is_rejected() {
+    let exp = build_experiment((4001, 53), 10007, sample_events(), sample_clocks(), (1, 0));
+    let mut bytes = pack_experiment(&exp, &[]);
+    bytes[4] = 99;
+    assert!(matches!(
+        StoreFile::from_bytes(bytes),
+        Err(StoreError::BadVersion(99))
+    ));
+}
+
+#[test]
+fn checksum_guards_the_body() {
+    let exp = build_experiment((4001, 53), 10007, sample_events(), sample_clocks(), (1, 0));
+    let mut bytes = pack_experiment(&exp, &[]);
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    assert!(matches!(
+        StoreFile::from_bytes(bytes),
+        Err(StoreError::ChecksumMismatch)
+    ));
+
+    // Trailing garbage is also a checksum failure, not extra events.
+    let mut bytes = pack_experiment(&exp, &[]);
+    bytes.extend_from_slice(b"extra");
+    assert!(matches!(
+        StoreFile::from_bytes(bytes),
+        Err(StoreError::ChecksumMismatch)
+    ));
+}
+
+/// Re-stamp the checksum after tampering with the body, so corruption
+/// must be caught by structural validation, not the hash.
+fn restamp(bytes: &mut [u8]) {
+    // FNV-1a 64, same as the writer's.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in &bytes[13..] {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    bytes[5..13].copy_from_slice(&h.to_le_bytes());
+}
+
+#[test]
+fn structurally_corrupt_payload_is_rejected_even_with_valid_checksum() {
+    let exp = build_experiment((4001, 53), 10007, sample_events(), sample_clocks(), (1, 0));
+
+    // Chop the payload short: the segment index now points past EOF.
+    let mut bytes = pack_experiment(&exp, &[]);
+    bytes.truncate(bytes.len() - 4);
+    restamp(&mut bytes);
+    match StoreFile::from_bytes(bytes) {
+        Err(StoreError::Corrupt(_)) | Err(StoreError::Truncated) => {}
+        other => panic!("expected structural rejection, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn event_decode_errors_stop_the_iterator() {
+    let exp = build_experiment((4001, 53), 10007, sample_events(), sample_clocks(), (1, 0));
+    let clean = pack_experiment(&exp, &[]);
+    let store = StoreFile::from_bytes(clean).unwrap();
+    // Sanity: the clean store streams every event without error.
+    for ci in 0..2 {
+        let n = store
+            .hwc_events(ci)
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap()
+            .len();
+        assert_eq!(n, store.hwc_count(ci));
+    }
+}

@@ -1,0 +1,166 @@
+//! `mp-store` — pack, merge, and compare experiments.
+//!
+//! ```text
+//! mp-store pack EXPDIR OUT.mps        pack a text experiment directory
+//! mp-store unpack STORE.mps OUTDIR    expand a packed store back to text
+//! mp-store merge OUT.mps EXP...       fold same-recipe experiments into one store
+//! mp-store diff EXP_A EXP_B           per-function sample movement between two runs
+//! mp-store stat [-j N] EXP...         aggregate summary (N shards, default 1)
+//! ```
+//!
+//! `EXP` arguments accept either representation — a text experiment
+//! directory or a packed `.mps` file — distinguished by the store
+//! magic. A merged store analyzes like any single experiment:
+//! `mp-store unpack merged.mps dir && mp-er-print dir functions`.
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+use memprof::store::{
+    self, aggregate_refs, diff_experiments, pack_dir, pack_experiment, unpack_to_dir,
+    ExperimentRef, StoreFile,
+};
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "mp-store: {msg}\n\
+         usage: mp-store pack EXPDIR OUT.mps\n\
+         \x20      mp-store unpack STORE.mps OUTDIR\n\
+         \x20      mp-store merge OUT.mps EXP...\n\
+         \x20      mp-store diff EXP_A EXP_B\n\
+         \x20      mp-store stat [-j N] EXP..."
+    );
+    exit(2)
+}
+
+fn fail(what: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("mp-store: {what}: {err}");
+    exit(1)
+}
+
+fn open_ref(arg: &str) -> ExperimentRef {
+    ExperimentRef::open(Path::new(arg))
+        .unwrap_or_else(|e| fail(&format!("cannot open {arg}"), e))
+}
+
+/// The auxiliary files to carry into a packed store, from whichever
+/// input has them.
+fn collect_attachments(refs: &[ExperimentRef]) -> Vec<(String, String)> {
+    for r in refs {
+        let mut found = Vec::new();
+        for name in store::ATTACHMENT_FILES {
+            let contents = match r {
+                ExperimentRef::TextDir(dir) => std::fs::read_to_string(dir.join(name)).ok(),
+                ExperimentRef::Packed(file) => StoreFile::open(file)
+                    .ok()
+                    .and_then(|s| s.attachment(name).map(str::to_string)),
+            };
+            if let Some(c) = contents {
+                found.push((name.to_string(), c));
+            }
+        }
+        if !found.is_empty() {
+            return found;
+        }
+    }
+    Vec::new()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage("no command given");
+    };
+    match cmd.as_str() {
+        "pack" => {
+            let [_, dir, out] = &args[..] else {
+                usage("pack EXPDIR OUT.mps");
+            };
+            pack_dir(Path::new(dir), Path::new(out))
+                .unwrap_or_else(|e| fail(&format!("cannot pack {dir}"), e));
+            let size = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+            println!("packed {dir} -> {out} ({size} bytes)");
+        }
+        "unpack" => {
+            let [_, file, dir] = &args[..] else {
+                usage("unpack STORE.mps OUTDIR");
+            };
+            unpack_to_dir(Path::new(file), Path::new(dir))
+                .unwrap_or_else(|e| fail(&format!("cannot unpack {file}"), e));
+            println!("unpacked {file} -> {dir}");
+        }
+        "merge" => {
+            if args.len() < 3 {
+                usage("merge OUT.mps EXP...");
+            }
+            let out = PathBuf::from(&args[1]);
+            let refs: Vec<ExperimentRef> = args[2..].iter().map(|a| open_ref(a)).collect();
+            let merged = store::merge_experiments(&refs)
+                .unwrap_or_else(|e| fail("cannot merge", e));
+            let attachments = collect_attachments(&refs);
+            std::fs::write(&out, pack_experiment(&merged, &attachments))
+                .unwrap_or_else(|e| fail(&format!("cannot write {}", out.display()), e));
+            println!(
+                "merged {} experiments -> {} ({} hwc events, {} clock ticks)",
+                refs.len(),
+                out.display(),
+                merged.hwc_events.len(),
+                merged.clock_events.len()
+            );
+        }
+        "diff" => {
+            let [_, a, b] = &args[..] else {
+                usage("diff EXP_A EXP_B");
+            };
+            let ra = open_ref(a);
+            let rb = open_ref(b);
+            let diff = diff_experiments(&ra, &rb).unwrap_or_else(|e| fail("cannot diff", e));
+            // Function-level when either side carries symbols; raw
+            // per-PC rows otherwise.
+            match ra.load_syms().or_else(|| rb.load_syms()) {
+                Some(syms) => print!("{}", diff.render_by_function(&syms)),
+                None => print!("{}", diff.render()),
+            }
+        }
+        "stat" => {
+            let mut shards = 1usize;
+            let mut rest = &args[1..];
+            if rest.first().map(String::as_str) == Some("-j") {
+                let n = rest.get(1).unwrap_or_else(|| usage("stat -j N EXP..."));
+                shards = n.parse().unwrap_or_else(|_| usage("bad shard count"));
+                if shards == 0 {
+                    usage("bad shard count");
+                }
+                rest = &rest[2..];
+            }
+            if rest.is_empty() {
+                usage("stat [-j N] EXP...");
+            }
+            let refs: Vec<ExperimentRef> = rest.iter().map(|a| open_ref(a)).collect();
+            for r in &refs {
+                let exp = r
+                    .load()
+                    .unwrap_or_else(|e| fail(&format!("cannot load {}", r.path().display()), e));
+                println!(
+                    "{}: {} counters, {} hwc events, {} clock ticks, exit {}",
+                    r.path().display(),
+                    exp.counters.len(),
+                    exp.hwc_events.len(),
+                    exp.clock_events.len(),
+                    exp.run.exit_code
+                );
+            }
+            let agg = aggregate_refs(&refs, shards)
+                .unwrap_or_else(|e| fail("cannot aggregate", e));
+            println!("-- aggregate over {} experiments ({shards} shards)", refs.len());
+            // Totals only; the per-PC table is for machine diffing.
+            for line in agg.render().lines() {
+                if line.starts_with(char::is_alphabetic) {
+                    println!("{line}");
+                }
+            }
+            println!("{} distinct PCs", agg.pc_samples.len());
+        }
+        other => usage(&format!("unknown command `{other}`")),
+    }
+}

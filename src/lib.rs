@@ -14,12 +14,15 @@
 //!   the analyzer (function/PC/source/disassembly views and
 //!   data-object aggregation),
 //! * [`mcf`] — the MCF network-simplex benchmark written in mini-C,
-//!   with an instance generator and a pure-Rust min-cost-flow oracle.
+//!   with an instance generator and a pure-Rust min-cost-flow oracle,
+//! * [`store`] — the packed binary experiment store, streaming reader
+//!   and parallel multi-experiment aggregation (merge/diff) engine.
 //!
 //! See `examples/quickstart.rs` for the three-step compile → collect →
 //! analyze user model of §2 of the paper.
 
 pub use memprof_core as profiler;
+pub use memprof_store as store;
 pub use minic;
 pub use simsparc_isa as isa;
 pub use simsparc_machine as machine;

@@ -15,7 +15,7 @@ fn instance() -> Instance {
     Instance::generate(InstanceParams {
         n_trips: 220,
         window: 40,
-        seed: 181,
+        seed: 18,
         ..Default::default()
     })
 }

@@ -1,0 +1,181 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal wall-clock benchmarking harness with the API its
+//! benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::sample_size`],
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. No statistics beyond mean/min/max, no HTML reports; each
+//! benchmark prints one line:
+//!
+//! ```text
+//! group/name              time: [min 1.21 ms, mean 1.30 ms, max 1.52 ms]  (12 samples)
+//! ```
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle; one per `criterion_group!` function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_sample_size: 12,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        run_benchmark(&name.into(), sample_size, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(&full, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut body: impl FnMut() -> O) {
+        // Warm up and size the batch so one sample is >= ~1ms.
+        let warmup = Instant::now();
+        black_box(body());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        self.iters_per_sample = per_sample as u64;
+
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(body());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_benchmark(name: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: 1,
+    };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    if b.samples.is_empty() {
+        println!("{name:<40} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / b.iters_per_sample as f64)
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{name:<40} time: [min {}, mean {}, max {}]  ({} samples x {} iters)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max),
+        per_iter.len(),
+        b.iters_per_sample,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_direct_benchmarks_run() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        {
+            let mut g = c.benchmark_group("stub");
+            g.sample_size(3);
+            g.bench_function("count", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        assert!(calls > 0);
+        c.bench_function("direct", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

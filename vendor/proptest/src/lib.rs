@@ -1,0 +1,584 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small, self-contained property-testing engine with the
+//! API surface its tests use: the [`proptest!`] macro (with
+//! `#![proptest_config]`), strategies for integer ranges, tuples and
+//! arrays, [`strategy::Just`], `prop_oneof!`, `prop_map`,
+//! `prop_recursive`, [`collection::vec`], [`collection::btree_set`],
+//! [`sample::select`], [`arbitrary::any`], and the `prop_assert*`
+//! macros with [`test_runner::TestCaseError`] fail/reject semantics.
+//!
+//! Differences from upstream, by design: no shrinking (a failing case
+//! prints its inputs via the assertion message instead), and the RNG
+//! is seeded deterministically from the test's module path, so runs
+//! are reproducible.
+
+pub mod test_runner {
+    /// Why a test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// A real failure: the property does not hold.
+        Fail(String),
+        /// The generated input was rejected (e.g. `prop_assume!`); the
+        /// runner draws a fresh input without counting the case.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+
+        pub fn is_rejection(&self) -> bool {
+            matches!(self, TestCaseError::Reject(_))
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// As upstream: any error propagates out of a test body with `?`
+    /// as a failure. (`TestCaseError` itself deliberately does not
+    /// implement `Error`, which is what keeps this blanket impl
+    /// coherent.)
+    impl<E: std::error::Error> From<E> for TestCaseError {
+        fn from(e: E) -> TestCaseError {
+            TestCaseError::Fail(e.to_string())
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration. Only `cases` is consulted.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// SplitMix64 generator, seeded from the test name so every run of
+    /// a given test sees the same input sequence.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(name: &str) -> TestRng {
+            // FNV-1a over the test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[lo, hi]` (inclusive), computed in `i128`.
+        #[inline]
+        pub fn in_range(&mut self, lo: i128, hi: i128) -> i128 {
+            debug_assert!(lo <= hi);
+            let span = (hi - lo + 1) as u128;
+            lo + (self.next_u64() as u128 % span) as i128
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value`. Unlike upstream
+    /// there is no shrink tree; `generate` draws one value.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+        where
+            Self: Sized + 'static,
+            O: 'static,
+            F: Fn(Self::Value) -> O + 'static,
+        {
+            let s = self;
+            BoxedStrategy::new(move |rng| f(s.generate(rng)))
+        }
+
+        /// Type-erase this strategy (cheap to clone).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy::new(move |rng| self.generate(rng))
+        }
+
+        /// Recursive structures: `self` is the leaf case; `recurse`
+        /// builds one more level on top of an inner strategy. The
+        /// generated tree depth is at most `depth`; at every level the
+        /// runner flips between stopping at a leaf and recursing, so
+        /// sizes stay near `_desired_size` in spirit if not in letter.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(strat).boxed();
+                let l = leaf.clone();
+                strat = BoxedStrategy::new(move |rng| {
+                    if rng.next_u64() % 3 == 0 {
+                        l.generate(rng)
+                    } else {
+                        deeper.generate(rng)
+                    }
+                });
+            }
+            strat
+        }
+    }
+
+    /// A clonable, type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        gen_fn: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> BoxedStrategy<T> {
+        pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+            BoxedStrategy { gen_fn: Rc::new(f) }
+        }
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> BoxedStrategy<T> {
+            BoxedStrategy {
+                gen_fn: Rc::clone(&self.gen_fn),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen_fn)(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among already-boxed strategies (the engine
+    /// behind `prop_oneof!`).
+    pub fn union<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        BoxedStrategy::new(move |rng| {
+            let i = (rng.next_u64() % options.len() as u64) as usize;
+            options[i].generate(rng)
+        })
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.in_range(self.start as i128, self.end as i128 - 1) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    rng.in_range(lo as i128, hi as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    impl<S: Strategy, const N: usize> Strategy for [S; N] {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|i| self[i].generate(rng))
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::{BoxedStrategy, Strategy};
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary() -> BoxedStrategy<Self>;
+    }
+
+    /// The `any::<T>()` entry point.
+    pub fn any<A: Arbitrary>() -> BoxedStrategy<A> {
+        A::arbitrary()
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary() -> BoxedStrategy<bool> {
+            BoxedStrategy::new(|rng| rng.next_u64() & 1 == 1)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary() -> BoxedStrategy<$t> {
+                    (<$t>::MIN..=<$t>::MAX).boxed()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod collection {
+    use super::strategy::{BoxedStrategy, Strategy};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S>(element: S, size: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        assert!(size.start < size.end, "empty size range");
+        BoxedStrategy::new(move |rng| {
+            let n = rng.in_range(size.start as i128, size.end as i128 - 1) as usize;
+            (0..n).map(|_| element.generate(rng)).collect()
+        })
+    }
+
+    /// `BTreeSet` built from `size` draws (duplicates collapse, so the
+    /// result may be smaller than the draw count, never empty when the
+    /// lower bound is positive).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BoxedStrategy<BTreeSet<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: Ord + 'static,
+    {
+        assert!(size.start < size.end, "empty size range");
+        BoxedStrategy::new(move |rng| {
+            let n = rng.in_range(size.start.max(1) as i128, size.end as i128 - 1) as usize;
+            (0..n).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+pub mod sample {
+    use super::strategy::BoxedStrategy;
+
+    /// Uniform choice from a slice of values.
+    pub fn select<T: Clone + 'static>(values: &[T]) -> BoxedStrategy<T> {
+        assert!(!values.is_empty(), "select from empty slice");
+        let values = values.to_vec();
+        BoxedStrategy::new(move |rng| {
+            values[(rng.next_u64() % values.len() as u64) as usize].clone()
+        })
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Uniform choice among heterogeneous strategy expressions with a
+/// common `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![$($crate::strategy::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+),
+            )));
+        }
+    };
+}
+
+/// Fail the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l, __r,
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                __l, __r,
+                format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// Fail the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                __l, __r,
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (drawing a replacement) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// The test-definition macro. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `#[test] fn name(arg
+/// in strategy, ...) { body }` items. Bodies may use `?` and the
+/// `prop_assert*` macros; returning a rejection redraws the input.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::new(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                // Bind the strategies once, reusing the argument names.
+                let ($($arg,)+) = ($($strat,)+);
+                let mut __cases = 0u32;
+                let mut __rejects = 0u32;
+                while __cases < __config.cases {
+                    let ($($arg,)+) = (
+                        $($crate::strategy::Strategy::generate(&$arg, &mut __rng),)+
+                    );
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __result {
+                        ::std::result::Result::Ok(()) => __cases += 1,
+                        ::std::result::Result::Err(e) if e.is_rejection() => {
+                            __rejects += 1;
+                            assert!(
+                                __rejects < 65536,
+                                "too many rejected cases in {}",
+                                stringify!($name)
+                            );
+                        }
+                        ::std::result::Result::Err(e) => {
+                            panic!("proptest case {} failed: {}", __cases, e)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0u32..10, ab in (0i64..5, 5i64..=9)) {
+            let (a, b) = ab;
+            prop_assert!(x < 10);
+            prop_assert!((0..5).contains(&a));
+            prop_assert!((5..=9).contains(&b));
+        }
+
+        #[test]
+        fn oneof_maps_and_vec(
+            v in prop::collection::vec(prop_oneof![Just(1u8), 2u8..4], 1..6),
+            s in prop::sample::select(&[10u8, 20, 30][..]),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| (1..4).contains(&e)));
+            prop_assert!(s % 10 == 0);
+        }
+
+        #[test]
+        fn recursion_terminates(n in leaf_or_nested()) {
+            prop_assert!(depth(&n) <= 4);
+        }
+
+        #[test]
+        fn rejection_redraws(x in 0u8..100) {
+            if x % 2 == 1 {
+                return Err(TestCaseError::reject("odd"));
+            }
+            prop_assert_eq!(x % 2, 0, "even survived the filter: {}", x);
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum Nest {
+        Leaf,
+        Node(Box<Nest>),
+    }
+
+    fn depth(n: &Nest) -> u32 {
+        match n {
+            Nest::Leaf => 0,
+            Nest::Node(inner) => 1 + depth(inner),
+        }
+    }
+
+    fn leaf_or_nested() -> impl Strategy<Value = Nest> {
+        Just(Nest::Leaf).prop_recursive(4, 8, 1, |inner| {
+            inner.prop_map(|n| Nest::Node(Box::new(n)))
+        })
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = crate::test_runner::TestRng::new("same-name");
+        let mut r2 = crate::test_runner::TestRng::new("same-name");
+        assert_eq!(
+            (0..8).map(|_| r1.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| r2.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}
