@@ -17,9 +17,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use mcf_bench::Scale;
 use memprof_core::analyze::Analysis;
 use memprof_core::{collect, parse_counter_spec, CollectConfig};
-use mcf_bench::Scale;
 use minic::CompileOptions;
 use simsparc_machine::{CounterEvent, Machine, SkidModel};
 

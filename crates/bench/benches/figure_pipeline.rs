@@ -9,9 +9,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use mcf_bench::{paper_machine_config, Scale};
 use memprof_core::analyze::Analysis;
 use memprof_core::{collect, parse_counter_spec, CollectConfig};
-use mcf_bench::{paper_machine_config, Scale};
 use minic::CompileOptions;
 use simsparc_machine::{CounterEvent, Machine};
 

@@ -38,8 +38,8 @@ fn bench_tuning(c: &mut Criterion) {
     println!("\n== E9: simulated cycles per variant (test scale) ==");
     for (name, layout, cfg, paper_pct) in &variants {
         let (_, counts) = run_cycles(&instance, *layout, CompileOptions::default(), cfg.clone());
-        let speedup = 100.0 * (baseline_cycles as f64 - counts.cycles as f64)
-            / baseline_cycles as f64;
+        let speedup =
+            100.0 * (baseline_cycles as f64 - counts.cycles as f64) / baseline_cycles as f64;
         println!(
             "{name:<14} {:>12} cycles  speedup {speedup:>5.1}%  (paper: {paper_pct}%)",
             counts.cycles
@@ -50,14 +50,7 @@ fn bench_tuning(c: &mut Criterion) {
     group.sample_size(10);
     for (name, layout, cfg, _) in variants {
         group.bench_function(name, |b| {
-            b.iter(|| {
-                run_cycles(
-                    &instance,
-                    layout,
-                    CompileOptions::default(),
-                    cfg.clone(),
-                )
-            })
+            b.iter(|| run_cycles(&instance, layout, CompileOptions::default(), cfg.clone()))
         });
     }
     group.finish();

@@ -7,8 +7,8 @@ use std::hint::black_box;
 
 use simsparc_isa::{trap, AluOp, Cond, Insn, Operand, Reg};
 use simsparc_machine::{
-    CacheConfig, Image, Machine, MachineConfig, NullHook, SetAssocCache, Tlb, TlbConfig,
-    DATA_BASE, TEXT_BASE,
+    CacheConfig, Image, Machine, MachineConfig, NullHook, SetAssocCache, Tlb, TlbConfig, DATA_BASE,
+    TEXT_BASE,
 };
 
 fn bench_cache(c: &mut Criterion) {

@@ -12,8 +12,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use memprof_core::{collect, parse_counter_spec, CollectConfig};
 use mcf_bench::{paper_machine_config, Scale};
+use memprof_core::{collect, parse_counter_spec, CollectConfig};
 use minic::CompileOptions;
 use simsparc_machine::Machine;
 
@@ -41,7 +41,10 @@ fn bench_perturbation(c: &mut Criterion) {
     };
 
     println!("\n== ablation: ecref overflow interval vs events recorded/dropped ==");
-    println!("{:>10} {:>10} {:>10} {:>10}", "interval", "recorded", "dropped", "est.total");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10}",
+        "interval", "recorded", "dropped", "est.total"
+    );
     for interval in [2u64, 5, 17, 101, 997, 9973] {
         let exp = run_with_interval(interval);
         println!(

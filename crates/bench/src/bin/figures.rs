@@ -1,9 +1,13 @@
 //! Regenerate every table and figure of the paper's evaluation (§3).
 //!
 //! ```text
-//! figures [--scale N] [--save DIR] [fig1|fig2|fig3|fig4|fig5|fig6|fig7|
+//! figures [--scale N] [--shards N] [--save DIR]
+//!         [fig1|fig2|fig3|fig4|fig5|fig6|fig7|
 //!          overhead|tuning|effectiveness|addrviews|all]
 //! ```
+//!
+//! `--shards N` runs every view's aggregation on N threads (the
+//! kernel's sharded path); the output is identical to serial.
 //!
 //! `--save DIR` writes the two collection experiments as bundles
 //! (`DIR/exp1`, `DIR/exp2`) that `mp-er-print` can analyze standalone.
@@ -14,8 +18,8 @@
 //! is the §3.2.5 backtracking analysis; `addrviews` are the §4
 //! future-work views (segments/pages/cache lines/instances).
 
-use memprof_core::analyze::Analysis;
 use mcf_bench::{run_cycles, run_paper_experiments, Layout, PaperRun, Scale};
+use memprof_core::analyze::Analysis;
 use minic::CompileOptions;
 use simsparc_machine::CounterEvent;
 
@@ -35,6 +39,11 @@ fn main() {
                 i += 1;
                 save = Some(std::path::PathBuf::from(&args[i]));
             }
+            "--shards" => {
+                i += 1;
+                let n: usize = args[i].parse().expect("bad --shards");
+                SHARDS.store(n.max(1), std::sync::atomic::Ordering::Relaxed);
+            }
             w => what = w.to_string(),
         }
         i += 1;
@@ -42,7 +51,15 @@ fn main() {
 
     let needs_experiments = matches!(
         what.as_str(),
-        "all" | "fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "effectiveness"
+        "all"
+            | "fig1"
+            | "fig2"
+            | "fig3"
+            | "fig4"
+            | "fig5"
+            | "fig6"
+            | "fig7"
+            | "effectiveness"
             | "addrviews"
     );
 
@@ -56,7 +73,10 @@ fn main() {
             for (sub, exp) in [("exp1", &r.exp1), ("exp2", &r.exp2)] {
                 let d = dir.join(sub);
                 exp.save(&d).expect("save experiment");
-                r.program.image.save(&d.join("image.txt")).expect("save image");
+                r.program
+                    .image
+                    .save(&d.join("image.txt"))
+                    .expect("save image");
                 r.program.syms.save(&d.join("syms.txt")).expect("save syms");
                 eprintln!("saved {}", d.display());
             }
@@ -99,8 +119,15 @@ fn main() {
     }
 }
 
+/// Shard count for every aggregation in this run (`--shards N`).
+static SHARDS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(1);
+
+fn shards() -> usize {
+    SHARDS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 fn analysis(run: &PaperRun) -> Analysis<'_> {
-    Analysis::new(&[&run.exp1, &run.exp2], &run.program.syms)
+    Analysis::with_shards(&[&run.exp1, &run.exp2], &run.program.syms, shards())
 }
 
 fn header(title: &str) {
@@ -114,7 +141,10 @@ fn fig1(run: &PaperRun) {
     let a = analysis(run);
     print!("{}", a.total_metrics().render());
     let c = &run.exp1.run.counts;
-    println!("(ground truth: {} cycles, {} instructions)", c.cycles, c.insts);
+    println!(
+        "(ground truth: {} cycles, {} instructions)",
+        c.cycles, c.insts
+    );
     let stall_pct = 100.0 * c.ec_stall_cycles as f64 / c.cycles as f64;
     let miss_rate = 100.0 * c.ec_read_miss as f64 / c.ec_ref as f64;
     println!(
@@ -201,7 +231,8 @@ fn fig7(run: &PaperRun) {
     let a = analysis(run);
     print!(
         "{}",
-        a.render_struct_expansion("node").expect("node struct known")
+        a.render_struct_expansion("node")
+            .expect("node struct known")
     );
     let report = a
         .instances("node", 512, 10)
@@ -216,7 +247,10 @@ fn fig7(run: &PaperRun) {
 fn effectiveness(run: &PaperRun) {
     header("§3.2.5: apropos backtracking effectiveness");
     let a = analysis(run);
-    println!("{:<18} {:>8} {:>14} {:>17} {:>14}", "counter", "events", "unresolvable", "unascertainable", "effective");
+    println!(
+        "{:<18} {:>8} {:>14} {:>17} {:>14}",
+        "counter", "events", "unresolvable", "unascertainable", "effective"
+    );
     for e in a.effectiveness() {
         println!(
             "{:<18} {:>8} {:>14} {:>17} {:>13.1}%",
@@ -232,10 +266,15 @@ fn effectiveness(run: &PaperRun) {
         for col in a1.data_columns() {
             let mut validated = 0u64;
             let mut exact = 0u64;
-            for r in a1.reduced.iter().filter(|r| r.col == col) {
-                if let memprof_core::analyze::Attribution::DataObject { pc, .. } = r.attr {
+            let b = &a1.batch;
+            for i in 0..b.len() {
+                if b.col[i] as usize != col {
+                    continue;
+                }
+                if let memprof_core::analyze::Attribution::DataObject { pc, .. } = b.attribution(i)
+                {
                     validated += 1;
-                    let (xi, ei, _) = r.source;
+                    let (xi, ei, _) = b.src_of(i);
                     if a1.experiments[xi].hwc_events[ei].truth_trigger_pc == pc {
                         exact += 1;
                     }
@@ -288,7 +327,10 @@ fn addrviews(run: &PaperRun) {
     println!("\n-- hottest structure:node instances --");
     if let Some(report) = a.instances("node", 512, 5) {
         for (base, samples) in &report.instances {
-            println!("node @ {base:#012x}: {:>5} events", samples.iter().sum::<u64>());
+            println!(
+                "node @ {base:#012x}: {:>5} events",
+                samples.iter().sum::<u64>()
+            );
         }
         println!(
             "straddle fraction: {:.1}% of referenced {}-byte nodes cross an E$ line",
@@ -308,12 +350,7 @@ fn overhead(scale: Scale) {
         CompileOptions::default(),
         config.clone(),
     );
-    let (r_prof, c_prof) = run_cycles(
-        &inst,
-        Layout::Baseline,
-        CompileOptions::profiling(),
-        config,
-    );
+    let (r_prof, c_prof) = run_cycles(&inst, Layout::Baseline, CompileOptions::profiling(), config);
     assert_eq!(r_plain.cost, r_prof.cost, "results must agree");
     let pct = 100.0 * (c_prof.cycles as f64 - c_plain.cycles as f64) / c_plain.cycles as f64;
     println!("baseline build:   {:>14} cycles", c_plain.cycles);
@@ -344,18 +381,20 @@ fn tuning(scale: Scale) {
         (&r2, "large pages"),
         (&r3, "combined"),
     ] {
-        assert_eq!(r.cost, r0.cost, "{name}: optimization must not change results");
+        assert_eq!(
+            r.cost, r0.cost,
+            "{name}: optimization must not change results"
+        );
     }
 
     let speedup = |c: u64| 100.0 * (c0.cycles as f64 - c as f64) / c0.cycles as f64;
-    println!("{:<34} {:>14} {:>9} {:>12} {:>10}", "variant", "cycles", "speedup", "E$ rd miss", "DTLB miss");
+    println!(
+        "{:<34} {:>14} {:>9} {:>12} {:>10}",
+        "variant", "cycles", "speedup", "E$ rd miss", "DTLB miss"
+    );
     println!(
         "{:<34} {:>14} {:>8.1}% {:>12} {:>10}",
-        "baseline (120B node)",
-        c0.cycles,
-        0.0,
-        c0.ec_read_miss,
-        c0.dtlb_miss
+        "baseline (120B node)", c0.cycles, 0.0, c0.ec_read_miss, c0.dtlb_miss
     );
     println!(
         "{:<34} {:>14} {:>8.1}% {:>12} {:>10}",

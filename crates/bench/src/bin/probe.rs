@@ -2,8 +2,8 @@
 //! profile shape, for tuning the figure-scale parameters against the
 //! paper's Figure 2.
 
-use memprof_core::analyze::Analysis;
 use mcf_bench::{run_paper_experiments, Scale};
+use memprof_core::analyze::Analysis;
 
 fn main() {
     let n: usize = std::env::args()

@@ -19,9 +19,7 @@ use memprof_core::{collect, parse_counter_spec, CollectConfig, Experiment};
 use minic::{CompileOptions, Program};
 use simsparc_machine::{Machine, MachineConfig};
 
-pub use mcf::{
-    paper_machine_config, Instance, InstanceParams, Layout, McfParams, McfResult,
-};
+pub use mcf::{paper_machine_config, Instance, InstanceParams, Layout, McfParams, McfResult};
 
 /// Workload scale for the figure experiments.
 #[derive(Clone, Copy, Debug)]
@@ -129,7 +127,7 @@ pub fn run_cycles(
     options: CompileOptions,
     config: MachineConfig,
 ) -> (McfResult, simsparc_machine::EventCounts) {
-    let (result, outcome) = mcf::run_mcf(instance, layout, &McfParams::default(), options, config)
-        .expect("mcf run");
+    let (result, outcome) =
+        mcf::run_mcf(instance, layout, &McfParams::default(), options, config).expect("mcf run");
     (result, outcome.counts)
 }

@@ -9,7 +9,9 @@ use std::collections::HashMap;
 use minic::MemDesc;
 use simsparc_machine::SegmentKind;
 
-use super::{Analysis, Attribution};
+use super::views::sort_by_metric;
+use super::Analysis;
+use crate::batch::{AttrTag, ByAddrBucket, EventBatch};
 use crate::experiment::EventSource;
 
 /// Per-segment event counts.
@@ -52,7 +54,7 @@ pub struct InstanceReport {
 impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     /// Events with reconstructed effective addresses, by segment.
     pub fn segments(&self) -> Vec<SegmentRow> {
-        let map = self.accumulate(|r| r.ea.map(SegmentKind::of_addr));
+        let map = self.kernel(&|b: &EventBatch, i: usize| b.ea_of(i).map(SegmentKind::of_addr));
         let mut rows: Vec<SegmentRow> = map
             .into_iter()
             .map(|(segment, samples)| SegmentRow { segment, samples })
@@ -64,7 +66,7 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     /// Top pages by total events. `page_bytes` must be a power of two.
     pub fn pages(&self, page_bytes: u64, limit: usize) -> Vec<PageRow> {
         assert!(page_bytes.is_power_of_two());
-        let map = self.accumulate(|r| r.ea.map(|ea| ea & !(page_bytes - 1)));
+        let map = self.kernel(&ByAddrBucket { bytes: page_bytes });
         let mut rows: Vec<PageRow> = map
             .into_iter()
             .map(|(page_base, samples)| PageRow {
@@ -73,7 +75,11 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
                 samples,
             })
             .collect();
-        rows.sort_by_key(|r| std::cmp::Reverse(r.samples.iter().sum::<u64>()));
+        sort_by_metric(
+            &mut rows,
+            |r| r.samples.iter().sum::<u64>(),
+            |a, b| a.page_base.cmp(&b.page_base),
+        );
         rows.truncate(limit);
         rows
     }
@@ -81,12 +87,16 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     /// Top cache lines by total events.
     pub fn cache_lines(&self, line_bytes: u64, limit: usize) -> Vec<CacheLineRow> {
         assert!(line_bytes.is_power_of_two());
-        let map = self.accumulate(|r| r.ea.map(|ea| ea & !(line_bytes - 1)));
+        let map = self.kernel(&ByAddrBucket { bytes: line_bytes });
         let mut rows: Vec<CacheLineRow> = map
             .into_iter()
             .map(|(line_base, samples)| CacheLineRow { line_base, samples })
             .collect();
-        rows.sort_by_key(|r| std::cmp::Reverse(r.samples.iter().sum::<u64>()));
+        sort_by_metric(
+            &mut rows,
+            |r| r.samples.iter().sum::<u64>(),
+            |a, b| a.line_base.cmp(&b.line_base),
+        );
         rows.truncate(limit);
         rows
     }
@@ -94,30 +104,30 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     /// Aggregate events on one structure type by object *instance*:
     /// the instance base is `ea - member_offset`, both known from the
     /// event's effective address and the member descriptor.
-    pub fn instances(&self, struct_name: &str, ec_line_bytes: u64, limit: usize) -> Option<InstanceReport> {
+    pub fn instances(
+        &self,
+        struct_name: &str,
+        ec_line_bytes: u64,
+        limit: usize,
+    ) -> Option<InstanceReport> {
         let sinfo = self.syms.struct_by_name(struct_name)?;
         let size = sinfo.size;
-        let ncols = self.columns.len();
 
-        let mut map: HashMap<u64, Vec<u64>> = HashMap::new();
-        for r in &self.reduced {
-            let Some(ea) = r.ea else { continue };
-            if let Attribution::DataObject {
-                desc:
-                    MemDesc::Member {
-                        struct_name: s,
-                        offset,
-                        ..
-                    },
-                ..
-            } = &r.attr
-            {
-                if s == struct_name {
-                    let base = ea.wrapping_sub(*offset);
-                    map.entry(base).or_insert_with(|| vec![0; ncols])[r.col] += 1;
-                }
+        let target = struct_name.to_string();
+        let map: HashMap<u64, Vec<u64>> = self.kernel(&move |b: &EventBatch, i: usize| {
+            let ea = b.ea_of(i)?;
+            if b.tag[i] != AttrTag::Data {
+                return None;
             }
-        }
+            match &b.descs[b.desc[i] as usize] {
+                MemDesc::Member {
+                    struct_name: s,
+                    offset,
+                    ..
+                } if *s == target => Some(ea.wrapping_sub(*offset)),
+                _ => None,
+            }
+        });
         if map.is_empty() {
             return Some(InstanceReport {
                 struct_name: struct_name.to_string(),
@@ -134,9 +144,8 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
         let straddle_fraction = straddling as f64 / map.len() as f64;
 
         let mut instances: Vec<(u64, Vec<u64>)> = map.into_iter().collect();
-        instances.sort_by_key(|(base, samples)| {
-            (std::cmp::Reverse(samples.iter().sum::<u64>()), *base)
-        });
+        instances
+            .sort_by_key(|(base, samples)| (std::cmp::Reverse(samples.iter().sum::<u64>()), *base));
         instances.truncate(limit);
         Some(InstanceReport {
             struct_name: struct_name.to_string(),

@@ -8,7 +8,9 @@ use std::fmt::Write as _;
 
 use minic::MemDesc;
 
-use super::{fmt_val_pct, Analysis, Attribution, UnknownKind};
+use super::views::sort_by_metric;
+use super::{fmt_val_pct, Analysis, UnknownKind};
+use crate::batch::{AttrTag, EventBatch};
 use crate::experiment::EventSource;
 
 /// The key a data-object row aggregates under.
@@ -59,20 +61,21 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     /// backtracked memory counters have data-object information.
     pub fn data_objects(&self, sort_col: usize) -> Vec<DataObjectRow> {
         let data_cols = self.data_columns();
-        let map = self.accumulate(|r| {
-            if !data_cols.contains(&r.col) {
+        let cols = data_cols.clone();
+        let map = self.kernel(&move |b: &EventBatch, i: usize| {
+            if !cols.contains(&(b.col[i] as usize)) {
                 return None;
             }
-            Some(match &r.attr {
-                Attribution::DataObject { desc, .. } => match desc {
+            Some(match b.tag[i] {
+                AttrTag::Plain => return None,
+                AttrTag::Data => match &b.descs[b.desc[i] as usize] {
                     MemDesc::Member { struct_name, .. } => {
                         DataObjectKey::Struct(struct_name.clone())
                     }
                     MemDesc::Scalar { .. } => DataObjectKey::Scalars,
                     _ => DataObjectKey::Unknown(UnknownKind::Unspecified),
                 },
-                Attribution::Unknown { kind, .. } => DataObjectKey::Unknown(*kind),
-                Attribution::Plain { .. } => return None,
+                tag => DataObjectKey::Unknown(tag.unknown_kind().unwrap()),
             })
         });
 
@@ -97,13 +100,19 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
                 samples,
             })
             .collect();
-        rows.sort_by(|a, b| b.samples[sort_col].cmp(&a.samples[sort_col]).then(a.name.cmp(&b.name)));
+        sort_by_metric(
+            &mut rows,
+            |r| r.samples[sort_col],
+            |a, b| a.name.cmp(&b.name),
+        );
 
         // <Total> and <Unknown> pseudo-rows, as in Figure 6.
+        let b = &self.batch;
         let mut total = vec![0u64; ncols];
-        for r in &self.reduced {
-            if data_cols.contains(&r.col) && !matches!(r.attr, Attribution::Plain { .. }) {
-                total[r.col] += 1;
+        for i in 0..b.len() {
+            let col = b.col[i] as usize;
+            if data_cols.contains(&col) && b.tag[i] != AttrTag::Plain {
+                total[col] += 1;
             }
         }
         let mut out = vec![DataObjectRow {
@@ -117,11 +126,11 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
                 name: "<Unknown>".to_string(),
                 samples: unknown_total,
             });
-            rows.sort_by(|a, b| {
-                b.samples[sort_col]
-                    .cmp(&a.samples[sort_col])
-                    .then(a.name.cmp(&b.name))
-            });
+            sort_by_metric(
+                &mut rows,
+                |r| r.samples[sort_col],
+                |a, b| a.name.cmp(&b.name),
+            );
         }
         out.extend(rows);
         out
@@ -133,10 +142,7 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     pub fn render_data_objects(&self, sort_col: usize) -> String {
         let rows = self.data_objects(sort_col);
         let data_cols = self.data_columns();
-        let totals = rows
-            .first()
-            .map(|t| t.samples.clone())
-            .unwrap_or_default();
+        let totals = rows.first().map(|t| t.samples.clone()).unwrap_or_default();
         let mut out = String::new();
         let headers: Vec<String> = data_cols
             .iter()
@@ -166,26 +172,28 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
         let data_cols = self.data_columns();
         let ncols = self.columns.len();
 
-        let mut by_member: HashMap<String, Vec<u64>> = HashMap::new();
-        let mut total = vec![0u64; ncols];
-        for r in &self.reduced {
-            if !data_cols.contains(&r.col) {
-                continue;
-            }
-            if let Attribution::DataObject {
-                desc:
+        // One kernel pass keyed by member name; the whole-struct
+        // total is the elementwise sum of the member rows.
+        let cols = data_cols.clone();
+        let target = struct_name.to_string();
+        let mut by_member: HashMap<String, Vec<u64>> =
+            self.kernel(&move |b: &EventBatch, i: usize| {
+                if !cols.contains(&(b.col[i] as usize)) || b.tag[i] != AttrTag::Data {
+                    return None;
+                }
+                match &b.descs[b.desc[i] as usize] {
                     MemDesc::Member {
                         struct_name: s,
                         member,
                         ..
-                    },
-                ..
-            } = &r.attr
-            {
-                if s == struct_name {
-                    by_member.entry(member.clone()).or_insert_with(|| vec![0; ncols])[r.col] += 1;
-                    total[r.col] += 1;
+                    } if *s == target => Some(member.clone()),
+                    _ => None,
                 }
+            });
+        let mut total = vec![0u64; ncols];
+        for samples in by_member.values() {
+            for (t, x) in total.iter_mut().zip(samples) {
+                *t += x;
             }
         }
 
@@ -247,20 +255,18 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
         self.data_columns()
             .into_iter()
             .map(|col| {
+                let b = &self.batch;
                 let mut total = 0u64;
                 let mut unresolvable = 0u64;
                 let mut unascertainable = 0u64;
-                for r in self.reduced.iter().filter(|r| r.col == col) {
+                for i in 0..b.len() {
+                    if b.col[i] as usize != col {
+                        continue;
+                    }
                     total += 1;
-                    match r.attr {
-                        Attribution::Unknown {
-                            kind: UnknownKind::Unresolvable,
-                            ..
-                        } => unresolvable += 1,
-                        Attribution::Unknown {
-                            kind: UnknownKind::Unascertainable,
-                            ..
-                        } => unascertainable += 1,
+                    match b.tag[i] {
+                        AttrTag::UnkUnresolvable => unresolvable += 1,
+                        AttrTag::UnkUnascertainable => unascertainable += 1,
                         _ => {}
                     }
                 }

@@ -6,7 +6,8 @@
 
 use minic::{Feedback, PrefetchHint};
 
-use super::{Analysis, Attribution};
+use super::Analysis;
+use crate::batch::AttrTag;
 use crate::experiment::EventSource;
 
 impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
@@ -26,16 +27,19 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
         let total = totals[col].max(1);
 
         // Per PC: sample count and the EA sequence in event order
-        // (`reduced` preserves collection order within a column).
+        // (the batch preserves collection order within a column, so
+        // this must stay an ordered scan, not a kernel fold).
+        let b = &self.batch;
         let mut per_pc: std::collections::HashMap<u64, (u64, Vec<u64>)> =
             std::collections::HashMap::new();
-        for r in self.reduced.iter().filter(|r| r.col == col) {
-            if let Attribution::DataObject { pc, .. } = r.attr {
-                let entry = per_pc.entry(pc).or_default();
-                entry.0 += 1;
-                if let Some(ea) = r.ea {
-                    entry.1.push(ea);
-                }
+        for i in 0..b.len() {
+            if b.col[i] as usize != col || b.tag[i] != AttrTag::Data {
+                continue;
+            }
+            let entry = per_pc.entry(b.pc[i]).or_default();
+            entry.0 += 1;
+            if let Some(ea) = b.ea_of(i) {
+                entry.1.push(ea);
             }
         }
 

@@ -21,6 +21,9 @@ pub use views::{FunctionRow, PcRow, TotalMetrics};
 use minic::{MemDesc, SymbolTable};
 use simsparc_machine::CounterEvent;
 
+use crate::batch::{
+    aggregate_by, aggregate_by_serial, AttrTag, BatchEvent, EventBatch, GroupKey, NO_ID, NO_LINE,
+};
 use crate::experiment::{EventSource, Experiment};
 
 /// What a metric column measures.
@@ -58,13 +61,20 @@ impl MetricCol {
 
     /// Estimated seconds, for cycle-valued columns.
     pub fn secs(&self, samples: u64) -> Option<f64> {
-        self.counts_cycles.then(|| self.scaled(samples) / self.clock_hz as f64)
+        self.counts_cycles
+            .then(|| self.scaled(samples) / self.clock_hz as f64)
     }
 
     /// Does this column carry data-object information (a backtracked
     /// memory counter)?
     pub fn is_data_column(&self) -> bool {
-        matches!(self.kind, ColKind::Hwc { backtrack: true, .. })
+        matches!(
+            self.kind,
+            ColKind::Hwc {
+                backtrack: true,
+                ..
+            }
+        )
     }
 }
 
@@ -145,32 +155,40 @@ impl Attribution {
     }
 }
 
-/// One reduced (validated) event.
-#[derive(Clone, Debug)]
-pub struct Reduced {
-    /// Metric column the event belongs to.
-    pub col: usize,
-    pub attr: Attribution,
-    /// Reconstructed effective address, if any.
-    pub ea: Option<u64>,
-    /// (experiment index, event index) — for callstack access.
-    pub source: (usize, usize, bool),
-}
-
 /// A combined analysis over one or more event sources (text
 /// experiment directories, packed binary stores, or merged sets —
 /// anything implementing [`EventSource`]).
+///
+/// Reduction happens once, at construction: every event is validated
+/// and written into a cached columnar [`EventBatch`]; each view is
+/// then a [`crate::batch::aggregate_by`] fold over that batch under
+/// its own [`GroupKey`] — no view re-walks the raw events.
 pub struct Analysis<'a, S: EventSource + ?Sized = Experiment> {
     pub experiments: Vec<&'a S>,
     pub syms: &'a SymbolTable,
     pub columns: Vec<MetricCol>,
-    pub reduced: Vec<Reduced>,
+    /// The columnar form of every validated event, built once and
+    /// shared by all views.
+    pub batch: EventBatch,
+    /// Shard count for the aggregation kernel (1 = serial).
+    pub shards: usize,
 }
 
 impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     /// Reduce the experiments: build the column set, validate every
     /// hardware-counter event, and attribute clock ticks.
     pub fn new(experiments: &[&'a S], syms: &'a SymbolTable) -> Analysis<'a, S> {
+        Analysis::with_shards(experiments, syms, 1)
+    }
+
+    /// Like [`Analysis::new`], but view aggregations run the sharded
+    /// kernel path across `shards` scoped threads. Results are
+    /// identical to the serial path.
+    pub fn with_shards(
+        experiments: &[&'a S],
+        syms: &'a SymbolTable,
+        shards: usize,
+    ) -> Analysis<'a, S> {
         let mut columns = Vec::new();
         for (xi, exp) in experiments.iter().enumerate() {
             if let Some(period) = exp.clock_period() {
@@ -200,17 +218,27 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
             }
         }
 
-        let mut reduced = Vec::new();
+        // The batch preserves collection order within each column
+        // (feedback generation depends on the EA sequence order).
+        let mut batch = EventBatch::new(columns.len());
+        // Descriptors are a pure function of the validated PC; cache
+        // the interned id per PC so interning stays O(distinct PCs).
+        let mut desc_cache: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
         for (col_idx, col) in columns.iter().enumerate() {
             match col.kind {
                 ColKind::UserCpu { experiment } => {
                     for (ei, ev) in experiments[experiment].clock_events().iter().enumerate() {
-                        reduced.push(Reduced {
-                            col: col_idx,
-                            attr: Attribution::Plain { pc: ev.pc },
-                            ea: None,
-                            source: (experiment, ei, true),
-                        });
+                        push_attributed(
+                            &mut batch,
+                            &mut desc_cache,
+                            syms,
+                            col_idx,
+                            Attribution::Plain { pc: ev.pc },
+                            ev.pc,
+                            None,
+                            None,
+                            (experiment, ei, true),
+                        );
                     }
                 }
                 ColKind::Hwc {
@@ -232,12 +260,17 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
                                 pc: ev.delivered_pc,
                             }
                         };
-                        reduced.push(Reduced {
-                            col: col_idx,
+                        push_attributed(
+                            &mut batch,
+                            &mut desc_cache,
+                            syms,
+                            col_idx,
                             attr,
-                            ea: ev.ea,
-                            source: (experiment, ei, false),
-                        });
+                            ev.delivered_pc,
+                            ev.candidate_pc,
+                            ev.ea,
+                            (experiment, ei, false),
+                        );
                     }
                 }
             }
@@ -247,36 +280,78 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
             experiments: experiments.to_vec(),
             syms,
             columns,
-            reduced,
+            batch,
+            shards: shards.max(1),
         }
     }
 
     /// Total raw sample counts per column.
     pub fn totals(&self) -> Vec<u64> {
-        let mut t = vec![0u64; self.columns.len()];
-        for r in &self.reduced {
-            t[r.col] += 1;
-        }
-        t
+        self.batch.totals()
     }
 
-    /// Helper: accumulate per-key sample counts over reduced events.
-    pub(crate) fn accumulate<K: std::hash::Hash + Eq, F>(
+    /// Fold the cached batch under a grouping key on the configured
+    /// (possibly sharded) kernel path.
+    pub(crate) fn kernel<G: GroupKey + Sync>(
         &self,
-        mut key_of: F,
-    ) -> std::collections::HashMap<K, Vec<u64>>
-    where
-        F: FnMut(&Reduced) -> Option<K>,
-    {
-        let ncols = self.columns.len();
-        let mut map: std::collections::HashMap<K, Vec<u64>> = std::collections::HashMap::new();
-        for r in &self.reduced {
-            if let Some(k) = key_of(r) {
-                map.entry(k).or_insert_with(|| vec![0; ncols])[r.col] += 1;
-            }
-        }
-        map
+        keyer: &G,
+    ) -> std::collections::HashMap<G::Key, Vec<u64>> {
+        aggregate_by(&self.batch, keyer, self.shards)
     }
+
+    /// Serial-only kernel fold, for keys that must reach back into
+    /// the experiments (callstacks) and so cannot require `Sync`.
+    pub(crate) fn kernel_serial<G: GroupKey>(
+        &self,
+        keyer: &G,
+    ) -> std::collections::HashMap<G::Key, Vec<u64>> {
+        aggregate_by_serial(&self.batch, keyer)
+    }
+}
+
+/// Write one validated event into the batch, resolving the charged
+/// PC's enclosing function, source line, and (for data objects) the
+/// interned descriptor id.
+#[allow(clippy::too_many_arguments)]
+fn push_attributed(
+    batch: &mut EventBatch,
+    desc_cache: &mut std::collections::HashMap<u64, u32>,
+    syms: &SymbolTable,
+    col: usize,
+    attr: Attribution,
+    delivered_pc: u64,
+    candidate_pc: Option<u64>,
+    ea: Option<u64>,
+    src: (usize, usize, bool),
+) {
+    let pc = attr.pc();
+    let (tag, desc) = match &attr {
+        Attribution::Plain { .. } => (AttrTag::Plain, NO_ID),
+        Attribution::DataObject { desc, .. } => {
+            let id = match desc_cache.get(&pc) {
+                Some(&id) => id,
+                None => {
+                    let id = batch.intern_desc(desc);
+                    desc_cache.insert(pc, id);
+                    id
+                }
+            };
+            (AttrTag::Data, id)
+        }
+        Attribution::Unknown { kind, .. } => (AttrTag::from_unknown(*kind), NO_ID),
+    };
+    batch.push(BatchEvent {
+        col,
+        pc,
+        delivered_pc,
+        candidate_pc,
+        ea,
+        tag,
+        desc,
+        func: syms.func_index_at(pc).map(|i| i as u32).unwrap_or(NO_ID),
+        line: syms.line_at(pc).unwrap_or(NO_LINE),
+        src,
+    });
 }
 
 /// Validate a candidate trigger PC (§2.3): the module must have been

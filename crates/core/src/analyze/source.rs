@@ -5,12 +5,14 @@
 //! backtracking was blocked by that target — exactly the presentation
 //! the paper describes in §3.2.3.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use minic::render_memdesc;
 use simsparc_isa::disasm;
 
 use super::Analysis;
+use crate::batch::{ByLine, EventBatch, NO_ID};
 use crate::experiment::EventSource;
 
 /// One line of annotated source.
@@ -53,12 +55,15 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
         let ncols = self.columns.len();
 
         // Accumulate samples per line, restricted to this function.
-        let map = self.accumulate(|r| {
-            let pc = r.attr.pc();
-            if pc < f.entry || pc >= f.end {
+        // The batch caches each event's source line, so the keyer
+        // only needs the function's pc range (and stays `Sync`).
+        let (entry, end) = (f.entry, f.end);
+        let map = self.kernel(&move |b: &EventBatch, i: usize| {
+            let pc = b.pc[i];
+            if pc < entry || pc >= end {
                 return None;
             }
-            self.syms.line_at(pc)
+            b.line_of(i)
         });
 
         // Line span of the function: from its metadata.
@@ -118,7 +123,14 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
                     None => format!("{:>7}", r.samples[i]),
                 })
                 .collect();
-            writeln!(out, "{marker} {}  {:>4}. {}", cells.join(" "), r.line_no, r.text).unwrap();
+            writeln!(
+                out,
+                "{marker} {}  {:>4}. {}",
+                cells.join(" "),
+                r.line_no,
+                r.text
+            )
+            .unwrap();
         }
         Some(out)
     }
@@ -126,13 +138,28 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     /// The `lines` view: metrics aggregated by (function, source
     /// line) across the whole program, hottest first.
     pub fn hot_lines(&self, sort_col: usize, limit: usize) -> Vec<LineRow> {
-        let map = self.accumulate(|r| {
-            let pc = r.attr.pc();
-            let f = self.syms.func_at(pc)?;
-            let line = self.syms.line_at(pc)?;
-            Some((f.name.clone(), f.module, line))
-        });
-        let mut rows: Vec<LineRow> = map
+        // Aggregate on interned (function id, line) pairs, then fold
+        // ids into (name, module, line) keys — duplicate names merge
+        // exactly as when keying on the name directly.
+        let map = self.kernel(&ByLine);
+        let mut by_name: HashMap<(String, usize, u32), Vec<u64>> = HashMap::new();
+        for ((fid, line), samples) in map {
+            if fid == NO_ID {
+                continue;
+            }
+            let f = &self.syms.funcs[fid as usize];
+            match by_name.entry((f.name.clone(), f.module, line)) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (dst, src) in e.get_mut().iter_mut().zip(&samples) {
+                        *dst += src;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(samples);
+                }
+            }
+        }
+        let mut rows: Vec<LineRow> = by_name
             .into_iter()
             .map(|((function, module, line_no), samples)| {
                 let text = self.syms.modules[module]
@@ -150,11 +177,11 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
                 }
             })
             .collect();
-        rows.sort_by(|a, b| {
-            b.samples[sort_col]
-                .cmp(&a.samples[sort_col])
-                .then_with(|| (&a.function, a.line_no).cmp(&(&b.function, b.line_no)))
-        });
+        super::views::sort_by_metric(
+            &mut rows,
+            |r| r.samples[sort_col],
+            |a, b| (&a.function, a.line_no).cmp(&(&b.function, b.line_no)),
+        );
         rows.truncate(limit);
         rows
     }
@@ -165,14 +192,15 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
         let ncols = self.columns.len();
 
         // Real-instruction samples.
-        let real = self.accumulate(|r| {
-            let pc = r.attr.pc();
-            (!r.attr.is_artificial() && pc >= f.entry && pc < f.end).then_some(pc)
+        let (entry, end) = (f.entry, f.end);
+        let real = self.kernel(&move |b: &EventBatch, i: usize| {
+            let pc = b.pc[i];
+            (!b.is_artificial(i) && pc >= entry && pc < end).then_some(pc)
         });
         // Artificial branch-target samples.
-        let artificial = self.accumulate(|r| {
-            let pc = r.attr.pc();
-            (r.attr.is_artificial() && pc >= f.entry && pc < f.end).then_some(pc)
+        let artificial = self.kernel(&move |b: &EventBatch, i: usize| {
+            let pc = b.pc[i];
+            (b.is_artificial(i) && pc >= entry && pc < end).then_some(pc)
         });
 
         // Instructions from the first experiment's text are not
@@ -193,7 +221,10 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
                     artificial: true,
                     text: "<branch target>".to_string(),
                     descriptor: String::new(),
-                    samples: artificial.get(&pc).cloned().unwrap_or_else(|| vec![0; ncols]),
+                    samples: artificial
+                        .get(&pc)
+                        .cloned()
+                        .unwrap_or_else(|| vec![0; ncols]),
                 });
             }
             let descriptor = meta.map(|m| render_memdesc(&m.memdesc)).unwrap_or_default();

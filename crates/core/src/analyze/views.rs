@@ -1,12 +1,26 @@
 //! Instruction-space views: `<Total>` metrics (Figure 1), the
 //! function list (Figure 2), callers/callees, and the PC list
-//! (Figure 5).
+//! (Figure 5). Every table is one [`crate::batch::aggregate_by`] fold
+//! over the cached columnar batch.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use super::{fmt_val_pct, Analysis, Attribution, ColKind, MetricCol};
+use crate::batch::{ByFunc, ByPc, EventBatch, NO_ID};
 use crate::experiment::EventSource;
 use minic::render_memdesc;
+
+/// The shared ordering of every metric table: the sort column
+/// descending, then a caller-supplied ascending tie-break so the
+/// order is total (independent of hash-map iteration order).
+pub(crate) fn sort_by_metric<T>(
+    rows: &mut [T],
+    metric: impl Fn(&T) -> u64,
+    tie: impl Fn(&T, &T) -> std::cmp::Ordering,
+) {
+    rows.sort_by(|a, b| metric(b).cmp(&metric(a)).then_with(|| tie(a, b)));
+}
 
 /// The `<Total>` pseudo-function metrics of Figure 1.
 #[derive(Clone, Debug)]
@@ -20,7 +34,12 @@ pub struct TotalMetrics {
 impl TotalMetrics {
     pub fn render(&self) -> String {
         let mut out = String::new();
-        writeln!(out, "Exclusive Total LWP Time:   {:>10.3} secs.", self.total_lwp_secs).unwrap();
+        writeln!(
+            out,
+            "Exclusive Total LWP Time:   {:>10.3} secs.",
+            self.total_lwp_secs
+        )
+        .unwrap();
         for (col, _, est, secs) in &self.rows {
             match secs {
                 Some(s) => {
@@ -80,23 +99,36 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     /// Figure 2: the function list, sorted by `sort_col` descending.
     /// `<Total>` appears first.
     pub fn function_list(&self, sort_col: usize) -> Vec<FunctionRow> {
-        let map = self.accumulate(|r| {
-            Some(
-                self.syms
-                    .func_at(r.attr.pc())
-                    .map(|f| f.name.clone())
-                    .unwrap_or_else(|| "<unknown>".to_string()),
-            )
-        });
-        let mut rows: Vec<FunctionRow> = map
+        // Aggregate by interned function id, then fold ids to names
+        // (ids outside every function fold into `<unknown>`).
+        let map = self.kernel(&ByFunc);
+        let mut by_name: HashMap<String, Vec<u64>> = HashMap::new();
+        for (fid, samples) in map {
+            let name = if fid == NO_ID {
+                "<unknown>".to_string()
+            } else {
+                self.syms.funcs[fid as usize].name.clone()
+            };
+            match by_name.entry(name) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (dst, src) in e.get_mut().iter_mut().zip(&samples) {
+                        *dst += src;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(samples);
+                }
+            }
+        }
+        let mut rows: Vec<FunctionRow> = by_name
             .into_iter()
             .map(|(name, samples)| FunctionRow { name, samples })
             .collect();
-        rows.sort_by(|a, b| {
-            b.samples[sort_col]
-                .cmp(&a.samples[sort_col])
-                .then_with(|| a.name.cmp(&b.name))
-        });
+        sort_by_metric(
+            &mut rows,
+            |r| r.samples[sort_col],
+            |a, b| a.name.cmp(&b.name),
+        );
         let mut out = vec![FunctionRow {
             name: "<Total>".to_string(),
             samples: self.totals(),
@@ -137,9 +169,9 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     /// Figure 5: PCs ranked by one metric, with data-object
     /// descriptors.
     pub fn pc_list(&self, sort_col: usize, limit: usize) -> Vec<PcRow> {
-        let map = self.accumulate(|r| Some(r.attr.pc()));
+        let map = self.kernel(&ByPc);
         let mut pcs: Vec<(u64, Vec<u64>)> = map.into_iter().collect();
-        pcs.sort_by(|a, b| b.1[sort_col].cmp(&a.1[sort_col]).then(a.0.cmp(&b.0)));
+        sort_by_metric(&mut pcs, |r| r.1[sort_col], |a, b| a.0.cmp(&b.0));
         pcs.truncate(limit);
         pcs.into_iter()
             .map(|(pc, samples)| {
@@ -194,13 +226,16 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
 
     /// Callers of `func`: which functions the profiled events in
     /// `func` were called from, with sample counts.
+    ///
+    /// Callstacks live in the experiments, not the batch, so this key
+    /// runs on the kernel's serial path.
     pub fn callers_of(&self, func: &str) -> Vec<FunctionRow> {
-        let map = self.accumulate(|r| {
-            let leaf = self.syms.func_at(r.attr.pc())?;
+        let map = self.kernel_serial(&|b: &EventBatch, i: usize| {
+            let leaf = self.syms.func_at(b.pc[i])?;
             if leaf.name != func {
                 return None;
             }
-            let (xi, ei, is_clock) = r.source;
+            let (xi, ei, is_clock) = b.src_of(i);
             let stack = if is_clock {
                 &self.experiments[xi].clock_events()[ei].callstack
             } else {
@@ -217,7 +252,11 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
             .into_iter()
             .map(|(name, samples)| FunctionRow { name, samples })
             .collect();
-        rows.sort_by_key(|r| std::cmp::Reverse(r.samples.iter().sum::<u64>()));
+        sort_by_metric(
+            &mut rows,
+            |r| r.samples.iter().sum::<u64>(),
+            |a, b| a.name.cmp(&b.name),
+        );
         rows
     }
 
@@ -227,31 +266,31 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     /// `func`). Together with [`Analysis::callers_of`] this is the
     /// §2.3 callers/callees view.
     pub fn callees_of(&self, func: &str) -> Vec<FunctionRow> {
-        let map = self.accumulate(|r| {
-            let (xi, ei, is_clock) = r.source;
+        let map = self.kernel_serial(&|b: &EventBatch, i: usize| {
+            let (xi, ei, is_clock) = b.src_of(i);
             let stack = if is_clock {
                 &self.experiments[xi].clock_events()[ei].callstack
             } else {
                 &self.experiments[xi].hwc_events()[ei].callstack
             };
             // Find `func` as the innermost matching frame.
-            let pos = stack.iter().rposition(|&pc| {
-                self.syms.func_at(pc).is_some_and(|f| f.name == func)
-            });
+            let pos = stack
+                .iter()
+                .rposition(|&pc| self.syms.func_at(pc).is_some_and(|f| f.name == func));
             match pos {
-                Some(i) => {
+                Some(p) => {
                     // The frame below `func` is the callee the metric
                     // flows through; the leaf if `func` is the last
                     // call site.
-                    let callee = match stack.get(i + 1) {
+                    let callee = match stack.get(p + 1) {
                         Some(&pc) => self.syms.func_at(pc).map(|f| f.name.clone()),
-                        None => self.syms.func_at(r.attr.pc()).map(|f| f.name.clone()),
+                        None => self.syms.func_at(b.pc[i]).map(|f| f.name.clone()),
                     };
                     Some(callee.unwrap_or_else(|| "<unknown>".to_string()))
                 }
                 None => {
                     // Leaf samples inside `func` itself.
-                    let leaf = self.syms.func_at(r.attr.pc())?;
+                    let leaf = self.syms.func_at(b.pc[i])?;
                     (leaf.name == func).then(|| "<self>".to_string())
                 }
             }
@@ -260,7 +299,11 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
             .into_iter()
             .map(|(name, samples)| FunctionRow { name, samples })
             .collect();
-        rows.sort_by_key(|r| std::cmp::Reverse(r.samples.iter().sum::<u64>()));
+        sort_by_metric(
+            &mut rows,
+            |r| r.samples.iter().sum::<u64>(),
+            |a, b| a.name.cmp(&b.name),
+        );
         rows
     }
 
@@ -297,23 +340,21 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     /// Inclusive metrics: samples whose callstack passes through
     /// `func` (or whose leaf is `func`).
     pub fn inclusive_of(&self, func: &str) -> Vec<u64> {
+        let b = &self.batch;
         let mut out = vec![0u64; self.columns.len()];
-        for r in &self.reduced {
-            let (xi, ei, is_clock) = r.source;
+        for i in 0..b.len() {
+            let (xi, ei, is_clock) = b.src_of(i);
             let stack = if is_clock {
                 &self.experiments[xi].clock_events()[ei].callstack
             } else {
                 &self.experiments[xi].hwc_events()[ei].callstack
             };
-            let leaf_is = self
-                .syms
-                .func_at(r.attr.pc())
-                .is_some_and(|f| f.name == func);
+            let leaf_is = self.syms.func_at(b.pc[i]).is_some_and(|f| f.name == func);
             let on_stack = stack
                 .iter()
                 .any(|&pc| self.syms.func_at(pc).is_some_and(|f| f.name == func));
             if leaf_is || on_stack {
-                out[r.col] += 1;
+                out[b.col[i] as usize] += 1;
             }
         }
         out
@@ -329,9 +370,9 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
 
     /// Column index by title prefix (convenience for tests/benches).
     pub fn col_by_event(&self, event: simsparc_machine::CounterEvent) -> Option<usize> {
-        self.columns.iter().position(
-            |c| matches!(c.kind, ColKind::Hwc { event: e, .. } if e == event),
-        )
+        self.columns
+            .iter()
+            .position(|c| matches!(c.kind, ColKind::Hwc { event: e, .. } if e == event))
     }
 
     /// Column index of the User CPU (clock) column, if any.
@@ -344,9 +385,8 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     /// Fraction of samples in a column attributed to each artificial
     /// or real pc predicate — general helper used by tests.
     pub fn count_where<F: Fn(&Attribution) -> bool>(&self, col: usize, pred: F) -> u64 {
-        self.reduced
-            .iter()
-            .filter(|r| r.col == col && pred(&r.attr))
+        (0..self.batch.len())
+            .filter(|&i| self.batch.col[i] as usize == col && pred(&self.batch.attribution(i)))
             .count() as u64
     }
 }

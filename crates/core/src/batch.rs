@@ -1,0 +1,491 @@
+//! The columnar event pipeline: one batch representation and one
+//! group-by kernel shared by every consumer of profile events.
+//!
+//! The analyzer's views (functions, PCs, source lines, data objects,
+//! address buckets) and the store's multi-experiment histograms all
+//! reduce the same event stream; [`EventBatch`] holds that stream
+//! once, as parallel arrays (struct-of-arrays), and
+//! [`aggregate_by`] folds it under any [`GroupKey`] — serially or
+//! sharded across scoped threads. Sharding splits the index space
+//! into contiguous ranges, fills one private map per shard, and
+//! merges by addition; addition commutes, so the sharded result is
+//! *identical* to the serial one, not merely equivalent.
+//!
+//! Two producer profiles fill batches:
+//!
+//! * **Attributed** batches (built by `analyze::Analysis`): every row
+//!   carries the §2.3 validation verdict ([`AttrTag`]), an interned
+//!   data-object descriptor, the enclosing function id, the source
+//!   line, and the `(experiment, event)` provenance for callstack
+//!   access. Descriptors and function names are interned — the
+//!   batch's symbol side-tables — so rows are fixed-width integers.
+//! * **Plain** batches (built by [`EventBatch::push_plain`], the
+//!   store's streaming readers): only the charged PC, delivered PC,
+//!   candidate PC, and effective address, with the enrichment arrays
+//!   left empty. Accessors return sentinels for the missing columns.
+//!
+//! A batch must be filled by exactly one of the two profiles; mixing
+//! them would misalign the arrays.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use minic::MemDesc;
+
+use crate::analyze::{Attribution, UnknownKind};
+
+/// Sentinel for "no id" in the `u32` columns (function, descriptor).
+pub const NO_ID: u32 = u32::MAX;
+/// Sentinel for "no address" in the `u64` columns (candidate PC, EA).
+pub const NO_ADDR: u64 = u64::MAX;
+/// Sentinel for "no source line" (distinct from a recorded line 0).
+pub const NO_LINE: u32 = u32::MAX;
+
+/// The §2.3 validation verdict of one event, as a fixed-width column
+/// value. `Unknown(Unresolvable)` rows are the *artificial* rows —
+/// either no candidate was found or a branch target blocked the
+/// backtracking — exactly the rows [`Attribution::is_artificial`]
+/// flags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AttrTag {
+    /// No backtracking (or a clock tick): charged to the delivered PC.
+    Plain = 0,
+    /// Validated candidate with a data-object descriptor.
+    Data = 1,
+    UnkUnspecified = 2,
+    UnkUnresolvable = 3,
+    UnkUnascertainable = 4,
+    UnkUnidentified = 5,
+    UnkUnverifiable = 6,
+}
+
+impl AttrTag {
+    pub fn from_unknown(kind: UnknownKind) -> AttrTag {
+        match kind {
+            UnknownKind::Unspecified => AttrTag::UnkUnspecified,
+            UnknownKind::Unresolvable => AttrTag::UnkUnresolvable,
+            UnknownKind::Unascertainable => AttrTag::UnkUnascertainable,
+            UnknownKind::Unidentified => AttrTag::UnkUnidentified,
+            UnknownKind::Unverifiable => AttrTag::UnkUnverifiable,
+        }
+    }
+
+    /// The §3.2.5 taxonomy entry, for the `Unk*` tags.
+    pub fn unknown_kind(self) -> Option<UnknownKind> {
+        match self {
+            AttrTag::Plain | AttrTag::Data => None,
+            AttrTag::UnkUnspecified => Some(UnknownKind::Unspecified),
+            AttrTag::UnkUnresolvable => Some(UnknownKind::Unresolvable),
+            AttrTag::UnkUnascertainable => Some(UnknownKind::Unascertainable),
+            AttrTag::UnkUnidentified => Some(UnknownKind::Unidentified),
+            AttrTag::UnkUnverifiable => Some(UnknownKind::Unverifiable),
+        }
+    }
+}
+
+/// One fully-attributed row, as pushed by the analyzer.
+#[derive(Clone, Debug)]
+pub struct BatchEvent {
+    pub col: usize,
+    /// The PC the metric is charged to (possibly artificial).
+    pub pc: u64,
+    pub delivered_pc: u64,
+    pub candidate_pc: Option<u64>,
+    pub ea: Option<u64>,
+    pub tag: AttrTag,
+    /// Interned descriptor id ([`EventBatch::intern_desc`]) for
+    /// `Data` rows, [`NO_ID`] otherwise.
+    pub desc: u32,
+    /// Index into the symbol table's function list, [`NO_ID`] if the
+    /// charged PC is outside every function.
+    pub func: u32,
+    /// Source line of the charged PC, [`NO_LINE`] if unmapped.
+    pub line: u32,
+    /// (experiment index, event index, is-clock-tick) provenance.
+    pub src: (usize, usize, bool),
+}
+
+/// The columnar event stream: one value per event in each array.
+#[derive(Clone, Debug, Default)]
+pub struct EventBatch {
+    ncols: usize,
+    /// Metric column of each event.
+    pub col: Vec<u32>,
+    /// Charged PC (the attributed — possibly artificial — PC).
+    pub pc: Vec<u64>,
+    pub delivered_pc: Vec<u64>,
+    /// Candidate trigger PC, [`NO_ADDR`] when backtracking found none.
+    pub candidate_pc: Vec<u64>,
+    /// Reconstructed effective address, [`NO_ADDR`] if none.
+    pub ea: Vec<u64>,
+    pub tag: Vec<AttrTag>,
+    /// Interned descriptor ids (attributed batches only).
+    pub desc: Vec<u32>,
+    /// Enclosing-function ids (attributed batches only).
+    pub func: Vec<u32>,
+    /// Source lines (attributed batches only).
+    pub line: Vec<u32>,
+    /// Provenance: experiment index (attributed batches only).
+    pub src_exp: Vec<u32>,
+    /// Provenance: event index within the experiment.
+    pub src_idx: Vec<u32>,
+    /// Provenance: clock tick (`true`) or hwc event (`false`).
+    pub src_clock: Vec<bool>,
+    /// The interned descriptor pool `desc` indexes into.
+    pub descs: Vec<MemDesc>,
+}
+
+impl EventBatch {
+    pub fn new(ncols: usize) -> EventBatch {
+        EventBatch {
+            ncols,
+            ..EventBatch::default()
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.col.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.col.is_empty()
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Intern a data-object descriptor, returning its pool id. The
+    /// pool is scanned linearly — distinct descriptors are bounded by
+    /// the program text, not the event count, and callers cache by PC.
+    pub fn intern_desc(&mut self, desc: &MemDesc) -> u32 {
+        match self.descs.iter().position(|d| d == desc) {
+            Some(i) => i as u32,
+            None => {
+                self.descs.push(desc.clone());
+                (self.descs.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Push one fully-attributed row (analyzer profile).
+    pub fn push(&mut self, ev: BatchEvent) {
+        self.col.push(ev.col as u32);
+        self.pc.push(ev.pc);
+        self.delivered_pc.push(ev.delivered_pc);
+        self.candidate_pc.push(ev.candidate_pc.unwrap_or(NO_ADDR));
+        self.ea.push(ev.ea.unwrap_or(NO_ADDR));
+        self.tag.push(ev.tag);
+        self.desc.push(ev.desc);
+        self.func.push(ev.func);
+        self.line.push(ev.line);
+        self.src_exp.push(ev.src.0 as u32);
+        self.src_idx.push(ev.src.1 as u32);
+        self.src_clock.push(ev.src.2);
+    }
+
+    /// Push one bare histogram row (store profile): no attribution,
+    /// no enrichment columns.
+    pub fn push_plain(
+        &mut self,
+        col: usize,
+        charged_pc: u64,
+        delivered_pc: u64,
+        candidate_pc: Option<u64>,
+        ea: Option<u64>,
+    ) {
+        debug_assert!(self.desc.is_empty(), "mixing plain and attributed rows");
+        self.col.push(col as u32);
+        self.pc.push(charged_pc);
+        self.delivered_pc.push(delivered_pc);
+        self.candidate_pc.push(candidate_pc.unwrap_or(NO_ADDR));
+        self.ea.push(ea.unwrap_or(NO_ADDR));
+        self.tag.push(AttrTag::Plain);
+    }
+
+    pub fn ea_of(&self, i: usize) -> Option<u64> {
+        match self.ea[i] {
+            NO_ADDR => None,
+            ea => Some(ea),
+        }
+    }
+
+    pub fn candidate_of(&self, i: usize) -> Option<u64> {
+        match self.candidate_pc[i] {
+            NO_ADDR => None,
+            pc => Some(pc),
+        }
+    }
+
+    /// Enclosing-function id, [`NO_ID`] for plain batches.
+    pub fn func_of(&self, i: usize) -> u32 {
+        self.func.get(i).copied().unwrap_or(NO_ID)
+    }
+
+    /// Source line, `None` for unmapped PCs and plain batches.
+    pub fn line_of(&self, i: usize) -> Option<u32> {
+        match self.line.get(i).copied().unwrap_or(NO_LINE) {
+            NO_LINE => None,
+            l => Some(l),
+        }
+    }
+
+    /// Provenance of an attributed row.
+    pub fn src_of(&self, i: usize) -> (usize, usize, bool) {
+        (
+            self.src_exp[i] as usize,
+            self.src_idx[i] as usize,
+            self.src_clock[i],
+        )
+    }
+
+    /// Was the row charged to an artificial `<branch target>` /
+    /// unresolvable PC?
+    pub fn is_artificial(&self, i: usize) -> bool {
+        self.tag[i] == AttrTag::UnkUnresolvable
+    }
+
+    /// Reconstruct the full [`Attribution`] of an attributed row.
+    pub fn attribution(&self, i: usize) -> Attribution {
+        let pc = self.pc[i];
+        match self.tag[i] {
+            AttrTag::Plain => Attribution::Plain { pc },
+            AttrTag::Data => Attribution::DataObject {
+                pc,
+                desc: self.descs[self.desc[i] as usize].clone(),
+            },
+            tag => Attribution::Unknown {
+                pc,
+                kind: tag.unknown_kind().unwrap(),
+            },
+        }
+    }
+
+    /// Total sample count per column.
+    pub fn totals(&self) -> Vec<u64> {
+        let mut t = vec![0u64; self.ncols];
+        for &c in &self.col {
+            t[c as usize] += 1;
+        }
+        t
+    }
+}
+
+/// A grouping key for [`aggregate_by`]: maps a batch row to the key
+/// its sample accumulates under, or `None` to skip the row. Closures
+/// `Fn(&EventBatch, usize) -> Option<K>` implement this directly.
+pub trait GroupKey {
+    type Key: Hash + Eq + Clone + Send;
+    fn key(&self, batch: &EventBatch, i: usize) -> Option<Self::Key>;
+}
+
+impl<K, F> GroupKey for F
+where
+    K: Hash + Eq + Clone + Send,
+    F: Fn(&EventBatch, usize) -> Option<K>,
+{
+    type Key = K;
+
+    fn key(&self, batch: &EventBatch, i: usize) -> Option<K> {
+        self(batch, i)
+    }
+}
+
+/// Group by charged PC.
+pub struct ByPc;
+
+impl GroupKey for ByPc {
+    type Key = u64;
+
+    fn key(&self, batch: &EventBatch, i: usize) -> Option<u64> {
+        Some(batch.pc[i])
+    }
+}
+
+/// Group by enclosing-function id ([`NO_ID`] = outside any function).
+pub struct ByFunc;
+
+impl GroupKey for ByFunc {
+    type Key = u32;
+
+    fn key(&self, batch: &EventBatch, i: usize) -> Option<u32> {
+        Some(batch.func_of(i))
+    }
+}
+
+/// Group by (function id, source line); rows without a line are
+/// skipped.
+pub struct ByLine;
+
+impl GroupKey for ByLine {
+    type Key = (u32, u32);
+
+    fn key(&self, batch: &EventBatch, i: usize) -> Option<(u32, u32)> {
+        Some((batch.func_of(i), batch.line_of(i)?))
+    }
+}
+
+/// Group by interned data-object descriptor id (`Data` rows only).
+pub struct ByDesc;
+
+impl GroupKey for ByDesc {
+    type Key = u32;
+
+    fn key(&self, batch: &EventBatch, i: usize) -> Option<u32> {
+        (batch.tag[i] == AttrTag::Data).then(|| batch.desc[i])
+    }
+}
+
+/// Group by effective-address bucket (page, cache line): `ea`
+/// truncated to a power-of-two bucket size. Rows without an EA are
+/// skipped.
+pub struct ByAddrBucket {
+    pub bytes: u64,
+}
+
+impl GroupKey for ByAddrBucket {
+    type Key = u64;
+
+    fn key(&self, batch: &EventBatch, i: usize) -> Option<u64> {
+        debug_assert!(self.bytes.is_power_of_two());
+        Some(batch.ea_of(i)? & !(self.bytes - 1))
+    }
+}
+
+/// Serial group-by fold: one pass over the batch, one sample-count
+/// vector per key. This is the single reduction loop behind every
+/// analyzer view and the store histograms.
+pub fn aggregate_by_serial<G: GroupKey>(
+    batch: &EventBatch,
+    keyer: &G,
+) -> HashMap<G::Key, Vec<u64>> {
+    let mut map: HashMap<G::Key, Vec<u64>> = HashMap::new();
+    scan_range(batch, keyer, 0..batch.len(), &mut map);
+    map
+}
+
+fn scan_range<G: GroupKey>(
+    batch: &EventBatch,
+    keyer: &G,
+    range: std::ops::Range<usize>,
+    map: &mut HashMap<G::Key, Vec<u64>>,
+) {
+    let ncols = batch.ncols();
+    for i in range {
+        if let Some(k) = keyer.key(batch, i) {
+            map.entry(k).or_insert_with(|| vec![0; ncols])[batch.col[i] as usize] += 1;
+        }
+    }
+}
+
+/// Group-by fold with optional sharding: `shards <= 1` runs
+/// [`aggregate_by_serial`] on the calling thread; larger values split
+/// the batch's index space into contiguous ranges across that many
+/// scoped threads and merge the per-shard maps by addition. The
+/// result is identical to the serial path's.
+pub fn aggregate_by<G>(batch: &EventBatch, keyer: &G, shards: usize) -> HashMap<G::Key, Vec<u64>>
+where
+    G: GroupKey + Sync,
+{
+    let shards = shards.max(1).min(batch.len().max(1));
+    if shards == 1 {
+        return aggregate_by_serial(batch, keyer);
+    }
+    let per = batch.len().div_ceil(shards);
+    let shard_maps: Vec<HashMap<G::Key, Vec<u64>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|s| {
+                scope.spawn(move || {
+                    let lo = (s * per).min(batch.len());
+                    let hi = ((s + 1) * per).min(batch.len());
+                    let mut map = HashMap::new();
+                    scan_range(batch, keyer, lo..hi, &mut map);
+                    map
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut out: HashMap<G::Key, Vec<u64>> = HashMap::new();
+    for map in shard_maps {
+        for (k, samples) in map {
+            match out.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (dst, src) in e.get_mut().iter_mut().zip(&samples) {
+                        *dst += src;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(samples);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bag(n: usize) -> EventBatch {
+        let mut b = EventBatch::new(3);
+        for i in 0..n {
+            b.push_plain(
+                i % 3,
+                0x1000 + (i as u64 % 17) * 4,
+                0x1000 + i as u64 * 4,
+                (i % 2 == 0).then_some(0x1000 + (i as u64 % 17) * 4),
+                (i % 5 != 0).then_some(0x4000_0000 + (i as u64 % 29) * 8),
+            );
+        }
+        b
+    }
+
+    #[test]
+    fn serial_and_sharded_agree_on_every_key() {
+        let b = bag(1000);
+        for shards in [2, 3, 7, 16] {
+            assert_eq!(
+                aggregate_by(&b, &ByPc, shards),
+                aggregate_by_serial(&b, &ByPc)
+            );
+            assert_eq!(
+                aggregate_by(&b, &ByAddrBucket { bytes: 64 }, shards),
+                aggregate_by_serial(&b, &ByAddrBucket { bytes: 64 })
+            );
+        }
+    }
+
+    #[test]
+    fn totals_match_kernel_sums() {
+        let b = bag(100);
+        let map = aggregate_by_serial(&b, &ByPc);
+        let mut t = vec![0u64; 3];
+        for samples in map.values() {
+            for (dst, s) in t.iter_mut().zip(samples) {
+                *dst += s;
+            }
+        }
+        assert_eq!(t, b.totals());
+    }
+
+    #[test]
+    fn empty_batch_aggregates_to_nothing() {
+        let b = EventBatch::new(2);
+        assert!(aggregate_by(&b, &ByPc, 8).is_empty());
+        assert_eq!(b.totals(), vec![0, 0]);
+    }
+
+    #[test]
+    fn plain_accessors_return_sentinels() {
+        let mut b = EventBatch::new(1);
+        b.push_plain(0, 0x10, 0x14, None, None);
+        assert_eq!(b.func_of(0), NO_ID);
+        assert_eq!(b.line_of(0), None);
+        assert_eq!(b.ea_of(0), None);
+        assert_eq!(b.candidate_of(0), None);
+        assert!(!b.is_artificial(0));
+    }
+}

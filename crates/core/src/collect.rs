@@ -132,10 +132,7 @@ pub fn reconstruct_ea(
 ) -> Option<u64> {
     let cand = insn_at(text, candidate_pc)?;
     let (rs1, rs2) = cand.mem_addr_regs()?;
-    let clobbers = |insn: &Insn| {
-        insn.dest_reg()
-            .is_some_and(|d| d == rs1 || Some(d) == rs2)
-    };
+    let clobbers = |insn: &Insn| insn.dest_reg().is_some_and(|d| d == rs1 || Some(d) == rs2);
     // The candidate itself (e.g. `ldx [%o3+24], %o3`).
     if clobbers(&cand) {
         return None;
@@ -150,11 +147,12 @@ pub fn reconstruct_ea(
     }
     let base = cpu.reg(rs1);
     let off = match cand {
-        Insn::Load { op2, .. } | Insn::Store { op2, .. } | Insn::Prefetch { op2, .. } => match op2
-        {
-            simsparc_isa::Operand::Imm(v) => v as i64 as u64,
-            simsparc_isa::Operand::Reg(r) => cpu.reg(r),
-        },
+        Insn::Load { op2, .. } | Insn::Store { op2, .. } | Insn::Prefetch { op2, .. } => {
+            match op2 {
+                simsparc_isa::Operand::Imm(v) => v as i64 as u64,
+                simsparc_isa::Operand::Reg(r) => cpu.reg(r),
+            }
+        }
         _ => return None,
     };
     Some(base.wrapping_add(off))
@@ -325,7 +323,10 @@ mod tests {
     #[test]
     fn backtrack_gives_up_outside_text() {
         let text = text_with(&[Insn::Nop, Insn::Nop]);
-        assert_eq!(backtrack(&text, TEXT_BASE + 4, CounterEvent::ECReadMiss), None);
+        assert_eq!(
+            backtrack(&text, TEXT_BASE + 4, CounterEvent::ECReadMiss),
+            None
+        );
     }
 
     #[test]

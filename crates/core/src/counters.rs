@@ -169,7 +169,10 @@ mod tests {
         assert!(parse_counter_spec("nosuch,on").is_err());
         assert!(parse_counter_spec("cycles").is_err());
         assert!(parse_counter_spec("cycles,0").is_err());
-        assert!(parse_counter_spec("+insts,on").is_err(), "insts is not a memory event");
+        assert!(
+            parse_counter_spec("+insts,on").is_err(),
+            "insts is not a memory event"
+        );
         assert!(parse_counter_spec("cycles,on,insts,on,icm,on").is_err());
     }
 
@@ -178,7 +181,9 @@ mod tests {
         let reqs = parse_counter_spec("+ecstall,lo,+ecrm,on").unwrap();
         let slots = assign_slots(&reqs).unwrap();
         assert_ne!(slots[0], slots[1]);
-        assert!(CounterEvent::ECStallCycles.allowed_slots().contains(&slots[0]));
+        assert!(CounterEvent::ECStallCycles
+            .allowed_slots()
+            .contains(&slots[0]));
         assert!(CounterEvent::ECReadMiss.allowed_slots().contains(&slots[1]));
     }
 

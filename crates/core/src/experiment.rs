@@ -14,6 +14,7 @@ use std::path::Path;
 
 use simsparc_machine::{CounterEvent, EventCounts};
 
+use crate::batch::EventBatch;
 use crate::counters::CounterRequest;
 
 /// One hardware-counter overflow event, as recorded by the collector.
@@ -97,6 +98,32 @@ pub trait EventSource {
     fn clock_events(&self) -> &[ClockEvent];
     /// Run summary (exit code, ground-truth counts, clock rate).
     fn run(&self) -> &RunInfo;
+
+    /// Append this source's events to a plain (un-attributed) columnar
+    /// batch: clock ticks land in `clock_col` charged at the tick PC,
+    /// counter `c` overflows land in `hwc_col[c]` charged at the
+    /// candidate trigger PC when the counter was collected with
+    /// backtracking (falling back to the delivered PC), else at the
+    /// delivered PC. This is the single definition of *charge PC*
+    /// shared by the analyzer-independent aggregation paths
+    /// (`memprof-store` and its tools).
+    fn fill_batch(&self, batch: &mut EventBatch, hwc_col: &[usize], clock_col: Option<usize>) {
+        if let Some(col) = clock_col {
+            for ev in self.clock_events() {
+                batch.push_plain(col, ev.pc, ev.pc, None, None);
+            }
+        }
+        let counters = self.counters();
+        for ev in self.hwc_events() {
+            let col = hwc_col[ev.counter];
+            let charged = if counters[ev.counter].backtrack {
+                ev.candidate_pc.unwrap_or(ev.delivered_pc)
+            } else {
+                ev.delivered_pc
+            };
+            batch.push_plain(col, charged, ev.delivered_pc, ev.candidate_pc, ev.ea);
+        }
+    }
 }
 
 impl EventSource for Experiment {
@@ -176,8 +203,12 @@ impl Experiment {
             Some(v) => format!("{v:#x}"),
             None => "-".to_string(),
         };
-        let fmt_stack =
-            |s: &[u64]| s.iter().map(|p| format!("{p:#x}")).collect::<Vec<_>>().join(",");
+        let fmt_stack = |s: &[u64]| {
+            s.iter()
+                .map(|p| format!("{p:#x}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
 
         let mut hwc = String::new();
         for e in &self.hwc_events {

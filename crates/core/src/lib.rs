@@ -55,10 +55,12 @@
 //! ```
 
 pub mod analyze;
+pub mod batch;
 mod collect;
 mod counters;
 mod experiment;
 
+pub use batch::{aggregate_by, aggregate_by_serial, EventBatch, GroupKey};
 pub use collect::{
     backtrack, collect, event_accepts, reconstruct_ea, CollectConfig, CollectError,
     MAX_BACKTRACK_INSNS,

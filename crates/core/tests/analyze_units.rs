@@ -27,16 +27,16 @@ fn table() -> SymbolTable {
     };
     let mut pc_meta = vec![
         // f: idx 0..10
-        meta(member("alpha", 0), true),  // 0: entry, load
-        meta(MemDesc::None, false),      // 1
-        meta(member("beta", 8), false),  // 2: load
-        meta(MemDesc::None, false),      // 3
-        meta(MemDesc::None, true),       // 4: loop head (branch target)
-        meta(member("gamma", 16), false),// 5: load
-        meta(MemDesc::Temporary, false), // 6: spill
-        meta(MemDesc::None, false),      // 7 (no symbolic ref)
-        meta(MemDesc::None, false),      // 8
-        meta(MemDesc::None, false),      // 9
+        meta(member("alpha", 0), true),   // 0: entry, load
+        meta(MemDesc::None, false),       // 1
+        meta(member("beta", 8), false),   // 2: load
+        meta(MemDesc::None, false),       // 3
+        meta(MemDesc::None, true),        // 4: loop head (branch target)
+        meta(member("gamma", 16), false), // 5: load
+        meta(MemDesc::Temporary, false),  // 6: spill
+        meta(MemDesc::None, false),       // 7 (no symbolic ref)
+        meta(MemDesc::None, false),       // 8
+        meta(MemDesc::None, false),       // 9
         // g: idx 10..16
         meta(member("delta", 24), true), // 10: entry
         meta(MemDesc::None, false),      // 11
@@ -261,7 +261,9 @@ fn function_attribution_and_artificial_rows() {
     // The disassembly view shows the artificial row with its metric.
     let dis = a.annotated_disasm("f").unwrap();
     let artificial: Vec<_> = dis.iter().filter(|r| r.artificial).collect();
-    assert!(artificial.iter().any(|r| r.pc == pc(4) && r.samples[0] == 1));
+    assert!(artificial
+        .iter()
+        .any(|r| r.pc == pc(4) && r.samples[0] == 1));
 }
 
 #[test]
@@ -269,10 +271,10 @@ fn data_object_view_counts_by_member_struct() {
     let t = table();
     let exp = experiment(
         vec![
-            event(0, Some(pc(0)), pc(1), vec![]), // alpha
-            event(0, Some(pc(2)), pc(3), vec![]), // beta
-            event(0, Some(pc(2)), pc(3), vec![]), // beta again
-            event(0, Some(pc(6)), pc(7), vec![]), // Temporary -> Unidentified
+            event(0, Some(pc(0)), pc(1), vec![]),   // alpha
+            event(0, Some(pc(2)), pc(3), vec![]),   // beta
+            event(0, Some(pc(2)), pc(3), vec![]),   // beta again
+            event(0, Some(pc(6)), pc(7), vec![]),   // Temporary -> Unidentified
             event(0, Some(pc(17)), pc(18), vec![]), // libc -> Unascertainable
         ],
         vec![],
@@ -343,7 +345,11 @@ fn callers_and_inclusive_attribution() {
     let incl = a.inclusive_of("f");
     assert_eq!(incl.iter().sum::<u64>(), 3, "leaf + f->g hwc + f->g clock");
     let incl_g = a.inclusive_of("g");
-    assert_eq!(incl_g.iter().sum::<u64>(), 3, "all g leaf events (2 hwc + 1 clock)");
+    assert_eq!(
+        incl_g.iter().sum::<u64>(),
+        3,
+        "all g leaf events (2 hwc + 1 clock)"
+    );
 }
 
 #[test]

@@ -1,0 +1,80 @@
+//! Property tests for the shared aggregation kernel: for arbitrary
+//! batches, keyers, and shard counts, the sharded fold must equal the
+//! serial fold *exactly* — same keys, same per-column sums. This is
+//! the contract that lets every view and `mp-store stat` switch
+//! between the paths freely.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use memprof_core::batch::{ByAddrBucket, ByPc};
+use memprof_core::{aggregate_by, aggregate_by_serial, EventBatch};
+
+type RawRow = (usize, u64, bool, u64, bool, u64);
+
+/// Build a plain batch from generated rows `(col, delivered_pc,
+/// has_candidate, candidate_delta, has_ea, ea)`, charging the
+/// candidate when present — the same shape `fill_batch` produces.
+fn build_batch(ncols: usize, rows: &[RawRow]) -> EventBatch {
+    let mut batch = EventBatch::new(ncols);
+    for &(col, delivered, has_cand, cand_delta, has_ea, ea) in rows {
+        let candidate = has_cand.then(|| delivered.wrapping_sub(cand_delta));
+        let charged = candidate.unwrap_or(delivered);
+        batch.push_plain(
+            col % ncols,
+            charged,
+            delivered,
+            candidate,
+            has_ea.then_some(ea),
+        );
+    }
+    batch
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sharded_equals_serial_for_every_shard_count(
+        rows in vec(
+            (
+                0usize..4,
+                0x1_0000u64..0x4_0000,
+                any::<bool>(),
+                0u64..64,
+                any::<bool>(),
+                0u64..0x1_0000,
+            ),
+            0..200,
+        ),
+        shards in 1usize..24,
+    ) {
+        let batch = build_batch(4, &rows);
+
+        let by_pc = aggregate_by_serial(&batch, &ByPc);
+        prop_assert_eq!(aggregate_by(&batch, &ByPc, shards), by_pc.clone());
+
+        let bucket = ByAddrBucket { bytes: 64 };
+        let by_bucket = aggregate_by_serial(&batch, &bucket);
+        prop_assert_eq!(aggregate_by(&batch, &bucket, shards), by_bucket);
+
+        // A filtering closure key (only even PCs in column 0), to
+        // cover keys that skip rows.
+        let keyer = |b: &EventBatch, i: usize| -> Option<u64> {
+            (b.col[i] == 0 && b.pc[i].is_multiple_of(8)).then(|| b.pc[i])
+        };
+        prop_assert_eq!(
+            aggregate_by(&batch, &keyer, shards),
+            aggregate_by_serial(&batch, &keyer)
+        );
+
+        // Totals are the column-wise sums of any exhaustive keying.
+        let mut sums = vec![0u64; 4];
+        for samples in by_pc.values() {
+            for (dst, src) in sums.iter_mut().zip(samples) {
+                *dst += src;
+            }
+        }
+        prop_assert_eq!(batch.totals(), sums);
+    }
+}

@@ -72,11 +72,7 @@ fn corrupt_lines_error_cleanly() {
 fn empty_callstacks_and_missing_ea_round_trip() {
     let d = scratch("edge");
     minimal_valid(&d);
-    std::fs::write(
-        d.join("hwcdata"),
-        "0 0x100000010 - - 0x10000000c 3 []\n",
-    )
-    .unwrap();
+    std::fs::write(d.join("hwcdata"), "0 0x100000010 - - 0x10000000c 3 []\n").unwrap();
     let exp = Experiment::load(&d).unwrap();
     assert_eq!(exp.hwc_events[0].candidate_pc, None);
     assert_eq!(exp.hwc_events[0].ea, None);

@@ -127,7 +127,10 @@ fn estimates_track_ground_truth() {
 
     let truth_stall = exp.run.counts.ec_stall_cycles;
     let truth_ecrm = exp.run.counts.ec_read_miss;
-    assert!(truth_ecrm > 1000, "workload must actually miss: {truth_ecrm}");
+    assert!(
+        truth_ecrm > 1000,
+        "workload must actually miss: {truth_ecrm}"
+    );
 
     let est_stall = exp.estimated_total(0);
     let est_ecrm = exp.estimated_total(1);
@@ -156,10 +159,14 @@ fn backtracking_mostly_finds_the_true_trigger() {
     let col = analysis.col_by_event(CounterEvent::ECReadMiss).unwrap();
     let mut validated = 0u64;
     let mut correct = 0u64;
-    for r in analysis.reduced.iter().filter(|r| r.col == col) {
-        if let Attribution::DataObject { pc, .. } = r.attr {
+    let b = &analysis.batch;
+    for i in 0..b.len() {
+        if b.col[i] as usize != col {
+            continue;
+        }
+        if let Attribution::DataObject { pc, .. } = b.attribution(i) {
             validated += 1;
-            let (xi, ei, _) = r.source;
+            let (xi, ei, _) = b.src_of(i);
             if analysis.experiments[xi].hwc_events[ei].truth_trigger_pc == pc {
                 correct += 1;
             }
@@ -192,7 +199,10 @@ fn dtlbm_is_fully_effective_and_precise() {
         let _ = i;
         assert_eq!(ev.truth_skid, 1);
         if let Some(c) = ev.candidate_pc {
-            assert_eq!(c, ev.truth_trigger_pc, "precise trap must backtrack exactly");
+            assert_eq!(
+                c, ev.truth_trigger_pc,
+                "precise trap must backtrack exactly"
+            );
         }
     }
 }
@@ -237,7 +247,10 @@ fn member_expansion_shows_hot_fields() {
     let col = analysis.col_by_event(CounterEvent::ECReadMiss).unwrap();
     let orientation = &exp_node.members[3];
     assert!(orientation.1.contains("orientation"));
-    assert!(orientation.2[col] > 0, "orientation field should have misses");
+    assert!(
+        orientation.2[col] > 0,
+        "orientation field should have misses"
+    );
 }
 
 #[test]
@@ -312,12 +325,19 @@ fn function_list_and_user_cpu() {
     assert_eq!(rows[0].name, "<Total>");
     // refresh dominates user CPU (12 full traversals vs 1 build).
     let hottest = &rows[1];
-    assert_eq!(hottest.name, "refresh", "hottest function: {:?}", hottest.name);
+    assert_eq!(
+        hottest.name, "refresh",
+        "hottest function: {:?}",
+        hottest.name
+    );
 
     // Clock-estimated user CPU should approximate true run time.
     let est = exp.estimated_user_cpu_secs().unwrap();
     let truth = exp.run.counts.cycles as f64 / exp.run.clock_hz as f64;
-    assert!((est - truth).abs() / truth < 0.02, "est {est} vs truth {truth}");
+    assert!(
+        (est - truth).abs() / truth < 0.02,
+        "est {est} vs truth {truth}"
+    );
 }
 
 #[test]
@@ -326,7 +346,9 @@ fn annotated_views_render() {
     let exp = run_experiment(&program, "+ecstall,997,+ecrm,101", true);
     let analysis = Analysis::new(&[&exp], &program.syms);
 
-    let src = analysis.render_annotated_source("refresh").expect("source view");
+    let src = analysis
+        .render_annotated_source("refresh")
+        .expect("source view");
     assert!(src.contains("node->basic_arc->cost"), "{src}");
 
     let dis = analysis
@@ -334,7 +356,10 @@ fn annotated_views_render() {
         .expect("disasm view");
     assert!(dis.contains("ldx"), "{dis}");
     assert!(dis.contains("<branch target>"), "{dis}");
-    assert!(dis.contains("{structure:node -}{long orientation}"), "{dis}");
+    assert!(
+        dis.contains("{structure:node -}{long orientation}"),
+        "{dis}"
+    );
     assert!(dis.contains("{structure:arc -}{cost_t=long cost}"), "{dis}");
 
     let pcs = analysis.render_pc_list(1, 10);
@@ -401,7 +426,11 @@ fn combined_experiments_give_multi_column_tables() {
     assert_eq!(analysis.columns.len(), 5); // UserCPU + 4 counters
     let rows = analysis.function_list(0);
     let total = &rows[0];
-    assert!(total.samples.iter().all(|&s| s > 0), "all columns populated: {:?}", total.samples);
+    assert!(
+        total.samples.iter().all(|&s| s > 0),
+        "all columns populated: {:?}",
+        total.samples
+    );
 }
 
 #[test]
@@ -480,7 +509,9 @@ fn prefetch_feedback_targets_streams_not_chases() {
         let p = compile_and_link_with_feedback(&[("fb.c", src)], opts, fb).unwrap();
         let mut m = test_machine();
         m.load(&p.image);
-        let out = m.run(2_000_000_000, &mut simsparc_machine::NullHook).unwrap();
+        let out = m
+            .run(2_000_000_000, &mut simsparc_machine::NullHook)
+            .unwrap();
         (out.counts.cycles, out.output)
     };
     let (base_cycles, base_out) = run(&minic::Feedback::default());

@@ -168,7 +168,10 @@ mod tests {
             disasm(&Insn::store_x(Reg::G2, Reg::O3, Operand::Imm(88)), 0),
             "stx  %g2, [%o3 + 88]"
         );
-        assert_eq!(disasm(&Insn::cmp(Reg::O2, Operand::Imm(1)), 0), "cmp  %o2, 1");
+        assert_eq!(
+            disasm(&Insn::cmp(Reg::O2, Operand::Imm(1)), 0),
+            "cmp  %o2, 1"
+        );
         assert_eq!(
             disasm(&Insn::mov(Operand::Reg(Reg::O3), Reg::O5), 0),
             "mov  %o3, %o5"
@@ -286,4 +289,3 @@ mod tests {
         assert_eq!(disasm(&baa, 0x100), "ba,a,pt  %xcc,0x108");
     }
 }
-

@@ -477,9 +477,6 @@ mod tests {
 
     #[test]
     fn mem_width_bytes() {
-        assert_eq!(
-            MemWidth::ALL.map(MemWidth::bytes),
-            [1, 2, 4, 8] as [u64; 4]
-        );
+        assert_eq!(MemWidth::ALL.map(MemWidth::bytes), [1, 2, 4, 8] as [u64; 4]);
     }
 }

@@ -25,13 +25,14 @@ fn arb_insn() -> impl Strategy<Value = Insn> {
     prop_oneof![
         Just(Insn::Nop),
         (0u32..(1 << 21), arb_reg()).prop_map(|(imm21, rd)| Insn::Sethi { imm21, rd }),
-        (cond, any::<bool>(), any::<bool>(), -(1i32 << 20)..(1 << 20))
-            .prop_map(|(cond, annul, pred_taken, disp)| Insn::Branch {
+        (cond, any::<bool>(), any::<bool>(), -(1i32 << 20)..(1 << 20)).prop_map(
+            |(cond, annul, pred_taken, disp)| Insn::Branch {
                 cond,
                 annul,
                 pred_taken,
                 disp
-            }),
+            }
+        ),
         (-(1i32 << 25)..(1 << 25)).prop_map(|disp| Insn::Call { disp }),
         any::<u8>().prop_map(|num| Insn::Trap { num }),
         (arb_reg(), arb_operand(), arb_reg()).prop_map(|(rs1, op2, rd)| Insn::Jmpl {

@@ -48,9 +48,15 @@ const INVALID: u64 = u64::MAX;
 
 impl SetAssocCache {
     pub fn new(config: CacheConfig) -> SetAssocCache {
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let sets = config.sets();
-        assert!(sets.is_power_of_two() && sets > 0, "set count must be a power of two");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "set count must be a power of two"
+        );
         assert!(config.ways >= 1 && config.ways <= 16);
         let total = (sets as usize) * config.ways as usize;
         SetAssocCache {
@@ -210,7 +216,11 @@ mod tests {
         let mut c = tiny(); // 4 lines total
         for round in 0..3 {
             for i in 0..8u64 {
-                assert_eq!(c.access(i * 32), CacheOutcome::Miss, "round {round} line {i}");
+                assert_eq!(
+                    c.access(i * 32),
+                    CacheOutcome::Miss,
+                    "round {round} line {i}"
+                );
             }
         }
     }

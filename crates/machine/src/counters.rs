@@ -116,9 +116,7 @@ impl CounterEvent {
     pub const fn allowed_slots(self) -> &'static [CounterSlot] {
         match self {
             CounterEvent::Cycles | CounterEvent::Insts => &[0, 1],
-            CounterEvent::DCReadMiss
-            | CounterEvent::DTLBMiss
-            | CounterEvent::ECStallCycles => &[0],
+            CounterEvent::DCReadMiss | CounterEvent::DTLBMiss | CounterEvent::ECStallCycles => &[0],
             CounterEvent::ICMiss | CounterEvent::ECRef | CounterEvent::ECReadMiss => &[1],
         }
     }

@@ -506,10 +506,7 @@ impl Machine {
                 op2,
                 rd,
             } => {
-                let ea = self
-                    .cpu
-                    .reg(rs1)
-                    .wrapping_add(self.cpu.operand(op2));
+                let ea = self.cpu.reg(rs1).wrapping_add(self.cpu.operand(op2));
                 let len = width.bytes();
                 if !ea.is_multiple_of(len) {
                     return Err(MachineError::MisalignedAccess { pc, addr: ea, len });
@@ -531,10 +528,7 @@ impl Machine {
                 rs1,
                 op2,
             } => {
-                let ea = self
-                    .cpu
-                    .reg(rs1)
-                    .wrapping_add(self.cpu.operand(op2));
+                let ea = self.cpu.reg(rs1).wrapping_add(self.cpu.operand(op2));
                 let len = width.bytes();
                 if !ea.is_multiple_of(len) {
                     return Err(MachineError::MisalignedAccess { pc, addr: ea, len });
@@ -604,7 +598,7 @@ impl Machine {
                 }
                 n => return Err(MachineError::BadTrap { pc, num: n }),
             },
-            };
+        };
 
         // Retire: advance PC, account cycles and instructions.
         self.cpu.pc = next_pc;
@@ -775,8 +769,7 @@ mod tests {
         assert_eq!(out.counts.ec_read_miss, 8);
         // One 8 KB data page touched -> one DTLB miss.
         assert_eq!(out.counts.dtlb_miss, 1);
-        let expected_stall =
-            8 * m.config.ec_miss_stall + (128 - 8) * m.config.ec_hit_stall;
+        let expected_stall = 8 * m.config.ec_miss_stall + (128 - 8) * m.config.ec_hit_stall;
         assert_eq!(out.counts.ec_stall_cycles, expected_stall);
     }
 
@@ -784,7 +777,10 @@ mod tests {
     fn exit_code_is_o0() {
         use simsparc_isa::Insn as I;
         let img = Image {
-            text: vec![I::mov(Operand::Imm(42), Reg::O0), I::Trap { num: trap::EXIT }],
+            text: vec![
+                I::mov(Operand::Imm(42), Reg::O0),
+                I::Trap { num: trap::EXIT },
+            ],
             data: vec![],
             bss_bytes: 0,
             entry: TEXT_BASE,
@@ -926,9 +922,13 @@ mod tests {
     #[test]
     fn pic_constraint_rejects_wrong_slot() {
         let mut m = Machine::new(MachineConfig::default());
-        assert!(m.program_counter(0, CounterEvent::ECReadMiss, 1000).is_err());
+        assert!(m
+            .program_counter(0, CounterEvent::ECReadMiss, 1000)
+            .is_err());
         assert!(m.program_counter(1, CounterEvent::ECReadMiss, 1000).is_ok());
-        assert!(m.program_counter(0, CounterEvent::ECStallCycles, 1000).is_ok());
+        assert!(m
+            .program_counter(0, CounterEvent::ECStallCycles, 1000)
+            .is_ok());
     }
 
     #[test]
@@ -999,11 +999,11 @@ mod tests {
         // main: call f; nop; ta 0    f: ret; nop
         let img = Image {
             text: vec![
-                I::Call { disp: 3 },     // 0: call f (at index 3)
-                I::Nop,                  // 1: delay
+                I::Call { disp: 3 },         // 0: call f (at index 3)
+                I::Nop,                      // 1: delay
                 I::Trap { num: trap::EXIT }, // 2
-                I::ret(),                // 3: f
-                I::Nop,                  // 4: delay
+                I::ret(),                    // 3: f
+                I::Nop,                      // 4: delay
             ],
             data: vec![],
             bss_bytes: 0,
@@ -1206,5 +1206,3 @@ mod tests {
         assert_eq!(out.counts.ic_miss, 9);
     }
 }
-
-

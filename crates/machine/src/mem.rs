@@ -32,7 +32,9 @@ impl Default for Memory {
 impl Memory {
     pub fn new() -> Memory {
         Memory {
-            pages: (0..(MEM_LIMIT as usize >> PAGE_SHIFT)).map(|_| None).collect(),
+            pages: (0..(MEM_LIMIT as usize >> PAGE_SHIFT))
+                .map(|_| None)
+                .collect(),
             resident_bytes: 0,
         }
     }
@@ -92,7 +94,10 @@ impl Memory {
 
     /// Bulk write used by the loader; `addr` need not be aligned.
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> bool {
-        if addr.checked_add(bytes.len() as u64).is_none_or(|e| e > MEM_LIMIT) {
+        if addr
+            .checked_add(bytes.len() as u64)
+            .is_none_or(|e| e > MEM_LIMIT)
+        {
             return false;
         }
         let mut cur = addr;
@@ -156,8 +161,12 @@ mod tests {
     #[test]
     fn read_write_round_trip_all_widths() {
         let mut m = Memory::new();
-        for (len, val) in [(1u64, 0xab), (2, 0xabcd), (4, 0xdead_beef), (8, 0x0123_4567_89ab_cdef)]
-        {
+        for (len, val) in [
+            (1u64, 0xab),
+            (2, 0xabcd),
+            (4, 0xdead_beef),
+            (8, 0x0123_4567_89ab_cdef),
+        ] {
             let addr = 0x2000_0000 + 64 * len;
             assert!(m.write(addr, len, val));
             assert_eq!(m.read(addr, len), Some(val));

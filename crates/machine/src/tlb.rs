@@ -169,7 +169,10 @@ mod tests {
                 a += stride;
             }
         }
-        assert!(misses_small > 400, "small pages should thrash: {misses_small}");
+        assert!(
+            misses_small > 400,
+            "small pages should thrash: {misses_small}"
+        );
 
         let mut t = Tlb::new(TlbConfig {
             entries: 16,
@@ -193,7 +196,13 @@ mod tests {
         let mut t = Tlb::new(TlbConfig::default());
         t.access(0x4000_0000, 512 * 1024);
         t.access(0x2000_0000, DEFAULT_PAGE_BYTES);
-        assert!(t.access(0x4007_ffff, 512 * 1024), "within the same large page");
-        assert!(t.access(0x2000_1000, DEFAULT_PAGE_BYTES), "within the same small page");
+        assert!(
+            t.access(0x4007_ffff, 512 * 1024),
+            "within the same large page"
+        );
+        assert!(
+            t.access(0x2000_1000, DEFAULT_PAGE_BYTES),
+            "within the same small page"
+        );
     }
 }

@@ -167,7 +167,10 @@ mod tests {
             assert_eq!(x.start_time, y.start_time);
             assert_eq!(x.end_loc, y.end_loc);
         }
-        assert!(a.trips.windows(2).all(|w| w[0].start_time <= w[1].start_time));
+        assert!(a
+            .trips
+            .windows(2)
+            .all(|w| w[0].start_time <= w[1].start_time));
     }
 
     #[test]

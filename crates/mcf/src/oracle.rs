@@ -214,14 +214,23 @@ mod tests {
     use crate::instance::{Instance, InstanceParams};
 
     #[test]
-    fn trivial_two_node_flow()
-    {
+    fn trivial_two_node_flow() {
         let p = McfProblem {
             n: 2,
             supply: vec![3, -3],
             arcs: vec![
-                OArc { from: 0, to: 1, cap: 2, cost: 1 },
-                OArc { from: 0, to: 1, cap: 5, cost: 4 },
+                OArc {
+                    from: 0,
+                    to: 1,
+                    cap: 2,
+                    cost: 1,
+                },
+                OArc {
+                    from: 0,
+                    to: 1,
+                    cap: 5,
+                    cost: 4,
+                },
             ],
         };
         let OracleResult::Optimal { cost, flows } = p.solve() else {
@@ -239,10 +248,30 @@ mod tests {
             n: 4,
             supply: vec![1, 0, 0, -1],
             arcs: vec![
-                OArc { from: 0, to: 1, cap: 1, cost: 1 },
-                OArc { from: 1, to: 3, cap: 1, cost: 1 },
-                OArc { from: 0, to: 2, cap: 1, cost: 5 },
-                OArc { from: 2, to: 3, cap: 1, cost: 5 },
+                OArc {
+                    from: 0,
+                    to: 1,
+                    cap: 1,
+                    cost: 1,
+                },
+                OArc {
+                    from: 1,
+                    to: 3,
+                    cap: 1,
+                    cost: 1,
+                },
+                OArc {
+                    from: 0,
+                    to: 2,
+                    cap: 1,
+                    cost: 5,
+                },
+                OArc {
+                    from: 2,
+                    to: 3,
+                    cap: 1,
+                    cost: 5,
+                },
             ],
         };
         let OracleResult::Optimal { cost, .. } = p.solve() else {
@@ -256,7 +285,12 @@ mod tests {
         let p = McfProblem {
             n: 3,
             supply: vec![1, 0, -1],
-            arcs: vec![OArc { from: 0, to: 1, cap: 1, cost: 1 }],
+            arcs: vec![OArc {
+                from: 0,
+                to: 1,
+                cap: 1,
+                cost: 1,
+            }],
         };
         assert_eq!(p.solve(), OracleResult::Infeasible);
     }

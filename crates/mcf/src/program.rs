@@ -19,9 +19,7 @@
 //! hand-optimized incremental splice (same asymptotics, same access
 //! pattern).
 
-use crate::instance::{
-    Instance, DEADHEAD_COST_PER_MIN, DISTANCE_COST, MIN_PER_DIST,
-};
+use crate::instance::{Instance, DEADHEAD_COST_PER_MIN, DISTANCE_COST, MIN_PER_DIST};
 
 /// Which structure layout to compile with (§3.3 of the paper).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

@@ -1,9 +1,7 @@
 //! Compile, stage, run and verify MCF on the simulated machine.
 
 use minic::{compile_and_link, CompileOptions, Program};
-use simsparc_machine::{
-    CacheConfig, Machine, MachineConfig, NullHook, RunOutcome, TlbConfig,
-};
+use simsparc_machine::{CacheConfig, Machine, MachineConfig, NullHook, RunOutcome, TlbConfig};
 
 use crate::instance::Instance;
 use crate::oracle::{McfProblem, OracleResult};

@@ -3,9 +3,7 @@
 //! same optimal objective as successive-shortest-paths in Rust, for
 //! both structure layouts and several instances.
 
-use mcf::{
-    run_mcf, verify_against_oracle, Instance, InstanceParams, Layout, McfParams,
-};
+use mcf::{run_mcf, verify_against_oracle, Instance, InstanceParams, Layout, McfParams};
 use minic::CompileOptions;
 use simsparc_machine::MachineConfig;
 

@@ -98,7 +98,10 @@ pub enum StmtKind {
         init: Option<Expr>,
     },
     /// `lhs = rhs;`
-    Assign { lhs: Expr, rhs: Expr },
+    Assign {
+        lhs: Expr,
+        rhs: Expr,
+    },
     /// Expression statement (a call, usually).
     Expr(Expr),
     If {

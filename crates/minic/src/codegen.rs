@@ -661,9 +661,7 @@ impl<'a> FnGen<'a> {
                 Ok(())
             }
             HExprKind::Unary(UnOp::Not, _)
-            | HExprKind::Binary(BinOp::LogAnd | BinOp::LogOr, _, _) => {
-                self.gen_bool_value(e, dest)
-            }
+            | HExprKind::Binary(BinOp::LogAnd | BinOp::LogOr, _, _) => self.gen_bool_value(e, dest),
             HExprKind::Binary(op, _, _) if op.is_comparison() => self.gen_bool_value(e, dest),
             HExprKind::Binary(op, l, r) => {
                 // Constant rhs that fits simm13 avoids a register.
@@ -880,12 +878,7 @@ impl<'a> FnGen<'a> {
     // Calls
     // ------------------------------------------------------------------
 
-    fn gen_call(
-        &mut self,
-        target: &CallTarget,
-        args: &[HExpr],
-        dest: Option<Reg>,
-    ) -> Result<()> {
+    fn gen_call(&mut self, target: &CallTarget, args: &[HExpr], dest: Option<Reg>) -> Result<()> {
         let line = self.line;
         match target {
             CallTarget::Builtin(b) => self.gen_builtin(*b, args, line),
@@ -933,8 +926,8 @@ impl<'a> FnGen<'a> {
                 self.line = line;
                 self.emit_reloc(Insn::Call { disp: 0 }, RelocKind::Call(name.clone()));
                 self.emit(Insn::Nop); // delay slot
-                // Capture the result before restoring spills; the
-                // destination is never in `spills` by construction.
+                                      // Capture the result before restoring spills; the
+                                      // destination is never in `spills` by construction.
                 if let Some(d) = dest {
                     if d != Reg::O0 {
                         self.emit(Insn::mov(Operand::Reg(Reg::O0), d));
@@ -1267,9 +1260,10 @@ impl<'a> FnGen<'a> {
         // Move parameters from %o registers to their homes.
         for i in 0..f.param_count {
             match locs[i] {
-                Loc::Reg(home) => {
-                    vcode.push(VInsn::real(Insn::mov(Operand::Reg(ARG_REGS[i]), home), fline))
-                }
+                Loc::Reg(home) => vcode.push(VInsn::real(
+                    Insn::mov(Operand::Reg(ARG_REGS[i]), home),
+                    fline,
+                )),
                 Loc::Frame(off) => vcode.push(VInsn::real(
                     Insn::store_x(ARG_REGS[i], Reg::SP, Operand::Imm(off as i16)),
                     fline,
@@ -1501,9 +1495,7 @@ fn resolve(v: Vec<VInsn>, out: &mut ObjModule) -> Result<()> {
                 });
             }
             VInsn::Br { cond, label, line } => {
-                let target = *label_pos
-                    .get(label)
-                    .expect("branch to undefined label");
+                let target = *label_pos.get(label).expect("branch to undefined label");
                 referenced.insert(*label);
                 let disp = target as i64 - out.insns.len() as i64;
                 out.insns.push(Insn::Branch {

@@ -59,7 +59,11 @@ impl std::fmt::Display for CompileError {
             Phase::Link => "link",
         };
         if self.line > 0 {
-            write!(f, "{}:{}: {phase} error: {}", self.module, self.line, self.message)
+            write!(
+                f,
+                "{}:{}: {phase} error: {}",
+                self.module, self.line, self.message
+            )
         } else {
             write!(f, "{}: {phase} error: {}", self.module, self.message)
         }

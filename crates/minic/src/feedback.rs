@@ -48,7 +48,10 @@ impl Feedback {
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         for h in &self.hints {
-            out.push_str(&format!("prefetch {} {} {}\n", h.function, h.line, h.lookahead));
+            out.push_str(&format!(
+                "prefetch {} {} {}\n",
+                h.function, h.line, h.lookahead
+            ));
         }
         out
     }

@@ -60,15 +60,17 @@ pub fn lex(src: &str, module: &str) -> Result<Vec<Token>> {
                 }
                 let text = &src[digits_start..i];
                 let v = i64::from_str_radix(text, radix).map_err(|_| {
-                    CompileError::lex(module, line, &format!("bad integer literal `{}`", &src[start..i]))
+                    CompileError::lex(
+                        module,
+                        line,
+                        &format!("bad integer literal `{}`", &src[start..i]),
+                    )
                 })?;
                 push!(Tok::Int(v));
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];
@@ -191,7 +193,10 @@ mod tests {
 
     #[test]
     fn hex_literals() {
-        assert_eq!(kinds("0x40 0XFF"), vec![Tok::Int(64), Tok::Int(255), Tok::Eof]);
+        assert_eq!(
+            kinds("0x40 0XFF"),
+            vec![Tok::Int(64), Tok::Int(255), Tok::Eof]
+        );
     }
 
     #[test]

@@ -111,8 +111,7 @@ pub fn runtime_module() -> ObjModule {
         prefetch: false,
         opt: true,
     };
-    compile_module("libc_rt.c", RUNTIME_SOURCE, opts)
-        .expect("runtime module must always compile")
+    compile_module("libc_rt.c", RUNTIME_SOURCE, opts).expect("runtime module must always compile")
 }
 
 /// Compile the given sources with uniform options, add the runtime

@@ -204,9 +204,7 @@ pub fn link(modules: &[ObjModule]) -> Result<Program> {
                             };
                         }
                         _ => {
-                            return Err(CompileError::link(
-                                "relocation does not match instruction",
-                            ))
+                            return Err(CompileError::link("relocation does not match instruction"))
                         }
                     }
                 }

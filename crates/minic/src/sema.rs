@@ -164,7 +164,12 @@ impl Sema {
     }
 
     fn register_signatures(&mut self, m: &Module) -> Result<()> {
-        let add = |sema: &mut Sema, name: &str, params: &[(String, ParsedType)], ret: &ParsedType, line: u32| -> Result<()> {
+        let add = |sema: &mut Sema,
+                   name: &str,
+                   params: &[(String, ParsedType)],
+                   ret: &ParsedType,
+                   line: u32|
+         -> Result<()> {
             let ret = sema.resolve_type(ret, line)?.0;
             let mut ptys = Vec::with_capacity(params.len());
             for (_, pt) in params {
@@ -583,7 +588,9 @@ impl Sema {
                     line,
                     "cannot take the address of a local (locals live in registers)",
                 ),
-                LValue::Mem { base, offset, ty, .. } => {
+                LValue::Mem {
+                    base, offset, ty, ..
+                } => {
                     let addr = add_offset(base, offset, line);
                     Ok(HExpr {
                         kind: addr.kind,
@@ -709,7 +716,10 @@ impl Sema {
         if lh.ty != Type::Long || rh.ty != Type::Long {
             return self.err(
                 line,
-                &format!("operator {op:?} requires long operands, found {:?} and {:?}", lh.ty, rh.ty),
+                &format!(
+                    "operator {op:?} requires long operands, found {:?} and {:?}",
+                    lh.ty, rh.ty
+                ),
             );
         }
         Ok(HExpr {

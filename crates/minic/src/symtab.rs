@@ -95,12 +95,17 @@ impl SymbolTable {
 
     /// The function containing `pc`.
     pub fn func_at(&self, pc: u64) -> Option<&FuncSym> {
+        self.func_index_at(pc).map(|i| &self.funcs[i])
+    }
+
+    /// Index into [`SymbolTable::funcs`] of the function containing
+    /// `pc` — a stable interned function id for columnar consumers.
+    pub fn func_index_at(&self, pc: u64) -> Option<usize> {
         let idx = self
             .funcs
             .partition_point(|f| f.entry <= pc)
             .checked_sub(1)?;
-        let f = &self.funcs[idx];
-        (pc < f.end).then_some(f)
+        (pc < self.funcs[idx].end).then_some(idx)
     }
 
     /// The module containing `pc`.
@@ -225,7 +230,11 @@ impl SymbolTable {
                 g.name,
                 g.addr,
                 g.size,
-                if g.type_desc.is_empty() { "-" } else { &g.type_desc }
+                if g.type_desc.is_empty() {
+                    "-"
+                } else {
+                    &g.type_desc
+                }
             )
             .unwrap();
         }
@@ -362,7 +371,10 @@ impl SymbolTable {
                     if f.len() != 3 {
                         return Err(bad("bad FIELD"));
                     }
-                    let s = t.structs.last_mut().ok_or_else(|| bad("FIELD before STRUCT"))?;
+                    let s = t
+                        .structs
+                        .last_mut()
+                        .ok_or_else(|| bad("FIELD before STRUCT"))?;
                     s.fields.push(crate::types::FieldInfo {
                         name: f[0].to_string(),
                         offset: f[1].parse().map_err(|_| bad("bad offset"))?,
@@ -379,7 +391,11 @@ impl SymbolTable {
                         name: f[0].to_string(),
                         addr: hex(f[1])?,
                         size: f[2].parse().map_err(|_| bad("bad size"))?,
-                        type_desc: if f[3] == "-" { String::new() } else { f[3].to_string() },
+                        type_desc: if f[3] == "-" {
+                            String::new()
+                        } else {
+                            f[3].to_string()
+                        },
                     });
                 }
                 "" => {}

@@ -132,9 +132,21 @@ mod tests {
     fn paper_node_is_120_bytes() {
         // The 15 eight-byte members of the paper's Figure 7.
         let fields: Vec<_> = [
-            "number", "ident", "pred", "child", "sibling", "sibling_prev", "depth",
-            "orientation", "basic_arc", "firstout", "firstin", "potential", "flow",
-            "mark", "time",
+            "number",
+            "ident",
+            "pred",
+            "child",
+            "sibling",
+            "sibling_prev",
+            "depth",
+            "orientation",
+            "basic_arc",
+            "firstout",
+            "firstin",
+            "potential",
+            "flow",
+            "mark",
+            "time",
         ]
         .iter()
         .map(|n| f(n, Type::Long))
@@ -151,11 +163,7 @@ mod tests {
     #[test]
     fn char_packing_and_padding() {
         let (fields, size, align) = layout_fields(
-            vec![
-                f("a", Type::Char),
-                f("b", Type::Long),
-                f("c", Type::Char),
-            ],
+            vec![f("a", Type::Char), f("b", Type::Long), f("c", Type::Char)],
             &[],
         );
         assert_eq!(fields[0].offset, 0);
@@ -175,9 +183,6 @@ mod tests {
     fn pointer_size() {
         assert_eq!(Type::ptr_to(Type::Char).size(&[]), 8);
         assert!(Type::ptr_to(Type::Long).is_ptr());
-        assert_eq!(
-            Type::ptr_to(Type::Long).pointee(),
-            Some(&Type::Long)
-        );
+        assert_eq!(Type::ptr_to(Type::Long).pointee(), Some(&Type::Long));
     }
 }

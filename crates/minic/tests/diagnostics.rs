@@ -5,8 +5,7 @@
 use minic::{compile_module, CompileOptions, Phase};
 
 fn compile_err(src: &str) -> minic::CompileError {
-    compile_module("diag.c", src, CompileOptions::default())
-        .expect_err("program must be rejected")
+    compile_module("diag.c", src, CompileOptions::default()).expect_err("program must be rejected")
 }
 
 #[test]
@@ -45,7 +44,10 @@ fn sema_errors_report_context() {
             "struct s { long a; }; long main() { struct s *p; return p->b; }",
             "no field `b`",
         ),
-        ("long main() { long x; long x; return 0; }", "duplicate local"),
+        (
+            "long main() { long x; long x; return 0; }",
+            "duplicate local",
+        ),
         (
             "struct s { long a; }; long main() { long x; return x->a; }",
             "struct pointer",

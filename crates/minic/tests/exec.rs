@@ -65,8 +65,9 @@ fn bitwise_and_shifts() {
 
 #[test]
 fn comparisons_as_values() {
-    let (code, _) =
-        run("long main() { return (1 < 2) + (2 <= 2) + (3 > 4) + (4 >= 5) + (5 == 5) + (6 != 6); }");
+    let (code, _) = run(
+        "long main() { return (1 < 2) + (2 <= 2) + (3 > 4) + (4 >= 5) + (5 == 5) + (6 != 6); }",
+    );
     assert_eq!(code, 3);
 }
 
@@ -474,8 +475,5 @@ fn too_complex_expression_is_a_clean_error() {
         "long g[8];\nlong f(long x) {{ if (x < 0) {{ x = 0 - x; }} return x % 8; }}\nlong main() {{ long v = 1; return {expr}; }}"
     );
     let err = compile_and_link(&[("deep.c", &src)], CompileOptions::default()).unwrap_err();
-    assert!(
-        err.to_string().contains("expression too complex"),
-        "{err}"
-    );
+    assert!(err.to_string().contains("expression too complex"), "{err}");
 }

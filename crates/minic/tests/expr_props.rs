@@ -105,8 +105,12 @@ fn arb_expr() -> impl Strategy<Value = E> {
     let leaf = prop_oneof![
         (-4096i64..=4095).prop_map(E::Const),
         // Large constants exercise sethi/or materialization.
-        prop_oneof![Just(1_000_000_000i64), Just(-999_999_937i64), Just(123_456_789i64)]
-            .prop_map(E::Const),
+        prop_oneof![
+            Just(1_000_000_000i64),
+            Just(-999_999_937i64),
+            Just(123_456_789i64)
+        ]
+        .prop_map(E::Const),
         (0u8..3).prop_map(E::Var),
     ];
     leaf.prop_recursive(5, 64, 3, |inner| {
@@ -128,8 +132,7 @@ fn arb_expr() -> impl Strategy<Value = E> {
             (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Le(Box::new(l), Box::new(r))),
             (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Eq(Box::new(l), Box::new(r))),
             (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Ne(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| E::LogAnd(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::LogAnd(Box::new(l), Box::new(r))),
             (inner.clone(), inner.clone()).prop_map(|(l, r)| E::LogOr(Box::new(l), Box::new(r))),
         ]
     })

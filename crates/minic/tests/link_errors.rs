@@ -15,11 +15,19 @@ fn missing_main_is_a_link_error() {
 
 #[test]
 fn duplicate_function_across_modules() {
-    let m1 = compile_module("a.c", "long f() { return 1; } long main() { return f(); }", opts())
-        .unwrap();
+    let m1 = compile_module(
+        "a.c",
+        "long f() { return 1; } long main() { return f(); }",
+        opts(),
+    )
+    .unwrap();
     let m2 = compile_module("b.c", "long f() { return 2; }", opts()).unwrap();
     let err = link(&[m1, m2]).unwrap_err();
-    assert!(err.to_string().contains("duplicate definition of function `f`"), "{err}");
+    assert!(
+        err.to_string()
+            .contains("duplicate definition of function `f`"),
+        "{err}"
+    );
 }
 
 #[test]
@@ -27,7 +35,11 @@ fn duplicate_global_across_modules() {
     let m1 = compile_module("a.c", "long g; long main() { return g; }", opts()).unwrap();
     let m2 = compile_module("b.c", "long g;", opts()).unwrap();
     let err = link(&[m1, m2]).unwrap_err();
-    assert!(err.to_string().contains("duplicate definition of global `g`"), "{err}");
+    assert!(
+        err.to_string()
+            .contains("duplicate definition of global `g`"),
+        "{err}"
+    );
 }
 
 #[test]
@@ -39,15 +51,25 @@ fn undefined_function_call() {
     )
     .unwrap();
     let err = link(&[m]).unwrap_err();
-    assert!(err.to_string().contains("undefined function `nothere`"), "{err}");
+    assert!(
+        err.to_string().contains("undefined function `nothere`"),
+        "{err}"
+    );
 }
 
 #[test]
 fn undefined_extern_global() {
-    let m = compile_module("a.c", "extern long missing; long main() { return missing; }", opts())
-        .unwrap();
+    let m = compile_module(
+        "a.c",
+        "extern long missing; long main() { return missing; }",
+        opts(),
+    )
+    .unwrap();
     let err = link(&[m, runtime_module()]).unwrap_err();
-    assert!(err.to_string().contains("undefined global `missing`"), "{err}");
+    assert!(
+        err.to_string().contains("undefined global `missing`"),
+        "{err}"
+    );
 }
 
 #[test]
@@ -103,7 +125,9 @@ fn same_struct_layout_merges_fine() {
     let mut m = simsparc_machine::Machine::new(simsparc_machine::MachineConfig::default());
     m.load(&program.image);
     assert_eq!(
-        m.run(10_000, &mut simsparc_machine::NullHook).unwrap().exit_code,
+        m.run(10_000, &mut simsparc_machine::NullHook)
+            .unwrap()
+            .exit_code,
         9
     );
 }

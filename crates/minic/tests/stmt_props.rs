@@ -78,11 +78,9 @@ fn render_stmts(stmts: &[S], depth: usize, out: &mut String) {
     for s in stmts {
         match s {
             S::Assign(i, e) => out.push_str(&format!("{pad}v{i} = {};\n", e.render())),
-            S::Store(i, e) => out.push_str(&format!(
-                "{pad}g[idx({})] = {};\n",
-                i.render(),
-                e.render()
-            )),
+            S::Store(i, e) => {
+                out.push_str(&format!("{pad}g[idx({})] = {};\n", i.render(), e.render()))
+            }
             S::If(c, t, f) => {
                 out.push_str(&format!("{pad}if ({}) {{\n", c.render()));
                 render_stmts(t, depth + 1, out);

@@ -7,19 +7,23 @@
 //! experiment an event came from, so runs of the same collection
 //! recipe fold together.
 //!
-//! The parallel path shards each experiment's event slice across
-//! scoped threads; every shard fills a private `HashMap`, and the
-//! shard maps are folded into one `BTreeMap` at the end. Addition is
-//! commutative and the final map is ordered, so the result is
-//! *identical* — not just equivalent — to the serial path's, which the
-//! tests assert byte-for-byte on the rendered output.
+//! The reduction itself is no longer private to this crate: sources
+//! fill a columnar [`memprof_core::EventBatch`] (the charge-PC rule
+//! lives in [`EventSource::fill_batch`] and its packed-store twin),
+//! and the per-PC histogram is one [`memprof_core::aggregate_by`]
+//! call — the same kernel every analyzer view runs on. The sharded
+//! path merges commutative sums into an ordered `BTreeMap`, so serial
+//! and parallel results are *identical* — not just equivalent — which
+//! the tests assert byte-for-byte on the rendered output.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use memprof_core::EventSource;
+use memprof_core::batch::ByPc;
+use memprof_core::{aggregate_by, CounterRequest, EventBatch, EventSource};
 use simsparc_machine::CounterEvent;
 
+use crate::stream::EventStream;
 use crate::StoreError;
 
 /// What one aggregate column measures.
@@ -53,32 +57,26 @@ pub struct Aggregate {
     pub totals: Vec<u64>,
 }
 
-/// The PC a raw event's sample is charged to: the backtracked
-/// candidate trigger when one exists, the delivered PC otherwise.
-/// This is the raw histogram the paper's tools summarize with; full
-/// validation against branch-target tables lives in the analyzer.
-fn charge_pc(candidate_pc: Option<u64>, delivered_pc: u64, backtrack: bool) -> u64 {
-    if backtrack {
-        candidate_pc.unwrap_or(delivered_pc)
-    } else {
-        delivered_pc
-    }
-}
-
-/// Build the deduplicated column list for a set of experiments, in
-/// first-seen order (clock first, mirroring the analyzer).
-fn column_specs<S: EventSource + ?Sized>(exps: &[&S]) -> Vec<ColSpec> {
+/// Build the deduplicated column list for a set of collection-recipe
+/// headers `(clock_period, counters)`, in first-seen order (clock
+/// first, mirroring the analyzer), plus the per-source resolution of
+/// every counter (and the clock) to its column index, so event scans
+/// are a plain array lookup.
+#[allow(clippy::type_complexity)]
+fn resolve_columns(
+    headers: &[(Option<u64>, &[CounterRequest])],
+) -> (Vec<ColSpec>, Vec<Vec<usize>>, Vec<Option<usize>>) {
     let mut columns: Vec<ColSpec> = Vec::new();
-    for exp in exps {
-        if let Some(period) = exp.clock_period() {
-            let spec = ColSpec::Clock { period };
+    for (period, _) in headers {
+        if let Some(period) = period {
+            let spec = ColSpec::Clock { period: *period };
             if !columns.contains(&spec) {
                 columns.push(spec);
             }
         }
     }
-    for exp in exps {
-        for req in exp.counters() {
+    for (_, counters) in headers {
+        for req in *counters {
             let spec = ColSpec::Hwc {
                 event: req.event,
                 backtrack: req.backtrack,
@@ -89,76 +87,17 @@ fn column_specs<S: EventSource + ?Sized>(exps: &[&S]) -> Vec<ColSpec> {
             }
         }
     }
-    columns
-}
-
-type ShardMap = HashMap<u64, Vec<u64>>;
-
-/// One shard's contribution: scan `[lo, hi)` of every experiment's
-/// event lists into a private map.
-fn scan_shard<S: EventSource + ?Sized>(
-    exps: &[&S],
-    columns: &[ColSpec],
-    col_of: &[Vec<usize>],
-    clock_col_of: &[Option<usize>],
-    shard: usize,
-    shards: usize,
-) -> (ShardMap, Vec<u64>) {
-    let ncols = columns.len();
-    let mut map: ShardMap = HashMap::new();
-    let mut totals = vec![0u64; ncols];
-    let mut bump = |pc: u64, col: usize| {
-        map.entry(pc).or_insert_with(|| vec![0; ncols])[col] += 1;
-        totals[col] += 1;
-    };
-    let range = |len: usize| {
-        let per = len.div_ceil(shards);
-        let lo = (shard * per).min(len);
-        let hi = ((shard + 1) * per).min(len);
-        lo..hi
-    };
-    for (xi, exp) in exps.iter().enumerate() {
-        if let Some(col) = clock_col_of[xi] {
-            let events = exp.clock_events();
-            for ev in &events[range(events.len())] {
-                bump(ev.pc, col);
-            }
-        }
-        let events = exp.hwc_events();
-        for ev in &events[range(events.len())] {
-            let col = col_of[xi][ev.counter];
-            let backtrack = matches!(columns[col], ColSpec::Hwc { backtrack: true, .. });
-            bump(charge_pc(ev.candidate_pc, ev.delivered_pc, backtrack), col);
-        }
-    }
-    (map, totals)
-}
-
-/// Aggregate a set of experiments into a per-PC histogram.
-///
-/// `shards = 1` runs serially on the calling thread; larger values
-/// split the event lists across that many scoped threads. The result
-/// is identical either way.
-pub fn aggregate<S: EventSource + ?Sized + Sync>(
-    exps: &[&S],
-    shards: usize,
-) -> Result<Aggregate, StoreError> {
-    let shards = shards.max(1);
-    let columns = column_specs(exps);
-
-    // Pre-resolve every (experiment, counter) to its column index so
-    // the scan loop is a plain array lookup.
-    let mut col_of: Vec<Vec<usize>> = Vec::with_capacity(exps.len());
-    let mut clock_col_of: Vec<Option<usize>> = Vec::with_capacity(exps.len());
-    for exp in exps {
-        clock_col_of.push(exp.clock_period().map(|period| {
+    let mut col_of: Vec<Vec<usize>> = Vec::with_capacity(headers.len());
+    let mut clock_col_of: Vec<Option<usize>> = Vec::with_capacity(headers.len());
+    for (period, counters) in headers {
+        clock_col_of.push(period.map(|period| {
             columns
                 .iter()
                 .position(|c| *c == ColSpec::Clock { period })
                 .unwrap()
         }));
         col_of.push(
-            exp.counters()
+            counters
                 .iter()
                 .map(|req| {
                     let spec = ColSpec::Hwc {
@@ -171,6 +110,36 @@ pub fn aggregate<S: EventSource + ?Sized + Sync>(
                 .collect(),
         );
     }
+    (columns, col_of, clock_col_of)
+}
+
+/// Reduce a filled batch to the final histogram: one shared-kernel
+/// call, folded into an ordered map. Addition commutes and the
+/// `BTreeMap` fixes the iteration order, so serial and sharded
+/// results are equal.
+fn finish(columns: Vec<ColSpec>, batch: &EventBatch, shards: usize) -> Aggregate {
+    let map = aggregate_by(batch, &ByPc, shards);
+    Aggregate {
+        columns,
+        pc_samples: map.into_iter().collect::<BTreeMap<u64, Vec<u64>>>(),
+        totals: batch.totals(),
+    }
+}
+
+/// Aggregate a set of experiments into a per-PC histogram.
+///
+/// `shards = 1` runs serially on the calling thread; larger values
+/// split the batch across that many scoped threads. The result is
+/// identical either way.
+pub fn aggregate<S: EventSource + ?Sized>(
+    exps: &[&S],
+    shards: usize,
+) -> Result<Aggregate, StoreError> {
+    let headers: Vec<(Option<u64>, &[CounterRequest])> = exps
+        .iter()
+        .map(|e| (e.clock_period(), e.counters()))
+        .collect();
+    let (columns, col_of, clock_col_of) = resolve_columns(&headers);
     for exp in exps {
         for ev in exp.hwc_events() {
             if ev.counter >= exp.counters().len() {
@@ -178,48 +147,27 @@ pub fn aggregate<S: EventSource + ?Sized + Sync>(
             }
         }
     }
-
-    let shard_results: Vec<(ShardMap, Vec<u64>)> = if shards == 1 {
-        vec![scan_shard(exps, &columns, &col_of, &clock_col_of, 0, 1)]
-    } else {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..shards)
-                .map(|s| {
-                    let columns = &columns;
-                    let col_of = &col_of;
-                    let clock_col_of = &clock_col_of;
-                    scope.spawn(move || {
-                        scan_shard(exps, columns, col_of, clock_col_of, s, shards)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-    };
-
-    // Final merge: fold the shard maps into one ordered map. The fold
-    // order cannot matter — addition commutes — and the BTreeMap fixes
-    // the iteration order, so serial and parallel results are equal.
-    let ncols = columns.len();
-    let mut pc_samples: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
-    let mut totals = vec![0u64; ncols];
-    for (map, shard_totals) in shard_results {
-        for (pc, samples) in map {
-            let slot = pc_samples.entry(pc).or_insert_with(|| vec![0; ncols]);
-            for (dst, src) in slot.iter_mut().zip(&samples) {
-                *dst += src;
-            }
-        }
-        for (dst, src) in totals.iter_mut().zip(&shard_totals) {
-            *dst += src;
-        }
+    let mut batch = EventBatch::new(columns.len());
+    for (xi, exp) in exps.iter().enumerate() {
+        exp.fill_batch(&mut batch, &col_of[xi], clock_col_of[xi]);
     }
+    Ok(finish(columns, &batch, shards))
+}
 
-    Ok(Aggregate {
-        columns,
-        pc_samples,
-        totals,
-    })
+/// Aggregate a set of opened [`EventStream`]s — packed stores stream
+/// their event segments straight into the batch without ever
+/// materializing an `Experiment`.
+pub fn aggregate_streams(streams: &[EventStream], shards: usize) -> Result<Aggregate, StoreError> {
+    let headers: Vec<(Option<u64>, &[CounterRequest])> = streams
+        .iter()
+        .map(|s| (s.clock_period(), s.counters()))
+        .collect();
+    let (columns, col_of, clock_col_of) = resolve_columns(&headers);
+    let mut batch = EventBatch::new(columns.len());
+    for (xi, stream) in streams.iter().enumerate() {
+        stream.fill_batch(&mut batch, &col_of[xi], clock_col_of[xi])?;
+    }
+    Ok(finish(columns, &batch, shards))
 }
 
 impl Aggregate {
@@ -276,8 +224,16 @@ pub fn diff_aggregates(a: &Aggregate, b: &Aggregate) -> Result<AggDiff, StoreErr
     if a.columns != b.columns {
         return Err(StoreError::Incompatible(format!(
             "column sets differ: [{}] vs [{}]",
-            a.columns.iter().map(|c| c.title()).collect::<Vec<_>>().join(", "),
-            b.columns.iter().map(|c| c.title()).collect::<Vec<_>>().join(", "),
+            a.columns
+                .iter()
+                .map(|c| c.title())
+                .collect::<Vec<_>>()
+                .join(", "),
+            b.columns
+                .iter()
+                .map(|c| c.title())
+                .collect::<Vec<_>>()
+                .join(", "),
         )));
     }
     let ncols = a.columns.len();

@@ -144,7 +144,10 @@ fn put_hwc_event(out: &mut Vec<u8>, gap: u64, ev: &HwcEvent) {
     if let Some(ea) = ev.ea {
         put_u64(out, ea);
     }
-    put_i64(out, ev.truth_trigger_pc.wrapping_sub(ev.delivered_pc) as i64);
+    put_i64(
+        out,
+        ev.truth_trigger_pc.wrapping_sub(ev.delivered_pc) as i64,
+    );
     put_u64(out, ev.truth_skid as u64);
     put_stack(out, &ev.callstack);
 }
@@ -172,8 +175,8 @@ pub(crate) fn get_hwc_event(
         None
     };
     let truth_trigger_pc = delivered_pc.wrapping_add(cur.get_i64()? as u64);
-    let truth_skid = u32::try_from(cur.get_u64()?)
-        .map_err(|_| StoreError::Corrupt("skid overflows u32"))?;
+    let truth_skid =
+        u32::try_from(cur.get_u64()?).map_err(|_| StoreError::Corrupt("skid overflows u32"))?;
     let callstack = get_stack(cur)?;
     Ok((
         gap,
@@ -326,8 +329,8 @@ pub(crate) fn parse_store(bytes: &[u8]) -> Result<ParsedStore, StoreError> {
     let mut counters = Vec::with_capacity(n_counters);
     for _ in 0..n_counters {
         let name = get_str(&mut cur, 256)?;
-        let event = CounterEvent::parse(&name)
-            .ok_or(StoreError::Corrupt("unknown counter event name"))?;
+        let event =
+            CounterEvent::parse(&name).ok_or(StoreError::Corrupt("unknown counter event name"))?;
         let backtrack = match cur.take_byte()? {
             0 => false,
             1 => true,

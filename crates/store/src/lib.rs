@@ -25,15 +25,19 @@
 mod aggregate;
 mod format;
 mod reader;
+mod stream;
 mod varint;
 
 use std::path::{Path, PathBuf};
 
-use memprof_core::Experiment;
+use memprof_core::{CounterRequest, Experiment};
 
-pub use aggregate::{aggregate, diff_aggregates, AggDiff, Aggregate, ColSpec, DiffRow};
+pub use aggregate::{
+    aggregate, aggregate_streams, diff_aggregates, AggDiff, Aggregate, ColSpec, DiffRow,
+};
 pub use format::{pack_dir, pack_experiment, unpack_to_dir, ATTACHMENT_FILES};
 pub use reader::{ClockIter, HwcIter, StoreFile};
+pub use stream::EventStream;
 
 /// Everything that can go wrong opening, decoding, or combining
 /// stores.
@@ -147,28 +151,46 @@ fn scratch_path(tag: &str) -> PathBuf {
     ))
 }
 
-/// Check that two experiments were collected with the same recipe —
-/// the precondition for folding their events together.
-fn check_compatible(a: &Experiment, b: &Experiment) -> Result<(), StoreError> {
-    if a.counters != b.counters {
+/// Check that two collection-recipe headers line up — the
+/// precondition for folding their events together. Works on header
+/// fields alone, so a packed store never needs decoding to be
+/// checked.
+fn check_compatible_headers(
+    counters_a: &[CounterRequest],
+    period_a: Option<u64>,
+    hz_a: u64,
+    counters_b: &[CounterRequest],
+    period_b: Option<u64>,
+    hz_b: u64,
+) -> Result<(), StoreError> {
+    if counters_a != counters_b {
         return Err(StoreError::Incompatible(format!(
-            "counter sets differ: {:?} vs {:?}",
-            a.counters, b.counters
+            "counter sets differ: {counters_a:?} vs {counters_b:?}"
         )));
     }
-    if a.clock_period != b.clock_period {
+    if period_a != period_b {
         return Err(StoreError::Incompatible(format!(
-            "clock profiling differs: {:?} vs {:?}",
-            a.clock_period, b.clock_period
+            "clock profiling differs: {period_a:?} vs {period_b:?}"
         )));
     }
-    if a.run.clock_hz != b.run.clock_hz {
+    if hz_a != hz_b {
         return Err(StoreError::Incompatible(format!(
-            "clock rates differ: {} vs {}",
-            a.run.clock_hz, b.run.clock_hz
+            "clock rates differ: {hz_a} vs {hz_b}"
         )));
     }
     Ok(())
+}
+
+/// Check that two experiments were collected with the same recipe.
+fn check_compatible(a: &Experiment, b: &Experiment) -> Result<(), StoreError> {
+    check_compatible_headers(
+        &a.counters,
+        a.clock_period,
+        a.run.clock_hz,
+        &b.counters,
+        b.clock_period,
+        b.run.clock_hz,
+    )
 }
 
 /// Merge already-loaded experiments collected with the same recipe
@@ -232,22 +254,31 @@ pub fn merge_experiments(refs: &[ExperimentRef]) -> Result<Experiment, StoreErro
 /// [`AggDiff::render`] or, with a symbol table,
 /// [`AggDiff::render_by_function`].
 pub fn diff_experiments(a: &ExperimentRef, b: &ExperimentRef) -> Result<AggDiff, StoreError> {
-    let ea = a.load()?;
-    let eb = b.load()?;
-    check_compatible(&ea, &eb)?;
-    let agg_a = aggregate(&[&ea], 1)?;
-    let agg_b = aggregate(&[&eb], 1)?;
+    let sa = EventStream::open(a)?;
+    let sb = EventStream::open(b)?;
+    // Compatibility is a header property; packed stores are checked
+    // (and then aggregated) without decoding a full experiment.
+    check_compatible_headers(
+        sa.counters(),
+        sa.clock_period(),
+        sa.clock_hz(),
+        sb.counters(),
+        sb.clock_period(),
+        sb.clock_hz(),
+    )?;
+    let agg_a = aggregate_streams(std::slice::from_ref(&sa), 1)?;
+    let agg_b = aggregate_streams(std::slice::from_ref(&sb), 1)?;
     diff_aggregates(&agg_a, &agg_b)
 }
 
-/// Convenience for tools: aggregate whatever `refs` point at.
+/// Convenience for tools: aggregate whatever `refs` point at,
+/// streaming packed stores rather than loading them.
 pub fn aggregate_refs(refs: &[ExperimentRef], shards: usize) -> Result<Aggregate, StoreError> {
-    let exps = refs
+    let streams = refs
         .iter()
-        .map(|r| r.load())
-        .collect::<Result<Vec<Experiment>, StoreError>>()?;
-    let views: Vec<&Experiment> = exps.iter().collect();
-    aggregate(&views, shards)
+        .map(EventStream::open)
+        .collect::<Result<Vec<EventStream>, StoreError>>()?;
+    aggregate_streams(&streams, shards)
 }
 
 #[cfg(test)]
@@ -368,8 +399,7 @@ mod tests {
         assert_eq!(store.hwc_count(0), 2);
         assert_eq!(store.hwc_count(1), 1);
         assert_eq!(store.clock_count(), 2);
-        let evs: Vec<(u64, HwcEvent)> =
-            store.hwc_events(0).collect::<Result<_, _>>().unwrap();
+        let evs: Vec<(u64, HwcEvent)> = store.hwc_events(0).collect::<Result<_, _>>().unwrap();
         assert_eq!(evs[0].0, 0);
         assert_eq!(evs[1].0, 2);
         assert_eq!(evs[0].1, exp.hwc_events[0]);

@@ -9,7 +9,7 @@
 
 use std::path::Path;
 
-use memprof_core::{ClockEvent, CounterRequest, Experiment, HwcEvent, RunInfo};
+use memprof_core::{ClockEvent, CounterRequest, EventBatch, Experiment, HwcEvent, RunInfo};
 
 use crate::format::{
     get_clock_event, get_hwc_event, parse_store, ParsedStore, Segment, SEG_CLOCK, SEG_HWC,
@@ -119,6 +119,47 @@ impl StoreFile {
                 remaining: 0,
             },
         }
+    }
+
+    /// Stream the store's events into a plain columnar batch without
+    /// materializing an [`Experiment`]: the packed-store counterpart
+    /// of [`memprof_core::EventSource::fill_batch`], with the same
+    /// charge-PC rule (candidate trigger for backtracked counters,
+    /// delivered PC otherwise). Events are visited per segment, so
+    /// only one decoded event is live at a time.
+    pub fn fill_batch(
+        &self,
+        batch: &mut EventBatch,
+        hwc_col: &[usize],
+        clock_col: Option<usize>,
+    ) -> Result<(), StoreError> {
+        if let Some(col) = clock_col {
+            for ev in self.clock_events() {
+                let ev = ev?;
+                batch.push_plain(col, ev.pc, ev.pc, None, None);
+            }
+        }
+        for (ci, req) in self.counters().iter().enumerate() {
+            let col = hwc_col[ci];
+            for item in self.hwc_events(ci) {
+                let (_, ev) = item?;
+                let charged = if req.backtrack {
+                    ev.candidate_pc.unwrap_or(ev.delivered_pc)
+                } else {
+                    ev.delivered_pc
+                };
+                batch.push_plain(col, charged, ev.delivered_pc, ev.candidate_pc, ev.ea);
+            }
+        }
+        Ok(())
+    }
+
+    /// Total recorded overflow events across all counters, straight
+    /// from the segment index (no decoding).
+    pub fn hwc_total(&self) -> usize {
+        (0..self.parsed.counters.len())
+            .map(|ci| self.hwc_count(ci))
+            .sum()
     }
 
     /// Decode the full store back into an [`Experiment`], merging the

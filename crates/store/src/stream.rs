@@ -1,0 +1,104 @@
+//! [`EventStream`] — a uniform, header-first handle on an experiment
+//! in either on-disk representation.
+//!
+//! Tools that only aggregate (`mp-store stat`, `diff`) need the
+//! collection recipe, a few run-summary fields, and one pass over the
+//! events. For a packed store all of that is available without
+//! decoding the full experiment: the header parses eagerly and the
+//! event segments stream straight into a columnar
+//! [`memprof_core::EventBatch`]. Text directories have no sub-file
+//! index, so they load fully — but through the same interface, so the
+//! callers cannot tell the difference.
+
+use memprof_core::{CounterRequest, EventBatch, EventSource, Experiment};
+
+use crate::reader::StoreFile;
+use crate::{ExperimentRef, StoreError};
+
+/// An experiment opened just far enough to aggregate it.
+pub enum EventStream {
+    /// A text directory, fully loaded (the format has no index to
+    /// stream from).
+    Loaded(Experiment),
+    /// A packed store: header parsed, events still encoded.
+    Packed(StoreFile),
+}
+
+impl EventStream {
+    /// Open a reference with the cheapest representation available.
+    pub fn open(r: &ExperimentRef) -> Result<EventStream, StoreError> {
+        match r {
+            ExperimentRef::TextDir(dir) => Ok(EventStream::Loaded(Experiment::load(dir)?)),
+            ExperimentRef::Packed(file) => Ok(EventStream::Packed(StoreFile::open(file)?)),
+        }
+    }
+
+    pub fn counters(&self) -> &[CounterRequest] {
+        match self {
+            EventStream::Loaded(e) => &e.counters,
+            EventStream::Packed(s) => s.counters(),
+        }
+    }
+
+    pub fn clock_period(&self) -> Option<u64> {
+        match self {
+            EventStream::Loaded(e) => e.clock_period,
+            EventStream::Packed(s) => s.clock_period(),
+        }
+    }
+
+    pub fn clock_hz(&self) -> u64 {
+        match self {
+            EventStream::Loaded(e) => e.run.clock_hz,
+            EventStream::Packed(s) => s.run().clock_hz,
+        }
+    }
+
+    pub fn exit_code(&self) -> i64 {
+        match self {
+            EventStream::Loaded(e) => e.run.exit_code,
+            EventStream::Packed(s) => s.run().exit_code,
+        }
+    }
+
+    /// Total overflow events across all counters (from the segment
+    /// index when packed).
+    pub fn hwc_total(&self) -> usize {
+        match self {
+            EventStream::Loaded(e) => e.hwc_events.len(),
+            EventStream::Packed(s) => s.hwc_total(),
+        }
+    }
+
+    /// Total clock-profiling ticks.
+    pub fn clock_total(&self) -> usize {
+        match self {
+            EventStream::Loaded(e) => e.clock_events.len(),
+            EventStream::Packed(s) => s.clock_count(),
+        }
+    }
+
+    /// Append this source's events to a plain columnar batch, with
+    /// counter `c` landing in column `hwc_col[c]` and clock ticks in
+    /// `clock_col`. Shares the charge-PC rule with
+    /// [`EventSource::fill_batch`].
+    pub fn fill_batch(
+        &self,
+        batch: &mut EventBatch,
+        hwc_col: &[usize],
+        clock_col: Option<usize>,
+    ) -> Result<(), StoreError> {
+        match self {
+            EventStream::Loaded(e) => {
+                for ev in &e.hwc_events {
+                    if ev.counter >= e.counters.len() {
+                        return Err(StoreError::Corrupt("event references unknown counter"));
+                    }
+                }
+                e.fill_batch(batch, hwc_col, clock_col);
+                Ok(())
+            }
+            EventStream::Packed(s) => s.fill_batch(batch, hwc_col, clock_col),
+        }
+    }
+}

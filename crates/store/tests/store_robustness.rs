@@ -148,7 +148,9 @@ fn sample_events() -> Vec<RawHwc> {
 }
 
 fn sample_clocks() -> Vec<(u64, Vec<u64>)> {
-    (0..12).map(|i| (0x1_0100 + i * 4, vec![0x1_0000])).collect()
+    (0..12)
+        .map(|i| (0x1_0100 + i * 4, vec![0x1_0000]))
+        .collect()
 }
 
 #[test]

@@ -74,10 +74,7 @@ fn main() {
         ..CollectConfig::default()
     };
     let experiment = collect(&mut machine, &config).expect("collect");
-    println!(
-        "hot-bucket inserts: {}",
-        experiment.run.output.trim()
-    );
+    println!("hot-bucket inserts: {}", experiment.run.output.trim());
     let analysis = Analysis::new(&[&experiment], &program.syms);
 
     println!("\n-- events by memory segment --");

@@ -32,7 +32,15 @@ fn main() {
     let skid = SkidModel::default();
     for e in CounterEvent::ALL {
         let (lo, hi) = skid.range(e);
-        println!("{:<9} {lo}..={hi}{}", e.name(), if lo == 1 && hi == 1 { "  (precise)" } else { "" });
+        println!(
+            "{:<9} {lo}..={hi}{}",
+            e.name(),
+            if lo == 1 && hi == 1 {
+                "  (precise)"
+            } else {
+                ""
+            }
+        );
     }
 
     // Demonstrate skid: profile a program whose only memory traffic is
@@ -67,7 +75,10 @@ long main() {
     };
     let experiment = collect(&mut machine, &config).expect("collect");
 
-    println!("\n== observed skid (D$ read miss counter, {} events) ==", experiment.hwc_events.len());
+    println!(
+        "\n== observed skid (D$ read miss counter, {} events) ==",
+        experiment.hwc_events.len()
+    );
     let mut histogram = std::collections::BTreeMap::new();
     let mut backtrack_correct = 0usize;
     for ev in &experiment.hwc_events {

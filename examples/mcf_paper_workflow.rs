@@ -8,9 +8,7 @@
 //! Run with: `cargo run --release --example mcf_paper_workflow`
 
 use memprof::machine::{CounterEvent, Machine};
-use memprof::mcf::{
-    self, paper_machine_config, Instance, InstanceParams, Layout, McfParams,
-};
+use memprof::mcf::{self, paper_machine_config, Instance, InstanceParams, Layout, McfParams};
 use memprof::minic::CompileOptions;
 use memprof::profiler::{analyze::Analysis, collect, parse_counter_spec, CollectConfig};
 
@@ -99,9 +97,7 @@ fn main() {
     println!("\n=== Figure 6: data objects ===");
     print!(
         "{}",
-        analysis.render_data_objects(
-            analysis.col_by_event(CounterEvent::ECStallCycles).unwrap()
-        )
+        analysis.render_data_objects(analysis.col_by_event(CounterEvent::ECStallCycles).unwrap())
     );
 
     println!("\n=== Figure 7: structure:node expansion ===");

@@ -10,9 +10,7 @@
 //! Run with: `cargo run --release --example prefetch_feedback`
 
 use memprof::machine::{CounterEvent, Machine, MachineConfig, NullHook};
-use memprof::minic::{
-    compile_and_link, compile_and_link_with_feedback, CompileOptions, Feedback,
-};
+use memprof::minic::{compile_and_link, compile_and_link_with_feedback, CompileOptions, Feedback};
 use memprof::profiler::{analyze::Analysis, collect, parse_counter_spec, CollectConfig};
 
 const PROGRAM: &str = r#"

@@ -127,7 +127,10 @@ fn main() {
     // ---- Step 3+4: apply the layout fix and measure.
     let (bad_cycles, bad_stall, out_bad) = run_cycles(BAD_LAYOUT);
     let (good_cycles, good_stall, out_good) = run_cycles(GOOD_LAYOUT);
-    assert_eq!(out_bad, out_good, "the layout change must not alter results");
+    assert_eq!(
+        out_bad, out_good,
+        "the layout change must not alter results"
+    );
 
     println!("=== before/after ===");
     println!("original layout: {bad_cycles:>12} cycles ({bad_stall} E$ stall)");

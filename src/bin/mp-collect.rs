@@ -35,7 +35,11 @@ fn print_counters() {
             e.name(),
             e.title(),
             e.allowed_slots(),
-            if e.is_memory_event() { "  [memory]" } else { "" }
+            if e.is_memory_event() {
+                "  [memory]"
+            } else {
+                ""
+            }
         );
     }
     println!("Intervals: hi | on | lo | <number>  (e.g. -h +ecstall,lo,+ecrm,on)");
@@ -65,11 +69,16 @@ fn main() {
         match args[i].as_str() {
             "-o" => {
                 i += 1;
-                out_dir = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage("-o needs a value"))));
+                out_dir = Some(PathBuf::from(
+                    args.get(i).unwrap_or_else(|| usage("-o needs a value")),
+                ));
             }
             "-h" => {
                 i += 1;
-                spec = args.get(i).unwrap_or_else(|| usage("-h needs a value")).clone();
+                spec = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("-h needs a value"))
+                    .clone();
             }
             "-p" => {
                 i += 1;
@@ -88,7 +97,10 @@ fn main() {
             }
             "--machine" => {
                 i += 1;
-                machine_kind = args.get(i).unwrap_or_else(|| usage("--machine needs a value")).clone();
+                machine_kind = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--machine needs a value"))
+                    .clone();
             }
             "--max-insns" => {
                 i += 1;
@@ -116,9 +128,15 @@ fn main() {
             eprintln!("mp-collect: cannot read {}: {e}", path.display());
             exit(1)
         });
-        named.push((path.file_name().unwrap().to_string_lossy().to_string(), text));
+        named.push((
+            path.file_name().unwrap().to_string_lossy().to_string(),
+            text,
+        ));
     }
-    let refs: Vec<(&str, &str)> = named.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
+    let refs: Vec<(&str, &str)> = named
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_str()))
+        .collect();
     let program = compile_and_link(&refs, CompileOptions::profiling()).unwrap_or_else(|e| {
         eprintln!("mp-collect: {e}");
         exit(1)

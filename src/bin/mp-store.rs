@@ -17,8 +17,8 @@ use std::path::{Path, PathBuf};
 use std::process::exit;
 
 use memprof::store::{
-    self, aggregate_refs, diff_experiments, pack_dir, pack_experiment, unpack_to_dir,
-    ExperimentRef, StoreFile,
+    self, aggregate_streams, diff_experiments, pack_dir, pack_experiment, unpack_to_dir,
+    EventStream, ExperimentRef, StoreFile,
 };
 
 fn usage(msg: &str) -> ! {
@@ -39,8 +39,7 @@ fn fail(what: &str, err: impl std::fmt::Display) -> ! {
 }
 
 fn open_ref(arg: &str) -> ExperimentRef {
-    ExperimentRef::open(Path::new(arg))
-        .unwrap_or_else(|e| fail(&format!("cannot open {arg}"), e))
+    ExperimentRef::open(Path::new(arg)).unwrap_or_else(|e| fail(&format!("cannot open {arg}"), e))
 }
 
 /// The auxiliary files to carry into a packed store, from whichever
@@ -95,8 +94,8 @@ fn main() {
             }
             let out = PathBuf::from(&args[1]);
             let refs: Vec<ExperimentRef> = args[2..].iter().map(|a| open_ref(a)).collect();
-            let merged = store::merge_experiments(&refs)
-                .unwrap_or_else(|e| fail("cannot merge", e));
+            let merged =
+                store::merge_experiments(&refs).unwrap_or_else(|e| fail("cannot merge", e));
             let attachments = collect_attachments(&refs);
             std::fs::write(&out, pack_experiment(&merged, &attachments))
                 .unwrap_or_else(|e| fail(&format!("cannot write {}", out.display()), e));
@@ -137,22 +136,32 @@ fn main() {
                 usage("stat [-j N] EXP...");
             }
             let refs: Vec<ExperimentRef> = rest.iter().map(|a| open_ref(a)).collect();
-            for r in &refs {
-                let exp = r
-                    .load()
-                    .unwrap_or_else(|e| fail(&format!("cannot load {}", r.path().display()), e));
+            // Open each source once as a stream: packed stores report
+            // their counts from the segment index and aggregate
+            // without materializing an experiment.
+            let streams: Vec<EventStream> = refs
+                .iter()
+                .map(|r| {
+                    EventStream::open(r)
+                        .unwrap_or_else(|e| fail(&format!("cannot load {}", r.path().display()), e))
+                })
+                .collect();
+            for (r, s) in refs.iter().zip(&streams) {
                 println!(
                     "{}: {} counters, {} hwc events, {} clock ticks, exit {}",
                     r.path().display(),
-                    exp.counters.len(),
-                    exp.hwc_events.len(),
-                    exp.clock_events.len(),
-                    exp.run.exit_code
+                    s.counters().len(),
+                    s.hwc_total(),
+                    s.clock_total(),
+                    s.exit_code()
                 );
             }
-            let agg = aggregate_refs(&refs, shards)
-                .unwrap_or_else(|e| fail("cannot aggregate", e));
-            println!("-- aggregate over {} experiments ({shards} shards)", refs.len());
+            let agg =
+                aggregate_streams(&streams, shards).unwrap_or_else(|e| fail("cannot aggregate", e));
+            println!(
+                "-- aggregate over {} experiments ({shards} shards)",
+                refs.len()
+            );
             // Totals only; the per-PC table is for machine diffing.
             for line in agg.render().lines() {
                 if line.starts_with(char::is_alphabetic) {

@@ -57,7 +57,15 @@ fn collect_then_er_print() {
         "mp-collect failed: {}",
         String::from_utf8_lossy(&out.stderr)
     );
-    for file in ["log", "counters", "hwcdata", "clockdata", "run", "image.txt", "syms.txt"] {
+    for file in [
+        "log",
+        "counters",
+        "hwcdata",
+        "clockdata",
+        "run",
+        "image.txt",
+        "syms.txt",
+    ] {
         assert!(exp.join(file).exists(), "missing {file}");
     }
 
@@ -130,6 +138,9 @@ fn er_print_rejects_bad_input() {
         .args([exp.to_str().unwrap(), "functions"])
         .output()
         .unwrap();
-    assert!(!out.status.success(), "must fail on an empty experiment dir");
+    assert!(
+        !out.status.success(),
+        "must fail on an empty experiment dir"
+    );
     std::fs::remove_dir_all(&exp).ok();
 }

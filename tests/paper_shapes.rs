@@ -5,11 +5,11 @@
 //! comparison at the publication scale.)
 
 use memprof::machine::{CounterEvent, Machine};
-use memprof::mcf::{
-    self, paper_machine_config, Instance, InstanceParams, Layout, McfParams,
-};
+use memprof::mcf::{self, paper_machine_config, Instance, InstanceParams, Layout, McfParams};
 use memprof::minic::CompileOptions;
-use memprof::profiler::{analyze::Analysis, collect, parse_counter_spec, CollectConfig, Experiment};
+use memprof::profiler::{
+    analyze::Analysis, collect, parse_counter_spec, CollectConfig, Experiment,
+};
 
 fn instance() -> Instance {
     Instance::generate(InstanceParams {
@@ -179,8 +179,7 @@ fn tuning_improves_and_preserves_results() {
 
     let (r0, o0) = mcf::run_mcf(&inst, Layout::Baseline, &params, opts, base_cfg.clone()).unwrap();
     let (r1, o1) = mcf::run_mcf(&inst, Layout::Tuned, &params, opts, base_cfg).unwrap();
-    let (r2, o2) =
-        mcf::run_mcf(&inst, Layout::Baseline, &params, opts, large_cfg.clone()).unwrap();
+    let (r2, o2) = mcf::run_mcf(&inst, Layout::Baseline, &params, opts, large_cfg.clone()).unwrap();
     let (r3, o3) = mcf::run_mcf(&inst, Layout::Tuned, &params, opts, large_cfg).unwrap();
 
     // §3.3: optimizations never change the answer...

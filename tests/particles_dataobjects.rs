@@ -19,8 +19,11 @@ fn particles_data_object_view_is_populated() {
     .unwrap()
     // Trim the sweep for test speed; the access pattern is unchanged.
     .replace("long n = 250000;", "long n = 60000;");
-    let program =
-        compile_and_link(&[("particles.c", src.as_str())], CompileOptions::profiling()).unwrap();
+    let program = compile_and_link(
+        &[("particles.c", src.as_str())],
+        CompileOptions::profiling(),
+    )
+    .unwrap();
 
     let mut machine = Machine::new(paper_machine_config());
     machine.load(&program.image);

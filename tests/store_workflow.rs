@@ -16,7 +16,9 @@ use std::process::Command;
 use memprof::machine::Machine;
 use memprof::mcf::{self, paper_machine_config, Instance, InstanceParams, Layout, McfParams};
 use memprof::minic::CompileOptions;
-use memprof::profiler::{analyze::Analysis, collect, parse_counter_spec, CollectConfig, Experiment};
+use memprof::profiler::{
+    analyze::Analysis, collect, parse_counter_spec, CollectConfig, Experiment,
+};
 use memprof::store::{aggregate, merge_loaded, pack_dir, unpack_to_dir, StoreFile};
 
 fn scratch(tag: &str) -> std::path::PathBuf {
@@ -120,9 +122,7 @@ fn totals_by_name(rows: Vec<(String, Vec<u64>)>) -> HashMap<String, Vec<u64>> {
 
 fn add_into(dst: &mut HashMap<String, Vec<u64>>, src: HashMap<String, Vec<u64>>) {
     for (name, samples) in src {
-        let slot = dst
-            .entry(name)
-            .or_insert_with(|| vec![0; samples.len()]);
+        let slot = dst.entry(name).or_insert_with(|| vec![0; samples.len()]);
         for (d, s) in slot.iter_mut().zip(&samples) {
             *d += s;
         }
@@ -238,16 +238,19 @@ fn mp_store_cli_packs_merges_and_feeds_er_print() {
     );
 
     // diff reports movement between the full and shortened runs.
-    let diff = run(&[
-        "diff",
-        dir1.to_str().unwrap(),
-        dir2.to_str().unwrap(),
-    ]);
+    let diff = run(&["diff", dir1.to_str().unwrap(), dir2.to_str().unwrap()]);
     assert!(diff.contains("User CPU"), "{diff}");
-    assert!(diff.contains("refresh_potential") || diff.contains("primal_bea_mpp"), "{diff}");
+    assert!(
+        diff.contains("refresh_potential") || diff.contains("primal_bea_mpp"),
+        "{diff}"
+    );
 
     // The merged store unpacks into a directory er_print understands.
-    run(&["unpack", merged_mps.to_str().unwrap(), merged_dir.to_str().unwrap()]);
+    run(&[
+        "unpack",
+        merged_mps.to_str().unwrap(),
+        merged_dir.to_str().unwrap(),
+    ]);
     let er_print = env!("CARGO_BIN_EXE_mp-er-print");
     let out = Command::new(er_print)
         .args([merged_dir.to_str().unwrap(), "functions"])

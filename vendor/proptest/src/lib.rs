@@ -371,7 +371,9 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Uniform choice among heterogeneous strategy expressions with a
@@ -567,9 +569,8 @@ mod tests {
     }
 
     fn leaf_or_nested() -> impl Strategy<Value = Nest> {
-        Just(Nest::Leaf).prop_recursive(4, 8, 1, |inner| {
-            inner.prop_map(|n| Nest::Node(Box::new(n)))
-        })
+        Just(Nest::Leaf)
+            .prop_recursive(4, 8, 1, |inner| inner.prop_map(|n| Nest::Node(Box::new(n))))
     }
 
     #[test]
