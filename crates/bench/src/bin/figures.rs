@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper's evaluation (§3).
 //!
 //! ```text
-//! figures [--scale N] [--shards N] [--save DIR]
+//! figures [--scale N] [--shards N] [--save DIR] [--stream DIR]
 //!         [fig1|fig2|fig3|fig4|fig5|fig6|fig7|
 //!          overhead|tuning|effectiveness|addrviews|all]
 //! ```
@@ -12,13 +12,20 @@
 //! `--save DIR` writes the two collection experiments as bundles
 //! (`DIR/exp1`, `DIR/exp2`) that `mp-er-print` can analyze standalone.
 //!
+//! `--stream DIR` collects through the bounded-memory streaming path
+//! instead: events spill into `DIR/exp1.mpes` / `DIR/exp2.mpes` as the
+//! runs progress, and every figure is generated from the experiments
+//! *reloaded from those files*.
+//!
 //! `fig1..fig7` come from one pair of collection experiments (the
 //! paper's two `collect` lines); `overhead` is the §2.1 `-xhwcprof`
 //! cost; `tuning` is the §3.3 layout/page-size study; `effectiveness`
 //! is the §3.2.5 backtracking analysis; `addrviews` are the §4
 //! future-work views (segments/pages/cache lines/instances).
 
-use mcf_bench::{run_cycles, run_paper_experiments, Layout, PaperRun, Scale};
+use mcf_bench::{
+    run_cycles, run_paper_experiments, run_paper_experiments_streamed, Layout, PaperRun, Scale,
+};
 use memprof_core::analyze::Analysis;
 use minic::CompileOptions;
 use simsparc_machine::CounterEvent;
@@ -28,6 +35,7 @@ fn main() {
     let mut scale = Scale::paper();
     let mut what = "all".to_string();
     let mut save: Option<std::path::PathBuf> = None;
+    let mut stream: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -38,6 +46,10 @@ fn main() {
             "--save" => {
                 i += 1;
                 save = Some(std::path::PathBuf::from(&args[i]));
+            }
+            "--stream" => {
+                i += 1;
+                stream = Some(std::path::PathBuf::from(&args[i]));
             }
             "--shards" => {
                 i += 1;
@@ -68,7 +80,25 @@ fn main() {
             "collecting experiments (n_trips = {}, window = {})...",
             scale.n_trips, scale.window
         );
-        let r = run_paper_experiments(scale);
+        let r = if let Some(dir) = &stream {
+            let (r, stats) = run_paper_experiments_streamed(scale, dir, 8192);
+            for (name, s) in [("exp1", &stats[0]), ("exp2", &stats[1])] {
+                eprintln!(
+                    "streamed {name}: {} hwc + {} clock events, {} stacks \
+                     ({:.1}% intern hits), {} segments, peak {} buffered, {} bytes",
+                    s.hwc_events,
+                    s.clock_events,
+                    s.distinct_stacks,
+                    s.intern_hit_rate_pct(),
+                    s.segments_spilled,
+                    s.peak_buffered_events,
+                    s.bytes_written
+                );
+            }
+            r
+        } else {
+            run_paper_experiments(scale)
+        };
         if let Some(dir) = &save {
             for (sub, exp) in [("exp1", &r.exp1), ("exp2", &r.exp2)] {
                 let d = dir.join(sub);

@@ -15,7 +15,13 @@
 //! tens of simulated milliseconds) — interval selection is a
 //! first-class parameter of the real `collect` too.
 
-use memprof_core::{collect, parse_counter_spec, CollectConfig, Experiment};
+use std::path::Path;
+
+use memprof_core::{
+    collect, collect_stream, parse_counter_spec, CollectConfig, Experiment, StreamConfig,
+    StreamStats,
+};
+use memprof_store::{SegmentWriter, StreamFile};
 use minic::{CompileOptions, Program};
 use simsparc_machine::{Machine, MachineConfig};
 
@@ -117,6 +123,71 @@ pub fn run_paper_experiments(scale: Scale) -> PaperRun {
         result,
         instance,
     }
+}
+
+/// Like [`run_paper_experiments`], but each collection streams into a
+/// packed store file (`DIR/exp1.mpes`, `DIR/exp2.mpes`) with bounded
+/// buffering, and the experiments handed back are *reloaded from those
+/// files* — so every figure generated from the result doubles as an
+/// end-to-end check of the streaming path. Also returns the
+/// collector's self-observability stats for both runs.
+pub fn run_paper_experiments_streamed(
+    scale: Scale,
+    dir: &Path,
+    spill_events: usize,
+) -> (PaperRun, [StreamStats; 2]) {
+    let instance = scale.instance();
+    let binary = mcf::compile_mcf(
+        &instance,
+        Layout::Baseline,
+        &McfParams::default(),
+        CompileOptions::profiling(),
+    )
+    .expect("mcf must compile");
+
+    std::fs::create_dir_all(dir).expect("create stream dir");
+    let run_one = |spec: &str, clock: bool, name: &str| -> (Experiment, StreamStats) {
+        let mut machine = Machine::new(paper_machine_config());
+        machine.load(&binary.program.image);
+        mcf::stage_instance(&mut machine, &binary, &instance);
+        let config = CollectConfig {
+            counters: parse_counter_spec(spec).unwrap(),
+            clock_profiling: clock,
+            clock_period_cycles: 20011,
+            max_insns: mcf::MAX_INSNS,
+        };
+        let path = dir.join(name);
+        let mut writer = SegmentWriter::create(&path).expect("create stream file");
+        let stream = StreamConfig { spill_events };
+        let stats = collect_stream(&mut machine, &config, &stream, &mut writer)
+            .expect("streamed collection must succeed");
+        let file = StreamFile::open(&path).expect("reopen stream file");
+        assert!(file.is_complete(), "fresh stream file must be complete");
+        (file.to_experiment().expect("rehydrate"), stats)
+    };
+
+    let (exp1, stats1) = run_one("+ecstall,99991,+ecrm,499", true, "exp1.mpes");
+    let (exp2, stats2) = run_one("+ecref,2003,+dtlbm,97", false, "exp2.mpes");
+
+    let outcome = simsparc_machine::RunOutcome {
+        exit_code: exp1.run.exit_code,
+        output: exp1.run.output.clone(),
+        counts: exp1.run.counts,
+        dropped_overflows: [0, 0],
+    };
+    let result = mcf::parse_result(&outcome).expect("mcf must solve");
+    mcf::verify_against_oracle(&instance, &result).expect("oracle agreement");
+
+    (
+        PaperRun {
+            program: binary.program,
+            exp1,
+            exp2,
+            result,
+            instance,
+        },
+        [stats1, stats2],
+    )
 }
 
 /// Run MCF unprofiled and return the result plus ground-truth counts

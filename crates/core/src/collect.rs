@@ -11,11 +11,15 @@
 
 use simsparc_isa::Insn;
 use simsparc_machine::{
-    CounterEvent, CpuState, Machine, MachineError, OverflowTrap, ProfileHook, TEXT_BASE,
+    CounterEvent, CpuState, Machine, MachineError, OverflowTrap, ProfileHook, RunOutcome, TEXT_BASE,
 };
 
 use crate::counters::{assign_slots, CounterRequest, CounterSpecError};
 use crate::experiment::{ClockEvent, Experiment, HwcEvent, RunInfo};
+use crate::stream::{
+    CallstackTable, CollectSink, PackedClockEvent, PackedHwcEvent, StreamConfig, StreamStats,
+    EST_CYCLES_PER_SAMPLE,
+};
 
 /// How far the backtracking search walks before giving up (in
 /// instructions). Skid is at most a dozen instructions; anything
@@ -53,6 +57,8 @@ impl Default for CollectConfig {
 pub enum CollectError {
     Spec(CounterSpecError),
     Machine(MachineError),
+    /// The streaming sink failed (disk full, broken pipe, ...).
+    Io(std::io::Error),
 }
 
 impl std::fmt::Display for CollectError {
@@ -60,6 +66,7 @@ impl std::fmt::Display for CollectError {
         match self {
             CollectError::Spec(e) => write!(f, "{e}"),
             CollectError::Machine(e) => write!(f, "{e}"),
+            CollectError::Io(e) => write!(f, "stream sink error: {e}"),
         }
     }
 }
@@ -75,6 +82,12 @@ impl From<CounterSpecError> for CollectError {
 impl From<MachineError> for CollectError {
     fn from(e: MachineError) -> Self {
         CollectError::Machine(e)
+    }
+}
+
+impl From<std::io::Error> for CollectError {
+    fn from(e: std::io::Error) -> Self {
+        CollectError::Io(e)
     }
 }
 
@@ -158,16 +171,125 @@ pub fn reconstruct_ea(
     Some(base.wrapping_add(off))
 }
 
-/// The [`ProfileHook`] that records events during the run.
-struct CollectorHook {
+/// The [`ProfileHook`] that records events during the run. Events are
+/// packed — callstacks interned through a [`CallstackTable`], a fixed
+/// `u32` id per event instead of a `Vec<u64>` clone — and, when a sink
+/// is attached, completed segments spill through it whenever
+/// `spill_events` are buffered, so peak event memory stays bounded.
+struct CollectorHook<'a> {
     text: Vec<Insn>,
     counters: Vec<CounterRequest>,
     slot_to_counter: [Option<usize>; 2],
-    hwc_events: Vec<HwcEvent>,
-    clock_events: Vec<ClockEvent>,
+    stacks: CallstackTable,
+    hwc: Vec<PackedHwcEvent>,
+    clock: Vec<PackedClockEvent>,
+    /// Streaming destination; `None` buffers everything in memory.
+    sink: Option<&'a mut dyn CollectSink>,
+    spill_events: usize,
+    /// Stacks already sent to the sink (`stacks[..stacks_sent]`).
+    stacks_sent: usize,
+    segments_spilled: u64,
+    peak_buffered: usize,
+    hwc_total: u64,
+    clock_total: u64,
+    /// First sink failure; `ProfileHook` methods return `()`, so the
+    /// error is stashed here and surfaced after the run.
+    sink_error: Option<std::io::Error>,
 }
 
-impl ProfileHook for CollectorHook {
+impl<'a> CollectorHook<'a> {
+    fn new(
+        machine: &Machine,
+        config: &CollectConfig,
+        slot_to_counter: [Option<usize>; 2],
+        sink: Option<&'a mut dyn CollectSink>,
+        spill_events: usize,
+    ) -> CollectorHook<'a> {
+        CollectorHook {
+            text: machine.text().to_vec(),
+            counters: config.counters.clone(),
+            slot_to_counter,
+            stacks: CallstackTable::new(),
+            hwc: Vec::new(),
+            clock: Vec::new(),
+            sink,
+            spill_events,
+            stacks_sent: 0,
+            segments_spilled: 0,
+            peak_buffered: 0,
+            hwc_total: 0,
+            clock_total: 0,
+            sink_error: None,
+        }
+    }
+
+    fn note_buffered(&mut self) {
+        let buffered = self.hwc.len() + self.clock.len();
+        if buffered > self.peak_buffered {
+            self.peak_buffered = buffered;
+        }
+        if self.sink.is_some() && buffered >= self.spill_events {
+            self.flush();
+        }
+    }
+
+    /// Send buffered segments (and any newly interned stacks) through
+    /// the sink. No-op without a sink or after a sink error.
+    fn flush(&mut self) {
+        if self.sink_error.is_some() {
+            return;
+        }
+        let Some(sink) = self.sink.as_deref_mut() else {
+            return;
+        };
+        let new_stacks = self.stacks.stacks_from(self.stacks_sent);
+        let mut res = Ok(());
+        if !new_stacks.is_empty() {
+            res = sink.stacks(new_stacks);
+        }
+        if res.is_ok() && !self.hwc.is_empty() {
+            res = sink.hwc_segment(&self.hwc);
+        }
+        if res.is_ok() && !self.clock.is_empty() {
+            res = sink.clock_segment(&self.clock);
+        }
+        match res {
+            Ok(()) => {
+                if !self.hwc.is_empty() || !self.clock.is_empty() {
+                    self.segments_spilled += 1;
+                }
+                self.stacks_sent = self.stacks.len();
+                self.hwc.clear();
+                self.clock.clear();
+            }
+            Err(e) => self.sink_error = Some(e),
+        }
+    }
+
+    /// The self-observability report (§3.2): what the collector did,
+    /// what it cost, and how well the intern table worked.
+    fn stats(&self, dropped: &[u64], cycles: u64, bytes_written: u64) -> StreamStats {
+        let samples = self.hwc_total + self.clock_total;
+        StreamStats {
+            hwc_events: self.hwc_total,
+            clock_events: self.clock_total,
+            dropped: dropped.to_vec(),
+            distinct_stacks: self.stacks.len(),
+            intern_lookups: self.stacks.lookups(),
+            intern_hits: self.stacks.hits(),
+            segments_spilled: self.segments_spilled,
+            bytes_written,
+            peak_buffered_events: self.peak_buffered,
+            estimated_overhead_pct: if cycles == 0 {
+                0.0
+            } else {
+                100.0 * (samples * EST_CYCLES_PER_SAMPLE) as f64 / cycles as f64
+            },
+        }
+    }
+}
+
+impl ProfileHook for CollectorHook<'_> {
     fn on_overflow(&mut self, cpu: &CpuState, trap: &OverflowTrap) {
         let Some(ci) = self.slot_to_counter[trap.slot] else {
             return;
@@ -185,28 +307,74 @@ impl ProfileHook for CollectorHook {
         } else {
             (None, None)
         };
-        self.hwc_events.push(HwcEvent {
-            counter: ci,
+        let stack = self.stacks.intern(cpu.callstack());
+        self.hwc.push(PackedHwcEvent {
+            counter: ci as u32,
             delivered_pc: trap.delivered_pc,
             candidate_pc,
             ea,
-            callstack: cpu.callstack().to_vec(),
+            stack,
             truth_trigger_pc: trap.trigger_pc,
             truth_skid: trap.skid,
         });
+        self.hwc_total += 1;
+        self.note_buffered();
     }
 
     fn on_clock_sample(&mut self, cpu: &CpuState, pc: u64) {
-        self.clock_events.push(ClockEvent {
-            pc,
-            callstack: cpu.callstack().to_vec(),
-        });
+        let stack = self.stacks.intern(cpu.callstack());
+        self.clock.push(PackedClockEvent { pc, stack });
+        self.clock_total += 1;
+        self.note_buffered();
     }
 }
 
-/// Run the loaded program under profiling and produce an experiment.
-/// The machine must already have the target image loaded.
-pub fn collect(machine: &mut Machine, config: &CollectConfig) -> Result<Experiment, CollectError> {
+/// Append the collector's self-report to the experiment log.
+fn push_report(log: &mut Vec<String>, cycles: u64, stats: &StreamStats, streamed: bool) {
+    log.push(format!(
+        "{} collector: {} hwc events + {} clock ticks recorded, dropped [{}]",
+        cycles,
+        stats.hwc_events,
+        stats.clock_events,
+        stats
+            .dropped
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+    ));
+    log.push(format!(
+        "{} collector: {} distinct callstacks, intern hit rate {:.1}% ({}/{} lookups)",
+        cycles,
+        stats.distinct_stacks,
+        stats.intern_hit_rate_pct(),
+        stats.intern_hits,
+        stats.intern_lookups,
+    ));
+    if streamed {
+        log.push(format!(
+            "{} collector: {} segment(s) spilled, {} bytes written, peak {} events buffered",
+            cycles, stats.segments_spilled, stats.bytes_written, stats.peak_buffered_events,
+        ));
+    }
+    log.push(format!(
+        "{} collector: estimated overhead {:.2}% ({} samples x {} cycles each)",
+        cycles,
+        stats.estimated_overhead_pct,
+        stats.hwc_events + stats.clock_events,
+        EST_CYCLES_PER_SAMPLE,
+    ));
+}
+
+/// Shared prologue + run: program the counters, build the hook
+/// (optionally wired to a sink), run the target, and return the hook,
+/// outcome, log so far, and the counter→slot assignment.
+fn run_profiled<'a>(
+    machine: &mut Machine,
+    config: &CollectConfig,
+    sink: Option<&'a mut dyn CollectSink>,
+    spill_events: usize,
+) -> Result<(CollectorHook<'a>, RunOutcome, Vec<String>, Vec<usize>), CollectError> {
     let slots = assign_slots(&config.counters)?;
     let mut slot_to_counter = [None, None];
     for (ci, (&slot, req)) in slots.iter().zip(&config.counters).enumerate() {
@@ -236,31 +404,53 @@ pub fn collect(machine: &mut Machine, config: &CollectConfig) -> Result<Experime
         ));
     }
 
-    let mut hook = CollectorHook {
-        text: machine.text().to_vec(),
-        counters: config.counters.clone(),
-        slot_to_counter,
-        hwc_events: Vec::new(),
-        clock_events: Vec::new(),
-    };
+    let mut hook = CollectorHook::new(machine, config, slot_to_counter, sink, spill_events);
     let outcome = machine.run(config.max_insns, &mut hook)?;
     log.push(format!(
         "{} exit {} ({} hwc events, {} clock events)",
-        outcome.counts.cycles,
-        outcome.exit_code,
-        hook.hwc_events.len(),
-        hook.clock_events.len()
+        outcome.counts.cycles, outcome.exit_code, hook.hwc_total, hook.clock_total
     ));
+    Ok((hook, outcome, log, slots))
+}
 
+/// Run the loaded program under profiling and produce an experiment.
+/// The machine must already have the target image loaded.
+pub fn collect(machine: &mut Machine, config: &CollectConfig) -> Result<Experiment, CollectError> {
+    let (hook, outcome, mut log, slots) = run_profiled(machine, config, None, usize::MAX)?;
     let dropped: Vec<u64> = slots
         .iter()
         .map(|&s| outcome.dropped_overflows[s])
         .collect();
+    let stats = hook.stats(&dropped, outcome.counts.cycles, 0);
+    push_report(&mut log, outcome.counts.cycles, &stats, false);
+
+    // Rehydrate the interned stacks into the in-memory event form.
+    let hwc_events = hook
+        .hwc
+        .iter()
+        .map(|e| HwcEvent {
+            counter: e.counter as usize,
+            delivered_pc: e.delivered_pc,
+            candidate_pc: e.candidate_pc,
+            ea: e.ea,
+            callstack: hook.stacks.resolve(e.stack).to_vec(),
+            truth_trigger_pc: e.truth_trigger_pc,
+            truth_skid: e.truth_skid,
+        })
+        .collect();
+    let clock_events = hook
+        .clock
+        .iter()
+        .map(|e| ClockEvent {
+            pc: e.pc,
+            callstack: hook.stacks.resolve(e.stack).to_vec(),
+        })
+        .collect();
     Ok(Experiment {
         counters: config.counters.clone(),
         clock_period: config.clock_profiling.then_some(config.clock_period_cycles),
-        hwc_events: hook.hwc_events,
-        clock_events: hook.clock_events,
+        hwc_events,
+        clock_events,
         run: RunInfo {
             exit_code: outcome.exit_code,
             output: outcome.output,
@@ -270,6 +460,50 @@ pub fn collect(machine: &mut Machine, config: &CollectConfig) -> Result<Experime
         },
         log,
     })
+}
+
+/// Run the loaded program under profiling, streaming events through
+/// `sink` with bounded memory (see [`StreamConfig::spill_events`]).
+/// The sink receives `begin`, interleaved `stacks`/segment calls, and
+/// `finish` with the run summary and log; each completed segment is
+/// durable independently, so an interrupted run leaves a readable
+/// prefix. Returns the collector's self-observability report.
+pub fn collect_stream(
+    machine: &mut Machine,
+    config: &CollectConfig,
+    stream: &StreamConfig,
+    sink: &mut dyn CollectSink,
+) -> Result<StreamStats, CollectError> {
+    sink.begin(
+        &config.counters,
+        config.clock_profiling.then_some(config.clock_period_cycles),
+        machine.config.clock_hz,
+    )?;
+    let spill = stream.spill_events.max(1);
+    let (mut hook, outcome, mut log, slots) =
+        run_profiled(machine, config, Some(&mut *sink), spill)?;
+    hook.flush();
+    if let Some(e) = hook.sink_error.take() {
+        return Err(CollectError::Io(e));
+    }
+    let dropped: Vec<u64> = slots
+        .iter()
+        .map(|&s| outcome.dropped_overflows[s])
+        .collect();
+    let bytes_so_far = hook.sink.as_deref().map_or(0, |s| s.bytes_written());
+    let mut stats = hook.stats(&dropped, outcome.counts.cycles, bytes_so_far);
+    drop(hook);
+    push_report(&mut log, outcome.counts.cycles, &stats, true);
+    let run = RunInfo {
+        exit_code: outcome.exit_code,
+        output: outcome.output,
+        counts: outcome.counts,
+        clock_hz: machine.config.clock_hz,
+        dropped,
+    };
+    sink.finish(&run, &log)?;
+    stats.bytes_written = sink.bytes_written();
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -339,6 +573,224 @@ mod tests {
             None,
             "trigger farther than MAX_BACKTRACK_INSNS is not found"
         );
+    }
+
+    #[test]
+    fn reconstruct_ea_for_store_candidate() {
+        // A store has no destination register, so nothing in the skid
+        // window can self-clobber; the EA comes straight from the
+        // register file.
+        let text = text_with(&[
+            Insn::store_x(Reg::G2, Reg::O3, Operand::Imm(88)),
+            Insn::Nop,
+            Insn::Nop,
+        ]);
+        let cpu = CpuState::with_regs(&[(Reg::O3, 0x4000_0000)]);
+        assert_eq!(
+            reconstruct_ea(&text, TEXT_BASE, TEXT_BASE + 8, &cpu),
+            Some(0x4000_0000 + 88)
+        );
+    }
+
+    #[test]
+    fn reconstruct_ea_candidate_adjacent_to_delivered_pc() {
+        // Delivered PC immediately after the candidate: zero
+        // intervening instructions. The insn AT the delivered PC has
+        // not executed yet, so even one that writes the base register
+        // does not clobber.
+        let text = text_with(&[
+            Insn::load_x(Reg::O3, Operand::Imm(56), Reg::O2),
+            Insn::alu(AluOp::Add, Reg::O3, Operand::Imm(8), Reg::O3),
+        ]);
+        let cpu = CpuState::with_regs(&[(Reg::O3, 0x1000)]);
+        assert_eq!(
+            reconstruct_ea(&text, TEXT_BASE, TEXT_BASE + 4, &cpu),
+            Some(0x1000 + 56)
+        );
+    }
+
+    #[test]
+    fn reconstruct_ea_register_offset_clobbered_rs2() {
+        // Candidate `ldx [%g1+%g2]` with an intervening add that
+        // rewrites %g2: the register file no longer holds the address
+        // operand, so "the address could not be determined".
+        let clobbered = text_with(&[
+            Insn::load_x(Reg::G1, Operand::Reg(Reg::G2), Reg::O0),
+            Insn::alu(AluOp::Add, Reg::G2, Operand::Imm(1), Reg::G2),
+            Insn::Nop,
+        ]);
+        let cpu = CpuState::with_regs(&[(Reg::G1, 0x2000), (Reg::G2, 0x40)]);
+        assert_eq!(
+            reconstruct_ea(&clobbered, TEXT_BASE, TEXT_BASE + 8, &cpu),
+            None
+        );
+        // The same candidate with no clobber reconstructs base+index.
+        let clean = text_with(&[
+            Insn::load_x(Reg::G1, Operand::Reg(Reg::G2), Reg::O0),
+            Insn::Nop,
+            Insn::Nop,
+        ]);
+        assert_eq!(
+            reconstruct_ea(&clean, TEXT_BASE, TEXT_BASE + 8, &cpu),
+            Some(0x2000 + 0x40)
+        );
+    }
+
+    #[test]
+    fn reconstruct_ea_self_clobbering_load() {
+        // `ldx [%o3+24], %o3` overwrites its own base register before
+        // the trap delivers.
+        let text = text_with(&[Insn::load_x(Reg::O3, Operand::Imm(24), Reg::O3), Insn::Nop]);
+        let cpu = CpuState::with_regs(&[(Reg::O3, 0x3000)]);
+        assert_eq!(reconstruct_ea(&text, TEXT_BASE, TEXT_BASE + 4, &cpu), None);
+    }
+
+    /// In-memory `CollectSink` for exercising the streaming path
+    /// without the store crate (which depends on this one).
+    #[derive(Default)]
+    struct BufSink {
+        began: u32,
+        finished: u32,
+        stacks: Vec<Vec<u64>>,
+        hwc: Vec<PackedHwcEvent>,
+        clock: Vec<PackedClockEvent>,
+        segments: u64,
+        run: Option<RunInfo>,
+        log: Vec<String>,
+        bytes: u64,
+        fail_segments: bool,
+    }
+
+    impl CollectSink for BufSink {
+        fn begin(
+            &mut self,
+            _counters: &[CounterRequest],
+            _clock_period: Option<u64>,
+            _clock_hz: u64,
+        ) -> std::io::Result<()> {
+            self.began += 1;
+            Ok(())
+        }
+        fn stacks(&mut self, stacks: &[Vec<u64>]) -> std::io::Result<()> {
+            self.stacks.extend_from_slice(stacks);
+            self.bytes += stacks.len() as u64 * 8;
+            Ok(())
+        }
+        fn hwc_segment(&mut self, events: &[PackedHwcEvent]) -> std::io::Result<()> {
+            if self.fail_segments {
+                return Err(std::io::Error::other("sink full"));
+            }
+            self.segments += 1;
+            self.hwc.extend_from_slice(events);
+            self.bytes += events.len() as u64 * 32;
+            Ok(())
+        }
+        fn clock_segment(&mut self, events: &[PackedClockEvent]) -> std::io::Result<()> {
+            self.clock.extend_from_slice(events);
+            self.bytes += events.len() as u64 * 16;
+            Ok(())
+        }
+        fn finish(&mut self, run: &RunInfo, log: &[String]) -> std::io::Result<()> {
+            self.finished += 1;
+            self.run = Some(run.clone());
+            self.log = log.to_vec();
+            Ok(())
+        }
+        fn bytes_written(&self) -> u64 {
+            self.bytes
+        }
+    }
+
+    fn demo_machine() -> (simsparc_machine::Machine, CollectConfig) {
+        let src = r#"
+            long work(long n) {
+                long i; long s = 0;
+                for (i = 0; i < n; i = i + 1) { s = s + i; }
+                return s;
+            }
+            long main() {
+                long t; long k;
+                t = 0;
+                for (k = 0; k < 40; k = k + 1) { t = t + work(200); }
+                return t % 256;
+            }
+        "#;
+        let program =
+            minic::compile_and_link(&[("demo.c", src)], minic::CompileOptions::profiling())
+                .unwrap();
+        let mut machine =
+            simsparc_machine::Machine::new(simsparc_machine::MachineConfig::default());
+        machine.load(&program.image);
+        let config = CollectConfig {
+            counters: crate::parse_counter_spec("+ecref,97,cycles,1009").unwrap(),
+            clock_profiling: true,
+            clock_period_cycles: 1499,
+            ..CollectConfig::default()
+        };
+        (machine, config)
+    }
+
+    #[test]
+    fn streamed_run_matches_in_memory_run() {
+        let (mut machine, config) = demo_machine();
+        let exp = collect(&mut machine, &config).unwrap();
+
+        let (mut machine2, _) = demo_machine();
+        let mut sink = BufSink::default();
+        let stream = StreamConfig { spill_events: 64 };
+        let stats = collect_stream(&mut machine2, &config, &stream, &mut sink).unwrap();
+
+        assert_eq!((sink.began, sink.finished), (1, 1));
+        assert_eq!(stats.hwc_events as usize, exp.hwc_events.len());
+        assert_eq!(stats.clock_events as usize, exp.clock_events.len());
+        assert!(stats.segments_spilled > 1, "small spill → many segments");
+        assert!(stats.peak_buffered_events <= 64 + 1);
+        assert!(stats.bytes_written > 0);
+        assert_eq!(sink.run.as_ref().unwrap(), &exp.run);
+
+        // Rehydrating the sink's interned events reproduces the
+        // in-memory experiment exactly.
+        let rehydrated: Vec<HwcEvent> = sink
+            .hwc
+            .iter()
+            .map(|e| HwcEvent {
+                counter: e.counter as usize,
+                delivered_pc: e.delivered_pc,
+                candidate_pc: e.candidate_pc,
+                ea: e.ea,
+                callstack: sink.stacks[e.stack as usize].clone(),
+                truth_trigger_pc: e.truth_trigger_pc,
+                truth_skid: e.truth_skid,
+            })
+            .collect();
+        assert_eq!(rehydrated, exp.hwc_events);
+        let clocks: Vec<ClockEvent> = sink
+            .clock
+            .iter()
+            .map(|e| ClockEvent {
+                pc: e.pc,
+                callstack: sink.stacks[e.stack as usize].clone(),
+            })
+            .collect();
+        assert_eq!(clocks, exp.clock_events);
+
+        // Both logs carry the collector self-report.
+        assert!(exp.log.iter().any(|l| l.contains("intern hit rate")));
+        assert!(sink.log.iter().any(|l| l.contains("bytes written")));
+        assert!(sink.log.iter().any(|l| l.contains("estimated overhead")));
+    }
+
+    #[test]
+    fn sink_failure_surfaces_as_io_error() {
+        let (mut machine, config) = demo_machine();
+        let mut sink = BufSink {
+            fail_segments: true,
+            ..BufSink::default()
+        };
+        let stream = StreamConfig { spill_events: 16 };
+        let err = collect_stream(&mut machine, &config, &stream, &mut sink).unwrap_err();
+        assert!(matches!(err, CollectError::Io(_)), "got {err:?}");
+        assert_eq!(sink.finished, 0, "failed run must not write a footer");
     }
 
     #[test]

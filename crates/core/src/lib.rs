@@ -59,11 +59,16 @@ pub mod batch;
 mod collect;
 mod counters;
 mod experiment;
+mod stream;
 
 pub use batch::{aggregate_by, aggregate_by_serial, EventBatch, GroupKey};
 pub use collect::{
-    backtrack, collect, event_accepts, reconstruct_ea, CollectConfig, CollectError,
+    backtrack, collect, collect_stream, event_accepts, reconstruct_ea, CollectConfig, CollectError,
     MAX_BACKTRACK_INSNS,
 };
 pub use counters::{assign_slots, parse_counter_spec, CounterRequest, CounterSpecError, Interval};
 pub use experiment::{ClockEvent, EventSource, Experiment, HwcEvent, RunInfo};
+pub use stream::{
+    CallstackTable, CollectSink, PackedClockEvent, PackedHwcEvent, StackId, StreamConfig,
+    StreamStats, EST_CYCLES_PER_SAMPLE,
+};

@@ -250,22 +250,33 @@ impl HwCounter {
 
     /// Add `n` events; returns `true` if the counter overflowed and a
     /// trap should be scheduled (the caller handles skid).
+    ///
+    /// A single burst can cross the overflow threshold more than once
+    /// (`ecstall` adds whole stall bursts at a time, easily ≥ 2× a
+    /// small interval). The hardware reloads once per crossing, so the
+    /// preloaded value ends below zero whatever the burst size; only
+    /// the first crossing can fire a trap — the rest arrive while that
+    /// trap is pending (or queued for delivery) and are dropped, which
+    /// keeps `overflows + dropped` an exact count of crossings.
     #[inline]
     pub(crate) fn add(&mut self, n: u64) -> bool {
         self.value += n as i64;
-        if self.value >= 0 {
-            // Wrap: the hardware reloads and keeps counting.
-            self.value -= self.interval as i64;
-            if self.pending.is_some() {
-                self.dropped += 1;
-                false
-            } else {
-                self.overflows += 1;
-                true
-            }
-        } else {
-            false
+        if self.value < 0 {
+            return false;
         }
+        let fired = if self.pending.is_some() {
+            self.dropped += 1;
+            false
+        } else {
+            self.overflows += 1;
+            true
+        };
+        self.value -= self.interval as i64;
+        while self.value >= 0 {
+            self.dropped += 1;
+            self.value -= self.interval as i64;
+        }
+        fired
     }
 }
 
@@ -314,6 +325,45 @@ mod tests {
         let mut c = HwCounter::new(CounterEvent::ECStallCycles, 100);
         assert!(c.add(170), "one burst of stall cycles can overflow");
         assert_eq!(c.value, 70 - 100);
+        assert_eq!((c.overflows, c.dropped), (1, 0));
+    }
+
+    #[test]
+    fn burst_over_twice_the_interval_drops_the_extra_wraps() {
+        // A burst ≥ 2× the interval fires one trap and drops the rest;
+        // it must not leave `value` ≥ 0 (which would silently defer
+        // the second overflow to the next event).
+        let mut c = HwCounter::new(CounterEvent::ECStallCycles, 100);
+        assert!(c.add(350), "first crossing fires");
+        assert_eq!(c.value, 50 - 100, "value reloads past every crossing");
+        assert_eq!((c.overflows, c.dropped), (1, 2));
+    }
+
+    #[test]
+    fn burst_accounting_is_exact() {
+        // Whatever the burst pattern, every interval's worth of events
+        // is accounted exactly once: overflows + dropped == total /
+        // interval, and the counter always ends below zero.
+        let interval = 100u64;
+        for burst in [1u64, 99, 100, 170, 200, 350, 999, 1000, 1001] {
+            let mut c = HwCounter::new(CounterEvent::ECStallCycles, interval);
+            let mut total = 0u64;
+            for _ in 0..37 {
+                c.add(burst);
+                total += burst;
+            }
+            assert!(c.value < 0, "burst {burst}: counter must end below zero");
+            assert_eq!(
+                c.overflows + c.dropped,
+                total / interval,
+                "burst {burst}: every crossing accounted exactly once"
+            );
+            assert_eq!(
+                c.value,
+                (total % interval) as i64 - interval as i64,
+                "burst {burst}: reload preserves the event remainder"
+            );
+        }
     }
 
     #[test]

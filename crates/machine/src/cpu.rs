@@ -138,6 +138,17 @@ impl CpuState {
         }
     }
 
+    /// Build a state with the given register values. Testing support
+    /// for collector unit tests (effective-address reconstruction
+    /// reads the register file); the simulator itself never uses it.
+    pub fn with_regs(pairs: &[(Reg, u64)]) -> CpuState {
+        let mut cpu = CpuState::new();
+        for &(r, v) in pairs {
+            cpu.set_reg(r, v);
+        }
+        cpu
+    }
+
     /// Read a register (`%g0` is always zero).
     #[inline]
     pub fn reg(&self, r: Reg) -> u64 {

@@ -65,7 +65,7 @@ pub struct Aggregate {
 #[allow(clippy::type_complexity)]
 fn resolve_columns(
     headers: &[(Option<u64>, &[CounterRequest])],
-) -> (Vec<ColSpec>, Vec<Vec<usize>>, Vec<Option<usize>>) {
+) -> Result<(Vec<ColSpec>, Vec<Vec<usize>>, Vec<Option<usize>>), StoreError> {
     let mut columns: Vec<ColSpec> = Vec::new();
     for (period, _) in headers {
         if let Some(period) = period {
@@ -87,30 +87,32 @@ fn resolve_columns(
             }
         }
     }
+    // Every source column must resolve against the deduplicated set;
+    // a miss means the headers handed in do not describe the events
+    // that will be scanned, and must surface as an error, not a panic.
+    let find = |spec: ColSpec| -> Result<usize, StoreError> {
+        columns.iter().position(|c| *c == spec).ok_or_else(|| {
+            StoreError::ColumnMismatch(format!("{spec:?} missing from resolved column set"))
+        })
+    };
     let mut col_of: Vec<Vec<usize>> = Vec::with_capacity(headers.len());
     let mut clock_col_of: Vec<Option<usize>> = Vec::with_capacity(headers.len());
     for (period, counters) in headers {
-        clock_col_of.push(period.map(|period| {
-            columns
-                .iter()
-                .position(|c| *c == ColSpec::Clock { period })
-                .unwrap()
-        }));
-        col_of.push(
-            counters
-                .iter()
-                .map(|req| {
-                    let spec = ColSpec::Hwc {
-                        event: req.event,
-                        backtrack: req.backtrack,
-                        interval: req.interval,
-                    };
-                    columns.iter().position(|c| *c == spec).unwrap()
-                })
-                .collect(),
-        );
+        clock_col_of.push(match period {
+            Some(period) => Some(find(ColSpec::Clock { period: *period })?),
+            None => None,
+        });
+        let mut cols = Vec::with_capacity(counters.len());
+        for req in *counters {
+            cols.push(find(ColSpec::Hwc {
+                event: req.event,
+                backtrack: req.backtrack,
+                interval: req.interval,
+            })?);
+        }
+        col_of.push(cols);
     }
-    (columns, col_of, clock_col_of)
+    Ok((columns, col_of, clock_col_of))
 }
 
 /// Reduce a filled batch to the final histogram: one shared-kernel
@@ -139,7 +141,7 @@ pub fn aggregate<S: EventSource + ?Sized>(
         .iter()
         .map(|e| (e.clock_period(), e.counters()))
         .collect();
-    let (columns, col_of, clock_col_of) = resolve_columns(&headers);
+    let (columns, col_of, clock_col_of) = resolve_columns(&headers)?;
     for exp in exps {
         for ev in exp.hwc_events() {
             if ev.counter >= exp.counters().len() {
@@ -162,7 +164,7 @@ pub fn aggregate_streams(streams: &[EventStream], shards: usize) -> Result<Aggre
         .iter()
         .map(|s| (s.clock_period(), s.counters()))
         .collect();
-    let (columns, col_of, clock_col_of) = resolve_columns(&headers);
+    let (columns, col_of, clock_col_of) = resolve_columns(&headers)?;
     let mut batch = EventBatch::new(columns.len());
     for (xi, stream) in streams.iter().enumerate() {
         stream.fill_batch(&mut batch, &col_of[xi], clock_col_of[xi])?;

@@ -95,7 +95,7 @@ pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-fn put_stack(out: &mut Vec<u8>, stack: &[u64]) {
+pub(crate) fn put_stack(out: &mut Vec<u8>, stack: &[u64]) {
     put_u64(out, stack.len() as u64);
     let mut prev = 0u64;
     for (i, &frame) in stack.iter().enumerate() {
@@ -308,15 +308,19 @@ pub(crate) struct ParsedStore {
 }
 
 /// Validate the preamble and checksum and parse the header + index.
+/// Every fixed-offset access below is length-guarded first: a file
+/// shorter than the 13-byte preamble is [`StoreError::Truncated`] (or
+/// `BadMagic`/`BadVersion` when the bytes present already rule those
+/// out), never a slice panic.
 pub(crate) fn parse_store(bytes: &[u8]) -> Result<ParsedStore, StoreError> {
-    if bytes.len() < PREAMBLE_LEN {
-        return Err(StoreError::Truncated);
-    }
-    if bytes[..4] != MAGIC {
+    if bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] != MAGIC {
         return Err(StoreError::BadMagic);
     }
-    if bytes[4] != VERSION {
-        return Err(StoreError::BadVersion(bytes[4]));
+    if bytes.len() > MAGIC.len() && bytes[MAGIC.len()] != VERSION {
+        return Err(StoreError::BadVersion(bytes[MAGIC.len()]));
+    }
+    if bytes.len() < PREAMBLE_LEN {
+        return Err(StoreError::Truncated);
     }
     let stored = u64::from_le_bytes(bytes[5..13].try_into().unwrap());
     let body = &bytes[PREAMBLE_LEN..];
@@ -449,12 +453,15 @@ pub fn pack_dir(dir: &Path, out: &Path) -> Result<(), StoreError> {
     Ok(())
 }
 
-/// Unpack a packed store file back into a text experiment directory.
+/// Unpack a packed store or stream file back into a text experiment
+/// directory.
 pub fn unpack_to_dir(file: &Path, dir: &Path) -> Result<(), StoreError> {
-    let store = crate::StoreFile::open(file)?;
-    let exp = store.to_experiment()?;
+    let (exp, attachments) = match crate::open_packed(file)? {
+        crate::PackedFile::V1(store) => (store.to_experiment()?, store.attachments().to_vec()),
+        crate::PackedFile::V2(stream) => (stream.to_experiment()?, stream.attachments().to_vec()),
+    };
     exp.save(dir)?;
-    for (name, contents) in store.attachments() {
+    for (name, contents) in attachments {
         std::fs::write(dir.join(name), contents)?;
     }
     Ok(())

@@ -27,6 +27,7 @@ mod format;
 mod reader;
 mod stream;
 mod varint;
+mod writer;
 
 use std::path::{Path, PathBuf};
 
@@ -38,6 +39,7 @@ pub use aggregate::{
 pub use format::{pack_dir, pack_experiment, unpack_to_dir, ATTACHMENT_FILES};
 pub use reader::{ClockIter, HwcIter, StoreFile};
 pub use stream::EventStream;
+pub use writer::{SegmentWriter, StreamFile};
 
 /// Everything that can go wrong opening, decoding, or combining
 /// stores.
@@ -56,6 +58,9 @@ pub enum StoreError {
     Corrupt(&'static str),
     /// Experiments whose collection recipes do not line up.
     Incompatible(String),
+    /// An event column could not be resolved against the combined
+    /// column set during aggregation (mismatched counter recipes).
+    ColumnMismatch(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -68,6 +73,7 @@ impl std::fmt::Display for StoreError {
             StoreError::ChecksumMismatch => write!(f, "checksum mismatch (file corrupted?)"),
             StoreError::Corrupt(why) => write!(f, "corrupt store: {why}"),
             StoreError::Incompatible(why) => write!(f, "incompatible experiments: {why}"),
+            StoreError::ColumnMismatch(why) => write!(f, "column mismatch: {why}"),
         }
     }
 }
@@ -116,19 +122,25 @@ impl ExperimentRef {
     pub fn load(&self) -> Result<Experiment, StoreError> {
         match self {
             ExperimentRef::TextDir(dir) => Ok(Experiment::load(dir)?),
-            ExperimentRef::Packed(file) => StoreFile::open(file)?.to_experiment(),
+            ExperimentRef::Packed(file) => match open_packed(file)? {
+                PackedFile::V1(store) => store.to_experiment(),
+                PackedFile::V2(stream) => stream.to_experiment(),
+            },
         }
     }
 
     /// Load the symbol table that travels with the experiment
     /// (`syms.txt` beside a text directory, the attachment inside a
-    /// packed store), if present.
+    /// packed store or stream file), if present.
     pub fn load_syms(&self) -> Option<minic::SymbolTable> {
         match self {
             ExperimentRef::TextDir(dir) => minic::SymbolTable::load(&dir.join("syms.txt")).ok(),
             ExperimentRef::Packed(file) => {
-                let store = StoreFile::open(file).ok()?;
-                let contents = store.attachment("syms.txt")?;
+                let attachments = load_attachments(file).ok()?;
+                let contents = attachments
+                    .iter()
+                    .find(|(n, _)| n == "syms.txt")
+                    .map(|(_, c)| c)?;
                 // SymbolTable's loader is path-based; round-trip the
                 // attachment through a scratch file.
                 let tmp = scratch_path("syms");
@@ -139,6 +151,35 @@ impl ExperimentRef {
             }
         }
     }
+}
+
+/// A packed file opened in whichever `MPES` version it carries.
+pub(crate) enum PackedFile {
+    /// Version 1: one-shot archival image ([`StoreFile`]).
+    V1(StoreFile),
+    /// Version 2: incrementally written stream ([`StreamFile`]).
+    V2(StreamFile),
+}
+
+/// Open a packed file, dispatching on the version byte: the two
+/// formats share the magic, so every consumer of "a packed
+/// experiment" goes through here.
+pub(crate) fn open_packed(path: &Path) -> Result<PackedFile, StoreError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.get(4) == Some(&writer::STREAM_VERSION) {
+        Ok(PackedFile::V2(StreamFile::from_bytes(bytes)?))
+    } else {
+        Ok(PackedFile::V1(StoreFile::from_bytes(bytes)?))
+    }
+}
+
+/// The auxiliary text files (`syms.txt`, `image.txt`) carried by a
+/// packed store or stream file.
+pub fn load_attachments(path: &Path) -> Result<Vec<(String, String)>, StoreError> {
+    Ok(match open_packed(path)? {
+        PackedFile::V1(store) => store.attachments().to_vec(),
+        PackedFile::V2(stream) => stream.attachments().to_vec(),
+    })
 }
 
 fn scratch_path(tag: &str) -> PathBuf {

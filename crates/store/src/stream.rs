@@ -13,7 +13,8 @@
 use memprof_core::{CounterRequest, EventBatch, EventSource, Experiment};
 
 use crate::reader::StoreFile;
-use crate::{ExperimentRef, StoreError};
+use crate::writer::StreamFile;
+use crate::{open_packed, ExperimentRef, PackedFile, StoreError};
 
 /// An experiment opened just far enough to aggregate it.
 pub enum EventStream {
@@ -22,6 +23,9 @@ pub enum EventStream {
     Loaded(Experiment),
     /// A packed store: header parsed, events still encoded.
     Packed(StoreFile),
+    /// A collector-written stream file: events packed, stacks
+    /// interned.
+    Stream(StreamFile),
 }
 
 impl EventStream {
@@ -29,7 +33,10 @@ impl EventStream {
     pub fn open(r: &ExperimentRef) -> Result<EventStream, StoreError> {
         match r {
             ExperimentRef::TextDir(dir) => Ok(EventStream::Loaded(Experiment::load(dir)?)),
-            ExperimentRef::Packed(file) => Ok(EventStream::Packed(StoreFile::open(file)?)),
+            ExperimentRef::Packed(file) => Ok(match open_packed(file)? {
+                PackedFile::V1(store) => EventStream::Packed(store),
+                PackedFile::V2(stream) => EventStream::Stream(stream),
+            }),
         }
     }
 
@@ -37,6 +44,7 @@ impl EventStream {
         match self {
             EventStream::Loaded(e) => &e.counters,
             EventStream::Packed(s) => s.counters(),
+            EventStream::Stream(s) => s.counters(),
         }
     }
 
@@ -44,6 +52,7 @@ impl EventStream {
         match self {
             EventStream::Loaded(e) => e.clock_period,
             EventStream::Packed(s) => s.clock_period(),
+            EventStream::Stream(s) => s.clock_period(),
         }
     }
 
@@ -51,6 +60,7 @@ impl EventStream {
         match self {
             EventStream::Loaded(e) => e.run.clock_hz,
             EventStream::Packed(s) => s.run().clock_hz,
+            EventStream::Stream(s) => s.run().clock_hz,
         }
     }
 
@@ -58,6 +68,7 @@ impl EventStream {
         match self {
             EventStream::Loaded(e) => e.run.exit_code,
             EventStream::Packed(s) => s.run().exit_code,
+            EventStream::Stream(s) => s.run().exit_code,
         }
     }
 
@@ -67,6 +78,7 @@ impl EventStream {
         match self {
             EventStream::Loaded(e) => e.hwc_events.len(),
             EventStream::Packed(s) => s.hwc_total(),
+            EventStream::Stream(s) => s.hwc_total(),
         }
     }
 
@@ -75,13 +87,16 @@ impl EventStream {
         match self {
             EventStream::Loaded(e) => e.clock_events.len(),
             EventStream::Packed(s) => s.clock_count(),
+            EventStream::Stream(s) => s.clock_count(),
         }
     }
 
     /// Append this source's events to a plain columnar batch, with
     /// counter `c` landing in column `hwc_col[c]` and clock ticks in
     /// `clock_col`. Shares the charge-PC rule with
-    /// [`EventSource::fill_batch`].
+    /// [`EventSource::fill_batch`]. Stream files feed the batch from
+    /// their packed events directly — interned callstacks are never
+    /// rehydrated on this path.
     pub fn fill_batch(
         &self,
         batch: &mut EventBatch,
@@ -99,6 +114,7 @@ impl EventStream {
                 Ok(())
             }
             EventStream::Packed(s) => s.fill_batch(batch, hwc_col, clock_col),
+            EventStream::Stream(s) => s.fill_batch(batch, hwc_col, clock_col),
         }
     }
 }

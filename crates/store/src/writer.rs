@@ -1,0 +1,883 @@
+//! The streaming store: `MPES` version 2, written incrementally by a
+//! live collector and readable even when the run died mid-flight.
+//!
+//! Version 1 ([`crate::pack_experiment`]) is a one-shot archival
+//! format: the whole experiment is in memory, the body is written at
+//! once, and a single file-level checksum covers everything — fine
+//! for `mp-store pack`, useless for a collector that must bound its
+//! memory. Version 2 keeps the magic and the codec but restructures
+//! the file as a sequence of *self-delimiting, individually
+//! checksummed chunks*, appended and flushed as the collector spills:
+//!
+//! ```text
+//! file   := magic(4)=b"MPES" version(1)=2 chunk*
+//! chunk  := kind:u8 len:u32le checksum:u64le payload(len)
+//! ```
+//!
+//! The checksum is FNV-1a 64 over `kind || len || payload` — covering
+//! the chunk header too, so a corrupted kind or length byte cannot
+//! silently skip or resize a chunk. Chunk kinds:
+//!
+//! ```text
+//! 0 HEADER  counters, clock period, clock rate     (first, exactly once)
+//! 1 STACKS  newly interned callstacks, dense cumulative ids
+//! 2 HWC     one segment of counter events, collection order
+//! 3 CLOCK   one segment of clock ticks, collection order
+//! 4 FOOTER  run summary, log, attachments          (last, on clean exit)
+//! ```
+//!
+//! Events reference callstacks by the collector's intern id
+//! ([`memprof_core::StackId`]); every id is defined by a `STACKS`
+//! chunk earlier in the file, so any *prefix* of chunks is
+//! self-contained. That is the crash-safety story: a run that dies
+//! mid-collection leaves a file whose intact chunks load normally —
+//! [`StreamFile`] stops at the first truncated or corrupt chunk,
+//! records why, and synthesizes a run summary if the footer never
+//! arrived. Nothing short of a damaged header loses the whole file.
+
+use std::io::Write;
+use std::path::Path;
+
+use memprof_core::{
+    ClockEvent, CollectSink, CounterRequest, EventBatch, Experiment, HwcEvent, PackedClockEvent,
+    PackedHwcEvent, RunInfo,
+};
+use simsparc_machine::{CounterEvent, EventCounts};
+
+use crate::format::{get_stack, put_stack, LIMIT, MAGIC};
+use crate::varint::{get_str, put_i64, put_str, put_u64, Cursor};
+use crate::StoreError;
+
+/// Version byte for the chunked stream format.
+pub(crate) const STREAM_VERSION: u8 = 2;
+
+/// kind + len + checksum.
+const CHUNK_HEADER_LEN: usize = 1 + 4 + 8;
+
+const CHUNK_HEADER: u8 = 0;
+const CHUNK_STACKS: u8 = 1;
+const CHUNK_HWC: u8 = 2;
+const CHUNK_CLOCK: u8 = 3;
+const CHUNK_FOOTER: u8 = 4;
+
+const FLAG_CANDIDATE: u8 = 1;
+const FLAG_EA: u8 = 2;
+
+/// FNV-1a 64 over `kind || len_le || payload`.
+fn chunk_checksum(kind: u8, len: u32, payload: &[u8]) -> u64 {
+    let mut head = [0u8; 5];
+    head[0] = kind;
+    head[1..5].copy_from_slice(&len.to_le_bytes());
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in head.iter().chain(payload) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The collector's streaming sink: writes `MPES` v2 chunks through
+/// any `Write`, flushing after every chunk so each completed segment
+/// is durable independently of the run's fate.
+pub struct SegmentWriter<W: Write> {
+    out: W,
+    bytes: u64,
+    /// Auxiliary text files (`syms.txt`, `image.txt`) to pack into the
+    /// footer; register them with [`SegmentWriter::attach`] before the
+    /// run finishes.
+    attachments: Vec<(String, String)>,
+}
+
+impl SegmentWriter<std::io::BufWriter<std::fs::File>> {
+    /// Create (truncating) a stream file on disk.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let f = std::fs::File::create(path)?;
+        Ok(SegmentWriter::new(std::io::BufWriter::new(f)))
+    }
+}
+
+impl<W: Write> SegmentWriter<W> {
+    /// Wrap a writer. Nothing is written until the collector calls
+    /// `begin`.
+    pub fn new(out: W) -> Self {
+        SegmentWriter {
+            out,
+            bytes: 0,
+            attachments: Vec::new(),
+        }
+    }
+
+    /// Register an auxiliary text file to be stored in the footer.
+    pub fn attach(&mut self, name: &str, contents: &str) {
+        self.attachments
+            .push((name.to_string(), contents.to_string()));
+    }
+
+    /// Unwrap the underlying writer (for in-memory sinks in tests).
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    fn chunk(&mut self, kind: u8, payload: &[u8]) -> std::io::Result<()> {
+        let len = u32::try_from(payload.len()).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "chunk exceeds 4 GiB")
+        })?;
+        let mut head = [0u8; CHUNK_HEADER_LEN];
+        head[0] = kind;
+        head[1..5].copy_from_slice(&len.to_le_bytes());
+        head[5..13].copy_from_slice(&chunk_checksum(kind, len, payload).to_le_bytes());
+        self.out.write_all(&head)?;
+        self.out.write_all(payload)?;
+        // One flush per chunk: a crash between chunks costs at most
+        // the events still buffered in the collector.
+        self.out.flush()?;
+        self.bytes += (CHUNK_HEADER_LEN + payload.len()) as u64;
+        Ok(())
+    }
+}
+
+fn put_hwc_stream_event(out: &mut Vec<u8>, ev: &PackedHwcEvent) {
+    put_u64(out, ev.counter as u64);
+    let mut flags = 0u8;
+    if ev.candidate_pc.is_some() {
+        flags |= FLAG_CANDIDATE;
+    }
+    if ev.ea.is_some() {
+        flags |= FLAG_EA;
+    }
+    out.push(flags);
+    put_u64(out, ev.delivered_pc);
+    if let Some(c) = ev.candidate_pc {
+        put_i64(out, c.wrapping_sub(ev.delivered_pc) as i64);
+    }
+    if let Some(ea) = ev.ea {
+        put_u64(out, ea);
+    }
+    put_i64(
+        out,
+        ev.truth_trigger_pc.wrapping_sub(ev.delivered_pc) as i64,
+    );
+    put_u64(out, ev.truth_skid as u64);
+    put_u64(out, ev.stack as u64);
+}
+
+impl<W: Write> CollectSink for SegmentWriter<W> {
+    fn begin(
+        &mut self,
+        counters: &[CounterRequest],
+        clock_period: Option<u64>,
+        clock_hz: u64,
+    ) -> std::io::Result<()> {
+        self.out.write_all(&MAGIC)?;
+        self.out.write_all(&[STREAM_VERSION])?;
+        self.bytes += (MAGIC.len() + 1) as u64;
+        let mut payload = Vec::new();
+        put_u64(&mut payload, counters.len() as u64);
+        for c in counters {
+            put_str(&mut payload, c.event.name());
+            payload.push(c.backtrack as u8);
+            put_u64(&mut payload, c.interval);
+        }
+        put_u64(&mut payload, clock_period.unwrap_or(0));
+        put_u64(&mut payload, clock_hz);
+        self.chunk(CHUNK_HEADER, &payload)
+    }
+
+    fn stacks(&mut self, stacks: &[Vec<u64>]) -> std::io::Result<()> {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, stacks.len() as u64);
+        for s in stacks {
+            put_stack(&mut payload, s);
+        }
+        self.chunk(CHUNK_STACKS, &payload)
+    }
+
+    fn hwc_segment(&mut self, events: &[PackedHwcEvent]) -> std::io::Result<()> {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, events.len() as u64);
+        for ev in events {
+            put_hwc_stream_event(&mut payload, ev);
+        }
+        self.chunk(CHUNK_HWC, &payload)
+    }
+
+    fn clock_segment(&mut self, events: &[PackedClockEvent]) -> std::io::Result<()> {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, events.len() as u64);
+        for ev in events {
+            put_u64(&mut payload, ev.pc);
+            put_u64(&mut payload, ev.stack as u64);
+        }
+        self.chunk(CHUNK_CLOCK, &payload)
+    }
+
+    fn finish(&mut self, run: &RunInfo, log: &[String]) -> std::io::Result<()> {
+        let mut payload = Vec::new();
+        put_i64(&mut payload, run.exit_code);
+        put_str(&mut payload, &run.output);
+        put_u64(&mut payload, run.dropped.len() as u64);
+        for &d in &run.dropped {
+            put_u64(&mut payload, d);
+        }
+        let c = &run.counts;
+        for v in [
+            c.cycles,
+            c.insts,
+            c.ic_miss,
+            c.dc_read_miss,
+            c.dtlb_miss,
+            c.ec_ref,
+            c.ec_read_miss,
+            c.ec_stall_cycles,
+            c.loads,
+            c.stores,
+        ] {
+            put_u64(&mut payload, v);
+        }
+        put_u64(&mut payload, log.len() as u64);
+        for line in log {
+            put_str(&mut payload, line);
+        }
+        put_u64(&mut payload, self.attachments.len() as u64);
+        for (name, contents) in &self.attachments {
+            put_str(&mut payload, name);
+            put_str(&mut payload, contents);
+        }
+        self.chunk(CHUNK_FOOTER, &payload)
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// A loaded `MPES` v2 stream file. Loading never fails on a damaged
+/// *tail*: chunks are validated in order and parsing stops at the
+/// first truncated or corrupt one, keeping everything before it —
+/// [`StreamFile::truncation`] reports what stopped it, and a missing
+/// footer yields a synthesized run summary with
+/// [`StreamFile::is_complete`] `== false`.
+pub struct StreamFile {
+    counters: Vec<CounterRequest>,
+    clock_period: Option<u64>,
+    stacks: Vec<Vec<u64>>,
+    hwc: Vec<PackedHwcEvent>,
+    clock: Vec<PackedClockEvent>,
+    run: RunInfo,
+    log: Vec<String>,
+    attachments: Vec<(String, String)>,
+    complete: bool,
+    truncation: Option<&'static str>,
+}
+
+fn parse_header_chunk(
+    payload: &[u8],
+) -> Result<(Vec<CounterRequest>, Option<u64>, u64), StoreError> {
+    let mut cur = Cursor::new(payload);
+    let n = cur.get_len(4096)?;
+    let mut counters = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = get_str(&mut cur, 256)?;
+        let event =
+            CounterEvent::parse(&name).ok_or(StoreError::Corrupt("unknown counter event name"))?;
+        let backtrack = match cur.take_byte()? {
+            0 => false,
+            1 => true,
+            _ => return Err(StoreError::Corrupt("bad backtrack flag")),
+        };
+        let interval = cur.get_u64()?;
+        counters.push(CounterRequest {
+            event,
+            backtrack,
+            interval,
+        });
+    }
+    let period = cur.get_u64()?;
+    let clock_hz = cur.get_u64()?;
+    Ok((counters, (period > 0).then_some(period), clock_hz))
+}
+
+fn parse_stacks_chunk(payload: &[u8], into: &mut Vec<Vec<u64>>) -> Result<(), StoreError> {
+    let mut cur = Cursor::new(payload);
+    let n = cur.get_len(LIMIT)?;
+    let mut fresh = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        fresh.push(get_stack(&mut cur)?);
+    }
+    if !cur.is_empty() {
+        return Err(StoreError::Corrupt("trailing bytes in stacks chunk"));
+    }
+    into.extend(fresh);
+    Ok(())
+}
+
+fn parse_hwc_chunk(
+    payload: &[u8],
+    n_counters: usize,
+    n_stacks: usize,
+    into: &mut Vec<PackedHwcEvent>,
+) -> Result<(), StoreError> {
+    let mut cur = Cursor::new(payload);
+    let n = cur.get_len(LIMIT)?;
+    let mut fresh = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let counter = cur.get_len(4096)?;
+        if counter >= n_counters {
+            return Err(StoreError::Corrupt("event references unknown counter"));
+        }
+        let flags = cur.take_byte()?;
+        if flags & !(FLAG_CANDIDATE | FLAG_EA) != 0 {
+            return Err(StoreError::Corrupt("unknown hwc event flags"));
+        }
+        let delivered_pc = cur.get_u64()?;
+        let candidate_pc = if flags & FLAG_CANDIDATE != 0 {
+            Some(delivered_pc.wrapping_add(cur.get_i64()? as u64))
+        } else {
+            None
+        };
+        let ea = if flags & FLAG_EA != 0 {
+            Some(cur.get_u64()?)
+        } else {
+            None
+        };
+        let truth_trigger_pc = delivered_pc.wrapping_add(cur.get_i64()? as u64);
+        let truth_skid =
+            u32::try_from(cur.get_u64()?).map_err(|_| StoreError::Corrupt("skid overflows u32"))?;
+        let stack = cur.get_len(LIMIT)?;
+        if stack >= n_stacks {
+            return Err(StoreError::Corrupt("event references undefined stack id"));
+        }
+        fresh.push(PackedHwcEvent {
+            counter: counter as u32,
+            delivered_pc,
+            candidate_pc,
+            ea,
+            stack: stack as u32,
+            truth_trigger_pc,
+            truth_skid,
+        });
+    }
+    if !cur.is_empty() {
+        return Err(StoreError::Corrupt("trailing bytes in hwc chunk"));
+    }
+    into.extend(fresh);
+    Ok(())
+}
+
+fn parse_clock_chunk(
+    payload: &[u8],
+    n_stacks: usize,
+    into: &mut Vec<PackedClockEvent>,
+) -> Result<(), StoreError> {
+    let mut cur = Cursor::new(payload);
+    let n = cur.get_len(LIMIT)?;
+    let mut fresh = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let pc = cur.get_u64()?;
+        let stack = cur.get_len(LIMIT)?;
+        if stack >= n_stacks {
+            return Err(StoreError::Corrupt("event references undefined stack id"));
+        }
+        fresh.push(PackedClockEvent {
+            pc,
+            stack: stack as u32,
+        });
+    }
+    if !cur.is_empty() {
+        return Err(StoreError::Corrupt("trailing bytes in clock chunk"));
+    }
+    into.extend(fresh);
+    Ok(())
+}
+
+/// Decoded footer chunk: run summary, collector log, attachments.
+type FooterData = (RunInfo, Vec<String>, Vec<(String, String)>);
+
+fn parse_footer_chunk(payload: &[u8], clock_hz: u64) -> Result<FooterData, StoreError> {
+    let mut cur = Cursor::new(payload);
+    let exit_code = cur.get_i64()?;
+    let output = get_str(&mut cur, LIMIT)?;
+    let n_dropped = cur.get_len(4096)?;
+    let mut dropped = Vec::with_capacity(n_dropped);
+    for _ in 0..n_dropped {
+        dropped.push(cur.get_u64()?);
+    }
+    let mut counts = EventCounts::default();
+    for field in [
+        &mut counts.cycles,
+        &mut counts.insts,
+        &mut counts.ic_miss,
+        &mut counts.dc_read_miss,
+        &mut counts.dtlb_miss,
+        &mut counts.ec_ref,
+        &mut counts.ec_read_miss,
+        &mut counts.ec_stall_cycles,
+        &mut counts.loads,
+        &mut counts.stores,
+    ] {
+        *field = cur.get_u64()?;
+    }
+    let n_log = cur.get_len(LIMIT)?;
+    let mut log = Vec::with_capacity(n_log.min(4096));
+    for _ in 0..n_log {
+        log.push(get_str(&mut cur, LIMIT)?);
+    }
+    let n_attach = cur.get_len(4096)?;
+    let mut attachments = Vec::with_capacity(n_attach);
+    for _ in 0..n_attach {
+        let name = get_str(&mut cur, 4096)?;
+        let contents = get_str(&mut cur, LIMIT)?;
+        attachments.push((name, contents));
+    }
+    Ok((
+        RunInfo {
+            exit_code,
+            output,
+            counts,
+            clock_hz,
+            dropped,
+        },
+        log,
+        attachments,
+    ))
+}
+
+impl StreamFile {
+    /// Parse a stream image. Fails hard only when the 5-byte preamble
+    /// or the header chunk is unusable; damage after the header turns
+    /// into a readable prefix (see [`StreamFile::truncation`]).
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<StreamFile, StoreError> {
+        if bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        if bytes.len() > MAGIC.len() && bytes[MAGIC.len()] != STREAM_VERSION {
+            return Err(StoreError::BadVersion(bytes[MAGIC.len()]));
+        }
+        if bytes.len() < MAGIC.len() + 1 {
+            return Err(StoreError::Truncated);
+        }
+
+        let mut pos = MAGIC.len() + 1;
+        let mut header: Option<(Vec<CounterRequest>, Option<u64>, u64)> = None;
+        let mut stacks: Vec<Vec<u64>> = Vec::new();
+        let mut hwc: Vec<PackedHwcEvent> = Vec::new();
+        let mut clock: Vec<PackedClockEvent> = Vec::new();
+        let mut footer: Option<FooterData> = None;
+        let mut truncation: Option<&'static str> = None;
+
+        while pos < bytes.len() {
+            if bytes.len() - pos < CHUNK_HEADER_LEN {
+                truncation = Some("truncated chunk header");
+                break;
+            }
+            let kind = bytes[pos];
+            let len = u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().unwrap()) as usize;
+            let stored = u64::from_le_bytes(bytes[pos + 5..pos + 13].try_into().unwrap());
+            let start = pos + CHUNK_HEADER_LEN;
+            let Some(end) = start.checked_add(len) else {
+                truncation = Some("chunk length overflows");
+                break;
+            };
+            if end > bytes.len() {
+                truncation = Some("chunk extends past end of file");
+                break;
+            }
+            let payload = &bytes[start..end];
+            if chunk_checksum(kind, len as u32, payload) != stored {
+                truncation = Some("chunk checksum mismatch");
+                break;
+            }
+            let res: Result<(), StoreError> = match kind {
+                CHUNK_HEADER => {
+                    if header.is_some() {
+                        Err(StoreError::Corrupt("duplicate header chunk"))
+                    } else {
+                        parse_header_chunk(payload).map(|h| header = Some(h))
+                    }
+                }
+                _ if header.is_none() => Err(StoreError::Corrupt("first chunk is not the header")),
+                CHUNK_STACKS => parse_stacks_chunk(payload, &mut stacks),
+                CHUNK_HWC => {
+                    let n_counters = header.as_ref().map_or(0, |(c, _, _)| c.len());
+                    parse_hwc_chunk(payload, n_counters, stacks.len(), &mut hwc)
+                }
+                CHUNK_CLOCK => parse_clock_chunk(payload, stacks.len(), &mut clock),
+                CHUNK_FOOTER => {
+                    let hz = header.as_ref().map_or(0, |&(_, _, hz)| hz);
+                    parse_footer_chunk(payload, hz).map(|f| footer = Some(f))
+                }
+                // Unknown chunk kinds are checksummed and
+                // self-delimiting: skip them for forward compatibility.
+                _ => Ok(()),
+            };
+            if let Err(e) = res {
+                truncation = Some(match e {
+                    StoreError::Corrupt(why) => why,
+                    _ => "undecodable chunk",
+                });
+                break;
+            }
+            pos = end;
+            if footer.is_some() {
+                break;
+            }
+        }
+
+        // Without a usable header there is no readable prefix at all.
+        let Some((counters, clock_period, clock_hz)) = header else {
+            return Err(truncation
+                .map(StoreError::Corrupt)
+                .unwrap_or(StoreError::Truncated));
+        };
+        let complete = footer.is_some();
+        let (run, log, attachments) = footer.unwrap_or_else(|| {
+            // Interrupted run: no footer ever arrived. Synthesize a
+            // summary so the prefix still analyzes.
+            (
+                RunInfo {
+                    exit_code: -1,
+                    output: String::new(),
+                    counts: EventCounts::default(),
+                    clock_hz,
+                    dropped: vec![0; counters.len()],
+                },
+                Vec::new(),
+                Vec::new(),
+            )
+        });
+        Ok(StreamFile {
+            counters,
+            clock_period,
+            stacks,
+            hwc,
+            clock,
+            run,
+            log,
+            attachments,
+            complete,
+            truncation,
+        })
+    }
+
+    pub fn open(path: &Path) -> Result<StreamFile, StoreError> {
+        StreamFile::from_bytes(std::fs::read(path)?)
+    }
+
+    pub fn counters(&self) -> &[CounterRequest] {
+        &self.counters
+    }
+
+    pub fn clock_period(&self) -> Option<u64> {
+        self.clock_period
+    }
+
+    pub fn run(&self) -> &RunInfo {
+        &self.run
+    }
+
+    pub fn log(&self) -> &[String] {
+        &self.log
+    }
+
+    pub fn attachments(&self) -> &[(String, String)] {
+        &self.attachments
+    }
+
+    pub fn attachment(&self, name: &str) -> Option<&str> {
+        self.attachments
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c.as_str())
+    }
+
+    /// Did the file end with a footer chunk (clean collector exit)?
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Why parsing stopped early, if it did. A truncated tail after a
+    /// clean footer is not reported — the experiment is whole.
+    pub fn truncation(&self) -> Option<&'static str> {
+        self.truncation
+    }
+
+    /// Packed counter events, in collection order.
+    pub fn hwc_events(&self) -> &[PackedHwcEvent] {
+        &self.hwc
+    }
+
+    /// Packed clock ticks, in collection order.
+    pub fn clock_events(&self) -> &[PackedClockEvent] {
+        &self.clock
+    }
+
+    /// Distinct interned callstacks.
+    pub fn stack_count(&self) -> usize {
+        self.stacks.len()
+    }
+
+    /// Resolve an interned stack id.
+    pub fn stack(&self, id: u32) -> &[u64] {
+        &self.stacks[id as usize]
+    }
+
+    pub fn hwc_total(&self) -> usize {
+        self.hwc.len()
+    }
+
+    pub fn clock_count(&self) -> usize {
+        self.clock.len()
+    }
+
+    /// Stream the events into a plain columnar batch with the shared
+    /// charge-PC rule. Plain batches never look at callstacks, so the
+    /// interned stacks are not rehydrated — this is the aggregation
+    /// fast path for stream files.
+    pub fn fill_batch(
+        &self,
+        batch: &mut EventBatch,
+        hwc_col: &[usize],
+        clock_col: Option<usize>,
+    ) -> Result<(), StoreError> {
+        if let Some(col) = clock_col {
+            for ev in &self.clock {
+                batch.push_plain(col, ev.pc, ev.pc, None, None);
+            }
+        }
+        for ev in &self.hwc {
+            let req = &self.counters[ev.counter as usize];
+            let col = hwc_col[ev.counter as usize];
+            let charged = if req.backtrack {
+                ev.candidate_pc.unwrap_or(ev.delivered_pc)
+            } else {
+                ev.delivered_pc
+            };
+            batch.push_plain(col, charged, ev.delivered_pc, ev.candidate_pc, ev.ea);
+        }
+        Ok(())
+    }
+
+    /// Rehydrate the full in-memory [`Experiment`] (callstacks cloned
+    /// out of the intern table). An interrupted run gains a log line
+    /// recording why the stream ended early.
+    pub fn to_experiment(&self) -> Result<Experiment, StoreError> {
+        let hwc_events = self
+            .hwc
+            .iter()
+            .map(|e| HwcEvent {
+                counter: e.counter as usize,
+                delivered_pc: e.delivered_pc,
+                candidate_pc: e.candidate_pc,
+                ea: e.ea,
+                callstack: self.stacks[e.stack as usize].clone(),
+                truth_trigger_pc: e.truth_trigger_pc,
+                truth_skid: e.truth_skid,
+            })
+            .collect();
+        let clock_events = self
+            .clock
+            .iter()
+            .map(|e| ClockEvent {
+                pc: e.pc,
+                callstack: self.stacks[e.stack as usize].clone(),
+            })
+            .collect();
+        let mut log = self.log.clone();
+        if let Some(why) = self.truncation {
+            log.push(format!("stream ended early: {why}"));
+        }
+        Ok(Experiment {
+            counters: self.counters.clone(),
+            clock_period: self.clock_period,
+            hwc_events,
+            clock_events,
+            run: self.run.clone(),
+            log,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_counters() -> Vec<CounterRequest> {
+        vec![
+            CounterRequest {
+                event: CounterEvent::ECStallCycles,
+                backtrack: true,
+                interval: 1009,
+            },
+            CounterRequest {
+                event: CounterEvent::DTLBMiss,
+                backtrack: false,
+                interval: 53,
+            },
+        ]
+    }
+
+    fn sample_run() -> RunInfo {
+        RunInfo {
+            exit_code: 0,
+            output: "cost 42\n".to_string(),
+            counts: EventCounts {
+                cycles: 1_000_000,
+                insts: 400_000,
+                ..Default::default()
+            },
+            clock_hz: 900_000_000,
+            dropped: vec![3, 0],
+        }
+    }
+
+    /// Write a small, fully populated stream into a byte buffer.
+    fn sample_stream() -> Vec<u8> {
+        let mut w = SegmentWriter::new(Vec::new());
+        w.attach("syms.txt", "module m 1 1\n");
+        w.begin(&sample_counters(), Some(10007), 900_000_000)
+            .unwrap();
+        w.stacks(&[vec![0x1000_0010, 0x1000_0200], vec![]]).unwrap();
+        w.hwc_segment(&[
+            PackedHwcEvent {
+                counter: 0,
+                delivered_pc: 0x1000_31b8,
+                candidate_pc: Some(0x1000_31b0),
+                ea: Some(0x4000_0038),
+                stack: 0,
+                truth_trigger_pc: 0x1000_31b0,
+                truth_skid: 2,
+            },
+            PackedHwcEvent {
+                counter: 1,
+                delivered_pc: 0x1000_31d8,
+                candidate_pc: None,
+                ea: None,
+                stack: 1,
+                truth_trigger_pc: 0x1000_31d4,
+                truth_skid: 1,
+            },
+        ])
+        .unwrap();
+        w.stacks(&[vec![0x1000_0010]]).unwrap();
+        w.clock_segment(&[PackedClockEvent {
+            pc: 0x1000_31d8,
+            stack: 2,
+        }])
+        .unwrap();
+        w.finish(&sample_run(), &["0 collect start".to_string()])
+            .unwrap();
+        let bytes = w.out;
+        assert_eq!(bytes.len() as u64, w.bytes);
+        bytes
+    }
+
+    #[test]
+    fn stream_round_trips() {
+        let bytes = sample_stream();
+        let f = StreamFile::from_bytes(bytes).unwrap();
+        assert!(f.is_complete());
+        assert_eq!(f.truncation(), None);
+        assert_eq!(f.counters(), &sample_counters()[..]);
+        assert_eq!(f.clock_period(), Some(10007));
+        assert_eq!(f.run(), &sample_run());
+        assert_eq!(f.log(), &["0 collect start".to_string()][..]);
+        assert_eq!(f.attachment("syms.txt"), Some("module m 1 1\n"));
+        assert_eq!(f.hwc_total(), 2);
+        assert_eq!(f.clock_count(), 1);
+        assert_eq!(f.stack_count(), 3);
+        assert_eq!(f.stack(0), &[0x1000_0010, 0x1000_0200]);
+        let exp = f.to_experiment().unwrap();
+        assert_eq!(exp.hwc_events[0].callstack, vec![0x1000_0010, 0x1000_0200]);
+        assert_eq!(exp.hwc_events[1].callstack, Vec::<u64>::new());
+        assert_eq!(exp.clock_events[0].callstack, vec![0x1000_0010]);
+    }
+
+    #[test]
+    fn every_truncation_point_leaves_a_readable_prefix() {
+        let bytes = sample_stream();
+        // Find where the header chunk ends so prefixes beyond it are
+        // expected to load.
+        let header_len = {
+            let len = u32::from_le_bytes(bytes[6..10].try_into().unwrap()) as usize;
+            5 + CHUNK_HEADER_LEN + len
+        };
+        for cut in 0..bytes.len() {
+            let prefix = bytes[..cut].to_vec();
+            match StreamFile::from_bytes(prefix) {
+                Ok(f) => {
+                    assert!(cut >= header_len, "loaded without a full header at {cut}");
+                    // Whatever loaded is internally consistent.
+                    for ev in f.hwc_events() {
+                        assert!((ev.stack as usize) < f.stack_count());
+                    }
+                    if cut < bytes.len() {
+                        assert!(!f.is_complete(), "prefix at {cut} claims completeness");
+                        // A synthesized run summary is still usable.
+                        assert_eq!(f.run().dropped.len(), f.counters().len());
+                    }
+                    f.to_experiment().unwrap();
+                }
+                Err(e) => {
+                    assert!(cut < header_len, "hard error {e} at offset {cut}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_tail_chunk_is_dropped_cleanly() {
+        let mut bytes = sample_stream();
+        // Flip a bit in the final (footer) chunk's payload.
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x40;
+        let f = StreamFile::from_bytes(bytes).unwrap();
+        assert!(!f.is_complete());
+        assert_eq!(f.truncation(), Some("chunk checksum mismatch"));
+        // Events before the damaged chunk survive.
+        assert_eq!(f.hwc_total(), 2);
+        assert_eq!(f.clock_count(), 1);
+    }
+
+    #[test]
+    fn damaged_header_is_a_hard_error() {
+        let bytes = sample_stream();
+        // Not a stream at all.
+        assert!(matches!(
+            StreamFile::from_bytes(b"NOPE".to_vec()),
+            Err(StoreError::BadMagic)
+        ));
+        assert!(matches!(
+            StreamFile::from_bytes(b"MPES\x07".to_vec()),
+            Err(StoreError::BadVersion(7))
+        ));
+        assert!(matches!(
+            StreamFile::from_bytes(b"MP".to_vec()),
+            Err(StoreError::Truncated)
+        ));
+        // Preamble alone (no header chunk) is truncated, not usable.
+        assert!(matches!(
+            StreamFile::from_bytes(bytes[..5].to_vec()),
+            Err(StoreError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn events_referencing_undefined_stacks_stop_the_parse() {
+        let mut w = SegmentWriter::new(Vec::new());
+        w.begin(&sample_counters(), None, 900_000_000).unwrap();
+        // No stacks chunk: stack id 5 is undefined.
+        w.hwc_segment(&[PackedHwcEvent {
+            counter: 0,
+            delivered_pc: 0x1000_0000,
+            candidate_pc: None,
+            ea: None,
+            stack: 5,
+            truth_trigger_pc: 0x1000_0000,
+            truth_skid: 0,
+        }])
+        .unwrap();
+        let f = StreamFile::from_bytes(w.out).unwrap();
+        assert_eq!(f.hwc_total(), 0);
+        assert_eq!(f.truncation(), Some("event references undefined stack id"));
+    }
+}

@@ -4,7 +4,7 @@
 //! text-format robustness suite in memprof-core.
 
 use memprof_core::{ClockEvent, CounterRequest, Experiment, HwcEvent, RunInfo};
-use memprof_store::{pack_experiment, StoreError, StoreFile};
+use memprof_store::{pack_experiment, SegmentWriter, StoreError, StoreFile, StreamFile};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use simsparc_machine::{CounterEvent, EventCounts};
@@ -178,6 +178,36 @@ fn wrong_magic_is_rejected() {
 }
 
 #[test]
+fn short_headers_never_panic() {
+    let exp = build_experiment((4001, 53), 10007, sample_events(), sample_clocks(), (1, 0));
+    let bytes = pack_experiment(&exp, &[]);
+    // Every prefix shorter than the 13-byte preamble must be a clean
+    // Truncated — the fixed-offset checksum slice must never panic.
+    for len in 0..13 {
+        assert!(
+            matches!(
+                StoreFile::from_bytes(bytes[..len].to_vec()),
+                Err(StoreError::Truncated)
+            ),
+            "prefix of {len} bytes"
+        );
+    }
+    // Short files that already disagree with the preamble say so.
+    assert!(matches!(
+        StoreFile::from_bytes(b"XPES".to_vec()),
+        Err(StoreError::BadMagic)
+    ));
+    assert!(matches!(
+        StoreFile::from_bytes(b"MPES\x09".to_vec()),
+        Err(StoreError::BadVersion(9))
+    ));
+    assert!(matches!(
+        StoreFile::from_bytes(b"MPES\x01\x00\x00".to_vec()),
+        Err(StoreError::Truncated)
+    ));
+}
+
+#[test]
 fn future_version_is_rejected() {
     let exp = build_experiment((4001, 53), 10007, sample_events(), sample_clocks(), (1, 0));
     let mut bytes = pack_experiment(&exp, &[]);
@@ -231,6 +261,84 @@ fn structurally_corrupt_payload_is_rejected_even_with_valid_checksum() {
     match StoreFile::from_bytes(bytes) {
         Err(StoreError::Corrupt(_)) | Err(StoreError::Truncated) => {}
         other => panic!("expected structural rejection, got {:?}", other.map(|_| ())),
+    }
+}
+
+/// Write a small v2 stream through the public sink interface.
+fn sample_stream_bytes() -> Vec<u8> {
+    use memprof_core::{CallstackTable, CollectSink, PackedClockEvent, PackedHwcEvent};
+    let exp = build_experiment((4001, 53), 10007, sample_events(), sample_clocks(), (1, 0));
+    let mut w = SegmentWriter::new(Vec::<u8>::new());
+    w.begin(&exp.counters, exp.clock_period, exp.run.clock_hz)
+        .unwrap();
+    // Intern the callstacks by hand: one id per distinct stack.
+    let mut table = CallstackTable::new();
+    let hwc: Vec<PackedHwcEvent> = exp
+        .hwc_events
+        .iter()
+        .map(|e| PackedHwcEvent {
+            counter: e.counter as u32,
+            delivered_pc: e.delivered_pc,
+            candidate_pc: e.candidate_pc,
+            ea: e.ea,
+            stack: table.intern(&e.callstack),
+            truth_trigger_pc: e.truth_trigger_pc,
+            truth_skid: e.truth_skid,
+        })
+        .collect();
+    let clock: Vec<PackedClockEvent> = exp
+        .clock_events
+        .iter()
+        .map(|e| PackedClockEvent {
+            pc: e.pc,
+            stack: table.intern(&e.callstack),
+        })
+        .collect();
+    w.stacks(table.stacks_from(0)).unwrap();
+    w.hwc_segment(&hwc).unwrap();
+    w.clock_segment(&clock).unwrap();
+    w.finish(&exp.run, &exp.log).unwrap();
+    w.into_inner()
+}
+
+#[test]
+fn stream_truncation_leaves_a_readable_prefix() {
+    let bytes = sample_stream_bytes();
+    let full = StreamFile::from_bytes(bytes.clone()).unwrap();
+    assert!(full.is_complete());
+    let total = full.hwc_total() + full.clock_count();
+    assert!(total > 0);
+    // Chop the file at every length: anything with an intact header
+    // loads as a (possibly empty) prefix; shorter is a clean error.
+    let mut readable = 0usize;
+    for cut in 0..bytes.len() {
+        match StreamFile::from_bytes(bytes[..cut].to_vec()) {
+            Ok(f) => {
+                assert!(!f.is_complete());
+                assert!(f.hwc_total() + f.clock_count() <= total);
+                readable += 1;
+            }
+            Err(StoreError::Truncated | StoreError::Corrupt(_) | StoreError::BadVersion(_)) => {}
+            Err(other) => panic!("unexpected error at {cut}: {other}"),
+        }
+    }
+    assert!(readable > 0, "no prefix was readable");
+}
+
+#[test]
+fn stream_bit_flips_never_panic_and_never_misparse_silently() {
+    let clean = sample_stream_bytes();
+    assert!(StreamFile::from_bytes(clean.clone()).unwrap().is_complete());
+    for pos in 0..clean.len() {
+        let mut bytes = clean.clone();
+        bytes[pos] ^= 0x10;
+        // The chunk checksum covers kind and length too, so every
+        // single-bit flip either errors out (preamble/header damage)
+        // or surfaces as an incomplete readable prefix — a flipped
+        // file can never pass for a cleanly finished run.
+        if let Ok(f) = StreamFile::from_bytes(bytes) {
+            assert!(!f.is_complete(), "silent misparse at byte {pos}");
+        }
     }
 }
 

@@ -2,8 +2,14 @@
 //!
 //! ```text
 //! mp-collect -o EXPDIR [options] SOURCE.c [SOURCE2.c ...]
+//! mp-collect --stream OUT.mpes [options] SOURCE.c [SOURCE2.c ...]
 //!
-//!   -o DIR            experiment directory to write (required)
+//!   -o DIR            experiment directory to write
+//!   --stream FILE     stream events into a packed store file instead
+//!                     of buffering the run in memory (exactly one of
+//!                     -o / --stream is required)
+//!   --spill N         streaming spill threshold in buffered events
+//!                     (default 8192)
 //!   -h SPEC           counters, e.g. "+ecstall,lo,+ecrm,on" or
 //!                     "+ecrm,101" (up to two, '+' = backtracking)
 //!   -p on|off         clock profiling (default on)
@@ -25,7 +31,10 @@ use std::process::exit;
 
 use memprof::machine::{CounterEvent, Machine, MachineConfig};
 use memprof::minic::{compile_and_link, CompileOptions};
-use memprof::profiler::{collect, parse_counter_spec, CollectConfig, Interval};
+use memprof::profiler::{
+    collect, collect_stream, parse_counter_spec, CollectConfig, Interval, StreamConfig,
+};
+use memprof::store::SegmentWriter;
 
 fn print_counters() {
     println!("Available counters (prefix with `+` for apropos backtracking):");
@@ -53,6 +62,8 @@ fn main() {
     }
 
     let mut out_dir: Option<PathBuf> = None;
+    let mut stream_out: Option<PathBuf> = None;
+    let mut spill_events = StreamConfig::default().spill_events;
     let mut spec = String::new();
     let mut clock = true;
     let mut period = 100_003u64;
@@ -72,6 +83,21 @@ fn main() {
                 out_dir = Some(PathBuf::from(
                     args.get(i).unwrap_or_else(|| usage("-o needs a value")),
                 ));
+            }
+            "--stream" => {
+                i += 1;
+                stream_out = Some(PathBuf::from(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("--stream needs a value")),
+                ));
+            }
+            "--spill" => {
+                i += 1;
+                spill_events = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| usage("bad --spill"));
             }
             "-h" => {
                 i += 1;
@@ -114,9 +140,9 @@ fn main() {
         }
         i += 1;
     }
-    let Some(out_dir) = out_dir else {
-        usage("missing -o EXPDIR")
-    };
+    if out_dir.is_some() == stream_out.is_some() {
+        usage("exactly one of -o EXPDIR / --stream FILE is required");
+    }
     if sources.is_empty() {
         usage("no source files given");
     }
@@ -164,25 +190,66 @@ fn main() {
     };
     let mut machine = Machine::new(machine_config);
     machine.load(&program.image);
-    let experiment = collect(&mut machine, &config).unwrap_or_else(|e| {
-        eprintln!("mp-collect: {e}");
-        exit(1)
-    });
 
-    // Persist the experiment bundle.
-    experiment.save(&out_dir).unwrap_or_else(|e| {
-        eprintln!("mp-collect: cannot write experiment: {e}");
-        exit(1)
-    });
-    program.image.save(&out_dir.join("image.txt")).unwrap();
-    program.syms.save(&out_dir.join("syms.txt")).unwrap();
+    if let Some(out_file) = stream_out {
+        // Streaming mode: events spill into the packed store as the
+        // run progresses; peak memory is bounded by --spill.
+        let mut writer = SegmentWriter::create(&out_file).unwrap_or_else(|e| {
+            eprintln!("mp-collect: cannot create {}: {e}", out_file.display());
+            exit(1)
+        });
+        writer.attach("image.txt", &render_to_string(|p| program.image.save(p)));
+        writer.attach("syms.txt", &render_to_string(|p| program.syms.save(p)));
+        let stream = StreamConfig { spill_events };
+        let stats =
+            collect_stream(&mut machine, &config, &stream, &mut writer).unwrap_or_else(|e| {
+                eprintln!("mp-collect: {e}");
+                exit(1)
+            });
+        eprintln!(
+            "mp-collect: {} hwc events, {} clock ticks, {} stacks ({:.1}% intern hits), \
+             {} segments spilled, peak {} buffered, {} bytes -> {}",
+            stats.hwc_events,
+            stats.clock_events,
+            stats.distinct_stacks,
+            stats.intern_hit_rate_pct(),
+            stats.segments_spilled,
+            stats.peak_buffered_events,
+            stats.bytes_written,
+            out_file.display()
+        );
+    } else {
+        let out_dir = out_dir.unwrap();
+        let experiment = collect(&mut machine, &config).unwrap_or_else(|e| {
+            eprintln!("mp-collect: {e}");
+            exit(1)
+        });
 
-    eprintln!(
-        "mp-collect: {} hwc events, {} clock ticks, exit {} -> {}",
-        experiment.hwc_events.len(),
-        experiment.clock_events.len(),
-        experiment.run.exit_code,
-        out_dir.display()
-    );
+        // Persist the experiment bundle.
+        experiment.save(&out_dir).unwrap_or_else(|e| {
+            eprintln!("mp-collect: cannot write experiment: {e}");
+            exit(1)
+        });
+        program.image.save(&out_dir.join("image.txt")).unwrap();
+        program.syms.save(&out_dir.join("syms.txt")).unwrap();
+
+        eprintln!(
+            "mp-collect: {} hwc events, {} clock ticks, exit {} -> {}",
+            experiment.hwc_events.len(),
+            experiment.clock_events.len(),
+            experiment.run.exit_code,
+            out_dir.display()
+        );
+    }
     let _ = Interval::On; // (re-exported for library users)
+}
+
+/// The image/symbol `save` APIs write to a path; round-trip through a
+/// scratch file to obtain the text for a stream attachment.
+fn render_to_string(save: impl FnOnce(&std::path::Path) -> std::io::Result<()>) -> String {
+    let path = std::env::temp_dir().join(format!("mp-collect-attach-{}.txt", std::process::id()));
+    save(&path).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    text
 }

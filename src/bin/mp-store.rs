@@ -18,7 +18,7 @@ use std::process::exit;
 
 use memprof::store::{
     self, aggregate_streams, diff_experiments, pack_dir, pack_experiment, unpack_to_dir,
-    EventStream, ExperimentRef, StoreFile,
+    EventStream, ExperimentRef,
 };
 
 fn usage(msg: &str) -> ! {
@@ -50,9 +50,11 @@ fn collect_attachments(refs: &[ExperimentRef]) -> Vec<(String, String)> {
         for name in store::ATTACHMENT_FILES {
             let contents = match r {
                 ExperimentRef::TextDir(dir) => std::fs::read_to_string(dir.join(name)).ok(),
-                ExperimentRef::Packed(file) => StoreFile::open(file)
+                // Version-agnostic: v1 packed stores and v2 stream
+                // files both carry attachments.
+                ExperimentRef::Packed(file) => store::load_attachments(file)
                     .ok()
-                    .and_then(|s| s.attachment(name).map(str::to_string)),
+                    .and_then(|atts| atts.into_iter().find(|(n, _)| n == name).map(|(_, c)| c)),
             };
             if let Some(c) = contents {
                 found.push((name.to_string(), c));
