@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use memprof_core::{backtrack, event_accepts};
+use memprof_core::{backtrack, event_accepts, TextMap};
 use simsparc_isa::{AluOp, Insn, Operand, Reg};
 use simsparc_machine::{CounterEvent, TEXT_BASE};
 
@@ -30,7 +30,7 @@ fn bench_collector(c: &mut Criterion) {
     let mut group = c.benchmark_group("collector_micro");
 
     for gap in [4usize, 16, 48] {
-        let text = synthetic_text(4096, gap);
+        let text = TextMap::build(&synthetic_text(4096, gap));
         group.bench_function(format!("backtrack_gap_{gap}"), |b| {
             let mut pc = TEXT_BASE + 2048 * 4;
             b.iter(|| {

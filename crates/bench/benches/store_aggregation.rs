@@ -46,6 +46,9 @@ fn synthetic_experiment(seed: u64, n_events: usize) -> Experiment {
                     .then(|| 0x4000_0000 + rng.random_range(0..1u64 << 24)),
                 callstack: vec![0x1_0000, delivered],
                 truth_trigger_pc: delivered.saturating_sub(8),
+                truth_ea: rng
+                    .random_bool(0.7)
+                    .then(|| 0x4000_0000 + rng.random_range(0..1u64 << 24)),
                 truth_skid: rng.random_range(0..6u32),
             }
         })

@@ -340,6 +340,17 @@ fn push_attributed(
         }
         Attribution::Unknown { kind, .. } => (AttrTag::from_unknown(*kind), NO_ID),
     };
+    // An Unresolvable event's candidate window crossed a branch target,
+    // so its reconstructed address is untrustworthy: the access that
+    // produced it may never have executed. Drop the EA so address-space
+    // views are built only from addresses the analysis can stand behind.
+    // (Collection now drops these at the source too; this guards data
+    // recorded by older collectors.)
+    let ea = if tag == AttrTag::UnkUnresolvable {
+        None
+    } else {
+        ea
+    };
     batch.push(BatchEvent {
         col,
         pc,

@@ -3,11 +3,25 @@
 //! ticks, performs the **apropos backtracking search** (§2.2.3) and
 //! effective-address reconstruction, and records an [`Experiment`].
 //!
-//! The collector deliberately does *not* consult branch-target tables:
-//! "It is too expensive to locate branch targets at data collection
-//! time, so the candidate trigger PC is always recorded, but it is
-//! validated during data reduction." Validation lives in
-//! [`crate::analyze`].
+//! The backtracking walk consults a [`TextMap`] — branch targets and
+//! function entries derived from the text image in a single decode
+//! pass when the collector attaches. Two things depend on it:
+//!
+//! * the walk never crosses the enclosing function's entry (skid can
+//!   span a call boundary, and the instruction before a function in
+//!   *address* order belongs to an unrelated function, not the
+//!   caller), and
+//! * a reconstructed effective address is dropped when a branch
+//!   target lies inside the candidate window — control may have
+//!   entered the window midway, so the register-clobber analysis that
+//!   justifies reading the address operands from the current register
+//!   file is unsound there.
+//!
+//! Full *symbolic* validation of the candidate PC (charging
+//! `<branch target>` lines, matching descriptors) still happens at
+//! data-reduction time in [`crate::analyze`]; the collect-time checks
+//! only prevent provably-wrong attributions from being recorded as
+//! fact.
 
 use simsparc_isa::Insn;
 use simsparc_machine::{
@@ -93,34 +107,129 @@ impl From<std::io::Error> for CollectError {
 
 /// Does `insn` match the memory-reference type a counter event
 /// triggers on? Read-miss counters trigger on loads; reference and
-/// TLB counters trigger on loads and stores.
+/// TLB counters trigger on loads, stores — and software prefetches,
+/// whose addresses walk the DTLB and consume E$ references like any
+/// other access. (Excluding prefetches here mis-charged every
+/// prefetch-triggered `ecref`/`dtlbm` event to an earlier load or
+/// store, exactly on the §3.3 prefetch-optimized code paths.)
 pub fn event_accepts(event: CounterEvent, insn: &Insn) -> bool {
     match event {
         CounterEvent::ECReadMiss | CounterEvent::ECStallCycles | CounterEvent::DCReadMiss => {
             insn.is_load()
         }
-        CounterEvent::ECRef | CounterEvent::DTLBMiss => insn.is_memory_ref(),
+        CounterEvent::ECRef | CounterEvent::DTLBMiss => {
+            insn.is_memory_ref() || matches!(insn, Insn::Prefetch { .. })
+        }
         _ => false,
     }
 }
 
-#[inline]
-fn insn_at(text: &[Insn], pc: u64) -> Option<Insn> {
-    if pc < TEXT_BASE || !pc.is_multiple_of(4) {
-        return None;
+/// The collector's map of the text image: the decoded instructions
+/// plus two tables derived from them in one pass when the collector
+/// attaches — the set of branch/call targets, and the function
+/// entries (every direct-call target, plus [`TEXT_BASE`]). This is
+/// the simulated stand-in for the symbol-table lookup the real
+/// collector performs against the executable.
+#[derive(Clone, Debug)]
+pub struct TextMap {
+    text: Vec<Insn>,
+    /// `branch_target[i]` ⇔ some branch or call targets `TEXT_BASE + 4i`.
+    branch_target: Vec<bool>,
+    /// Sorted, deduplicated function-entry PCs; always starts with
+    /// [`TEXT_BASE`] so every text PC has an enclosing function.
+    func_entries: Vec<u64>,
+}
+
+impl TextMap {
+    /// Decode the tables from a text image.
+    pub fn build(text: &[Insn]) -> TextMap {
+        let mut branch_target = vec![false; text.len()];
+        let mut func_entries = vec![TEXT_BASE];
+        for (i, insn) in text.iter().enumerate() {
+            let pc = TEXT_BASE + 4 * i as u64;
+            if let Some(target) = insn.direct_target(pc) {
+                if let Some(ti) = Self::index_of(text, target) {
+                    branch_target[ti] = true;
+                    if matches!(insn, Insn::Call { .. }) {
+                        func_entries.push(target);
+                    }
+                }
+            }
+        }
+        func_entries.sort_unstable();
+        func_entries.dedup();
+        TextMap {
+            text: text.to_vec(),
+            branch_target,
+            func_entries,
+        }
     }
-    text.get(((pc - TEXT_BASE) / 4) as usize).copied()
+
+    #[inline]
+    fn index_of(text: &[Insn], pc: u64) -> Option<usize> {
+        if pc < TEXT_BASE || !pc.is_multiple_of(4) {
+            return None;
+        }
+        let i = ((pc - TEXT_BASE) / 4) as usize;
+        (i < text.len()).then_some(i)
+    }
+
+    /// The instruction at `pc`, if inside the text segment.
+    #[inline]
+    pub fn insn_at(&self, pc: u64) -> Option<Insn> {
+        Self::index_of(&self.text, pc).map(|i| self.text[i])
+    }
+
+    /// Is `pc` the target of some branch or call?
+    #[inline]
+    pub fn is_branch_target(&self, pc: u64) -> bool {
+        Self::index_of(&self.text, pc).is_some_and(|i| self.branch_target[i])
+    }
+
+    /// The entry PC of the function enclosing `pc`: the greatest
+    /// derived entry that is `<= pc` ([`TEXT_BASE`] if none other).
+    pub fn func_start_of(&self, pc: u64) -> Option<u64> {
+        Self::index_of(&self.text, pc)?;
+        let i = self.func_entries.partition_point(|&e| e <= pc);
+        Some(self.func_entries[i - 1])
+    }
+
+    /// The first branch target in `(from, to]`, in address order.
+    pub fn branch_target_between(&self, from: u64, to: u64) -> Option<u64> {
+        let mut pc = from + 4;
+        while pc <= to {
+            if self.is_branch_target(pc) {
+                return Some(pc);
+            }
+            pc += 4;
+        }
+        None
+    }
+
+    /// The decoded text image.
+    pub fn text(&self) -> &[Insn] {
+        &self.text
+    }
 }
 
 /// The apropos backtracking search (§2.2.3): walk back in the address
 /// space from the delivered PC until a memory-reference instruction of
 /// the appropriate type is found. The instruction *at* the delivered
 /// PC has not yet executed, so the walk starts one instruction before
-/// it.
-pub fn backtrack(text: &[Insn], delivered_pc: u64, event: CounterEvent) -> Option<u64> {
+/// it. The walk never crosses the enclosing function's entry: skid
+/// can span a call boundary, and whatever sits before the function in
+/// address order is an unrelated function's code, not the caller's —
+/// charging its last memory op would be confidently wrong, so the
+/// search gives up instead (the event is then reported as
+/// `(Unresolvable)`).
+pub fn backtrack(map: &TextMap, delivered_pc: u64, event: CounterEvent) -> Option<u64> {
+    let floor = map.func_start_of(delivered_pc)?;
     let mut pc = delivered_pc.checked_sub(4)?;
     for _ in 0..MAX_BACKTRACK_INSNS {
-        let insn = insn_at(text, pc)?;
+        if pc < floor {
+            return None;
+        }
+        let insn = map.insn_at(pc)?;
         if event_accepts(event, &insn) {
             return Some(pc);
         }
@@ -137,14 +246,27 @@ pub fn backtrack(text: &[Insn], delivered_pc: u64, event: CounterEvent) -> Optio
 /// current register file still holds the address operands and the
 /// putative effective address is computable; otherwise the collector
 /// "indicates that the address could not be determined".
+///
+/// The clobber analysis assumes execution flowed linearly from the
+/// candidate to the delivered PC. A branch target inside `(candidate,
+/// delivered]` breaks that assumption — control may have entered the
+/// window midway, skipping the candidate entirely — so the address is
+/// dropped there too rather than recording a value read from a
+/// register file the candidate may never have addressed.
 pub fn reconstruct_ea(
-    text: &[Insn],
+    map: &TextMap,
     candidate_pc: u64,
     delivered_pc: u64,
     cpu: &CpuState,
 ) -> Option<u64> {
-    let cand = insn_at(text, candidate_pc)?;
+    let cand = map.insn_at(candidate_pc)?;
     let (rs1, rs2) = cand.mem_addr_regs()?;
+    if map
+        .branch_target_between(candidate_pc, delivered_pc)
+        .is_some()
+    {
+        return None;
+    }
     let clobbers = |insn: &Insn| insn.dest_reg().is_some_and(|d| d == rs1 || Some(d) == rs2);
     // The candidate itself (e.g. `ldx [%o3+24], %o3`).
     if clobbers(&cand) {
@@ -152,7 +274,7 @@ pub fn reconstruct_ea(
     }
     let mut pc = candidate_pc + 4;
     while pc < delivered_pc {
-        let insn = insn_at(text, pc)?;
+        let insn = map.insn_at(pc)?;
         if clobbers(&insn) {
             return None;
         }
@@ -177,7 +299,7 @@ pub fn reconstruct_ea(
 /// is attached, completed segments spill through it whenever
 /// `spill_events` are buffered, so peak event memory stays bounded.
 struct CollectorHook<'a> {
-    text: Vec<Insn>,
+    text: TextMap,
     counters: Vec<CounterRequest>,
     slot_to_counter: [Option<usize>; 2],
     stacks: CallstackTable,
@@ -206,7 +328,7 @@ impl<'a> CollectorHook<'a> {
         spill_events: usize,
     ) -> CollectorHook<'a> {
         CollectorHook {
-            text: machine.text().to_vec(),
+            text: TextMap::build(machine.text()),
             counters: config.counters.clone(),
             slot_to_counter,
             stacks: CallstackTable::new(),
@@ -315,6 +437,7 @@ impl ProfileHook for CollectorHook<'_> {
             ea,
             stack,
             truth_trigger_pc: trap.trigger_pc,
+            truth_ea: trap.trigger_ea,
             truth_skid: trap.skid,
         });
         self.hwc_total += 1;
@@ -435,6 +558,7 @@ pub fn collect(machine: &mut Machine, config: &CollectConfig) -> Result<Experime
             ea: e.ea,
             callstack: hook.stacks.resolve(e.stack).to_vec(),
             truth_trigger_pc: e.truth_trigger_pc,
+            truth_ea: e.truth_ea,
             truth_skid: e.truth_skid,
         })
         .collect();
@@ -511,8 +635,8 @@ mod tests {
     use super::*;
     use simsparc_isa::{AluOp, Operand, Reg};
 
-    fn text_with(insns: &[Insn]) -> Vec<Insn> {
-        insns.to_vec()
+    fn text_with(insns: &[Insn]) -> TextMap {
+        TextMap::build(insns)
     }
 
     #[test]
@@ -569,9 +693,70 @@ mod tests {
         insns.extend(std::iter::repeat_n(Insn::Nop, 100));
         let delivered = TEXT_BASE + 4 * 100;
         assert_eq!(
-            backtrack(&insns, delivered, CounterEvent::ECReadMiss),
+            backtrack(&TextMap::build(&insns), delivered, CounterEvent::ECReadMiss),
             None,
             "trigger farther than MAX_BACKTRACK_INSNS is not found"
+        );
+    }
+
+    #[test]
+    fn backtrack_accepts_prefetch_for_reference_counters() {
+        // [ld, prefetch, <delivered>]: `ecref`/`dtlbm` trigger on the
+        // prefetch too, so the nearest acceptable instruction is the
+        // prefetch itself — not the load before it. Read-miss
+        // counters still skip it (a prefetch cannot be a read miss
+        // charged with stall).
+        let text = text_with(&[
+            Insn::load_x(Reg::O3, Operand::Imm(56), Reg::O2),
+            Insn::Prefetch {
+                rs1: Reg::G1,
+                op2: Operand::Imm(64),
+            },
+            Insn::Nop,
+        ]);
+        let delivered = TEXT_BASE + 8;
+        assert_eq!(
+            backtrack(&text, delivered, CounterEvent::ECRef),
+            Some(TEXT_BASE + 4),
+            "ecref stops at the prefetch"
+        );
+        assert_eq!(
+            backtrack(&text, delivered, CounterEvent::DTLBMiss),
+            Some(TEXT_BASE + 4),
+            "dtlbm stops at the prefetch"
+        );
+        assert_eq!(
+            backtrack(&text, delivered, CounterEvent::ECReadMiss),
+            Some(TEXT_BASE),
+            "read-miss counters skip the prefetch"
+        );
+    }
+
+    #[test]
+    fn backtrack_stops_at_function_entry() {
+        // Function A: [ld, call B, nop(delay), nop]; function B (the
+        // call target) begins at TEXT_BASE+16. A trap delivered just
+        // inside B must NOT walk back across B's entry and charge A's
+        // load — whatever precedes a function in address order is not
+        // the caller.
+        let text = text_with(&[
+            Insn::load_x(Reg::O3, Operand::Imm(56), Reg::O2), // A+0
+            Insn::Call { disp: 3 },                           // A+4: call B (+16)
+            Insn::Nop,                                        // A+8: delay
+            Insn::Nop,                                        // A+12
+            Insn::Nop,                                        // B+0 (TEXT_BASE+16)
+            Insn::Nop,                                        // B+4
+        ]);
+        assert_eq!(text.func_start_of(TEXT_BASE + 20), Some(TEXT_BASE + 16));
+        assert_eq!(
+            backtrack(&text, TEXT_BASE + 20, CounterEvent::ECReadMiss),
+            None,
+            "the walk must stop at B's entry, not cross into A"
+        );
+        // The same delivered PC inside A still finds A's load.
+        assert_eq!(
+            backtrack(&text, TEXT_BASE + 12, CounterEvent::ECReadMiss),
+            Some(TEXT_BASE)
         );
     }
 
@@ -633,6 +818,46 @@ mod tests {
         assert_eq!(
             reconstruct_ea(&clean, TEXT_BASE, TEXT_BASE + 8, &cpu),
             Some(0x2000 + 0x40)
+        );
+    }
+
+    #[test]
+    fn reconstruct_ea_dropped_when_window_crosses_branch_target() {
+        // A backward branch targets TEXT_BASE+8, which lies inside
+        // the candidate window (candidate TEXT_BASE, delivered
+        // TEXT_BASE+12): control may have entered at the target and
+        // never executed the candidate, so the reconstructed address
+        // must be dropped even though no register is clobbered.
+        let text = text_with(&[
+            Insn::load_x(Reg::O3, Operand::Imm(56), Reg::O2), // +0: candidate
+            Insn::Nop,                                        // +4
+            Insn::Nop,                                        // +8: branch target
+            Insn::Branch {
+                cond: simsparc_isa::Cond::Ne,
+                annul: false,
+                pred_taken: true,
+                disp: -1, // +12 - 4 = +8
+            },
+            Insn::Nop,
+        ]);
+        assert!(text.is_branch_target(TEXT_BASE + 8));
+        let cpu = CpuState::with_regs(&[(Reg::O3, 0x4000_0000)]);
+        assert_eq!(
+            reconstruct_ea(&text, TEXT_BASE, TEXT_BASE + 12, &cpu),
+            None,
+            "EA must be dropped when the window crosses a branch target"
+        );
+        // The identical window with no branch into it reconstructs.
+        let straight = text_with(&[
+            Insn::load_x(Reg::O3, Operand::Imm(56), Reg::O2),
+            Insn::Nop,
+            Insn::Nop,
+            Insn::Nop,
+            Insn::Nop,
+        ]);
+        assert_eq!(
+            reconstruct_ea(&straight, TEXT_BASE, TEXT_BASE + 12, &cpu),
+            Some(0x4000_0000 + 56)
         );
     }
 
@@ -760,6 +985,7 @@ mod tests {
                 ea: e.ea,
                 callstack: sink.stacks[e.stack as usize].clone(),
                 truth_trigger_pc: e.truth_trigger_pc,
+                truth_ea: e.truth_ea,
                 truth_skid: e.truth_skid,
             })
             .collect();

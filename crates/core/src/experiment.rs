@@ -39,6 +39,9 @@ pub struct HwcEvent {
     /// experiments can score the backtracking search. The analyzer
     /// never reads it.
     pub truth_trigger_pc: u64,
+    /// Ground-truth effective address of the triggering access (same
+    /// caveat); `None` for events with no data address.
+    pub truth_ea: Option<u64>,
     /// Ground-truth skid in retired instructions (same caveat).
     pub truth_skid: u32,
 }
@@ -214,12 +217,13 @@ impl Experiment {
         for e in &self.hwc_events {
             writeln!(
                 hwc,
-                "{} {:#x} {} {} {:#x} {} [{}]",
+                "{} {:#x} {} {} {:#x} {} {} [{}]",
                 e.counter,
                 e.delivered_pc,
                 fmt_opt(e.candidate_pc),
                 fmt_opt(e.ea),
                 e.truth_trigger_pc,
+                fmt_opt(e.truth_ea),
                 e.truth_skid,
                 fmt_stack(&e.callstack),
             )
@@ -309,17 +313,22 @@ impl Experiment {
 
         for line in std::fs::read_to_string(dir.join("hwcdata"))?.lines() {
             let f: Vec<&str> = line.split_whitespace().collect();
-            if f.len() != 7 {
-                return Err(bad("bad hwcdata line"));
-            }
+            // 8 fields since the truth-EA column was added; 7-field
+            // lines from older experiments load with no truth EA.
+            let (truth_ea, rest) = match f.len() {
+                7 => (None, &f[5..]),
+                8 => (parse_opt(f[5])?, &f[6..]),
+                _ => return Err(bad("bad hwcdata line")),
+            };
             exp.hwc_events.push(HwcEvent {
                 counter: f[0].parse().map_err(|_| bad("bad counter idx"))?,
                 delivered_pc: parse_hex(f[1])?,
                 candidate_pc: parse_opt(f[2])?,
                 ea: parse_opt(f[3])?,
                 truth_trigger_pc: parse_hex(f[4])?,
-                truth_skid: f[5].parse().map_err(|_| bad("bad skid"))?,
-                callstack: parse_stack(f[6])?,
+                truth_ea,
+                truth_skid: rest[0].parse().map_err(|_| bad("bad skid"))?,
+                callstack: parse_stack(rest[1])?,
             });
         }
 
@@ -402,6 +411,7 @@ mod tests {
                     ea: Some(0x4000_0038),
                     callstack: vec![0x10000010, 0x10000200],
                     truth_trigger_pc: 0x1000031b0,
+                    truth_ea: Some(0x4000_0038),
                     truth_skid: 2,
                 },
                 HwcEvent {
@@ -411,6 +421,7 @@ mod tests {
                     ea: None,
                     callstack: vec![],
                     truth_trigger_pc: 0x1000031d4,
+                    truth_ea: None,
                     truth_skid: 1,
                 },
             ],
@@ -465,5 +476,36 @@ mod tests {
         assert_eq!(loaded.clock_events, e.clock_events);
         assert_eq!(loaded.run, e.run);
         assert_eq!(loaded.log, e.log);
+    }
+
+    #[test]
+    fn loads_pre_truth_ea_hwcdata() {
+        // Experiments written before the truth-EA column have 7-field
+        // hwcdata lines; they must still load, with no truth EA.
+        let e = sample();
+        let dir = std::env::temp_dir().join(format!("memprof_test_v1_{}", std::process::id()));
+        e.save(&dir).unwrap();
+        let old: String = std::fs::read_to_string(dir.join("hwcdata"))
+            .unwrap()
+            .lines()
+            .map(|l| {
+                let f: Vec<&str> = l.split_whitespace().collect();
+                format!(
+                    "{} {} {} {} {} {} {}\n",
+                    f[0], f[1], f[2], f[3], f[4], f[6], f[7]
+                )
+            })
+            .collect();
+        std::fs::write(dir.join("hwcdata"), old).unwrap();
+        let loaded = Experiment::load(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(loaded.hwc_events.len(), e.hwc_events.len());
+        for (l, orig) in loaded.hwc_events.iter().zip(&e.hwc_events) {
+            assert_eq!(l.truth_ea, None);
+            assert_eq!(l.truth_trigger_pc, orig.truth_trigger_pc);
+            assert_eq!(l.truth_skid, orig.truth_skid);
+            assert_eq!(l.candidate_pc, orig.candidate_pc);
+            assert_eq!(l.callstack, orig.callstack);
+        }
     }
 }

@@ -60,11 +60,12 @@ mod collect;
 mod counters;
 mod experiment;
 mod stream;
+pub mod verify;
 
 pub use batch::{aggregate_by, aggregate_by_serial, EventBatch, GroupKey};
 pub use collect::{
     backtrack, collect, collect_stream, event_accepts, reconstruct_ea, CollectConfig, CollectError,
-    MAX_BACKTRACK_INSNS,
+    TextMap, MAX_BACKTRACK_INSNS,
 };
 pub use counters::{assign_slots, parse_counter_spec, CounterRequest, CounterSpecError, Interval};
 pub use experiment::{ClockEvent, EventSource, Experiment, HwcEvent, RunInfo};

@@ -106,6 +106,9 @@ pub struct PackedHwcEvent {
     pub stack: StackId,
     /// Ground-truth trigger PC (simulator only; see [`crate::HwcEvent`]).
     pub truth_trigger_pc: u64,
+    /// Ground-truth effective address of the trigger, when the event
+    /// has one (simulator only, like `truth_trigger_pc`).
+    pub truth_ea: Option<u64>,
     /// Ground-truth skid in retired instructions.
     pub truth_skid: u32,
 }

@@ -215,6 +215,7 @@ fn event(counter: usize, cand: Option<u64>, delivered: u64, stack: Vec<u64>) -> 
         ea: Some(0x4000_0000),
         callstack: stack,
         truth_trigger_pc: cand.unwrap_or(delivered),
+        truth_ea: Some(0x4000_0000),
         truth_skid: 1,
     }
 }
@@ -381,6 +382,36 @@ fn address_views_group_by_ea() {
     let lines = a.cache_lines(512, 10);
     assert_eq!(lines[0].line_base, 0x4000_0000);
     assert_eq!(lines[0].samples[0], 2);
+}
+
+#[test]
+fn unresolvable_events_contribute_no_ea_to_address_views() {
+    let t = table();
+    // Candidate idx 2 -> delivered idx 5 crosses the loop head at idx 4,
+    // so validation yields Unresolvable. Even if the collector recorded
+    // an EA (as pre-fix collectors did), the address views must not use
+    // it: the access may never have executed.
+    let mut blocked = event(0, Some(pc(2)), pc(5), vec![]);
+    blocked.ea = Some(0x4000_0000);
+    let mut clean = event(0, Some(pc(0)), pc(1), vec![]);
+    clean.ea = Some(0x4000_0200);
+    let exp = experiment(vec![blocked, clean], vec![]);
+    let a = Analysis::new(&[&exp], &t);
+
+    let segs = a.segments();
+    let heap = segs
+        .iter()
+        .find(|s| s.segment == simsparc_machine::SegmentKind::Heap)
+        .unwrap();
+    assert_eq!(heap.samples[0], 1, "only the clean event has an address");
+    let lines = a.cache_lines(64, 10);
+    assert_eq!(lines.len(), 1);
+    assert_eq!(lines[0].line_base, 0x4000_0200);
+
+    // The event itself is still counted -- as an Unresolvable row.
+    let eff = &a.effectiveness()[0];
+    assert_eq!(eff.total, 2);
+    assert_eq!(eff.unresolvable, 1);
 }
 
 #[test]

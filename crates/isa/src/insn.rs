@@ -248,9 +248,9 @@ pub enum Insn {
     /// is `ret`.
     Jmpl { rs1: Reg, op2: Operand, rd: Reg },
     /// Software prefetch of the line containing `[rs1 + op2]`; never
-    /// faults, never counts as an architectural memory reference for
-    /// profiling purposes (matching how the paper treats `-xprefetch`
-    /// as orthogonal to `-xhwcprof`).
+    /// faults and never stalls, but its address still walks the DTLB
+    /// and can consume an E$ reference, so reference-type counters
+    /// (`ecref`, `dtlbm`) can be triggered by a prefetch.
     Prefetch { rs1: Reg, op2: Operand },
     /// `ta num`: trap-always. `trap::EXIT` ends the program; numbers at
     /// or above [`trap::HOSTCALL_BASE`] invoke host services.
@@ -333,8 +333,11 @@ impl Insn {
     // ------------------------------------------------------------------
 
     /// Is this an architectural memory reference (load or store)?
-    /// `prefetch` is deliberately *not* one: the UltraSPARC counters
-    /// the paper profiles are triggered by demand references.
+    /// `prefetch` is *not* one — it moves no architectural data and
+    /// the instruction scheduler treats it as free — but note that
+    /// reference-type counter events (`ecref`, `dtlbm`) can still be
+    /// triggered by prefetches; the collector's event filter accepts
+    /// them separately (see `memprof_core`'s `event_accepts`).
     #[inline]
     pub const fn is_memory_ref(&self) -> bool {
         matches!(self, Insn::Load { .. } | Insn::Store { .. })

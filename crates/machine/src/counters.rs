@@ -212,8 +212,12 @@ impl SkidModel {
 pub(crate) struct PendingTrap {
     /// PC of the instruction that caused the overflow (ground truth —
     /// real hardware does not expose this; the simulator records it so
-    /// tests and effectiveness benches can score the backtracker).
+    /// tests and the `mp-verify` oracle can score the backtracker).
     pub trigger_pc: u64,
+    /// Effective data address of the triggering access (ground truth,
+    /// like `trigger_pc`). `None` for non-memory events (cycles,
+    /// insts, I$ misses have no data address).
+    pub trigger_ea: Option<u64>,
     /// Retired instructions remaining before delivery.
     pub remaining: u32,
     /// Total skid assigned (for diagnostics).
@@ -372,6 +376,7 @@ mod tests {
         assert!(c.add(5));
         c.pending = Some(PendingTrap {
             trigger_pc: 0,
+            trigger_ea: None,
             remaining: 3,
             skid: 3,
         });

@@ -181,9 +181,10 @@ impl CpuState {
 /// An overflow trap as delivered to the profiling hook.
 ///
 /// `delivered_pc` and the register file (via [`CpuState`]) are what
-/// real hardware exposes. `trigger_pc` is simulator ground truth that
-/// real hardware does *not* expose — the collector must not use it;
-/// it exists so tests and the effectiveness benches can score the
+/// real hardware exposes. `trigger_pc` and `trigger_ea` are simulator
+/// ground truth that real hardware does *not* expose — the collector
+/// must not use them for attribution; they ride along so tests, the
+/// effectiveness benches, and the `mp-verify` oracle can score the
 /// apropos backtracking search against reality.
 #[derive(Clone, Copy, Debug)]
 pub struct OverflowTrap {
@@ -195,6 +196,9 @@ pub struct OverflowTrap {
     pub delivered_pc: u64,
     /// Ground truth: PC of the instruction that caused the overflow.
     pub trigger_pc: u64,
+    /// Ground truth: effective data address of the triggering access;
+    /// `None` for events without one (cycles, insts, I$ misses).
+    pub trigger_ea: Option<u64>,
     /// Retired-instruction skid that was applied.
     pub skid: u32,
 }
@@ -352,7 +356,13 @@ impl Machine {
     }
 
     #[inline]
-    fn count_event(&mut self, event: CounterEvent, n: u64, trigger_pc: u64) {
+    fn count_event(
+        &mut self,
+        event: CounterEvent,
+        n: u64,
+        trigger_pc: u64,
+        trigger_ea: Option<u64>,
+    ) {
         for slot in 0..NUM_COUNTER_SLOTS {
             if let Some(c) = &mut self.counters[slot] {
                 if c.event == event && c.add(n) {
@@ -364,6 +374,7 @@ impl Machine {
                     };
                     c.pending = Some(PendingTrap {
                         trigger_pc,
+                        trigger_ea,
                         remaining: skid,
                         skid,
                     });
@@ -387,29 +398,29 @@ impl Machine {
         if !self.tlb.access(ea, page_bytes) {
             self.counts.dtlb_miss += 1;
             stall += self.config.tlb_miss_penalty;
-            self.count_event(CounterEvent::DTLBMiss, 1, pc);
+            self.count_event(CounterEvent::DTLBMiss, 1, pc, Some(ea));
         }
 
         // D$, then E$ on a D$ miss.
         if self.dcache.access(ea) == CacheOutcome::Miss {
             if is_load {
                 self.counts.dc_read_miss += 1;
-                self.count_event(CounterEvent::DCReadMiss, 1, pc);
+                self.count_event(CounterEvent::DCReadMiss, 1, pc, Some(ea));
             }
             self.counts.ec_ref += 1;
-            self.count_event(CounterEvent::ECRef, 1, pc);
+            self.count_event(CounterEvent::ECRef, 1, pc, Some(ea));
             let ec = self.ecache.access(ea);
             if is_load {
                 let ec_stall = match ec {
                     CacheOutcome::Hit => self.config.ec_hit_stall,
                     CacheOutcome::Miss => {
                         self.counts.ec_read_miss += 1;
-                        self.count_event(CounterEvent::ECReadMiss, 1, pc);
+                        self.count_event(CounterEvent::ECReadMiss, 1, pc, Some(ea));
                         self.config.ec_miss_stall
                     }
                 };
                 self.counts.ec_stall_cycles += ec_stall;
-                self.count_event(CounterEvent::ECStallCycles, ec_stall, pc);
+                self.count_event(CounterEvent::ECStallCycles, ec_stall, pc, Some(ea));
                 stall += ec_stall;
             }
             // Stores are absorbed by the store buffer: they consume an
@@ -440,7 +451,7 @@ impl Machine {
             if self.icache.access(pc) == CacheOutcome::Miss {
                 self.counts.ic_miss += 1;
                 cycles += self.config.ic_miss_stall;
-                self.count_event(CounterEvent::ICMiss, 1, pc);
+                self.count_event(CounterEvent::ICMiss, 1, pc, None);
             }
         }
 
@@ -450,7 +461,7 @@ impl Machine {
             self.cpu.pc = self.cpu.npc;
             self.cpu.npc += 4;
             self.counts.cycles += 1;
-            self.count_event(CounterEvent::Cycles, 1, pc);
+            self.count_event(CounterEvent::Cycles, 1, pc, None);
             return Ok(true);
         }
 
@@ -585,12 +596,30 @@ impl Machine {
                 next_npc = target;
             }
             Insn::Prefetch { rs1, op2 } => {
-                // Fill lines without stalling and without counting
-                // architectural reference events.
+                // Fill lines without stalling: a prefetch never adds
+                // wait cycles (it retires immediately and the fill
+                // proceeds in the background), but its address still
+                // walks the DTLB and, on a D$ miss, consumes an E$
+                // reference — the UltraSPARC counts those events for
+                // prefetches too, which is why ECRef/DTLB profiles of
+                // §3.3 prefetch-optimized code attribute samples to
+                // the prefetch instructions themselves.
                 let ea = self.cpu.reg(rs1).wrapping_add(self.cpu.operand(op2));
                 if ea < crate::TEXT_BASE {
-                    self.dcache.access(ea);
-                    self.ecache.access(ea);
+                    let page_bytes = if SegmentKind::of_addr(ea) == SegmentKind::Heap {
+                        self.config.heap_page_bytes
+                    } else {
+                        DEFAULT_PAGE_BYTES
+                    };
+                    if !self.tlb.access(ea, page_bytes) {
+                        self.counts.dtlb_miss += 1;
+                        self.count_event(CounterEvent::DTLBMiss, 1, pc, Some(ea));
+                    }
+                    if self.dcache.access(ea) == CacheOutcome::Miss {
+                        self.counts.ec_ref += 1;
+                        self.count_event(CounterEvent::ECRef, 1, pc, Some(ea));
+                        self.ecache.access(ea);
+                    }
                 }
             }
             Insn::Trap { num } => match num {
@@ -616,8 +645,8 @@ impl Machine {
         self.cpu.npc = next_npc;
         self.counts.cycles += cycles;
         self.counts.insts += 1;
-        self.count_event(CounterEvent::Cycles, cycles, pc);
-        self.count_event(CounterEvent::Insts, 1, pc);
+        self.count_event(CounterEvent::Cycles, cycles, pc, None);
+        self.count_event(CounterEvent::Insts, 1, pc, None);
 
         // Deliver pending overflow traps whose skid has elapsed. The
         // delivered PC is the next instruction to issue — which, after
@@ -645,6 +674,7 @@ impl Machine {
                     event,
                     delivered_pc: self.cpu.pc,
                     trigger_pc: p.trigger_pc,
+                    trigger_ea: p.trigger_ea,
                     skid: p.skid,
                 };
                 hook.on_overflow(&self.cpu, &trap);
@@ -928,6 +958,63 @@ mod tests {
             assert_eq!(t.delivered_pc, t.trigger_pc + 4);
             assert_eq!(t.trigger_pc, TEXT_BASE + 3 * 4);
         }
+        // Ground-truth EAs: one per touched page, page-aligned steps.
+        let eas: Vec<u64> = rec.traps.iter().map(|t| t.trigger_ea.unwrap()).collect();
+        for w in eas.windows(2) {
+            assert_eq!(w[1] - w[0], 8192, "one miss per new 8 KB page");
+        }
+    }
+
+    #[test]
+    fn insts_traps_have_no_trigger_ea() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&sum_array_image(200));
+        m.program_counter(0, CounterEvent::Insts, 97).unwrap();
+        let mut rec = TrapRecorder {
+            traps: Vec::new(),
+            samples: Vec::new(),
+        };
+        m.run(1_000_000, &mut rec).unwrap();
+        assert!(!rec.traps.is_empty());
+        assert!(rec.traps.iter().all(|t| t.trigger_ea.is_none()));
+    }
+
+    #[test]
+    fn prefetch_counts_reference_events_without_stalling() {
+        use simsparc_isa::Insn as I;
+        // A prefetch of a cold heap line walks the DTLB and consumes
+        // an E$ reference — but adds zero stall cycles.
+        let img = Image {
+            text: vec![
+                I::Sethi {
+                    imm21: (crate::HEAP_BASE >> 11) as u32,
+                    rd: Reg::G1,
+                },
+                I::Prefetch {
+                    rs1: Reg::G1,
+                    op2: Operand::Imm(0),
+                },
+                I::Trap { num: trap::EXIT },
+            ],
+            data: vec![],
+            bss_bytes: 0,
+            entry: TEXT_BASE,
+        };
+        let mut m = Machine::new(MachineConfig::default());
+        m.load(&img);
+        m.program_counter(1, CounterEvent::ECRef, 1).unwrap();
+        let mut rec = TrapRecorder {
+            traps: Vec::new(),
+            samples: Vec::new(),
+        };
+        let out = m.run(100, &mut rec).unwrap();
+        assert_eq!(out.counts.ec_ref, 1);
+        assert_eq!(out.counts.dtlb_miss, 1);
+        assert_eq!(out.counts.ec_stall_cycles, 0, "prefetch never stalls");
+        let t = rec.traps.iter().find(|t| t.event == CounterEvent::ECRef);
+        let t = t.expect("the prefetch's E$ reference overflows the counter");
+        assert_eq!(t.trigger_pc, TEXT_BASE + 4, "trigger is the prefetch");
+        assert_eq!(t.trigger_ea, Some(crate::HEAP_BASE));
     }
 
     #[test]

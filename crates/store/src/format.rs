@@ -43,10 +43,14 @@
 //! ```text
 //! hwc event   := gap flags:u8 delivered_pc
 //!                [candidate_delta:zigzag] [ea] truth_delta:zigzag
-//!                truth_skid stack
+//!                [truth_ea] truth_skid stack
 //! clock event := pc stack
 //! stack       := n, first_frame, (n-1) × frame_delta:zigzag
 //! ```
+//!
+//! `truth_ea` (flag bit 4) is the ground-truth effective address the
+//! simulator stamps on each overflow trap; files written before the
+//! truth column existed never set the bit and load with no truth EA.
 //!
 //! Deltas are relative to `delivered_pc` (candidate and truth PCs sit
 //! within a few instructions of delivery — the skid, §2.2.2) and to
@@ -126,6 +130,9 @@ pub(crate) fn get_stack(cur: &mut Cursor<'_>) -> Result<Vec<u64>, StoreError> {
 
 const FLAG_CANDIDATE: u8 = 1;
 const FLAG_EA: u8 = 2;
+/// The optional ground-truth EA column (absent in files written
+/// before `mp-verify` existed — absence of the bit means "no truth").
+const FLAG_TRUTH_EA: u8 = 4;
 
 fn put_hwc_event(out: &mut Vec<u8>, gap: u64, ev: &HwcEvent) {
     put_u64(out, gap);
@@ -135,6 +142,9 @@ fn put_hwc_event(out: &mut Vec<u8>, gap: u64, ev: &HwcEvent) {
     }
     if ev.ea.is_some() {
         flags |= FLAG_EA;
+    }
+    if ev.truth_ea.is_some() {
+        flags |= FLAG_TRUTH_EA;
     }
     out.push(flags);
     put_u64(out, ev.delivered_pc);
@@ -148,6 +158,9 @@ fn put_hwc_event(out: &mut Vec<u8>, gap: u64, ev: &HwcEvent) {
         out,
         ev.truth_trigger_pc.wrapping_sub(ev.delivered_pc) as i64,
     );
+    if let Some(tea) = ev.truth_ea {
+        put_u64(out, tea);
+    }
     put_u64(out, ev.truth_skid as u64);
     put_stack(out, &ev.callstack);
 }
@@ -160,7 +173,7 @@ pub(crate) fn get_hwc_event(
 ) -> Result<(u64, HwcEvent), StoreError> {
     let gap = cur.get_u64()?;
     let flags = cur.take_byte()?;
-    if flags & !(FLAG_CANDIDATE | FLAG_EA) != 0 {
+    if flags & !(FLAG_CANDIDATE | FLAG_EA | FLAG_TRUTH_EA) != 0 {
         return Err(StoreError::Corrupt("unknown hwc event flags"));
     }
     let delivered_pc = cur.get_u64()?;
@@ -175,6 +188,11 @@ pub(crate) fn get_hwc_event(
         None
     };
     let truth_trigger_pc = delivered_pc.wrapping_add(cur.get_i64()? as u64);
+    let truth_ea = if flags & FLAG_TRUTH_EA != 0 {
+        Some(cur.get_u64()?)
+    } else {
+        None
+    };
     let truth_skid =
         u32::try_from(cur.get_u64()?).map_err(|_| StoreError::Corrupt("skid overflows u32"))?;
     let callstack = get_stack(cur)?;
@@ -187,6 +205,7 @@ pub(crate) fn get_hwc_event(
             ea,
             callstack,
             truth_trigger_pc,
+            truth_ea,
             truth_skid,
         },
     ))

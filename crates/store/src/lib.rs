@@ -351,6 +351,7 @@ mod tests {
                     ea: Some(0x4000_0038),
                     callstack: vec![0x1000_0010, 0x1000_0200],
                     truth_trigger_pc: 0x1000_31b0,
+                    truth_ea: Some(0x4000_0038),
                     truth_skid: 2,
                 },
                 HwcEvent {
@@ -360,6 +361,7 @@ mod tests {
                     ea: None,
                     callstack: vec![],
                     truth_trigger_pc: 0x1000_31d4,
+                    truth_ea: None,
                     truth_skid: 1,
                 },
                 HwcEvent {
@@ -369,6 +371,7 @@ mod tests {
                     ea: Some(0x4000_0110),
                     callstack: vec![0x1000_0010],
                     truth_trigger_pc: 0x1000_31b4,
+                    truth_ea: Some(0x4000_0110),
                     truth_skid: 1,
                 },
             ],
@@ -499,6 +502,7 @@ mod tests {
             ea: None,
             callstack: vec![],
             truth_trigger_pc: 0x1000_4000,
+            truth_ea: None,
             truth_skid: 0,
         });
         let agg_a = aggregate(&[&a], 1).unwrap();

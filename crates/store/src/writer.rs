@@ -62,6 +62,8 @@ const CHUNK_FOOTER: u8 = 4;
 
 const FLAG_CANDIDATE: u8 = 1;
 const FLAG_EA: u8 = 2;
+/// Optional ground-truth EA column; pre-truth streams never set it.
+const FLAG_TRUTH_EA: u8 = 4;
 
 /// FNV-1a 64 over `kind || len_le || payload`.
 fn chunk_checksum(kind: u8, len: u32, payload: &[u8]) -> u64 {
@@ -145,6 +147,9 @@ fn put_hwc_stream_event(out: &mut Vec<u8>, ev: &PackedHwcEvent) {
     if ev.ea.is_some() {
         flags |= FLAG_EA;
     }
+    if ev.truth_ea.is_some() {
+        flags |= FLAG_TRUTH_EA;
+    }
     out.push(flags);
     put_u64(out, ev.delivered_pc);
     if let Some(c) = ev.candidate_pc {
@@ -157,6 +162,9 @@ fn put_hwc_stream_event(out: &mut Vec<u8>, ev: &PackedHwcEvent) {
         out,
         ev.truth_trigger_pc.wrapping_sub(ev.delivered_pc) as i64,
     );
+    if let Some(tea) = ev.truth_ea {
+        put_u64(out, tea);
+    }
     put_u64(out, ev.truth_skid as u64);
     put_u64(out, ev.stack as u64);
 }
@@ -326,7 +334,7 @@ fn parse_hwc_chunk(
             return Err(StoreError::Corrupt("event references unknown counter"));
         }
         let flags = cur.take_byte()?;
-        if flags & !(FLAG_CANDIDATE | FLAG_EA) != 0 {
+        if flags & !(FLAG_CANDIDATE | FLAG_EA | FLAG_TRUTH_EA) != 0 {
             return Err(StoreError::Corrupt("unknown hwc event flags"));
         }
         let delivered_pc = cur.get_u64()?;
@@ -341,6 +349,11 @@ fn parse_hwc_chunk(
             None
         };
         let truth_trigger_pc = delivered_pc.wrapping_add(cur.get_i64()? as u64);
+        let truth_ea = if flags & FLAG_TRUTH_EA != 0 {
+            Some(cur.get_u64()?)
+        } else {
+            None
+        };
         let truth_skid =
             u32::try_from(cur.get_u64()?).map_err(|_| StoreError::Corrupt("skid overflows u32"))?;
         let stack = cur.get_len(LIMIT)?;
@@ -354,6 +367,7 @@ fn parse_hwc_chunk(
             ea,
             stack: stack as u32,
             truth_trigger_pc,
+            truth_ea,
             truth_skid,
         });
     }
@@ -671,6 +685,7 @@ impl StreamFile {
                 ea: e.ea,
                 callstack: self.stacks[e.stack as usize].clone(),
                 truth_trigger_pc: e.truth_trigger_pc,
+                truth_ea: e.truth_ea,
                 truth_skid: e.truth_skid,
             })
             .collect();
@@ -745,6 +760,7 @@ mod tests {
                 ea: Some(0x4000_0038),
                 stack: 0,
                 truth_trigger_pc: 0x1000_31b0,
+                truth_ea: Some(0x4000_0038),
                 truth_skid: 2,
             },
             PackedHwcEvent {
@@ -754,6 +770,7 @@ mod tests {
                 ea: None,
                 stack: 1,
                 truth_trigger_pc: 0x1000_31d4,
+                truth_ea: None,
                 truth_skid: 1,
             },
         ])
@@ -873,6 +890,7 @@ mod tests {
             ea: None,
             stack: 5,
             truth_trigger_pc: 0x1000_0000,
+            truth_ea: None,
             truth_skid: 0,
         }])
         .unwrap();

@@ -45,6 +45,7 @@ fn build_experiment(
                 ea: has_ea.then_some(ea),
                 callstack: stack,
                 truth_trigger_pc: delivered.wrapping_sub(cand_delta / 2),
+                truth_ea: has_ea.then_some(ea ^ 0x40),
                 truth_skid: (skid % 8) as u32,
             },
         )
@@ -283,6 +284,7 @@ fn sample_stream_bytes() -> Vec<u8> {
             ea: e.ea,
             stack: table.intern(&e.callstack),
             truth_trigger_pc: e.truth_trigger_pc,
+            truth_ea: e.truth_ea,
             truth_skid: e.truth_skid,
         })
         .collect();

@@ -1,0 +1,69 @@
+//! Precision-regression gate: collect the paper workload with the
+//! real CLI binaries and compare `mp-verify`'s exact-attribution
+//! precision against the checked-in baseline JSON. The simulated
+//! machine is seeded, so the numbers are bit-stable; any drop means a
+//! collector or validation change regressed attribution quality.
+//!
+//! Regenerate the baseline after an intentional change with:
+//!
+//! ```text
+//! MEMPROF_UPDATE_BASELINE=1 cargo test --test verify_baseline
+//! ```
+
+use std::process::Command;
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/verify_baseline.json")
+}
+
+fn workload_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("workloads/particles.c")
+}
+
+#[test]
+fn precision_meets_checked_in_baseline() {
+    let exp = std::env::temp_dir().join(format!("mp_verify_baseline_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&exp);
+    std::fs::create_dir_all(&exp).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_mp-collect"))
+        .args(["-o", exp.to_str().unwrap(), "-h", "+dtlbm,53,+ecrm,211"])
+        .arg(workload_path())
+        .output()
+        .expect("run mp-collect");
+    assert!(
+        out.status.success(),
+        "mp-collect failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    if std::env::var("MEMPROF_UPDATE_BASELINE").as_deref() == Ok("1") {
+        let out = Command::new(env!("CARGO_BIN_EXE_mp-verify"))
+            .arg(&exp)
+            .arg("--json")
+            .output()
+            .expect("run mp-verify");
+        assert!(out.status.success());
+        std::fs::write(baseline_path(), &out.stdout).unwrap();
+        eprintln!("baseline regenerated: {}", baseline_path().display());
+    } else {
+        let out = Command::new(env!("CARGO_BIN_EXE_mp-verify"))
+            .arg(&exp)
+            .args(["--baseline", baseline_path().to_str().unwrap()])
+            .output()
+            .expect("run mp-verify");
+        assert!(
+            out.status.success(),
+            "precision regressed below baseline:\n{}\n{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // The report must carry the full machinery the baseline gates:
+        // both counters, all verdict columns.
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("DTLB Misses"), "{text}");
+        assert!(text.contains("E$ Read Misses"), "{text}");
+        assert!(text.contains("Precision"), "{text}");
+    }
+    let _ = std::fs::remove_dir_all(&exp);
+}
