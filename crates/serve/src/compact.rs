@@ -1,0 +1,107 @@
+//! Tiered compaction: fold a window's sealed raw segments into its
+//! packed store and regenerate the summary.
+//!
+//! Compacting a window is equivalent to running, offline:
+//!
+//! ```text
+//! mp-store merge packed/W.mps [packed/W.mps] raw/W/*.mpes   (sorted)
+//! ```
+//!
+//! and the resulting packed store is byte-identical to that command's
+//! output because both go through the same
+//! [`memprof_store::merge_experiments`] + [`pack_experiment`] +
+//! [`collect_attachments`] path with the same input order: the
+//! previous packed tier first, then raw segments in file-name order
+//! (session ids embed an arrival sequence number, so the order is
+//! deterministic). The tier-2 summary is regenerated from the inputs'
+//! event streams with the same `aggregate_refs` kernel `mp-store stat`
+//! uses.
+
+use std::path::PathBuf;
+
+use memprof_store::{
+    aggregate_refs, collect_attachments, merge_experiments, pack_experiment, ExperimentRef,
+    StoreError,
+};
+
+use crate::store::StoreDirs;
+use crate::summary::write_summary;
+
+/// What one compaction pass did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CompactReport {
+    /// `(window, raw segments folded in)` for each compacted window.
+    pub windows: Vec<(String, usize)>,
+    /// Windows whose compaction failed, with the rendered error.
+    pub errors: Vec<(String, String)>,
+}
+
+impl CompactReport {
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (window, n) in &self.windows {
+            out.push_str(&format!("compacted {window}: {n} raw segments\n"));
+        }
+        for (window, err) in &self.errors {
+            out.push_str(&format!("compact {window} failed: {err}\n"));
+        }
+        if out.is_empty() {
+            out.push_str("nothing to compact\n");
+        }
+        out
+    }
+}
+
+/// Compact one window if it has sealed raw segments. Returns the
+/// number of segments folded in (0 = nothing to do).
+pub fn compact_window(dirs: &StoreDirs, window: &str) -> Result<usize, StoreError> {
+    let raws = dirs.raw_segments(window)?;
+    if raws.is_empty() {
+        return Ok(0);
+    }
+    let packed = dirs.packed_path(window);
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    if packed.exists() {
+        inputs.push(packed.clone());
+    }
+    inputs.extend(raws.iter().cloned());
+    let refs = inputs
+        .iter()
+        .map(|p| ExperimentRef::open(p))
+        .collect::<Result<Vec<ExperimentRef>, StoreError>>()?;
+    let merged = merge_experiments(&refs)?;
+    let attachments = collect_attachments(&refs);
+    let bytes = pack_experiment(&merged, &attachments);
+
+    // Write-then-rename so a crash mid-compaction never clobbers the
+    // previous packed tier; raw segments are only deleted once the
+    // new store and summary are durable.
+    let tmp = packed.with_extension("mps.tmp");
+    std::fs::write(&tmp, &bytes).map_err(|e| StoreError::Io(e).at(&tmp))?;
+    std::fs::rename(&tmp, &packed).map_err(|e| StoreError::Io(e).at(&packed))?;
+
+    let agg = aggregate_refs(&[ExperimentRef::open(&packed)?], 1)?;
+    write_summary(&dirs.summary_path(window), &agg)?;
+
+    for raw in &raws {
+        std::fs::remove_file(raw).map_err(|e| StoreError::Io(e).at(raw))?;
+    }
+    // The per-window raw dir stays (possibly empty); new sessions for
+    // the window keep landing there.
+    Ok(raws.len())
+}
+
+/// Compact every window that has sealed raw segments. One window's
+/// failure (e.g. an incompatible collection recipe) doesn't block the
+/// others.
+pub fn compact_all(dirs: &StoreDirs) -> Result<CompactReport, StoreError> {
+    let mut report = CompactReport::default();
+    for window in dirs.windows()? {
+        match compact_window(dirs, &window) {
+            Ok(0) => {}
+            Ok(n) => report.windows.push((window, n)),
+            Err(e) => report.errors.push((window, e.to_string())),
+        }
+    }
+    Ok(report)
+}

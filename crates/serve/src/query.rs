@@ -1,0 +1,290 @@
+//! The query layer: answer analyzer-view requests from the tiered
+//! store.
+//!
+//! One query is one UTF-8 line. Grammar:
+//!
+//! ```text
+//! windows                      list windows and their tier state
+//! functions [W...]             per-function aggregate as JSON
+//!                              (byte-identical to `mp-store stat --json`
+//!                              on the windows' packed stores)
+//! stat [W...]                  aggregate totals + per-PC histogram
+//! diff WA WB                   per-function sample movement between
+//!                              two windows (byte-identical to
+//!                              `mp-store diff` on the packed stores)
+//! objects W [COL]              §3 data-object view
+//! segments W                   §4 memory-segment view
+//! pages W [N]                  hottest 8 KiB pages
+//! lines W [N]                  hottest 512 B E$ lines
+//! compact                      fold sealed raw segments now
+//! shutdown                     stop the daemon
+//! ```
+//!
+//! `W` is a window label; views default to *all* windows where the
+//! grammar allows. Aggregate queries are served tier-first: a
+//! compacted window answers from its summary (tier 2), which
+//! round-trips the aggregate exactly, so the answer is byte-identical
+//! to re-aggregating the packed store; uncompacted raw segments are
+//! aggregated on the fly and merged in.
+
+use memprof_core::analyze::Analysis;
+use memprof_core::Experiment;
+use memprof_store::{
+    aggregate_refs, diff_aggregates, merge_experiments, Aggregate, ExperimentRef, StoreError,
+};
+use simsparc_machine::CounterEvent;
+
+use crate::store::{valid_label, StoreDirs};
+use crate::summary::read_summary;
+
+/// What the server should do with a parsed query.
+pub enum QueryOutcome {
+    /// Answered from the store; reply with RESULT carrying this text.
+    Text(String),
+    /// Run a compaction pass and reply with its report.
+    Compact,
+    /// Acknowledge and stop the daemon.
+    Shutdown,
+}
+
+fn bad(msg: impl Into<String>) -> StoreError {
+    StoreError::Incompatible(msg.into())
+}
+
+fn checked_label<'a>(dirs: &StoreDirs, w: &'a str) -> Result<&'a str, StoreError> {
+    if !valid_label(w) {
+        return Err(bad(format!("bad window label `{w}`")));
+    }
+    if !dirs.raw_dir(w).exists() && !dirs.packed_path(w).exists() && !dirs.summary_path(w).exists()
+    {
+        return Err(bad(format!("unknown window `{w}`")));
+    }
+    Ok(w)
+}
+
+/// The aggregate of everything landed in a window, tier-first: the
+/// summary (or, lacking one, the packed store) plus any raw segments
+/// not yet compacted.
+pub fn window_aggregate(dirs: &StoreDirs, window: &str) -> Result<Aggregate, StoreError> {
+    let mut parts: Vec<Aggregate> = Vec::new();
+    let summary = dirs.summary_path(window);
+    let packed = dirs.packed_path(window);
+    if summary.exists() {
+        parts.push(read_summary(&summary)?);
+    } else if packed.exists() {
+        parts.push(aggregate_refs(&[ExperimentRef::open(&packed)?], 1)?);
+    }
+    let raws = dirs.raw_segments(window)?;
+    if !raws.is_empty() {
+        let refs = raws
+            .iter()
+            .map(|p| ExperimentRef::open(p))
+            .collect::<Result<Vec<ExperimentRef>, StoreError>>()?;
+        parts.push(aggregate_refs(&refs, 1)?);
+    }
+    let mut parts = parts.into_iter();
+    let mut agg = parts
+        .next()
+        .ok_or_else(|| bad(format!("window `{window}` has no data")))?;
+    for p in parts {
+        agg.merge(&p)?;
+    }
+    Ok(agg)
+}
+
+/// The window's symbol table, from the packed store's attachments or
+/// the first raw segment that carries one.
+pub fn window_syms(dirs: &StoreDirs, window: &str) -> Option<minic::SymbolTable> {
+    let packed = dirs.packed_path(window);
+    if packed.exists() {
+        if let Some(syms) = ExperimentRef::Packed(packed).load_syms() {
+            return Some(syms);
+        }
+    }
+    dirs.raw_segments(window)
+        .ok()?
+        .into_iter()
+        .find_map(|p| ExperimentRef::Packed(p).load_syms())
+}
+
+/// Materialize a window as one merged [`Experiment`] — the form the
+/// analyzer views need. Input order matches compaction: packed store
+/// first, then raw segments in file-name order.
+fn window_experiment(dirs: &StoreDirs, window: &str) -> Result<Experiment, StoreError> {
+    let mut inputs = Vec::new();
+    let packed = dirs.packed_path(window);
+    if packed.exists() {
+        inputs.push(packed);
+    }
+    inputs.extend(dirs.raw_segments(window)?);
+    if inputs.is_empty() {
+        return Err(bad(format!("window `{window}` has no data")));
+    }
+    let refs = inputs
+        .iter()
+        .map(|p| ExperimentRef::open(p))
+        .collect::<Result<Vec<ExperimentRef>, StoreError>>()?;
+    merge_experiments(&refs)
+}
+
+/// Resolve the window arguments of an aggregate query: explicit
+/// labels, or every known window when none are given.
+fn resolve_windows(dirs: &StoreDirs, args: &[&str]) -> Result<Vec<String>, StoreError> {
+    if args.is_empty() {
+        let all = dirs.windows()?;
+        if all.is_empty() {
+            return Err(bad("no windows in the store"));
+        }
+        Ok(all)
+    } else {
+        args.iter()
+            .map(|w| checked_label(dirs, w).map(str::to_string))
+            .collect()
+    }
+}
+
+fn merged_aggregate(dirs: &StoreDirs, windows: &[String]) -> Result<Aggregate, StoreError> {
+    let mut agg = window_aggregate(dirs, &windows[0])?;
+    for w in &windows[1..] {
+        agg.merge(&window_aggregate(dirs, w)?)?;
+    }
+    Ok(agg)
+}
+
+fn analysis_col(analysis: &Analysis<'_>, arg: Option<&&str>) -> Result<usize, StoreError> {
+    match arg {
+        None => Ok(0),
+        Some(&"cpu") => analysis
+            .user_cpu_col()
+            .ok_or_else(|| bad("no clock profiling in this window")),
+        Some(name) => {
+            let ev = CounterEvent::parse(name)
+                .ok_or_else(|| bad(format!("unknown counter `{name}`")))?;
+            analysis
+                .col_by_event(ev)
+                .ok_or_else(|| bad(format!("counter `{name}` not in this window")))
+        }
+    }
+}
+
+/// Parse and answer one query line. Store-dependent queries run here;
+/// `compact` and `shutdown` are returned for the server to act on.
+pub fn answer(dirs: &StoreDirs, line: &str) -> Result<QueryOutcome, StoreError> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    let out = match fields.split_first() {
+        Some((&"windows", [])) => {
+            let mut out = String::new();
+            for w in dirs.windows()? {
+                let raws = dirs.raw_segments(&w)?.len();
+                let packed = dirs.packed_path(&w).exists();
+                let summary = dirs.summary_path(&w).exists();
+                out.push_str(&format!(
+                    "{w}: {raws} raw segment{}, packed={}, summary={}\n",
+                    if raws == 1 { "" } else { "s" },
+                    if packed { "yes" } else { "no" },
+                    if summary { "yes" } else { "no" },
+                ));
+            }
+            if out.is_empty() {
+                out.push_str("no windows\n");
+            }
+            QueryOutcome::Text(out)
+        }
+        Some((&"functions", rest)) => {
+            let windows = resolve_windows(dirs, rest)?;
+            let agg = merged_aggregate(dirs, &windows)?;
+            let syms = windows.iter().find_map(|w| window_syms(dirs, w));
+            QueryOutcome::Text(agg.stat_json(syms.as_ref()))
+        }
+        Some((&"stat", rest)) => {
+            let windows = resolve_windows(dirs, rest)?;
+            let agg = merged_aggregate(dirs, &windows)?;
+            let mut out = agg.render();
+            out.push_str(&format!("{} distinct PCs\n", agg.pc_samples.len()));
+            QueryOutcome::Text(out)
+        }
+        Some((&"diff", [wa, wb])) => {
+            let wa = checked_label(dirs, wa)?;
+            let wb = checked_label(dirs, wb)?;
+            let diff = diff_aggregates(&window_aggregate(dirs, wa)?, &window_aggregate(dirs, wb)?)?;
+            // Function-level when either side carries symbols, like
+            // `mp-store diff`.
+            let text = match window_syms(dirs, wa).or_else(|| window_syms(dirs, wb)) {
+                Some(syms) => diff.render_by_function(&syms),
+                None => diff.render(),
+            };
+            QueryOutcome::Text(text)
+        }
+        Some((&"objects", [w, col @ ..])) if col.len() <= 1 => {
+            let w = checked_label(dirs, w)?;
+            let exp = window_experiment(dirs, w)?;
+            let syms = window_syms(dirs, w).ok_or_else(|| bad("window has no symbol table"))?;
+            let analysis = Analysis::new(&[&exp], &syms);
+            let col = analysis_col(&analysis, col.first())?;
+            QueryOutcome::Text(analysis.render_data_objects(col))
+        }
+        Some((&"segments", [w])) => {
+            let w = checked_label(dirs, w)?;
+            let exp = window_experiment(dirs, w)?;
+            let syms = window_syms(dirs, w).ok_or_else(|| bad("window has no symbol table"))?;
+            let analysis = Analysis::new(&[&exp], &syms);
+            let mut out = String::new();
+            for row in analysis.segments() {
+                out.push_str(&format!(
+                    "{:>6}: {:>8} events\n",
+                    row.segment.name(),
+                    row.samples.iter().sum::<u64>()
+                ));
+            }
+            QueryOutcome::Text(out)
+        }
+        Some((&"pages", [w, n @ ..])) if n.len() <= 1 => {
+            let w = checked_label(dirs, w)?;
+            let n = parse_limit(n.first(), 10)?;
+            let exp = window_experiment(dirs, w)?;
+            let syms = window_syms(dirs, w).ok_or_else(|| bad("window has no symbol table"))?;
+            let analysis = Analysis::new(&[&exp], &syms);
+            let mut out = String::new();
+            for row in analysis.pages(8192, n) {
+                out.push_str(&format!(
+                    "{:#012x}: {:>6} events\n",
+                    row.page_base,
+                    row.samples.iter().sum::<u64>()
+                ));
+            }
+            QueryOutcome::Text(out)
+        }
+        Some((&"lines", [w, n @ ..])) if n.len() <= 1 => {
+            let w = checked_label(dirs, w)?;
+            let n = parse_limit(n.first(), 10)?;
+            let exp = window_experiment(dirs, w)?;
+            let syms = window_syms(dirs, w).ok_or_else(|| bad("window has no symbol table"))?;
+            let analysis = Analysis::new(&[&exp], &syms);
+            let mut out = String::new();
+            for row in analysis.cache_lines(512, n) {
+                out.push_str(&format!(
+                    "{:#012x}: {:>6} events\n",
+                    row.line_base,
+                    row.samples.iter().sum::<u64>()
+                ));
+            }
+            QueryOutcome::Text(out)
+        }
+        Some((&"compact", [])) => QueryOutcome::Compact,
+        Some((&"shutdown", [])) => QueryOutcome::Shutdown,
+        _ => {
+            return Err(bad(format!(
+                "unknown query `{line}` (try: windows, functions, stat, diff, \
+                 objects, segments, pages, lines, compact, shutdown)"
+            )))
+        }
+    };
+    Ok(out)
+}
+
+fn parse_limit(arg: Option<&&str>, default: usize) -> Result<usize, StoreError> {
+    match arg {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|_| bad(format!("bad limit `{s}`"))),
+    }
+}

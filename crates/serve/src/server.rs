@@ -1,0 +1,346 @@
+//! The `mp-serve` daemon: accept collector sessions and queries on a
+//! TCP listener, land raw segments, and run background compaction.
+//!
+//! Threading model: one accept loop, one handler thread per
+//! connection, one optional compactor thread. Ingest streaming is
+//! lock-free (each session appends to its own staging file); a single
+//! tier lock serializes the operations that change or read the tier
+//! layout as a whole — sealing a session into tier 0, compaction, and
+//! queries — so a query never observes a window mid-compaction.
+//!
+//! Session lifecycle:
+//!
+//! ```text
+//! HELLO ──► ingest/ID.part created, HELLO_OK(ID) sent
+//! CHUNK*──► frame payloads appended verbatim (MPES v2 bytes)
+//! END  ───► fsync, seal to raw/WINDOW/ID.mpes, END_OK sent
+//! ```
+//!
+//! A disconnect before END — even mid-frame — still seals whatever
+//! prefix arrived, as long as it parses as an MPES stream: the chunk
+//! format is self-delimiting and checksummed, so a damaged tail is
+//! detected and dropped by [`StreamFile`] exactly as for a local
+//! crash. A prefix too short to parse (lost before the preamble
+//! landed) is discarded.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use memprof_store::{StoreError, StreamFile};
+
+use crate::compact::compact_all;
+use crate::query::{answer, QueryOutcome};
+use crate::store::{valid_label, StoreDirs};
+use crate::wire::{
+    parse_hello, read_frame, write_frame, WireError, TAG_CHUNK, TAG_END, TAG_END_OK, TAG_ERROR,
+    TAG_HELLO, TAG_HELLO_OK, TAG_QUERY, TAG_RESULT,
+};
+
+/// Daemon configuration.
+#[derive(Default)]
+pub struct ServerConfig {
+    /// Seconds between background compaction passes; `None` compacts
+    /// only on explicit `compact` queries.
+    pub compact_secs: Option<u64>,
+}
+
+struct Shared {
+    dirs: StoreDirs,
+    /// Serializes tier mutations and reads (seal, compact, query).
+    tiers: Mutex<()>,
+    /// Arrival sequence for session ids; zero-padded into the file
+    /// name so sorted-order merges are deterministic.
+    seq: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// A running daemon; dropping the handle does not stop it — call
+/// [`Server::shutdown`] (or send a `shutdown` query).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    compact_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `listen` (e.g. `127.0.0.1:0`) over `data` and start
+    /// serving. Returns once the listener is accepting.
+    pub fn start(listen: &str, data: &Path, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            dirs: StoreDirs::create(data)?,
+            tiers: Mutex::new(()),
+            seq: AtomicU64::new(1),
+            stop: AtomicBool::new(false),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let conn_shared = Arc::clone(&accept_shared);
+                std::thread::spawn(move || {
+                    if let Err(e) = handle_connection(&conn_shared, stream) {
+                        eprintln!("mp-serve: connection error: {e}");
+                    }
+                });
+            }
+        });
+
+        let compact_thread = config.compact_secs.map(|secs| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let period = Duration::from_secs(secs.max(1));
+                let mut last = Instant::now();
+                while !shared.stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(100));
+                    if last.elapsed() >= period {
+                        last = Instant::now();
+                        let _guard = shared.tiers.lock().unwrap();
+                        match compact_all(&shared.dirs) {
+                            Ok(report) if !report.windows.is_empty() => {
+                                eprint!("mp-serve: {}", report.render());
+                            }
+                            Ok(_) => {}
+                            Err(e) => eprintln!("mp-serve: compaction failed: {e}"),
+                        }
+                    }
+                }
+            })
+        });
+
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            compact_thread: Some(compact_thread).flatten(),
+        })
+    }
+
+    /// The bound address (resolves port 0 binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the daemon and wait for its threads.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.compact_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until the daemon is asked to stop (via a `shutdown`
+    /// query), then join its threads.
+    pub fn run(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.compact_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Dispatch a fresh connection on its first frame: HELLO starts a
+/// collector session, QUERY answers one query.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) -> std::io::Result<()> {
+    let first = match read_frame(&mut stream) {
+        Ok(f) => f,
+        // Port probes and shutdown wake-ups close without a frame.
+        Err(WireError::Closed) | Err(WireError::TruncatedFrame { .. }) => return Ok(()),
+        Err(WireError::Io(e)) => return Err(e),
+        Err(e) => {
+            let _ = write_frame(&mut stream, TAG_ERROR, e.to_string().as_bytes());
+            return Ok(());
+        }
+    };
+    match first.tag {
+        TAG_HELLO => handle_session(shared, stream, &first.payload),
+        TAG_QUERY => handle_query(shared, stream, &first.payload),
+        tag => {
+            let msg = format!("expected HELLO or QUERY, got tag {tag}");
+            let _ = write_frame(&mut stream, TAG_ERROR, msg.as_bytes());
+            Ok(())
+        }
+    }
+}
+
+/// Sanitize a collector-supplied session name for use in a file name.
+fn clean_name(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+        .take(40)
+        .collect();
+    if cleaned.is_empty() {
+        "session".to_string()
+    } else {
+        cleaned
+    }
+}
+
+fn handle_session(shared: &Shared, mut stream: TcpStream, hello: &[u8]) -> std::io::Result<()> {
+    let (name, window) = match parse_hello(hello) {
+        Ok(parts) => parts,
+        Err(e) => {
+            let _ = write_frame(&mut stream, TAG_ERROR, e.to_string().as_bytes());
+            return Ok(());
+        }
+    };
+    if !valid_label(&window) {
+        let msg = format!("bad window label `{window}`");
+        let _ = write_frame(&mut stream, TAG_ERROR, msg.as_bytes());
+        return Ok(());
+    }
+    let seq = shared.seq.fetch_add(1, Ordering::SeqCst);
+    let session = format!("{seq:04}-{}", clean_name(&name));
+    let part = shared.dirs.ingest_path(&session);
+    let mut file = std::fs::File::create(&part)?;
+    write_frame(&mut stream, TAG_HELLO_OK, session.as_bytes())?;
+
+    // Ingest until END or disconnect. Every CHUNK payload is MPES v2
+    // bytes, appended verbatim.
+    let mut clean_end = false;
+    loop {
+        match read_frame(&mut stream) {
+            Ok(f) if f.tag == TAG_CHUNK => file.write_all(&f.payload)?,
+            Ok(f) if f.tag == TAG_END => {
+                clean_end = true;
+                break;
+            }
+            Ok(f) => {
+                let msg = format!("unexpected tag {} in session", f.tag);
+                let _ = write_frame(&mut stream, TAG_ERROR, msg.as_bytes());
+                break;
+            }
+            Err(WireError::Closed) => break,
+            Err(WireError::TruncatedFrame { tag, partial }) => {
+                // The connection died mid-frame. Land the partial
+                // chunk bytes: the MPES checksums make the damaged
+                // tail detectable, and everything before it readable.
+                if tag == TAG_CHUNK {
+                    file.write_all(&partial)?;
+                }
+                break;
+            }
+            Err(WireError::Protocol(why)) => {
+                let _ = write_frame(&mut stream, TAG_ERROR, why.as_bytes());
+                break;
+            }
+            Err(WireError::Io(e)) => {
+                eprintln!("mp-serve: session {session}: {e}");
+                break;
+            }
+        }
+    }
+    file.sync_all()?;
+    drop(file);
+
+    match seal_session(shared, &part, &window, &session) {
+        Ok(true) => {
+            eprintln!("mp-serve: sealed {session} into window {window}");
+            if clean_end {
+                write_frame(&mut stream, TAG_END_OK, b"")?;
+            }
+        }
+        Ok(false) => {
+            eprintln!("mp-serve: discarded {session}: no parseable prefix");
+        }
+        Err(e) => {
+            eprintln!("mp-serve: cannot seal {session}: {e}");
+            if clean_end {
+                let _ = write_frame(&mut stream, TAG_ERROR, e.to_string().as_bytes());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Move a finished staging file into its window's tier-0 directory.
+/// Returns `Ok(false)` (and deletes the staging file) if the landed
+/// bytes are too short to parse as an MPES stream — nothing usable
+/// arrived.
+fn seal_session(
+    shared: &Shared,
+    part: &Path,
+    window: &str,
+    session: &str,
+) -> Result<bool, StoreError> {
+    let bytes = std::fs::read(part).map_err(|e| StoreError::Io(e).at(part))?;
+    if StreamFile::from_bytes(bytes).is_err() {
+        let _ = std::fs::remove_file(part);
+        return Ok(false);
+    }
+    let raw_dir = shared.dirs.raw_dir(window);
+    std::fs::create_dir_all(&raw_dir).map_err(|e| StoreError::Io(e).at(&raw_dir))?;
+    let dest = shared.dirs.raw_path(window, session);
+    let _guard = shared.tiers.lock().unwrap();
+    std::fs::rename(part, &dest).map_err(|e| StoreError::Io(e).at(&dest))?;
+    Ok(true)
+}
+
+fn handle_query(shared: &Shared, mut stream: TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    let line = String::from_utf8_lossy(payload);
+    let outcome = {
+        let _guard = shared.tiers.lock().unwrap();
+        answer(&shared.dirs, line.trim())
+    };
+    match outcome {
+        Ok(QueryOutcome::Text(text)) => write_frame(&mut stream, TAG_RESULT, text.as_bytes()),
+        Ok(QueryOutcome::Compact) => {
+            let report = {
+                let _guard = shared.tiers.lock().unwrap();
+                compact_all(&shared.dirs)
+            };
+            match report {
+                Ok(r) => write_frame(&mut stream, TAG_RESULT, r.render().as_bytes()),
+                Err(e) => write_frame(&mut stream, TAG_ERROR, e.to_string().as_bytes()),
+            }
+        }
+        Ok(QueryOutcome::Shutdown) => {
+            write_frame(&mut stream, TAG_RESULT, b"shutting down\n")?;
+            shared.stop.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it notices the flag.
+            if let Ok(addr) = stream.local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+            Ok(())
+        }
+        Err(e) => write_frame(&mut stream, TAG_ERROR, e.to_string().as_bytes()),
+    }
+}
+
+/// Client side of a query: connect, send one QUERY line, return the
+/// RESULT text (or the daemon's error).
+pub fn query(addr: &str, line: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_frame(&mut stream, TAG_QUERY, line.as_bytes())?;
+    let reply = read_frame(&mut stream).map_err(|e| match e {
+        WireError::Io(e) => e,
+        other => std::io::Error::other(other.to_string()),
+    })?;
+    match reply.tag {
+        TAG_RESULT => Ok(String::from_utf8_lossy(&reply.payload).to_string()),
+        TAG_ERROR => Err(std::io::Error::other(
+            String::from_utf8_lossy(&reply.payload).to_string(),
+        )),
+        tag => Err(std::io::Error::other(format!(
+            "unexpected query reply (tag {tag})"
+        ))),
+    }
+}

@@ -1,0 +1,157 @@
+//! [`SocketSink`] — a [`CollectSink`] that streams a collection run
+//! into a live `mp-serve` daemon instead of a local file.
+//!
+//! The sink is a [`SegmentWriter`] whose underlying writer buffers
+//! bytes and ships each flush as one CHUNK frame. `SegmentWriter`
+//! flushes exactly once per chunk (and once after the preamble-plus-
+//! header write in `begin`), so frame boundaries land on chunk
+//! boundaries and the daemon can append every frame payload to the
+//! raw segment file verbatim — the landed file is byte-identical to
+//! what `mp-collect --stream` would have produced locally.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use memprof_core::{CollectSink, CounterRequest, PackedClockEvent, PackedHwcEvent, RunInfo};
+use memprof_store::SegmentWriter;
+
+use crate::wire::{
+    self, read_frame, write_frame, WireError, TAG_CHUNK, TAG_END, TAG_END_OK, TAG_ERROR, TAG_HELLO,
+    TAG_HELLO_OK,
+};
+
+/// Buffers writes between flushes and ships each flush as one CHUNK
+/// frame over the transport.
+pub struct FrameSender<S: Read + Write> {
+    stream: S,
+    buf: Vec<u8>,
+}
+
+impl<S: Read + Write> Write for FrameSender<S> {
+    fn write(&mut self, bytes: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(bytes);
+        Ok(bytes.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        write_frame(&mut self.stream, TAG_CHUNK, &self.buf)?;
+        self.buf.clear();
+        Ok(())
+    }
+}
+
+/// A network-connected collection sink (see module docs).
+pub struct SocketSink<S: Read + Write = TcpStream> {
+    writer: SegmentWriter<FrameSender<S>>,
+    /// Session id assigned by the daemon at handshake.
+    session: String,
+}
+
+fn wire_io(e: WireError) -> std::io::Error {
+    match e {
+        WireError::Io(e) => e,
+        other => std::io::Error::other(other.to_string()),
+    }
+}
+
+impl SocketSink<TcpStream> {
+    /// Connect to a daemon and perform the collector handshake.
+    /// `name` labels the session (usually the workload name);
+    /// `window` names the time window the run's data lands in.
+    pub fn connect(addr: &str, name: &str, window: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        SocketSink::handshake(stream, name, window)
+    }
+}
+
+impl<S: Read + Write> SocketSink<S> {
+    /// Handshake over an already-connected transport (tests use
+    /// in-memory duplex pairs).
+    pub fn handshake(mut stream: S, name: &str, window: &str) -> std::io::Result<Self> {
+        write_frame(&mut stream, TAG_HELLO, &wire::hello_payload(name, window))?;
+        let reply = read_frame(&mut stream).map_err(wire_io)?;
+        let session = match reply.tag {
+            TAG_HELLO_OK => String::from_utf8_lossy(&reply.payload).to_string(),
+            TAG_ERROR => {
+                return Err(std::io::Error::other(format!(
+                    "daemon rejected session: {}",
+                    String::from_utf8_lossy(&reply.payload)
+                )))
+            }
+            tag => {
+                return Err(std::io::Error::other(format!(
+                    "unexpected handshake reply (tag {tag})"
+                )))
+            }
+        };
+        Ok(SocketSink {
+            writer: SegmentWriter::new(FrameSender {
+                stream,
+                buf: Vec::new(),
+            }),
+            session,
+        })
+    }
+
+    /// The daemon-assigned session id.
+    pub fn session(&self) -> &str {
+        &self.session
+    }
+}
+
+impl<S: Read + Write> CollectSink for SocketSink<S> {
+    fn begin(
+        &mut self,
+        counters: &[CounterRequest],
+        clock_period: Option<u64>,
+        clock_hz: u64,
+    ) -> std::io::Result<()> {
+        self.writer.begin(counters, clock_period, clock_hz)
+    }
+
+    fn stacks(&mut self, stacks: &[Vec<u64>]) -> std::io::Result<()> {
+        self.writer.stacks(stacks)
+    }
+
+    fn hwc_segment(&mut self, events: &[PackedHwcEvent]) -> std::io::Result<()> {
+        self.writer.hwc_segment(events)
+    }
+
+    fn clock_segment(&mut self, events: &[PackedClockEvent]) -> std::io::Result<()> {
+        self.writer.clock_segment(events)
+    }
+
+    fn finish(&mut self, run: &RunInfo, log: &[String]) -> std::io::Result<()> {
+        self.writer.finish(run, log)?;
+        // The footer chunk is on the wire; tell the daemon the stream
+        // is complete and wait until it has made the session durable.
+        let sender = self.writer.get_mut();
+        write_frame(&mut sender.stream, TAG_END, b"")?;
+        let reply = read_frame(&mut sender.stream).map_err(wire_io)?;
+        match reply.tag {
+            TAG_END_OK => Ok(()),
+            TAG_ERROR => Err(std::io::Error::other(format!(
+                "daemon failed to seal session: {}",
+                String::from_utf8_lossy(&reply.payload)
+            ))),
+            tag => Err(std::io::Error::other(format!(
+                "unexpected END reply (tag {tag})"
+            ))),
+        }
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.writer.bytes_written()
+    }
+}
+
+/// Attach auxiliary text files (`syms.txt`, `image.txt`) to the
+/// session's footer, exactly like a local [`SegmentWriter`].
+impl<S: Read + Write> SocketSink<S> {
+    pub fn attach(&mut self, name: &str, contents: &str) {
+        self.writer.attach(name, contents);
+    }
+}

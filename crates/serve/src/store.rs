@@ -1,0 +1,130 @@
+//! The daemon's on-disk layout: three tiers per time window, plus a
+//! staging area for in-flight sessions.
+//!
+//! ```text
+//! DATA/
+//!   ingest/SESSION.part          active collector sessions (unsealed)
+//!   raw/WINDOW/SESSION.mpes      tier 0: sealed raw segments (MPES v2)
+//!   packed/WINDOW.mps            tier 1: merged packed store (MPES v1)
+//!   summary/WINDOW.sum           tier 2: per-PC aggregate (MPSUM)
+//! ```
+//!
+//! A session streams into `ingest/` and is *sealed* — atomically
+//! renamed into its window's tier-0 directory — when the collector
+//! sends END or disconnects. Compaction folds a window's tier-0
+//! segments (plus any previous tier-1 store) into a fresh tier-1
+//! store, regenerates the tier-2 summary from it, and deletes the
+//! consumed segments; storage per window is then bounded by the
+//! merged store, not by how many collectors streamed into it.
+
+use std::path::{Path, PathBuf};
+
+use memprof_store::StoreError;
+
+/// Window labels become directory components; reject anything that
+/// could escape the data directory or collide with tier suffixes.
+pub fn valid_label(label: &str) -> bool {
+    !label.is_empty()
+        && label.len() <= 64
+        && label
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
+        && !label.starts_with('.')
+}
+
+/// The daemon's data directory, with helpers for every tier path.
+#[derive(Clone, Debug)]
+pub struct StoreDirs {
+    pub root: PathBuf,
+}
+
+impl StoreDirs {
+    /// Open (creating if needed) the data directory and its tier
+    /// subdirectories.
+    pub fn create(root: &Path) -> std::io::Result<StoreDirs> {
+        for sub in ["ingest", "raw", "packed", "summary"] {
+            std::fs::create_dir_all(root.join(sub))?;
+        }
+        Ok(StoreDirs {
+            root: root.to_path_buf(),
+        })
+    }
+
+    pub fn ingest_path(&self, session: &str) -> PathBuf {
+        self.root.join("ingest").join(format!("{session}.part"))
+    }
+
+    pub fn raw_dir(&self, window: &str) -> PathBuf {
+        self.root.join("raw").join(window)
+    }
+
+    pub fn raw_path(&self, window: &str, session: &str) -> PathBuf {
+        self.raw_dir(window).join(format!("{session}.mpes"))
+    }
+
+    pub fn packed_path(&self, window: &str) -> PathBuf {
+        self.root.join("packed").join(format!("{window}.mps"))
+    }
+
+    pub fn summary_path(&self, window: &str) -> PathBuf {
+        self.root.join("summary").join(format!("{window}.sum"))
+    }
+
+    /// Sealed raw segments of a window, sorted by file name — session
+    /// ids embed a zero-padded arrival sequence number, so this order
+    /// is the daemon's canonical merge order.
+    pub fn raw_segments(&self, window: &str) -> Result<Vec<PathBuf>, StoreError> {
+        let dir = self.raw_dir(window);
+        if !dir.exists() {
+            return Ok(Vec::new());
+        }
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .map_err(|e| StoreError::Io(e).at(&dir))?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "mpes"))
+            .collect();
+        files.sort();
+        Ok(files)
+    }
+
+    /// Every window known to any tier, sorted.
+    pub fn windows(&self) -> Result<Vec<String>, StoreError> {
+        let mut names = std::collections::BTreeSet::new();
+        let raw_root = self.root.join("raw");
+        for entry in std::fs::read_dir(&raw_root).map_err(|e| StoreError::Io(e).at(&raw_root))? {
+            let entry = entry.map_err(StoreError::Io)?;
+            if entry.path().is_dir() {
+                names.insert(entry.file_name().to_string_lossy().to_string());
+            }
+        }
+        for (sub, ext) in [("packed", "mps"), ("summary", "sum")] {
+            let dir = self.root.join(sub);
+            for entry in std::fs::read_dir(&dir).map_err(|e| StoreError::Io(e).at(&dir))? {
+                let path = entry.map_err(StoreError::Io)?.path();
+                if path.extension().is_some_and(|x| x == ext) {
+                    if let Some(stem) = path.file_stem() {
+                        names.insert(stem.to_string_lossy().to_string());
+                    }
+                }
+            }
+        }
+        Ok(names.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_sanitized() {
+        assert!(valid_label("w1"));
+        assert!(valid_label("2026-08-07_run.3"));
+        assert!(!valid_label(""));
+        assert!(!valid_label("../escape"));
+        assert!(!valid_label("a/b"));
+        assert!(!valid_label(".hidden"));
+        assert!(!valid_label(&"x".repeat(65)));
+    }
+}

@@ -1,0 +1,195 @@
+//! Tier-2 summary stores: a window's per-PC aggregate, persisted so
+//! queries over long histories never rescan raw events.
+//!
+//! A summary is exactly a [`memprof_store::Aggregate`] — the column
+//! specs, per-column totals, and the PC → samples histogram — in a
+//! line-oriented text format. All values are `u64`, so the round trip
+//! is exact: rendering a reloaded summary is byte-identical to
+//! rendering the aggregate it was written from, which is what lets
+//! the query layer serve from tier 2 while staying byte-compatible
+//! with offline `mp-store` aggregation of the tier-1 store.
+//!
+//! ```text
+//! MPSUM 1
+//! column clock <period> <total>
+//! column hwc <event> <backtrack:0|1> <interval> <total>
+//! pc <pc> <samples>...
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use memprof_store::{Aggregate, ColSpec, StoreError};
+use simsparc_machine::CounterEvent;
+
+/// Render an aggregate into the summary text format.
+pub fn render_summary(agg: &Aggregate) -> String {
+    let mut out = String::from("MPSUM 1\n");
+    for (spec, total) in agg.columns.iter().zip(&agg.totals) {
+        match spec {
+            ColSpec::Clock { period } => {
+                writeln!(out, "column clock {period} {total}").unwrap();
+            }
+            ColSpec::Hwc {
+                event,
+                backtrack,
+                interval,
+            } => {
+                writeln!(
+                    out,
+                    "column hwc {} {} {interval} {total}",
+                    event.name(),
+                    *backtrack as u8
+                )
+                .unwrap();
+            }
+        }
+    }
+    for (pc, samples) in &agg.pc_samples {
+        write!(out, "pc {pc}").unwrap();
+        for s in samples {
+            write!(out, " {s}").unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn corrupt(why: &'static str) -> StoreError {
+    StoreError::Corrupt(why)
+}
+
+/// Parse the summary text format back into an [`Aggregate`].
+pub fn parse_summary(text: &str) -> Result<Aggregate, StoreError> {
+    let mut lines = text.lines();
+    if lines.next() != Some("MPSUM 1") {
+        return Err(corrupt("summary missing MPSUM 1 header"));
+    }
+    let mut columns: Vec<ColSpec> = Vec::new();
+    let mut totals: Vec<u64> = Vec::new();
+    let mut pc_samples: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for line in lines {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.first().copied() {
+            Some("column") => {
+                if !pc_samples.is_empty() {
+                    return Err(corrupt("column line after pc lines"));
+                }
+                match fields.get(1).copied() {
+                    Some("clock") => {
+                        let &[period, total] = &fields[2..] else {
+                            return Err(corrupt("malformed clock column line"));
+                        };
+                        columns.push(ColSpec::Clock {
+                            period: period.parse().map_err(|_| corrupt("bad clock period"))?,
+                        });
+                        totals.push(total.parse().map_err(|_| corrupt("bad column total"))?);
+                    }
+                    Some("hwc") => {
+                        let &[event, backtrack, interval, total] = &fields[2..] else {
+                            return Err(corrupt("malformed hwc column line"));
+                        };
+                        let event = CounterEvent::parse(event)
+                            .ok_or(corrupt("unknown counter event in summary"))?;
+                        columns.push(ColSpec::Hwc {
+                            event,
+                            backtrack: match backtrack {
+                                "0" => false,
+                                "1" => true,
+                                _ => return Err(corrupt("bad backtrack flag")),
+                            },
+                            interval: interval.parse().map_err(|_| corrupt("bad interval"))?,
+                        });
+                        totals.push(total.parse().map_err(|_| corrupt("bad column total"))?);
+                    }
+                    _ => return Err(corrupt("unknown column kind")),
+                }
+            }
+            Some("pc") => {
+                let pc: u64 = fields
+                    .get(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(corrupt("bad pc"))?;
+                let samples = fields[2..]
+                    .iter()
+                    .map(|s| s.parse().map_err(|_| corrupt("bad sample count")))
+                    .collect::<Result<Vec<u64>, StoreError>>()?;
+                if samples.len() != columns.len() {
+                    return Err(corrupt("pc line has wrong sample count"));
+                }
+                if pc_samples.insert(pc, samples).is_some() {
+                    return Err(corrupt("duplicate pc line"));
+                }
+            }
+            None => {}
+            _ => return Err(corrupt("unknown summary line")),
+        }
+    }
+    Ok(Aggregate {
+        columns,
+        pc_samples,
+        totals,
+    })
+}
+
+/// Write a window summary to disk.
+pub fn write_summary(path: &Path, agg: &Aggregate) -> Result<(), StoreError> {
+    std::fs::write(path, render_summary(agg)).map_err(|e| StoreError::Io(e).at(path))
+}
+
+/// Load a window summary from disk.
+pub fn read_summary(path: &Path) -> Result<Aggregate, StoreError> {
+    let text = std::fs::read_to_string(path).map_err(|e| StoreError::Io(e).at(path))?;
+    parse_summary(&text).map_err(|e| e.at(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_aggregate() -> Aggregate {
+        let columns = vec![
+            ColSpec::Clock { period: 10007 },
+            ColSpec::Hwc {
+                event: CounterEvent::ECStallCycles,
+                backtrack: true,
+                interval: 1009,
+            },
+        ];
+        let mut pc_samples = BTreeMap::new();
+        pc_samples.insert(0x1000_0000u64, vec![3, 1]);
+        pc_samples.insert(0x1000_31b8u64, vec![0, 7]);
+        Aggregate {
+            columns,
+            pc_samples,
+            totals: vec![3, 8],
+        }
+    }
+
+    #[test]
+    fn summary_round_trips_exactly() {
+        let agg = sample_aggregate();
+        let text = render_summary(&agg);
+        let back = parse_summary(&text).unwrap();
+        assert_eq!(back.columns, agg.columns);
+        assert_eq!(back.pc_samples, agg.pc_samples);
+        assert_eq!(back.totals, agg.totals);
+        // Rendering the reload is byte-identical — the tier-2 parity
+        // guarantee.
+        assert_eq!(back.render(), agg.render());
+        assert_eq!(render_summary(&back), text);
+    }
+
+    #[test]
+    fn damaged_summaries_error_cleanly() {
+        assert!(parse_summary("").is_err());
+        assert!(parse_summary("MPSUM 2\n").is_err());
+        assert!(parse_summary("MPSUM 1\ncolumn warp 1 2\n").is_err());
+        assert!(parse_summary("MPSUM 1\ncolumn clock 5 x\n").is_err());
+        assert!(parse_summary("MPSUM 1\ncolumn clock 5 1\npc 16 1 2\n").is_err());
+        assert!(parse_summary("MPSUM 1\npc banana 1\n").is_err());
+        let dup = "MPSUM 1\ncolumn clock 5 2\npc 16 1\npc 16 1\n";
+        assert!(parse_summary(dup).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! The `mp-serve` wire protocol: length-prefixed frames over a byte
+//! stream.
+//!
+//! The framing is deliberately thin. A collector session's payload is
+//! the `MPES` v2 stream format *verbatim* — the preamble and every
+//! self-delimiting, checksummed chunk pass through untouched, so the
+//! daemon lands raw segments byte-identical to what
+//! `mp-collect --stream` would have written locally, and every
+//! integrity property of the chunk format ([`memprof_store::StreamFile`]
+//! truncation handling in particular) carries over to network ingest
+//! for free.
+//!
+//! ```text
+//! frame := tag:u8 len:u32le payload(len)
+//!
+//! 1 HELLO     collector handshake: ver:u8, name:str16, window:str16
+//! 2 HELLO_OK  server reply: assigned session id (str16)
+//! 3 CHUNK     raw MPES v2 bytes (appended verbatim to the raw segment)
+//! 4 END       collector is done (after the footer chunk)
+//! 5 END_OK    server has made the session durable
+//! 6 QUERY     one query line (UTF-8)
+//! 7 RESULT    query result text (UTF-8)
+//! 8 ERROR     query/ingest failure message (UTF-8)
+//!
+//! str16 := len:u16le bytes
+//! ```
+//!
+//! A connection is either a *collector session* (HELLO first) or a
+//! *query* (QUERY first); the daemon dispatches on the first frame's
+//! tag. Query connections are one-shot: one QUERY, one RESULT or
+//! ERROR, close.
+
+use std::io::{Read, Write};
+
+/// Protocol version carried in HELLO; bumped on incompatible changes.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Frames larger than this are a protocol violation, not a payload.
+pub const MAX_FRAME: usize = 64 << 20;
+
+pub const TAG_HELLO: u8 = 1;
+pub const TAG_HELLO_OK: u8 = 2;
+pub const TAG_CHUNK: u8 = 3;
+pub const TAG_END: u8 = 4;
+pub const TAG_END_OK: u8 = 5;
+pub const TAG_QUERY: u8 = 6;
+pub const TAG_RESULT: u8 = 7;
+pub const TAG_ERROR: u8 = 8;
+
+/// One decoded frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    pub tag: u8,
+    pub payload: Vec<u8>,
+}
+
+/// Why reading a frame stopped.
+#[derive(Debug)]
+pub enum WireError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The connection died mid-frame; the partial payload is returned
+    /// so an ingest path can land what arrived (the chunk checksums
+    /// make the damaged tail detectable on read).
+    TruncatedFrame {
+        tag: u8,
+        partial: Vec<u8>,
+    },
+    /// A frame violated the protocol (oversized, bad handshake...).
+    Protocol(String),
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::TruncatedFrame { tag, partial } => {
+                write!(
+                    f,
+                    "connection died mid-frame (tag {tag}, {} bytes received)",
+                    partial.len()
+                )
+            }
+            WireError::Protocol(why) => write!(f, "protocol violation: {why}"),
+            WireError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+/// Write one frame and flush it.
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame exceeds 4 GiB")
+    })?;
+    let mut head = [0u8; 5];
+    head[0] = tag;
+    head[1..5].copy_from_slice(&len.to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame. Distinguishes a clean close (between frames) from
+/// a mid-frame disconnect, returning whatever partial payload arrived
+/// in the latter case.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+    let mut head = [0u8; 5];
+    let mut got = 0usize;
+    while got < head.len() {
+        match r.read(&mut head[got..]) {
+            Ok(0) if got == 0 => return Err(WireError::Closed),
+            Ok(0) => {
+                return Err(WireError::TruncatedFrame {
+                    tag: head[0],
+                    partial: Vec::new(),
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let tag = head[0];
+    let len = u32::from_le_bytes(head[1..5].try_into().unwrap()) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Protocol(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                payload.truncate(got);
+                return Err(WireError::TruncatedFrame {
+                    tag,
+                    partial: payload,
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(Frame { tag, payload })
+}
+
+/// Encode a length-prefixed string into a payload.
+pub fn put_str16(out: &mut Vec<u8>, s: &str) {
+    let len = u16::try_from(s.len()).unwrap_or(u16::MAX);
+    let s = &s.as_bytes()[..len as usize];
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s);
+}
+
+/// Decode a length-prefixed string from `buf` at `*pos`.
+pub fn get_str16(buf: &[u8], pos: &mut usize) -> Result<String, WireError> {
+    let end = *pos + 2;
+    let len_bytes: [u8; 2] = buf
+        .get(*pos..end)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| WireError::Protocol("truncated string length".to_string()))?;
+    let len = u16::from_le_bytes(len_bytes) as usize;
+    let s = buf
+        .get(end..end + len)
+        .ok_or_else(|| WireError::Protocol("truncated string".to_string()))?;
+    *pos = end + len;
+    String::from_utf8(s.to_vec())
+        .map_err(|_| WireError::Protocol("string is not UTF-8".to_string()))
+}
+
+/// Build the HELLO payload for a collector session.
+pub fn hello_payload(name: &str, window: &str) -> Vec<u8> {
+    let mut payload = vec![PROTO_VERSION];
+    put_str16(&mut payload, name);
+    put_str16(&mut payload, window);
+    payload
+}
+
+/// Parse a HELLO payload into `(name, window)`.
+pub fn parse_hello(payload: &[u8]) -> Result<(String, String), WireError> {
+    let ver = *payload
+        .first()
+        .ok_or_else(|| WireError::Protocol("empty HELLO".to_string()))?;
+    if ver != PROTO_VERSION {
+        return Err(WireError::Protocol(format!(
+            "protocol version {ver} (this daemon speaks {PROTO_VERSION})"
+        )));
+    }
+    let mut pos = 1;
+    let name = get_str16(payload, &mut pos)?;
+    let window = get_str16(payload, &mut pos)?;
+    Ok((name, window))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, TAG_CHUNK, b"hello chunk").unwrap();
+        write_frame(&mut buf, TAG_END, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Frame {
+                tag: TAG_CHUNK,
+                payload: b"hello chunk".to_vec()
+            }
+        );
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Frame {
+                tag: TAG_END,
+                payload: Vec::new()
+            }
+        );
+        assert!(matches!(read_frame(&mut r), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn mid_frame_disconnect_returns_the_partial_payload() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, TAG_CHUNK, b"0123456789").unwrap();
+        // Cut the stream 4 bytes into the payload.
+        let cut = &buf[..5 + 4];
+        let mut r = cut;
+        match read_frame(&mut r) {
+            Err(WireError::TruncatedFrame { tag, partial }) => {
+                assert_eq!(tag, TAG_CHUNK);
+                assert_eq!(partial, b"0123".to_vec());
+            }
+            other => panic!("expected TruncatedFrame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hello_round_trips() {
+        let payload = hello_payload("mcf-run", "w1");
+        let (name, window) = parse_hello(&payload).unwrap();
+        assert_eq!(name, "mcf-run");
+        assert_eq!(window, "w1");
+        assert!(parse_hello(&[9]).is_err());
+        assert!(parse_hello(&[]).is_err());
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut buf = Vec::new();
+        buf.push(TAG_CHUNK);
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut r = &buf[..];
+        assert!(matches!(read_frame(&mut r), Err(WireError::Protocol(_))));
+    }
+}

@@ -1,0 +1,367 @@
+//! In-process daemon tests: multi-collector ingest parity with the
+//! offline toolchain, and hostile-client robustness.
+//!
+//! The parity invariant under test is the serve crate's design rule:
+//! everything the daemon lands or compacts must be byte-identical to
+//! what the offline tools produce from the same inputs. Each test
+//! collector therefore writes the *same* event sequence twice — once
+//! through a [`SocketSink`] into the daemon and once through a local
+//! [`SegmentWriter`] — and the assertions compare bytes.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use memprof_core::{CollectSink, CounterRequest, PackedClockEvent, PackedHwcEvent, RunInfo};
+use memprof_serve::wire::{
+    hello_payload, read_frame, write_frame, TAG_CHUNK, TAG_HELLO, TAG_HELLO_OK,
+};
+use memprof_serve::{self as serve, Server, ServerConfig, SocketSink, StoreDirs};
+use memprof_store::{
+    collect_attachments, merge_experiments, pack_experiment, ExperimentRef, SegmentWriter,
+    StreamFile,
+};
+use simsparc_machine::CounterEvent;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "memprof_serve_{tag}_{}_{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A minimal valid symbol table covering the synthetic PCs, so the
+/// function-level views have something to resolve.
+const SYMS: &str =
+    "simsparc-syms text_base=0x10000\nMODULE 1 1 m m.c\nFUNC 0x10000 0x20000 0 1 func\n";
+
+fn counters() -> Vec<CounterRequest> {
+    vec![CounterRequest {
+        event: CounterEvent::ECStallCycles,
+        backtrack: true,
+        interval: 4001,
+    }]
+}
+
+/// Replay a deterministic synthetic run into any sink. `seed` varies
+/// the PCs so different collectors contribute distinguishable events.
+fn drive(sink: &mut impl CollectSink, seed: u64, segments: usize) {
+    sink.begin(&counters(), Some(10007), 900_000_000).unwrap();
+    sink.stacks(&[vec![0x1_0000], vec![0x1_0000, 0x1_0400]])
+        .unwrap();
+    for seg in 0..segments {
+        let events: Vec<PackedHwcEvent> = (0..16)
+            .map(|i| {
+                let pc = 0x1_0000 + 4 * (seed * 31 + seg as u64 * 7 + i);
+                PackedHwcEvent {
+                    counter: 0,
+                    delivered_pc: pc + 8,
+                    candidate_pc: Some(pc),
+                    ea: Some(0x4000_0000 + 64 * i),
+                    stack: (i % 2) as u32,
+                    truth_trigger_pc: pc,
+                    truth_ea: Some(0x4000_0000 + 64 * i),
+                    truth_skid: 2,
+                }
+            })
+            .collect();
+        sink.hwc_segment(&events).unwrap();
+        let ticks: Vec<PackedClockEvent> = (0..4)
+            .map(|i| PackedClockEvent {
+                pc: 0x1_0000 + 4 * (seed + i),
+                stack: 0,
+            })
+            .collect();
+        sink.clock_segment(&ticks).unwrap();
+    }
+    let run = RunInfo {
+        exit_code: 0,
+        output: format!("run {seed}\n"),
+        clock_hz: 900_000_000,
+        dropped: vec![0],
+        ..Default::default()
+    };
+    sink.finish(&run, &[format!("{seed} collect start")])
+        .unwrap();
+}
+
+/// The same run rendered to local bytes with a plain [`SegmentWriter`].
+fn local_bytes(seed: u64, segments: usize) -> Vec<u8> {
+    let mut writer = SegmentWriter::new(Vec::new());
+    writer.attach("syms.txt", SYMS);
+    drive(&mut writer, seed, segments);
+    writer.into_inner()
+}
+
+fn wait_for<T>(what: &str, mut probe: impl FnMut() -> Option<T>) -> T {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Some(v) = probe() {
+            return v;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn parallel_collectors_compact_to_the_offline_merge() {
+    let data = scratch("parallel");
+    let server = Server::start("127.0.0.1:0", &data, ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+
+    // Three concurrent collectors stream the same windows' worth of
+    // data; each reports the session id the daemon assigned it.
+    let handles: Vec<_> = (0..3)
+        .map(|seed| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut sink = SocketSink::connect(&addr, &format!("run{seed}"), "w1").unwrap();
+                sink.attach("syms.txt", SYMS);
+                drive(&mut sink, seed, 3);
+                (sink.session().to_string(), seed)
+            })
+        })
+        .collect();
+    let mut sessions: Vec<(String, u64)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Every landed raw segment is byte-identical to the local
+    // SegmentWriter rendition of the same run.
+    let dirs = StoreDirs::create(&data).unwrap();
+    for (session, seed) in &sessions {
+        let landed = std::fs::read(dirs.raw_path("w1", session)).unwrap();
+        assert_eq!(
+            landed,
+            local_bytes(*seed, 3),
+            "raw segment differs for {session}"
+        );
+    }
+
+    // Compact through the query interface, then compare the packed
+    // tier against an offline merge of the same segments in the same
+    // (sorted session id) order.
+    let offline = scratch("parallel_offline");
+    sessions.sort();
+    let mut offline_files = Vec::new();
+    for (session, seed) in &sessions {
+        let path = offline.join(format!("{session}.mpes"));
+        std::fs::write(&path, local_bytes(*seed, 3)).unwrap();
+        offline_files.push(path);
+    }
+    let report = serve::query(&addr, "compact").unwrap();
+    assert!(report.contains("compacted w1: 3 raw segments"), "{report}");
+
+    let refs: Vec<ExperimentRef> = offline_files
+        .iter()
+        .map(|p| ExperimentRef::open(p).unwrap())
+        .collect();
+    let merged = merge_experiments(&refs).unwrap();
+    let expected = pack_experiment(&merged, &collect_attachments(&refs));
+    let packed = std::fs::read(dirs.packed_path("w1")).unwrap();
+    assert_eq!(
+        packed, expected,
+        "compacted store differs from offline merge"
+    );
+
+    // Raw segments are consumed; the summary answers for the window.
+    assert!(dirs.raw_segments("w1").unwrap().is_empty());
+    assert!(dirs.summary_path("w1").exists());
+
+    server.shutdown();
+}
+
+#[test]
+fn mid_chunk_disconnect_keeps_prefix_and_second_collector_unaffected() {
+    let data = scratch("hostile");
+    let server = Server::start("127.0.0.1:0", &data, ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    let dirs = StoreDirs::create(&data).unwrap();
+
+    // Hostile collector: handshake, ship most of a valid stream, then
+    // die mid-frame — the frame header promises more bytes than ever
+    // arrive.
+    let full = local_bytes(7, 4);
+    let cut = full.len() - 9; // mid-way through the final chunk
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    write_frame(&mut stream, TAG_HELLO, &hello_payload("dying", "w1")).unwrap();
+    let reply = read_frame(&mut stream).unwrap();
+    assert_eq!(reply.tag, TAG_HELLO_OK);
+    let session = String::from_utf8(reply.payload).unwrap();
+    let mut head = vec![TAG_CHUNK];
+    head.extend_from_slice(&(full.len() as u32).to_le_bytes());
+    stream.write_all(&head).unwrap();
+    stream.write_all(&full[..cut]).unwrap();
+    drop(stream);
+
+    // The prefix lands as a sealed raw segment whose damaged tail the
+    // stream format detects; everything before it reads back.
+    let raw = wait_for("hostile session to seal", || {
+        let p = dirs.raw_path("w1", &session);
+        p.exists().then(|| std::fs::read(&p).unwrap())
+    });
+    assert_eq!(raw, full[..cut].to_vec());
+    let parsed = StreamFile::from_bytes(raw).unwrap();
+    assert!(!parsed.is_complete());
+    assert!(parsed.truncation().is_some());
+    let partial_events = parsed.to_experiment().unwrap().hwc_events.len();
+    assert!(partial_events > 0, "readable prefix lost its events");
+
+    // A second collector on the same daemon is unaffected: its
+    // segment lands complete and byte-identical to a local run.
+    let mut sink = SocketSink::connect(&addr, "healthy", "w2").unwrap();
+    sink.attach("syms.txt", SYMS);
+    drive(&mut sink, 8, 2);
+    let healthy = std::fs::read(dirs.raw_path("w2", sink.session())).unwrap();
+    assert_eq!(healthy, local_bytes(8, 2));
+    assert!(StreamFile::from_bytes(healthy).unwrap().is_complete());
+
+    // Compaction folds the damaged prefix like any crash-truncated
+    // local stream: the window still compacts, with the partial
+    // events included.
+    let report = serve::query(&addr, "compact").unwrap();
+    assert!(report.contains("compacted w1: 1 raw segments"), "{report}");
+    assert!(report.contains("compacted w2: 1 raw segments"), "{report}");
+
+    server.shutdown();
+}
+
+#[test]
+fn disconnect_before_any_chunk_discards_the_session() {
+    let data = scratch("nothing");
+    let server = Server::start("127.0.0.1:0", &data, ServerConfig::default()).unwrap();
+    let addr = server.addr();
+    let dirs = StoreDirs::create(&data).unwrap();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write_frame(&mut stream, TAG_HELLO, &hello_payload("ghost", "w1")).unwrap();
+    let reply = read_frame(&mut stream).unwrap();
+    assert_eq!(reply.tag, TAG_HELLO_OK);
+    drop(stream);
+
+    // The empty staging file is discarded, not sealed into tier 0.
+    wait_for("staging file cleanup", || {
+        let ingest = dirs.root.join("ingest");
+        let empty = std::fs::read_dir(ingest).unwrap().next().is_none();
+        empty.then_some(())
+    });
+    assert!(dirs.raw_segments("w1").unwrap().is_empty());
+
+    server.shutdown();
+}
+
+#[test]
+fn bad_window_labels_are_rejected_at_handshake() {
+    let data = scratch("badlabel");
+    let server = Server::start("127.0.0.1:0", &data, ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+
+    let err = match SocketSink::connect(&addr, "run", "../escape") {
+        Ok(_) => panic!("handshake with a bad window label succeeded"),
+        Err(e) => e,
+    };
+    assert!(err.to_string().contains("bad window label"), "{err}");
+
+    server.shutdown();
+}
+
+#[test]
+fn queries_answer_from_tiers_and_match_offline_aggregation() {
+    let data = scratch("query");
+    let server = Server::start("127.0.0.1:0", &data, ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    let dirs = StoreDirs::create(&data).unwrap();
+
+    for (window, seed) in [("wa", 1u64), ("wb", 2u64)] {
+        let mut sink = SocketSink::connect(&addr, "run", window).unwrap();
+        sink.attach("syms.txt", SYMS);
+        drive(&mut sink, seed, 2);
+    }
+    serve::query(&addr, "compact").unwrap();
+
+    // functions: byte-identical to the offline JSON aggregate of the
+    // compacted store.
+    let functions = serve::query(&addr, "functions wa").unwrap();
+    let packed = ExperimentRef::open(&dirs.packed_path("wa")).unwrap();
+    let offline = memprof_store::aggregate_refs(&[packed], 1).unwrap();
+    let syms = ExperimentRef::open(&dirs.packed_path("wa"))
+        .unwrap()
+        .load_syms();
+    assert_eq!(functions, offline.stat_json(syms.as_ref()));
+
+    // diff: byte-identical to diffing the two packed stores offline.
+    let diff = serve::query(&addr, "diff wa wb").unwrap();
+    let ra = ExperimentRef::open(&dirs.packed_path("wa")).unwrap();
+    let rb = ExperimentRef::open(&dirs.packed_path("wb")).unwrap();
+    let offline_diff = memprof_store::diff_experiments(&ra, &rb).unwrap();
+    let offline_text = match ra.load_syms().or_else(|| rb.load_syms()) {
+        Some(syms) => offline_diff.render_by_function(&syms),
+        None => offline_diff.render(),
+    };
+    assert_eq!(diff, offline_text);
+
+    // windows reflects tier state; unknown queries error.
+    let windows = serve::query(&addr, "windows").unwrap();
+    assert!(windows.contains("wa: 0 raw segments, packed=yes, summary=yes"));
+    assert!(serve::query(&addr, "frobnicate").is_err());
+
+    // Analyzer views answer over the compacted window.
+    let segments = serve::query(&addr, "segments wa").unwrap();
+    assert!(segments.contains("events"), "{segments}");
+    let lines = serve::query(&addr, "lines wa 3").unwrap();
+    assert!(lines.contains("events"), "{lines}");
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_query_stops_the_daemon() {
+    let data = scratch("shutdown");
+    let server = Server::start("127.0.0.1:0", &data, ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    assert_eq!(serve::query(&addr, "shutdown").unwrap(), "shutting down\n");
+    // run() returns once the accept loop notices the stop flag.
+    server.run();
+    assert!(
+        TcpStream::connect(&addr).is_err() || {
+            // A race can leave one last accept; the daemon must not
+            // answer queries on it.
+            serve::query(&addr, "windows").is_err()
+        }
+    );
+}
+
+/// Path context satellite: opening a missing or corrupt store names
+/// the offending file in the error.
+#[test]
+fn open_errors_carry_the_file_path() {
+    let dir = scratch("patherr");
+    let missing = dir.join("nope.mps");
+    let err = ExperimentRef::open(&missing).unwrap_err();
+    assert!(
+        err.to_string().contains("nope.mps"),
+        "error lacks path: {err}"
+    );
+
+    let corrupt = dir.join("bad.mps");
+    std::fs::write(&corrupt, b"MPS\x00garbage").unwrap();
+    let err = match open_as_stream(&corrupt) {
+        Ok(_) => panic!("corrupt store opened"),
+        Err(e) => e,
+    };
+    assert!(
+        err.to_string().contains("bad.mps"),
+        "error lacks path: {err}"
+    );
+}
+
+fn open_as_stream(path: &Path) -> Result<memprof_store::EventStream, memprof_store::StoreError> {
+    let r = ExperimentRef::open(path)?;
+    memprof_store::EventStream::open(&r)
+}

@@ -172,7 +172,144 @@ pub fn aggregate_streams(streams: &[EventStream], shards: usize) -> Result<Aggre
     Ok(finish(columns, &batch, shards))
 }
 
+/// Minimal JSON string escaping for the stat/query documents (names
+/// are ASCII identifiers in practice, but a renderer must not emit
+/// invalid JSON for any input).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_samples(samples: &[u64]) -> String {
+    let strs: Vec<String> = samples.iter().map(u64::to_string).collect();
+    format!("[{}]", strs.join(","))
+}
+
 impl Aggregate {
+    /// Fold another aggregate with the *same column set* into this
+    /// one: per-PC sample vectors and totals add element-wise. This is
+    /// how the serve layer combines per-window summaries without
+    /// rescanning events; addition commutes, so summing summaries
+    /// equals aggregating the union of the underlying events.
+    pub fn merge(&mut self, other: &Aggregate) -> Result<(), StoreError> {
+        if self.columns != other.columns {
+            return Err(StoreError::ColumnMismatch(format!(
+                "cannot merge aggregates with different column sets: {:?} vs {:?}",
+                self.columns, other.columns
+            )));
+        }
+        for (pc, samples) in &other.pc_samples {
+            let slot = self
+                .pc_samples
+                .entry(*pc)
+                .or_insert_with(|| vec![0; self.columns.len()]);
+            for (d, s) in slot.iter_mut().zip(samples) {
+                *d += s;
+            }
+        }
+        for (d, s) in self.totals.iter_mut().zip(&other.totals) {
+            *d += s;
+        }
+        Ok(())
+    }
+
+    /// Fold the per-PC histogram up to functions: name → samples per
+    /// column, ordered by name (PCs outside any function fold into
+    /// `(unknown)`). The substrate of the functions view on both the
+    /// offline (`mp-store stat --json`) and serve query paths.
+    pub fn functions(&self, syms: &minic::SymbolTable) -> BTreeMap<String, Vec<u64>> {
+        let mut per_fn: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        for (pc, samples) in &self.pc_samples {
+            let name = syms
+                .func_at(*pc)
+                .map(|f| f.name.clone())
+                .unwrap_or_else(|| "(unknown)".to_string());
+            let slot = per_fn
+                .entry(name)
+                .or_insert_with(|| vec![0; self.columns.len()]);
+            for (d, s) in slot.iter_mut().zip(samples) {
+                *d += s;
+            }
+        }
+        per_fn
+    }
+
+    /// Machine-readable form of the whole aggregate: columns with
+    /// totals, the per-function rollup (when symbols are available),
+    /// and the per-PC histogram. `mp-store stat --json` and the serve
+    /// query layer both emit exactly this document, so serve-vs-offline
+    /// parity is byte equality on shared code, not text scraping.
+    pub fn stat_json(&self, syms: Option<&minic::SymbolTable>) -> String {
+        let mut out = String::from("{\n  \"columns\": [\n");
+        for (i, (spec, total)) in self.columns.iter().zip(&self.totals).enumerate() {
+            let body = match spec {
+                ColSpec::Clock { period } => format!("\"kind\": \"clock\", \"period\": {period}"),
+                ColSpec::Hwc {
+                    event,
+                    backtrack,
+                    interval,
+                } => format!(
+                    "\"kind\": \"hwc\", \"event\": \"{}\", \"backtrack\": {backtrack}, \
+                     \"interval\": {interval}",
+                    json_escape(event.name())
+                ),
+            };
+            let comma = if i + 1 < self.columns.len() { "," } else { "" };
+            writeln!(
+                out,
+                "    {{\"title\": \"{}\", {body}, \"total\": {total}}}{comma}",
+                json_escape(&spec.title())
+            )
+            .unwrap();
+        }
+        writeln!(out, "  ],").unwrap();
+        writeln!(out, "  \"distinct_pcs\": {},", self.pc_samples.len()).unwrap();
+        if let Some(syms) = syms {
+            let per_fn = self.functions(syms);
+            writeln!(out, "  \"functions\": [").unwrap();
+            for (i, (name, samples)) in per_fn.iter().enumerate() {
+                let comma = if i + 1 < per_fn.len() { "," } else { "" };
+                writeln!(
+                    out,
+                    "    {{\"name\": \"{}\", \"samples\": {}}}{comma}",
+                    json_escape(name),
+                    json_samples(samples)
+                )
+                .unwrap();
+            }
+            writeln!(out, "  ],").unwrap();
+        }
+        writeln!(out, "  \"pcs\": [").unwrap();
+        for (i, (pc, samples)) in self.pc_samples.iter().enumerate() {
+            let comma = if i + 1 < self.pc_samples.len() {
+                ","
+            } else {
+                ""
+            };
+            writeln!(
+                out,
+                "    {{\"pc\": {pc}, \"samples\": {}}}{comma}",
+                json_samples(samples)
+            )
+            .unwrap();
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     /// Render the histogram as deterministic text: a totals line per
     /// column, then one line per PC. Used by `mp-store stat` and by
     /// the serial-vs-parallel equivalence tests (byte equality).

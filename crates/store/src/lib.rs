@@ -61,6 +61,35 @@ pub enum StoreError {
     /// An event column could not be resolved against the combined
     /// column set during aggregation (mismatched counter recipes).
     ColumnMismatch(String),
+    /// Any of the above, annotated with the file it happened on.
+    /// Multi-segment operations (compaction, merges, windowed
+    /// queries) touch many files; a bare "unexpected end of input"
+    /// with no path is undebuggable there.
+    At(PathBuf, Box<StoreError>),
+}
+
+impl StoreError {
+    /// Annotate this error with the path it occurred on. Idempotent:
+    /// an error that already carries a path keeps the innermost one
+    /// (closest to the failing read).
+    pub fn at(self, path: &Path) -> StoreError {
+        match self {
+            StoreError::At(p, e) => StoreError::At(p, e),
+            other => StoreError::At(path.to_path_buf(), Box::new(other)),
+        }
+    }
+}
+
+/// Result adapter used by every file-opening entry point: wraps any
+/// error with the offending path.
+pub(crate) trait PathContext {
+    fn path_context(self, path: &Path) -> Self;
+}
+
+impl<T> PathContext for Result<T, StoreError> {
+    fn path_context(self, path: &Path) -> Self {
+        self.map_err(|e| e.at(path))
+    }
 }
 
 impl std::fmt::Display for StoreError {
@@ -74,6 +103,7 @@ impl std::fmt::Display for StoreError {
             StoreError::Corrupt(why) => write!(f, "corrupt store: {why}"),
             StoreError::Incompatible(why) => write!(f, "incompatible experiments: {why}"),
             StoreError::ColumnMismatch(why) => write!(f, "column mismatch: {why}"),
+            StoreError::At(path, e) => write!(f, "{}: {e}", path.display()),
         }
     }
 }
@@ -102,14 +132,17 @@ impl ExperimentRef {
         if path.is_dir() {
             return Ok(ExperimentRef::TextDir(path.to_path_buf()));
         }
-        let mut magic = [0u8; 4];
-        let mut f = std::fs::File::open(path)?;
-        std::io::Read::read_exact(&mut f, &mut magic).map_err(|_| StoreError::Truncated)?;
-        if magic == format::MAGIC {
-            Ok(ExperimentRef::Packed(path.to_path_buf()))
-        } else {
-            Err(StoreError::BadMagic)
-        }
+        let open = || -> Result<ExperimentRef, StoreError> {
+            let mut magic = [0u8; 4];
+            let mut f = std::fs::File::open(path)?;
+            std::io::Read::read_exact(&mut f, &mut magic).map_err(|_| StoreError::Truncated)?;
+            if magic == format::MAGIC {
+                Ok(ExperimentRef::Packed(path.to_path_buf()))
+            } else {
+                Err(StoreError::BadMagic)
+            }
+        };
+        open().path_context(path)
     }
 
     pub fn path(&self) -> &Path {
@@ -121,10 +154,12 @@ impl ExperimentRef {
     /// Load the full experiment, whichever representation it is in.
     pub fn load(&self) -> Result<Experiment, StoreError> {
         match self {
-            ExperimentRef::TextDir(dir) => Ok(Experiment::load(dir)?),
+            ExperimentRef::TextDir(dir) => Experiment::load(dir)
+                .map_err(StoreError::Io)
+                .path_context(dir),
             ExperimentRef::Packed(file) => match open_packed(file)? {
-                PackedFile::V1(store) => store.to_experiment(),
-                PackedFile::V2(stream) => stream.to_experiment(),
+                PackedFile::V1(store) => store.to_experiment().path_context(file),
+                PackedFile::V2(stream) => stream.to_experiment().path_context(file),
             },
         }
     }
@@ -165,12 +200,15 @@ pub(crate) enum PackedFile {
 /// formats share the magic, so every consumer of "a packed
 /// experiment" goes through here.
 pub(crate) fn open_packed(path: &Path) -> Result<PackedFile, StoreError> {
-    let bytes = std::fs::read(path)?;
-    if bytes.get(4) == Some(&writer::STREAM_VERSION) {
-        Ok(PackedFile::V2(StreamFile::from_bytes(bytes)?))
-    } else {
-        Ok(PackedFile::V1(StoreFile::from_bytes(bytes)?))
-    }
+    let open = || -> Result<PackedFile, StoreError> {
+        let bytes = std::fs::read(path)?;
+        if bytes.get(4) == Some(&writer::STREAM_VERSION) {
+            Ok(PackedFile::V2(StreamFile::from_bytes(bytes)?))
+        } else {
+            Ok(PackedFile::V1(StoreFile::from_bytes(bytes)?))
+        }
+    };
+    open().path_context(path)
 }
 
 /// The auxiliary text files (`syms.txt`, `image.txt`) carried by a
@@ -180,6 +218,34 @@ pub fn load_attachments(path: &Path) -> Result<Vec<(String, String)>, StoreError
         PackedFile::V1(store) => store.attachments().to_vec(),
         PackedFile::V2(stream) => stream.attachments().to_vec(),
     })
+}
+
+/// The auxiliary files to carry into a packed store, from whichever
+/// input has them — the first reference with any attachment wins.
+/// Every producer of merged stores (`mp-store merge`, the `mp-serve`
+/// compactor) goes through here, so a store compacted by the daemon
+/// is byte-identical to one merged offline from the same inputs.
+pub fn collect_attachments(refs: &[ExperimentRef]) -> Vec<(String, String)> {
+    for r in refs {
+        let mut found = Vec::new();
+        for name in ATTACHMENT_FILES {
+            let contents = match r {
+                ExperimentRef::TextDir(dir) => std::fs::read_to_string(dir.join(name)).ok(),
+                // Version-agnostic: v1 packed stores and v2 stream
+                // files both carry attachments.
+                ExperimentRef::Packed(file) => load_attachments(file)
+                    .ok()
+                    .and_then(|atts| atts.into_iter().find(|(n, _)| n == name).map(|(_, c)| c)),
+            };
+            if let Some(c) = contents {
+                found.push((name.to_string(), c));
+            }
+        }
+        if !found.is_empty() {
+            return found;
+        }
+    }
+    Vec::new()
 }
 
 fn scratch_path(tag: &str) -> PathBuf {

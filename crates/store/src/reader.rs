@@ -32,7 +32,11 @@ impl StoreFile {
     }
 
     pub fn open(path: &Path) -> Result<StoreFile, StoreError> {
-        StoreFile::from_bytes(std::fs::read(path)?)
+        use crate::PathContext as _;
+        std::fs::read(path)
+            .map_err(StoreError::Io)
+            .and_then(StoreFile::from_bytes)
+            .path_context(path)
     }
 
     pub fn counters(&self) -> &[CounterRequest] {

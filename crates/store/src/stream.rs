@@ -31,8 +31,13 @@ pub enum EventStream {
 impl EventStream {
     /// Open a reference with the cheapest representation available.
     pub fn open(r: &ExperimentRef) -> Result<EventStream, StoreError> {
+        use crate::PathContext as _;
         match r {
-            ExperimentRef::TextDir(dir) => Ok(EventStream::Loaded(Experiment::load(dir)?)),
+            ExperimentRef::TextDir(dir) => Ok(EventStream::Loaded(
+                Experiment::load(dir)
+                    .map_err(StoreError::Io)
+                    .path_context(dir)?,
+            )),
             ExperimentRef::Packed(file) => Ok(match open_packed(file)? {
                 PackedFile::V1(store) => EventStream::Packed(store),
                 PackedFile::V2(stream) => EventStream::Stream(stream),

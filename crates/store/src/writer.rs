@@ -120,6 +120,13 @@ impl<W: Write> SegmentWriter<W> {
         self.out
     }
 
+    /// Borrow the underlying writer — a socket-backed sink needs the
+    /// transport back after [`CollectSink::finish`] to run its
+    /// end-of-stream acknowledgement.
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.out
+    }
+
     fn chunk(&mut self, kind: u8, payload: &[u8]) -> std::io::Result<()> {
         let len = u32::try_from(payload.len()).map_err(|_| {
             std::io::Error::new(std::io::ErrorKind::InvalidInput, "chunk exceeds 4 GiB")
@@ -574,7 +581,11 @@ impl StreamFile {
     }
 
     pub fn open(path: &Path) -> Result<StreamFile, StoreError> {
-        StreamFile::from_bytes(std::fs::read(path)?)
+        use crate::PathContext as _;
+        std::fs::read(path)
+            .map_err(StoreError::Io)
+            .and_then(StreamFile::from_bytes)
+            .path_context(path)
     }
 
     pub fn counters(&self) -> &[CounterRequest] {

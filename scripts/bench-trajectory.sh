@@ -1,0 +1,34 @@
+#!/bin/sh
+# Regenerate machine-readable benchmark results and compare them
+# against the checked-in BENCH_*.json baselines with bench_gate.
+#
+#   scripts/bench-trajectory.sh [--threshold X]
+#
+# The gate's threshold is deliberately generous (default 4.0x): the
+# baselines were recorded on one machine and CI runs on another, so
+# only algorithmic regressions should trip it. To (re)record a
+# baseline after an intentional perf change:
+#
+#   cp target/bench-json/BENCH_store_aggregation.json BENCH_store_aggregation.json
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHES="store_aggregation view_aggregation"
+mkdir -p target/bench-json
+fail=0
+for b in $BENCHES; do
+    # Absolute path: cargo runs bench binaries from the package dir,
+    # not the workspace root.
+    out="$PWD/target/bench-json/BENCH_$b.json"
+    rm -f "$out"
+    CRITERION_JSON="$out" cargo bench -p mcf-bench --bench "$b" --offline
+    if [ -f "BENCH_$b.json" ]; then
+        cargo run -q --release --offline -p mcf-bench --bin bench_gate -- \
+            "BENCH_$b.json" "$out" "$@" || fail=1
+    else
+        echo "bench-trajectory: no baseline BENCH_$b.json checked in;"
+        echo "  cp $out BENCH_$b.json   # to record one"
+        fail=1
+    fi
+done
+exit $fail

@@ -3,11 +3,18 @@
 //! ```text
 //! mp-collect -o EXPDIR [options] SOURCE.c [SOURCE2.c ...]
 //! mp-collect --stream OUT.mpes [options] SOURCE.c [SOURCE2.c ...]
+//! mp-collect --connect ADDR [options] SOURCE.c [SOURCE2.c ...]
 //!
 //!   -o DIR            experiment directory to write
 //!   --stream FILE     stream events into a packed store file instead
 //!                     of buffering the run in memory (exactly one of
-//!                     -o / --stream is required)
+//!                     -o / --stream / --connect is required)
+//!   --connect ADDR    stream events into a live mp-serve daemon at
+//!                     host:port instead of a local file
+//!   --session NAME    session label sent to the daemon (default:
+//!                     first source file's stem)
+//!   --window LABEL    time window the daemon lands the run in
+//!                     (default "default")
 //!   --spill N         streaming spill threshold in buffered events
 //!                     (default 8192)
 //!   -h SPEC           counters, e.g. "+ecstall,lo,+ecrm,on" or
@@ -34,6 +41,7 @@ use memprof::minic::{compile_and_link, CompileOptions};
 use memprof::profiler::{
     collect, collect_stream, parse_counter_spec, CollectConfig, Interval, StreamConfig,
 };
+use memprof::serve::SocketSink;
 use memprof::store::SegmentWriter;
 
 fn print_counters() {
@@ -63,6 +71,9 @@ fn main() {
 
     let mut out_dir: Option<PathBuf> = None;
     let mut stream_out: Option<PathBuf> = None;
+    let mut connect: Option<String> = None;
+    let mut session: Option<String> = None;
+    let mut window = "default".to_string();
     let mut spill_events = StreamConfig::default().spill_events;
     let mut spec = String::new();
     let mut clock = true;
@@ -90,6 +101,29 @@ fn main() {
                     args.get(i)
                         .unwrap_or_else(|| usage("--stream needs a value")),
                 ));
+            }
+            "--connect" => {
+                i += 1;
+                connect = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("--connect needs a value"))
+                        .clone(),
+                );
+            }
+            "--session" => {
+                i += 1;
+                session = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("--session needs a value"))
+                        .clone(),
+                );
+            }
+            "--window" => {
+                i += 1;
+                window = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("--window needs a value"))
+                    .clone();
             }
             "--spill" => {
                 i += 1;
@@ -140,8 +174,9 @@ fn main() {
         }
         i += 1;
     }
-    if out_dir.is_some() == stream_out.is_some() {
-        usage("exactly one of -o EXPDIR / --stream FILE is required");
+    let sinks = [out_dir.is_some(), stream_out.is_some(), connect.is_some()];
+    if sinks.iter().filter(|&&b| b).count() != 1 {
+        usage("exactly one of -o EXPDIR / --stream FILE / --connect ADDR is required");
     }
     if sources.is_empty() {
         usage("no source files given");
@@ -191,7 +226,36 @@ fn main() {
     let mut machine = Machine::new(machine_config);
     machine.load(&program.image);
 
-    if let Some(out_file) = stream_out {
+    if let Some(addr) = connect {
+        // Network mode: the run streams into a live mp-serve daemon.
+        // Same spill behavior as --stream; each spilled chunk ships
+        // as one wire frame.
+        let session = session.unwrap_or_else(|| {
+            sources[0]
+                .file_stem()
+                .map(|s| s.to_string_lossy().to_string())
+                .unwrap_or_else(|| "session".to_string())
+        });
+        let mut sink = SocketSink::connect(&addr, &session, &window).unwrap_or_else(|e| {
+            eprintln!("mp-collect: cannot connect to {addr}: {e}");
+            exit(1)
+        });
+        sink.attach("image.txt", &render_to_string(|p| program.image.save(p)));
+        sink.attach("syms.txt", &render_to_string(|p| program.syms.save(p)));
+        let stream = StreamConfig { spill_events };
+        let stats = collect_stream(&mut machine, &config, &stream, &mut sink).unwrap_or_else(|e| {
+            eprintln!("mp-collect: {e}");
+            exit(1)
+        });
+        eprintln!(
+            "mp-collect: {} hwc events, {} clock ticks, {} bytes -> {addr} \
+             (session {}, window {window})",
+            stats.hwc_events,
+            stats.clock_events,
+            stats.bytes_written,
+            sink.session()
+        );
+    } else if let Some(out_file) = stream_out {
         // Streaming mode: events spill into the packed store as the
         // run progresses; peak memory is bounded by --spill.
         let mut writer = SegmentWriter::create(&out_file).unwrap_or_else(|e| {

@@ -1,0 +1,95 @@
+//! `mp-serve` — the always-on profiling aggregation service.
+//!
+//! ```text
+//! mp-serve daemon --data DIR [--listen ADDR] [--compact-secs N] [--port-file P]
+//! mp-serve query ADDR QUERY...
+//! ```
+//!
+//! The daemon accepts collector sessions (`mp-collect --connect`) and
+//! queries on one TCP listener. `--listen` defaults to
+//! `127.0.0.1:7807`; `--listen 127.0.0.1:0` picks a free port and
+//! `--port-file` writes the resolved `host:port` for scripts to read.
+//! `--compact-secs N` folds sealed raw segments into packed stores
+//! every N seconds; without it, compaction runs only on an explicit
+//! `compact` query.
+//!
+//! `query` sends one query line (the remaining arguments, joined) and
+//! prints the result. See `memprof_serve::query` for the grammar.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use memprof::serve::{self, Server, ServerConfig};
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "mp-serve: {msg}\n\
+         usage: mp-serve daemon --data DIR [--listen ADDR] [--compact-secs N] [--port-file P]\n\
+         \x20      mp-serve query ADDR QUERY..."
+    );
+    exit(2)
+}
+
+fn fail(what: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("mp-serve: {what}: {err}");
+    exit(1)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("daemon") => {
+            let mut listen = "127.0.0.1:7807".to_string();
+            let mut data: Option<PathBuf> = None;
+            let mut compact_secs = None;
+            let mut port_file: Option<PathBuf> = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                let mut value = |name: &str| -> String {
+                    it.next()
+                        .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+                        .clone()
+                };
+                match arg.as_str() {
+                    "--listen" => listen = value("--listen"),
+                    "--data" => data = Some(PathBuf::from(value("--data"))),
+                    "--compact-secs" => {
+                        compact_secs = Some(
+                            value("--compact-secs")
+                                .parse()
+                                .unwrap_or_else(|_| usage("bad --compact-secs")),
+                        )
+                    }
+                    "--port-file" => port_file = Some(PathBuf::from(value("--port-file"))),
+                    other => usage(&format!("unknown daemon flag `{other}`")),
+                }
+            }
+            let data = data.unwrap_or_else(|| usage("daemon needs --data DIR"));
+            let server = Server::start(&listen, &data, ServerConfig { compact_secs })
+                .unwrap_or_else(|e| fail(&format!("cannot listen on {listen}"), e));
+            eprintln!(
+                "mp-serve: listening on {}, data in {}",
+                server.addr(),
+                data.display()
+            );
+            if let Some(pf) = port_file {
+                std::fs::write(&pf, format!("{}\n", server.addr()))
+                    .unwrap_or_else(|e| fail(&format!("cannot write {}", pf.display()), e));
+            }
+            server.run();
+        }
+        Some("query") => {
+            if args.len() < 3 {
+                usage("query ADDR QUERY...");
+            }
+            let addr = &args[1];
+            let line = args[2..].join(" ");
+            match serve::query(addr, &line) {
+                Ok(text) => print!("{text}"),
+                Err(e) => fail("query failed", e),
+            }
+        }
+        Some(other) => usage(&format!("unknown command `{other}`")),
+        None => usage("no command given"),
+    }
+}

@@ -5,7 +5,7 @@
 //! mp-store unpack STORE.mps OUTDIR    expand a packed store back to text
 //! mp-store merge OUT.mps EXP...       fold same-recipe experiments into one store
 //! mp-store diff EXP_A EXP_B           per-function sample movement between two runs
-//! mp-store stat [-j N] EXP...         aggregate summary (N shards, default 1)
+//! mp-store stat [-j N] [--json] EXP.. aggregate summary (N shards, default 1)
 //! ```
 //!
 //! `EXP` arguments accept either representation — a text experiment
@@ -28,7 +28,7 @@ fn usage(msg: &str) -> ! {
          \x20      mp-store unpack STORE.mps OUTDIR\n\
          \x20      mp-store merge OUT.mps EXP...\n\
          \x20      mp-store diff EXP_A EXP_B\n\
-         \x20      mp-store stat [-j N] EXP..."
+         \x20      mp-store stat [-j N] [--json] EXP..."
     );
     exit(2)
 }
@@ -40,31 +40,6 @@ fn fail(what: &str, err: impl std::fmt::Display) -> ! {
 
 fn open_ref(arg: &str) -> ExperimentRef {
     ExperimentRef::open(Path::new(arg)).unwrap_or_else(|e| fail(&format!("cannot open {arg}"), e))
-}
-
-/// The auxiliary files to carry into a packed store, from whichever
-/// input has them.
-fn collect_attachments(refs: &[ExperimentRef]) -> Vec<(String, String)> {
-    for r in refs {
-        let mut found = Vec::new();
-        for name in store::ATTACHMENT_FILES {
-            let contents = match r {
-                ExperimentRef::TextDir(dir) => std::fs::read_to_string(dir.join(name)).ok(),
-                // Version-agnostic: v1 packed stores and v2 stream
-                // files both carry attachments.
-                ExperimentRef::Packed(file) => store::load_attachments(file)
-                    .ok()
-                    .and_then(|atts| atts.into_iter().find(|(n, _)| n == name).map(|(_, c)| c)),
-            };
-            if let Some(c) = contents {
-                found.push((name.to_string(), c));
-            }
-        }
-        if !found.is_empty() {
-            return found;
-        }
-    }
-    Vec::new()
 }
 
 fn main() {
@@ -98,7 +73,7 @@ fn main() {
             let refs: Vec<ExperimentRef> = args[2..].iter().map(|a| open_ref(a)).collect();
             let merged =
                 store::merge_experiments(&refs).unwrap_or_else(|e| fail("cannot merge", e));
-            let attachments = collect_attachments(&refs);
+            let attachments = store::collect_attachments(&refs);
             std::fs::write(&out, pack_experiment(&merged, &attachments))
                 .unwrap_or_else(|e| fail(&format!("cannot write {}", out.display()), e));
             println!(
@@ -125,17 +100,27 @@ fn main() {
         }
         "stat" => {
             let mut shards = 1usize;
+            let mut json = false;
             let mut rest = &args[1..];
-            if rest.first().map(String::as_str) == Some("-j") {
-                let n = rest.get(1).unwrap_or_else(|| usage("stat -j N EXP..."));
-                shards = n.parse().unwrap_or_else(|_| usage("bad shard count"));
-                if shards == 0 {
-                    usage("bad shard count");
+            loop {
+                match rest.first().map(String::as_str) {
+                    Some("-j") => {
+                        let n = rest.get(1).unwrap_or_else(|| usage("stat -j N EXP..."));
+                        shards = n.parse().unwrap_or_else(|_| usage("bad shard count"));
+                        if shards == 0 {
+                            usage("bad shard count");
+                        }
+                        rest = &rest[2..];
+                    }
+                    Some("--json") => {
+                        json = true;
+                        rest = &rest[1..];
+                    }
+                    _ => break,
                 }
-                rest = &rest[2..];
             }
             if rest.is_empty() {
-                usage("stat [-j N] EXP...");
+                usage("stat [-j N] [--json] EXP...");
             }
             let refs: Vec<ExperimentRef> = rest.iter().map(|a| open_ref(a)).collect();
             // Open each source once as a stream: packed stores report
@@ -148,6 +133,13 @@ fn main() {
                         .unwrap_or_else(|e| fail(&format!("cannot load {}", r.path().display()), e))
                 })
                 .collect();
+            if json {
+                let agg = aggregate_streams(&streams, shards)
+                    .unwrap_or_else(|e| fail("cannot aggregate", e));
+                let syms = refs.iter().find_map(|r| r.load_syms());
+                print!("{}", agg.stat_json(syms.as_ref()));
+                return;
+            }
             for (r, s) in refs.iter().zip(&streams) {
                 println!(
                     "{}: {} counters, {} hwc events, {} clock ticks, exit {}",

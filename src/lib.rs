@@ -16,12 +16,16 @@
 //! * [`mcf`] — the MCF network-simplex benchmark written in mini-C,
 //!   with an instance generator and a pure-Rust min-cost-flow oracle,
 //! * [`store`] — the packed binary experiment store, streaming reader
-//!   and parallel multi-experiment aggregation (merge/diff) engine.
+//!   and parallel multi-experiment aggregation (merge/diff) engine,
+//! * [`serve`] — the always-on aggregation service: the `mp-serve`
+//!   daemon's wire protocol, multi-collector ingest, tiered
+//!   compaction and query layer.
 //!
 //! See `examples/quickstart.rs` for the three-step compile → collect →
 //! analyze user model of §2 of the paper.
 
 pub use memprof_core as profiler;
+pub use memprof_serve as serve;
 pub use memprof_store as store;
 pub use minic;
 pub use simsparc_isa as isa;

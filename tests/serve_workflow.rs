@@ -1,0 +1,192 @@
+//! End-to-end test of the always-on service binaries: an `mp-serve`
+//! daemon on loopback, two concurrent `mp-collect --connect` runs
+//! streaming into different windows, an on-demand compaction, and the
+//! acceptance criterion of the service — query answers byte-identical
+//! to the offline `mp-store` toolchain run on the compacted stores.
+
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn serve_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_mp-serve")
+}
+
+fn collect_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_mp-collect")
+}
+
+fn store_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_mp-store")
+}
+
+fn workload_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("workloads/particles.c")
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mp_serve_wf_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A smaller workload for test speed; `n` varies per collector so the
+/// two windows hold different profiles.
+fn small_workload(dir: &std::path::Path, tag: &str, n: u64) -> std::path::PathBuf {
+    let src = std::fs::read_to_string(workload_path())
+        .unwrap()
+        .replace("long n = 250000;", &format!("long n = {n};"));
+    let p = dir.join(format!("particles_{tag}.c"));
+    std::fs::write(&p, src).unwrap();
+    p
+}
+
+/// Kills the daemon when the test ends, pass or fail.
+struct DaemonGuard(Child);
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn start_daemon(data: &std::path::Path) -> (DaemonGuard, String) {
+    let port_file = data.join("port");
+    let child = Command::new(serve_bin())
+        .args([
+            "daemon",
+            "--listen",
+            "127.0.0.1:0",
+            "--data",
+            data.to_str().unwrap(),
+            "--port-file",
+            port_file.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn mp-serve");
+    let guard = DaemonGuard(child);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            if text.ends_with('\n') {
+                break text.trim().to_string();
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never wrote its port file"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    (guard, addr)
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("spawn tool");
+    assert!(
+        out.status.success(),
+        "{cmd:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("tool output is UTF-8")
+}
+
+fn query(addr: &str, q: &[&str]) -> String {
+    let mut cmd = Command::new(serve_bin());
+    cmd.arg("query").arg(addr).args(q);
+    run_ok(&mut cmd)
+}
+
+#[test]
+fn daemon_serves_two_concurrent_collectors_and_matches_offline_tools() {
+    let data = scratch("daemon");
+    let (_daemon, addr) = start_daemon(&data);
+
+    // Two collectors stream concurrently into different windows.
+    let collectors: Vec<_> = [("wa", 60_000u64), ("wb", 40_000u64)]
+        .into_iter()
+        .map(|(window, n)| {
+            let src = small_workload(&data, window, n);
+            let addr = addr.clone();
+            let window = window.to_string();
+            std::thread::spawn(move || {
+                let out = Command::new(collect_bin())
+                    .args([
+                        "--connect",
+                        &addr,
+                        "--window",
+                        &window,
+                        "-h",
+                        "+ecstall,4001,+ecrm,101",
+                        "-p",
+                        "on",
+                        "--period",
+                        "4001",
+                    ])
+                    .arg(&src)
+                    .output()
+                    .expect("run mp-collect");
+                assert!(
+                    out.status.success(),
+                    "mp-collect --connect failed: {}",
+                    String::from_utf8_lossy(&out.stderr)
+                );
+            })
+        })
+        .collect();
+    for c in collectors {
+        c.join().unwrap();
+    }
+
+    // Both sessions landed as complete raw segments.
+    let raw_count = |w: &str| {
+        std::fs::read_dir(data.join("raw").join(w))
+            .map(|d| d.count())
+            .unwrap_or(0)
+    };
+    assert_eq!(raw_count("wa"), 1);
+    assert_eq!(raw_count("wb"), 1);
+
+    // Force compaction; both windows fold into packed stores.
+    let report = query(&addr, &["compact"]);
+    assert!(report.contains("compacted wa: 1 raw segments"), "{report}");
+    assert!(report.contains("compacted wb: 1 raw segments"), "{report}");
+    let packed_wa = data.join("packed").join("wa.mps");
+    let packed_wb = data.join("packed").join("wb.mps");
+    assert!(packed_wa.exists() && packed_wb.exists());
+
+    // Acceptance criterion 1: the functions-view query is
+    // byte-identical to offline `mp-store stat --json` on the
+    // compacted store.
+    let served = query(&addr, &["functions", "wa"]);
+    let offline =
+        run_ok(Command::new(store_bin()).args(["stat", "--json", packed_wa.to_str().unwrap()]));
+    assert_eq!(served, offline, "functions query != mp-store stat --json");
+    assert!(served.contains("\"functions\""), "no symbols resolved");
+
+    // Acceptance criterion 2: the windowed diff matches `mp-store
+    // diff` on the packed stores.
+    let served_diff = query(&addr, &["diff", "wa", "wb"]);
+    let offline_diff = run_ok(Command::new(store_bin()).args([
+        "diff",
+        packed_wa.to_str().unwrap(),
+        packed_wb.to_str().unwrap(),
+    ]));
+    assert_eq!(served_diff, offline_diff, "diff query != mp-store diff");
+
+    // The analyzer views answer over the compacted windows.
+    let objects = query(&addr, &["objects", "wa"]);
+    assert!(!objects.trim().is_empty(), "empty data-object view");
+    let segments = query(&addr, &["segments", "wa"]);
+    assert!(segments.contains("events"), "{segments}");
+
+    // A second compaction pass has nothing to do.
+    let report = query(&addr, &["compact"]);
+    assert!(report.contains("nothing to compact"), "{report}");
+
+    // Clean daemon shutdown through the protocol.
+    assert_eq!(query(&addr, &["shutdown"]), "shutting down\n");
+}

@@ -11,7 +11,16 @@
 //! ```text
 //! group/name              time: [min 1.21 ms, mean 1.30 ms, max 1.52 ms]  (12 samples)
 //! ```
+//!
+//! When `CRITERION_JSON` names a file, every completed benchmark is
+//! also appended to it as a JSON array of
+//! `{"name", "mean_ns", "min_ns", "max_ns", "samples"}` records —
+//! the machine-readable form the repo's `bench_gate` trajectory
+//! checker compares against checked-in `BENCH_*.json` baselines. The
+//! file is rewritten as a complete, valid array after each benchmark,
+//! so a partial run still leaves parseable output.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -126,6 +135,34 @@ fn run_benchmark(name: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)
         per_iter.len(),
         b.iters_per_sample,
     );
+    record_json(name, mean, min, max, per_iter.len());
+}
+
+/// Results accumulated for `CRITERION_JSON` over the process lifetime
+/// (bench binaries run many benchmarks in one process).
+static JSON_RESULTS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+fn record_json(name: &str, mean: f64, min: f64, max: f64, samples: usize) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => " ".chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let mut results = JSON_RESULTS.lock().unwrap();
+    results.push(format!(
+        "  {{\"name\": \"{escaped}\", \"mean_ns\": {mean:.1}, \"min_ns\": {min:.1}, \
+         \"max_ns\": {max:.1}, \"samples\": {samples}}}"
+    ));
+    let doc = format!("[\n{}\n]\n", results.join(",\n"));
+    if let Err(e) = std::fs::write(&path, doc) {
+        eprintln!("criterion: cannot write {path}: {e}");
+    }
 }
 
 fn fmt_ns(ns: f64) -> String {
