@@ -16,15 +16,42 @@
 //! deterministic). The tier-2 summary is regenerated from the inputs'
 //! event streams with the same `aggregate_refs` kernel `mp-store stat`
 //! uses.
+//!
+//! ## Crash safety
+//!
+//! A pass publishes in an order that keeps every crash point
+//! recoverable without losing or double-counting a sample:
+//!
+//! 1. delete stale leftovers (segments a *previous* pass already
+//!    folded in but crashed before deleting — identified by a
+//!    hash-valid [`Manifest`](crate::store::Manifest));
+//! 2. merge `[old packed] + fresh raws` in memory;
+//! 3. durably write the manifest naming the fresh raws, keyed by the
+//!    *new* store's hash — inert until that store lands;
+//! 4. durably rename the new packed store into place — this is the
+//!    commit point: the manifest hash now matches, so the fresh raws
+//!    are stale from here on;
+//! 5. regenerate the summary;
+//! 6. delete the consumed raws.
+//!
+//! A crash before step 4 leaves the old packed store authoritative
+//! and every raw segment fresh (the manifest hash does not match);
+//! the next pass simply redoes the merge. A crash after step 4 leaves
+//! the consumed raws on disk but hash-flagged as stale, so queries
+//! skip them and the next pass deletes them instead of re-merging.
+//! All tier writes go through [`write_durable`] (fsync before rename,
+//! directory fsync after), so "landed" means on disk, not in page
+//! cache — the raw segments deleted in step 6 are never the only copy
+//! of their events.
 
 use std::path::PathBuf;
 
 use memprof_store::{
-    aggregate_refs, collect_attachments, merge_experiments, pack_experiment, ExperimentRef,
-    StoreError,
+    aggregate_refs, collect_attachments, fnv1a64, merge_experiments, pack_experiment,
+    ExperimentRef, StoreError,
 };
 
-use crate::store::StoreDirs;
+use crate::store::{render_manifest, write_durable, Manifest, StoreDirs};
 use crate::summary::write_summary;
 
 /// What one compaction pass did.
@@ -52,19 +79,40 @@ impl CompactReport {
     }
 }
 
+/// Regenerate a window's tier-2 summary from its packed store.
+fn refresh_summary(dirs: &StoreDirs, window: &str) -> Result<(), StoreError> {
+    let agg = aggregate_refs(&[ExperimentRef::open(&dirs.packed_path(window))?], 1)?;
+    write_summary(&dirs.summary_path(window), &agg)
+}
+
 /// Compact one window if it has sealed raw segments. Returns the
-/// number of segments folded in (0 = nothing to do).
+/// number of segments folded in (0 = nothing to do, though stale
+/// leftovers from an interrupted earlier pass may still be cleaned
+/// up). See the module docs for the crash protocol.
 pub fn compact_window(dirs: &StoreDirs, window: &str) -> Result<usize, StoreError> {
-    let raws = dirs.raw_segments(window)?;
-    if raws.is_empty() {
+    let tier = dirs.live_raw_segments(window)?;
+    let packed = dirs.packed_path(window);
+
+    // Recovery: a hash-valid manifest says these segments are already
+    // in the packed store, so deleting them is the whole job. Failing
+    // the pass on a deletion error matters — proceeding would publish
+    // a new manifest that no longer names the survivor, turning it
+    // back into a fresh (double-counted) segment.
+    for raw in &tier.stale {
+        std::fs::remove_file(raw).map_err(|e| StoreError::Io(e).at(raw))?;
+    }
+    if tier.fresh.is_empty() {
+        if !tier.stale.is_empty() || (packed.exists() && !dirs.summary_path(window).exists()) {
+            refresh_summary(dirs, window)?;
+        }
         return Ok(0);
     }
-    let packed = dirs.packed_path(window);
+
     let mut inputs: Vec<PathBuf> = Vec::new();
     if packed.exists() {
         inputs.push(packed.clone());
     }
-    inputs.extend(raws.iter().cloned());
+    inputs.extend(tier.fresh.iter().cloned());
     let refs = inputs
         .iter()
         .map(|p| ExperimentRef::open(p))
@@ -73,22 +121,31 @@ pub fn compact_window(dirs: &StoreDirs, window: &str) -> Result<usize, StoreErro
     let attachments = collect_attachments(&refs);
     let bytes = pack_experiment(&merged, &attachments);
 
-    // Write-then-rename so a crash mid-compaction never clobbers the
-    // previous packed tier; raw segments are only deleted once the
-    // new store and summary are durable.
-    let tmp = packed.with_extension("mps.tmp");
-    std::fs::write(&tmp, &bytes).map_err(|e| StoreError::Io(e).at(&tmp))?;
-    std::fs::rename(&tmp, &packed).map_err(|e| StoreError::Io(e).at(&packed))?;
+    // Manifest first (inert until the store it hashes lands), then
+    // the store itself — the commit point.
+    let manifest = Manifest {
+        packed_hash: fnv1a64(&bytes),
+        consumed: tier
+            .fresh
+            .iter()
+            .filter_map(|p| p.file_name())
+            .map(|n| n.to_string_lossy().to_string())
+            .collect(),
+    };
+    write_durable(
+        &dirs.manifest_path(window),
+        render_manifest(&manifest).as_bytes(),
+    )?;
+    write_durable(&packed, &bytes)?;
 
-    let agg = aggregate_refs(&[ExperimentRef::open(&packed)?], 1)?;
-    write_summary(&dirs.summary_path(window), &agg)?;
+    refresh_summary(dirs, window)?;
 
-    for raw in &raws {
+    for raw in &tier.fresh {
         std::fs::remove_file(raw).map_err(|e| StoreError::Io(e).at(raw))?;
     }
     // The per-window raw dir stays (possibly empty); new sessions for
     // the window keep landing there.
-    Ok(raws.len())
+    Ok(tier.fresh.len())
 }
 
 /// Compact every window that has sealed raw segments. One window's

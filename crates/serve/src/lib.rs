@@ -30,5 +30,5 @@ pub use compact::{compact_all, compact_window, CompactReport};
 pub use query::{answer, window_aggregate, window_syms, QueryOutcome};
 pub use server::{query, Server, ServerConfig};
 pub use sink::SocketSink;
-pub use store::StoreDirs;
+pub use store::{parse_manifest, render_manifest, Manifest, RawTier, StoreDirs};
 pub use summary::{parse_summary, read_summary, render_summary, write_summary};

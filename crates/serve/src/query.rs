@@ -64,7 +64,9 @@ fn checked_label<'a>(dirs: &StoreDirs, w: &'a str) -> Result<&'a str, StoreError
 
 /// The aggregate of everything landed in a window, tier-first: the
 /// summary (or, lacking one, the packed store) plus any raw segments
-/// not yet compacted.
+/// not yet compacted. Raw segments an interrupted compaction already
+/// folded into the packed store (hash-valid manifest entries) are
+/// skipped — counting them again would double every sample they hold.
 pub fn window_aggregate(dirs: &StoreDirs, window: &str) -> Result<Aggregate, StoreError> {
     let mut parts: Vec<Aggregate> = Vec::new();
     let summary = dirs.summary_path(window);
@@ -74,7 +76,7 @@ pub fn window_aggregate(dirs: &StoreDirs, window: &str) -> Result<Aggregate, Sto
     } else if packed.exists() {
         parts.push(aggregate_refs(&[ExperimentRef::open(&packed)?], 1)?);
     }
-    let raws = dirs.raw_segments(window)?;
+    let raws = dirs.live_raw_segments(window)?.fresh;
     if !raws.is_empty() {
         let refs = raws
             .iter()
@@ -101,8 +103,9 @@ pub fn window_syms(dirs: &StoreDirs, window: &str) -> Option<minic::SymbolTable>
             return Some(syms);
         }
     }
-    dirs.raw_segments(window)
+    dirs.live_raw_segments(window)
         .ok()?
+        .fresh
         .into_iter()
         .find_map(|p| ExperimentRef::Packed(p).load_syms())
 }
@@ -116,7 +119,7 @@ fn window_experiment(dirs: &StoreDirs, window: &str) -> Result<Experiment, Store
     if packed.exists() {
         inputs.push(packed);
     }
-    inputs.extend(dirs.raw_segments(window)?);
+    inputs.extend(dirs.live_raw_segments(window)?.fresh);
     if inputs.is_empty() {
         return Err(bad(format!("window `{window}` has no data")));
     }
@@ -175,7 +178,7 @@ pub fn answer(dirs: &StoreDirs, line: &str) -> Result<QueryOutcome, StoreError> 
         Some((&"windows", [])) => {
             let mut out = String::new();
             for w in dirs.windows()? {
-                let raws = dirs.raw_segments(&w)?.len();
+                let raws = dirs.live_raw_segments(&w)?.fresh.len();
                 let packed = dirs.packed_path(&w).exists();
                 let summary = dirs.summary_path(&w).exists();
                 out.push_str(&format!(

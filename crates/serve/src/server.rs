@@ -11,10 +11,20 @@
 //! Session lifecycle:
 //!
 //! ```text
-//! HELLO ──► ingest/ID.part created, HELLO_OK(ID) sent
+//! HELLO ──► ingest/WINDOW@ID.part created, HELLO_OK(ID) sent
 //! CHUNK*──► frame payloads appended verbatim (MPES v2 bytes)
 //! END  ───► fsync, seal to raw/WINDOW/ID.mpes, END_OK sent
 //! ```
+//!
+//! Session ids are `SEQ-NAME` with a zero-padded arrival sequence
+//! number. The counter is seeded at startup from the highest sequence
+//! recorded anywhere on disk (staging files, raw segments, compaction
+//! manifests), so a restarted daemon never hands out an id that an
+//! earlier boot already used — sealing refuses to overwrite an
+//! existing raw segment as a second line of defense. Startup also
+//! sweeps `ingest/` for staging files a crashed boot left behind,
+//! sealing any readable prefix into its window (the label is embedded
+//! in the staging file name) and discarding the rest.
 //!
 //! A disconnect before END — even mid-frame — still seals whatever
 //! prefix arrived, as long as it parses as an MPES stream: the chunk
@@ -73,10 +83,16 @@ impl Server {
     pub fn start(listen: &str, data: &Path, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(listen)?;
         let addr = listener.local_addr()?;
+        let dirs = StoreDirs::create(data)?;
+        // Seal (or discard) staging files a crashed boot left behind,
+        // then seed the session counter above every sequence number
+        // on disk so restarts never reuse an id.
+        recover_ingest(&dirs);
+        let next_seq = dirs.max_existing_seq().saturating_add(1);
         let shared = Arc::new(Shared {
-            dirs: StoreDirs::create(data)?,
+            dirs,
             tiers: Mutex::new(()),
-            seq: AtomicU64::new(1),
+            seq: AtomicU64::new(next_seq),
             stop: AtomicBool::new(false),
         });
 
@@ -208,8 +224,11 @@ fn handle_session(shared: &Shared, mut stream: TcpStream, hello: &[u8]) -> std::
         return Ok(());
     }
     let seq = shared.seq.fetch_add(1, Ordering::SeqCst);
-    let session = format!("{seq:04}-{}", clean_name(&name));
-    let part = shared.dirs.ingest_path(&session);
+    // Zero-padded wide enough that lexicographic file-name order (the
+    // canonical merge order) matches arrival order for any realistic
+    // session count.
+    let session = format!("{seq:010}-{}", clean_name(&name));
+    let part = shared.dirs.ingest_path(&window, &session);
     let mut file = std::fs::File::create(&part)?;
     write_frame(&mut stream, TAG_HELLO_OK, session.as_bytes())?;
 
@@ -274,9 +293,10 @@ fn handle_session(shared: &Shared, mut stream: TcpStream, hello: &[u8]) -> std::
 /// Move a finished staging file into its window's tier-0 directory.
 /// Returns `Ok(false)` (and deletes the staging file) if the landed
 /// bytes are too short to parse as an MPES stream — nothing usable
-/// arrived.
-fn seal_session(
-    shared: &Shared,
+/// arrived. Callers serialize against compaction (the tiers lock);
+/// the startup recovery sweep runs before any other thread exists.
+fn seal_part(
+    dirs: &StoreDirs,
     part: &Path,
     window: &str,
     session: &str,
@@ -286,12 +306,64 @@ fn seal_session(
         let _ = std::fs::remove_file(part);
         return Ok(false);
     }
-    let raw_dir = shared.dirs.raw_dir(window);
+    let raw_dir = dirs.raw_dir(window);
     std::fs::create_dir_all(&raw_dir).map_err(|e| StoreError::Io(e).at(&raw_dir))?;
-    let dest = shared.dirs.raw_path(window, session);
-    let _guard = shared.tiers.lock().unwrap();
+    let dest = dirs.raw_path(window, session);
+    // The seeded session counter makes collisions impossible in
+    // normal operation; refuse rather than silently replace sealed
+    // data if one happens anyway (e.g. a hand-copied segment).
+    if dest.exists() {
+        return Err(StoreError::Incompatible(format!(
+            "raw segment {} already exists; refusing to overwrite it",
+            dest.display()
+        )));
+    }
     std::fs::rename(part, &dest).map_err(|e| StoreError::Io(e).at(&dest))?;
     Ok(true)
+}
+
+fn seal_session(
+    shared: &Shared,
+    part: &Path,
+    window: &str,
+    session: &str,
+) -> Result<bool, StoreError> {
+    let _guard = shared.tiers.lock().unwrap();
+    seal_part(&shared.dirs, part, window, session)
+}
+
+/// Startup sweep of `ingest/`: a staging file left by a crashed boot
+/// is sealed into its window exactly as a mid-session disconnect
+/// would have sealed it (readable prefix kept, unusable remainder
+/// discarded); files whose names don't parse are removed.
+fn recover_ingest(dirs: &StoreDirs) {
+    let Ok(entries) = std::fs::read_dir(dirs.ingest_dir()) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !path.extension().is_some_and(|x| x == "part") {
+            continue;
+        }
+        let parsed = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .and_then(|stem| stem.split_once('@'))
+            .filter(|(window, _)| valid_label(window));
+        let Some((window, session)) = parsed else {
+            eprintln!(
+                "mp-serve: removing unrecognized staging file {}",
+                path.display()
+            );
+            let _ = std::fs::remove_file(&path);
+            continue;
+        };
+        match seal_part(dirs, &path, window, session) {
+            Ok(true) => eprintln!("mp-serve: recovered {session} into window {window}"),
+            Ok(false) => eprintln!("mp-serve: discarded {session}: no parseable prefix"),
+            Err(e) => eprintln!("mp-serve: cannot recover {}: {e}", path.display()),
+        }
+    }
 }
 
 fn handle_query(shared: &Shared, mut stream: TcpStream, payload: &[u8]) -> std::io::Result<()> {

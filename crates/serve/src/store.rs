@@ -3,23 +3,48 @@
 //!
 //! ```text
 //! DATA/
-//!   ingest/SESSION.part          active collector sessions (unsealed)
+//!   ingest/WINDOW@SESSION.part   active collector sessions (unsealed)
 //!   raw/WINDOW/SESSION.mpes      tier 0: sealed raw segments (MPES v2)
 //!   packed/WINDOW.mps            tier 1: merged packed store (MPES v1)
+//!   packed/WINDOW.consumed       tier 1: compaction manifest (MPCM)
 //!   summary/WINDOW.sum           tier 2: per-PC aggregate (MPSUM)
 //! ```
 //!
 //! A session streams into `ingest/` and is *sealed* — atomically
 //! renamed into its window's tier-0 directory — when the collector
-//! sends END or disconnects. Compaction folds a window's tier-0
-//! segments (plus any previous tier-1 store) into a fresh tier-1
-//! store, regenerates the tier-2 summary from it, and deletes the
-//! consumed segments; storage per window is then bounded by the
-//! merged store, not by how many collectors streamed into it.
+//! sends END or disconnects. The window label is embedded in the
+//! staging file name (the `@` separator appears in neither window
+//! labels nor session ids) so a daemon restart can seal leftover
+//! staging files from a crashed boot into the right window.
+//! Compaction folds a window's tier-0 segments (plus any previous
+//! tier-1 store) into a fresh tier-1 store, regenerates the tier-2
+//! summary, and deletes the consumed segments; storage per window is
+//! then bounded by the merged store, not by how many collectors
+//! streamed into it.
+//!
+//! The **compaction manifest** (`packed/WINDOW.consumed`) makes that
+//! deletion crash-safe. It names the raw segments folded into the
+//! packed store, fingerprinted by the store's FNV-1a hash:
+//!
+//! ```text
+//! MPCM 1
+//! packed <fnv1a64 of packed store bytes, 16 hex digits>
+//! <raw segment file name>
+//! ...
+//! ```
+//!
+//! The manifest is published (durably) *before* the packed store it
+//! describes, so the hash only ever matches once the new store has
+//! landed; a raw segment listed by a hash-valid manifest is already
+//! folded in and must be skipped by queries and deleted — not
+//! re-merged — by the next compaction pass. A manifest whose hash
+//! does not match the current packed store describes a compaction
+//! that never completed and is ignored.
 
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use memprof_store::StoreError;
+use memprof_store::{fnv1a64, StoreError};
 
 /// Window labels become directory components; reject anything that
 /// could escape the data directory or collide with tier suffixes.
@@ -30,6 +55,95 @@ pub fn valid_label(label: &str) -> bool {
             .chars()
             .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
         && !label.starts_with('.')
+}
+
+/// Write `bytes` to `path` durably: temp file in the same directory,
+/// `fsync`, atomic rename, then `fsync` of the parent directory so
+/// the rename itself survives a power loss. Callers that delete
+/// inputs after this returns (compaction) can rely on the output
+/// actually being on disk, not just in page cache.
+pub(crate) fn write_durable(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let name = path
+        .file_name()
+        .ok_or(StoreError::Corrupt("durable write to a pathless target"))?
+        .to_string_lossy();
+    let tmp = path.with_file_name(format!("{name}.tmp"));
+    let mut file = std::fs::File::create(&tmp).map_err(|e| StoreError::Io(e).at(&tmp))?;
+    file.write_all(bytes)
+        .map_err(|e| StoreError::Io(e).at(&tmp))?;
+    file.sync_all().map_err(|e| StoreError::Io(e).at(&tmp))?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(|e| StoreError::Io(e).at(path))?;
+    if let Some(dir) = path.parent() {
+        std::fs::File::open(dir)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| StoreError::Io(e).at(dir))?;
+    }
+    Ok(())
+}
+
+/// A window's compaction manifest: which raw segments the current
+/// packed store already contains (see the module docs for the crash
+/// protocol).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// FNV-1a hash of the packed store the `consumed` list refers to.
+    pub packed_hash: u64,
+    /// File names (not paths) of the folded-in raw segments.
+    pub consumed: Vec<String>,
+}
+
+/// Render a manifest into the MPCM text format.
+pub fn render_manifest(m: &Manifest) -> String {
+    let mut out = format!("MPCM 1\npacked {:016x}\n", m.packed_hash);
+    for name in &m.consumed {
+        out.push_str(name);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse the MPCM text format; `None` on any damage (a damaged
+/// manifest is treated like a missing one — conservative, since the
+/// hash check is what authorizes skipping raw segments).
+pub fn parse_manifest(text: &str) -> Option<Manifest> {
+    let mut lines = text.lines();
+    if lines.next()? != "MPCM 1" {
+        return None;
+    }
+    let hash_line = lines.next()?;
+    let hex = hash_line.strip_prefix("packed ")?;
+    let packed_hash = u64::from_str_radix(hex, 16).ok()?;
+    let consumed = lines
+        .filter(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect();
+    Some(Manifest {
+        packed_hash,
+        consumed,
+    })
+}
+
+/// A window's tier-0 contents, split by the compaction manifest.
+#[derive(Clone, Debug, Default)]
+pub struct RawTier {
+    /// Segments not yet folded into the packed store: queries must
+    /// merge these in, compaction consumes them.
+    pub fresh: Vec<PathBuf>,
+    /// Leftovers from a compaction that crashed after publishing the
+    /// packed store but before deleting its inputs: their events are
+    /// already in the packed tier, so queries skip them and the next
+    /// compaction deletes them without re-merging.
+    pub stale: Vec<PathBuf>,
+}
+
+/// The leading arrival-sequence number of a session file name
+/// (`0000000012-name` → 12).
+fn leading_seq(name: &str) -> Option<u64> {
+    let end = name
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(name.len());
+    name[..end].parse().ok()
 }
 
 /// The daemon's data directory, with helpers for every tier path.
@@ -50,8 +164,12 @@ impl StoreDirs {
         })
     }
 
-    pub fn ingest_path(&self, session: &str) -> PathBuf {
-        self.root.join("ingest").join(format!("{session}.part"))
+    pub fn ingest_dir(&self) -> PathBuf {
+        self.root.join("ingest")
+    }
+
+    pub fn ingest_path(&self, window: &str, session: &str) -> PathBuf {
+        self.ingest_dir().join(format!("{window}@{session}.part"))
     }
 
     pub fn raw_dir(&self, window: &str) -> PathBuf {
@@ -66,13 +184,18 @@ impl StoreDirs {
         self.root.join("packed").join(format!("{window}.mps"))
     }
 
+    pub fn manifest_path(&self, window: &str) -> PathBuf {
+        self.root.join("packed").join(format!("{window}.consumed"))
+    }
+
     pub fn summary_path(&self, window: &str) -> PathBuf {
         self.root.join("summary").join(format!("{window}.sum"))
     }
 
     /// Sealed raw segments of a window, sorted by file name — session
     /// ids embed a zero-padded arrival sequence number, so this order
-    /// is the daemon's canonical merge order.
+    /// is the daemon's canonical merge order. Includes stale
+    /// leftovers; most callers want [`StoreDirs::live_raw_segments`].
     pub fn raw_segments(&self, window: &str) -> Result<Vec<PathBuf>, StoreError> {
         let dir = self.raw_dir(window);
         if !dir.exists() {
@@ -86,6 +209,90 @@ impl StoreDirs {
             .collect();
         files.sort();
         Ok(files)
+    }
+
+    /// A window's raw segments split into fresh and stale (see
+    /// [`RawTier`]) using the compaction manifest. The manifest only
+    /// applies when its hash matches the current packed store —
+    /// otherwise every segment on disk is fresh.
+    pub fn live_raw_segments(&self, window: &str) -> Result<RawTier, StoreError> {
+        let raws = self.raw_segments(window)?;
+        let manifest = std::fs::read_to_string(self.manifest_path(window))
+            .ok()
+            .and_then(|t| parse_manifest(&t));
+        let Some(manifest) = manifest else {
+            return Ok(RawTier {
+                fresh: raws,
+                stale: Vec::new(),
+            });
+        };
+        let listed = |p: &PathBuf| {
+            p.file_name()
+                .is_some_and(|n| manifest.consumed.iter().any(|c| c.as_str() == n))
+        };
+        if !raws.iter().any(listed) {
+            return Ok(RawTier {
+                fresh: raws,
+                stale: Vec::new(),
+            });
+        }
+        // Some on-disk segments are named by the manifest: hash the
+        // packed store to decide whether they were really folded in.
+        let valid = std::fs::read(self.packed_path(window))
+            .map(|bytes| fnv1a64(&bytes) == manifest.packed_hash)
+            .unwrap_or(false);
+        if !valid {
+            return Ok(RawTier {
+                fresh: raws,
+                stale: Vec::new(),
+            });
+        }
+        let (stale, fresh) = raws.into_iter().partition(listed);
+        Ok(RawTier { fresh, stale })
+    }
+
+    /// The highest arrival sequence number recorded anywhere in the
+    /// store — staging files, sealed raw segments, and manifest
+    /// entries (whose segments may already be deleted). A restarted
+    /// daemon seeds its session counter above this so session ids
+    /// never collide with (and so never overwrite or get mistaken
+    /// for) earlier boots' data.
+    pub fn max_existing_seq(&self) -> u64 {
+        let mut max = 0u64;
+        let mut see = |name: &str| {
+            if let Some(seq) = leading_seq(name) {
+                max = max.max(seq);
+            }
+        };
+        if let Ok(entries) = std::fs::read_dir(self.ingest_dir()) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().is_some_and(|x| x == "part") {
+                    if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                        if let Some((_, session)) = stem.split_once('@') {
+                            see(session);
+                        }
+                    }
+                }
+            }
+        }
+        if let Ok(windows) = self.windows() {
+            for window in windows {
+                for raw in self.raw_segments(&window).unwrap_or_default() {
+                    if let Some(stem) = raw.file_stem().and_then(|s| s.to_str()) {
+                        see(stem);
+                    }
+                }
+                if let Ok(text) = std::fs::read_to_string(self.manifest_path(&window)) {
+                    if let Some(manifest) = parse_manifest(&text) {
+                        for name in &manifest.consumed {
+                            see(name);
+                        }
+                    }
+                }
+            }
+        }
+        max
     }
 
     /// Every window known to any tier, sorted.
@@ -126,5 +333,71 @@ mod tests {
         assert!(!valid_label("a/b"));
         assert!(!valid_label(".hidden"));
         assert!(!valid_label(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn manifests_round_trip() {
+        let m = Manifest {
+            packed_hash: 0xdead_beef_0123_4567,
+            consumed: vec!["0000000001-a.mpes".into(), "0000000002-b.mpes".into()],
+        };
+        assert_eq!(parse_manifest(&render_manifest(&m)), Some(m));
+        assert_eq!(parse_manifest(""), None);
+        assert_eq!(parse_manifest("MPCM 2\npacked 00\n"), None);
+        assert_eq!(parse_manifest("MPCM 1\nhash zz\n"), None);
+        assert_eq!(parse_manifest("MPCM 1\npacked zz\n"), None);
+        let empty = parse_manifest("MPCM 1\npacked 0000000000000000\n").unwrap();
+        assert!(empty.consumed.is_empty());
+    }
+
+    #[test]
+    fn sequence_numbers_parse_from_session_names() {
+        assert_eq!(leading_seq("0000000012-run"), Some(12));
+        assert_eq!(leading_seq("0042-old-padding"), Some(42));
+        assert_eq!(leading_seq("9"), Some(9));
+        assert_eq!(leading_seq("session"), None);
+        assert_eq!(leading_seq(""), None);
+    }
+
+    #[test]
+    fn stale_segments_need_a_hash_valid_manifest() {
+        let dir = std::env::temp_dir().join(format!(
+            "memprof_serve_manifest_{}_{:?}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let dirs = StoreDirs::create(&dir).unwrap();
+        std::fs::create_dir_all(dirs.raw_dir("w")).unwrap();
+        let raw = dirs.raw_path("w", "0000000001-run");
+        std::fs::write(&raw, b"segment bytes").unwrap();
+        std::fs::write(dirs.packed_path("w"), b"packed bytes").unwrap();
+
+        // No manifest: the segment is fresh.
+        let tier = dirs.live_raw_segments("w").unwrap();
+        assert_eq!((tier.fresh.len(), tier.stale.len()), (1, 0));
+
+        // Manifest naming it with the right packed hash: stale.
+        let manifest = Manifest {
+            packed_hash: fnv1a64(b"packed bytes"),
+            consumed: vec!["0000000001-run.mpes".into()],
+        };
+        std::fs::write(dirs.manifest_path("w"), render_manifest(&manifest)).unwrap();
+        let tier = dirs.live_raw_segments("w").unwrap();
+        assert_eq!((tier.fresh.len(), tier.stale.len()), (0, 1));
+        assert_eq!(tier.stale[0], raw);
+
+        // Wrong hash (interrupted compaction): fresh again.
+        let bad = Manifest {
+            packed_hash: 1,
+            ..manifest
+        };
+        std::fs::write(dirs.manifest_path("w"), render_manifest(&bad)).unwrap();
+        let tier = dirs.live_raw_segments("w").unwrap();
+        assert_eq!((tier.fresh.len(), tier.stale.len()), (1, 0));
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

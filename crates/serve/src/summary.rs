@@ -133,9 +133,11 @@ pub fn parse_summary(text: &str) -> Result<Aggregate, StoreError> {
     })
 }
 
-/// Write a window summary to disk.
+/// Write a window summary to disk (durably: temp file + fsync +
+/// rename, like every tier write — compaction deletes raw segments
+/// on the strength of the tiers it wrote).
 pub fn write_summary(path: &Path, agg: &Aggregate) -> Result<(), StoreError> {
-    std::fs::write(path, render_summary(agg)).map_err(|e| StoreError::Io(e).at(path))
+    crate::store::write_durable(path, render_summary(agg).as_bytes())
 }
 
 /// Load a window summary from disk.

@@ -155,12 +155,17 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
     Ok(Frame { tag, payload })
 }
 
-/// Encode a length-prefixed string into a payload.
+/// Encode a length-prefixed string into a payload. Oversized strings
+/// are truncated on a char boundary so the receiver never sees a
+/// split UTF-8 sequence (which its `get_str16` would reject as a
+/// protocol violation).
 pub fn put_str16(out: &mut Vec<u8>, s: &str) {
-    let len = u16::try_from(s.len()).unwrap_or(u16::MAX);
-    let s = &s.as_bytes()[..len as usize];
-    out.extend_from_slice(&len.to_le_bytes());
-    out.extend_from_slice(s);
+    let mut end = s.len().min(u16::MAX as usize);
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    out.extend_from_slice(&(end as u16).to_le_bytes());
+    out.extend_from_slice(&s.as_bytes()[..end]);
 }
 
 /// Decode a length-prefixed string from `buf` at `*pos`.
@@ -254,6 +259,19 @@ mod tests {
         assert_eq!(window, "w1");
         assert!(parse_hello(&[9]).is_err());
         assert!(parse_hello(&[]).is_err());
+    }
+
+    #[test]
+    fn put_str16_truncates_on_char_boundaries() {
+        // 2-byte chars; 40000 of them overflow the u16 length field.
+        let s = "é".repeat(40_000);
+        let mut buf = Vec::new();
+        put_str16(&mut buf, &s);
+        let mut pos = 0;
+        let back = get_str16(&buf, &mut pos).unwrap();
+        assert!(back.len() <= u16::MAX as usize);
+        assert!(s.starts_with(&back));
+        assert_eq!(pos, buf.len());
     }
 
     #[test]

@@ -337,6 +337,139 @@ fn shutdown_query_stops_the_daemon() {
     );
 }
 
+/// A restarted daemon must never hand out a session id an earlier
+/// boot already used: tier-0 file names embed the id, so a collision
+/// would rename the new session over sealed data.
+#[test]
+fn restart_seeds_session_ids_past_earlier_boots() {
+    let data = scratch("restart");
+
+    let first = {
+        let server = Server::start("127.0.0.1:0", &data, ServerConfig::default()).unwrap();
+        let mut sink = SocketSink::connect(&server.addr().to_string(), "run", "w1").unwrap();
+        sink.attach("syms.txt", SYMS);
+        drive(&mut sink, 1, 2);
+        let session = sink.session().to_string();
+        server.shutdown();
+        session
+    };
+
+    // Same data dir, same collector name: the id must differ and both
+    // segments must survive intact.
+    let server = Server::start("127.0.0.1:0", &data, ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    let mut sink = SocketSink::connect(&addr, "run", "w1").unwrap();
+    sink.attach("syms.txt", SYMS);
+    drive(&mut sink, 2, 2);
+    let second = sink.session().to_string();
+    assert_ne!(first, second, "daemon restart reused a session id");
+
+    let dirs = StoreDirs::create(&data).unwrap();
+    assert_eq!(
+        std::fs::read(dirs.raw_path("w1", &first)).unwrap(),
+        local_bytes(1, 2),
+        "first boot's segment was clobbered"
+    );
+    assert_eq!(
+        std::fs::read(dirs.raw_path("w1", &second)).unwrap(),
+        local_bytes(2, 2)
+    );
+
+    // After compaction the consumed ids live only in the manifest; a
+    // third boot must still seed past them, or its first session
+    // would be mistaken for an already-folded leftover.
+    serve::query(&addr, "compact").unwrap();
+    server.shutdown();
+
+    let server = Server::start("127.0.0.1:0", &data, ServerConfig::default()).unwrap();
+    let mut sink = SocketSink::connect(&server.addr().to_string(), "run", "w1").unwrap();
+    sink.attach("syms.txt", SYMS);
+    drive(&mut sink, 3, 2);
+    let third = sink.session().to_string();
+    let tier = dirs.live_raw_segments("w1").unwrap();
+    assert_eq!(
+        tier.fresh,
+        vec![dirs.raw_path("w1", &third)],
+        "post-compaction boot produced a session misclassified as stale"
+    );
+    assert!(tier.stale.is_empty());
+    server.shutdown();
+}
+
+/// A compaction that crashed after publishing the packed store but
+/// before deleting its inputs leaves already-folded raw segments on
+/// disk. Queries must skip them and the next pass must delete — not
+/// re-merge — them, or every sample in the window double-counts.
+#[test]
+fn interrupted_compaction_leftovers_are_not_double_counted() {
+    let data = scratch("leftover");
+    let server = Server::start("127.0.0.1:0", &data, ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    let dirs = StoreDirs::create(&data).unwrap();
+
+    let mut sink = SocketSink::connect(&addr, "run", "w1").unwrap();
+    sink.attach("syms.txt", SYMS);
+    drive(&mut sink, 5, 2);
+    let session = sink.session().to_string();
+    let raw_path = dirs.raw_path("w1", &session);
+    let raw_bytes = std::fs::read(&raw_path).unwrap();
+
+    serve::query(&addr, "compact").unwrap();
+    let packed_bytes = std::fs::read(dirs.packed_path("w1")).unwrap();
+    let stat = serve::query(&addr, "stat w1").unwrap();
+
+    // Simulate the crash window: the consumed segment reappears while
+    // the manifest that names it is still valid.
+    std::fs::write(&raw_path, &raw_bytes).unwrap();
+
+    // Queries skip the leftover instead of double-counting it.
+    assert_eq!(serve::query(&addr, "stat w1").unwrap(), stat);
+
+    // The next pass deletes it; the packed store is untouched.
+    let report = serve::query(&addr, "compact").unwrap();
+    assert!(report.contains("nothing to compact"), "{report}");
+    assert!(!raw_path.exists(), "stale leftover survived compaction");
+    assert_eq!(std::fs::read(dirs.packed_path("w1")).unwrap(), packed_bytes);
+    assert_eq!(serve::query(&addr, "stat w1").unwrap(), stat);
+
+    server.shutdown();
+}
+
+/// Staging files left by a crashed boot are swept at startup: a
+/// readable prefix seals into its window (named in the staging file),
+/// junk is discarded, and the session counter seeds past them.
+#[test]
+fn stale_staging_files_recover_on_startup() {
+    let data = scratch("recover");
+    let dirs = StoreDirs::create(&data).unwrap();
+    std::fs::write(dirs.ingest_path("w1", "0000000007-left"), local_bytes(3, 2)).unwrap();
+    std::fs::write(data.join("ingest").join("garbage.part"), b"junk").unwrap();
+
+    let server = Server::start("127.0.0.1:0", &data, ServerConfig::default()).unwrap();
+
+    let sealed = dirs.raw_path("w1", "0000000007-left");
+    assert_eq!(std::fs::read(&sealed).unwrap(), local_bytes(3, 2));
+    assert!(
+        std::fs::read_dir(data.join("ingest"))
+            .unwrap()
+            .next()
+            .is_none(),
+        "staging area not swept"
+    );
+
+    // New sessions start above the recovered sequence number.
+    let mut sink = SocketSink::connect(&server.addr().to_string(), "next", "w1").unwrap();
+    sink.attach("syms.txt", SYMS);
+    drive(&mut sink, 4, 1);
+    assert!(
+        sink.session().starts_with("0000000008-"),
+        "session counter not seeded past recovered segment: {}",
+        sink.session()
+    );
+
+    server.shutdown();
+}
+
 /// Path context satellite: opening a missing or corrupt store names
 /// the offending file in the error.
 #[test]

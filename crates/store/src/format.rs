@@ -89,8 +89,9 @@ pub(crate) struct Segment {
     pub count: usize,
 }
 
-/// FNV-1a 64-bit hash, used as the file checksum.
-pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+/// FNV-1a 64-bit hash, used as the file checksum (and by the serve
+/// crate to fingerprint packed stores in compaction manifests).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;

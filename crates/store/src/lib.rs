@@ -36,7 +36,7 @@ use memprof_core::{CounterRequest, Experiment};
 pub use aggregate::{
     aggregate, aggregate_streams, diff_aggregates, AggDiff, Aggregate, ColSpec, DiffRow,
 };
-pub use format::{pack_dir, pack_experiment, unpack_to_dir, ATTACHMENT_FILES};
+pub use format::{fnv1a64, pack_dir, pack_experiment, unpack_to_dir, ATTACHMENT_FILES};
 pub use reader::{ClockIter, HwcIter, StoreFile};
 pub use stream::EventStream;
 pub use writer::{SegmentWriter, StreamFile};
