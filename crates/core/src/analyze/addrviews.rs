@@ -11,8 +11,112 @@ use simsparc_machine::SegmentKind;
 
 use super::views::sort_by_metric;
 use super::Analysis;
-use crate::batch::{AttrTag, ByAddrBucket, EventBatch};
+use crate::batch::{AttrTag, ByAddrBucket, EventBatch, GroupKey, NO_ADDR};
 use crate::experiment::EventSource;
+
+/// Group by address-space segment of the effective address; rows
+/// without an EA are skipped. The raw key is the segment's index in
+/// [`BY_SEGMENT_KINDS`].
+struct BySegment;
+
+const BY_SEGMENT_KINDS: [SegmentKind; 4] = [
+    SegmentKind::Text,
+    SegmentKind::Data,
+    SegmentKind::Heap,
+    SegmentKind::Stack,
+];
+
+fn segment_index(kind: SegmentKind) -> u64 {
+    match kind {
+        SegmentKind::Text => 0,
+        SegmentKind::Data => 1,
+        SegmentKind::Heap => 2,
+        SegmentKind::Stack => 3,
+    }
+}
+
+impl GroupKey for BySegment {
+    type Key = SegmentKind;
+
+    fn key(&self, batch: &EventBatch, i: usize) -> Option<SegmentKind> {
+        batch.ea_of(i).map(SegmentKind::of_addr)
+    }
+
+    fn key_column(
+        &self,
+        batch: &EventBatch,
+        range: std::ops::Range<usize>,
+        out: &mut Vec<Option<u64>>,
+    ) -> bool {
+        out.extend(
+            batch.ea[range]
+                .iter()
+                .map(|&ea| (ea != NO_ADDR).then(|| segment_index(SegmentKind::of_addr(ea)))),
+        );
+        true
+    }
+
+    fn decode_key(&self, _batch: &EventBatch, raw: u64) -> SegmentKind {
+        BY_SEGMENT_KINDS[raw as usize]
+    }
+}
+
+/// Group by structure-instance base address (`ea - member offset`)
+/// for one target structure. The per-descriptor offsets are
+/// precomputed from the batch's interned descriptor pool, so the key
+/// column is a table lookup per row, not a descriptor match.
+struct ByInstanceBase {
+    /// Offset of the accessed member within the target structure,
+    /// indexed by interned descriptor id; `None` for descriptors of
+    /// other structures (and non-member descriptors).
+    offsets: Vec<Option<u64>>,
+}
+
+impl ByInstanceBase {
+    fn new(batch: &EventBatch, struct_name: &str) -> ByInstanceBase {
+        let offsets = batch
+            .descs
+            .iter()
+            .map(|d| match d {
+                MemDesc::Member {
+                    struct_name: s,
+                    offset,
+                    ..
+                } if s == struct_name => Some(*offset),
+                _ => None,
+            })
+            .collect();
+        ByInstanceBase { offsets }
+    }
+}
+
+impl GroupKey for ByInstanceBase {
+    type Key = u64;
+
+    fn key(&self, batch: &EventBatch, i: usize) -> Option<u64> {
+        let ea = batch.ea_of(i)?;
+        if batch.tag[i] != AttrTag::Data {
+            return None;
+        }
+        self.offsets[batch.desc[i] as usize].map(|off| ea.wrapping_sub(off))
+    }
+
+    fn key_column(
+        &self,
+        batch: &EventBatch,
+        range: std::ops::Range<usize>,
+        out: &mut Vec<Option<u64>>,
+    ) -> bool {
+        for i in range {
+            out.push(self.key(batch, i));
+        }
+        true
+    }
+
+    fn decode_key(&self, _batch: &EventBatch, raw: u64) -> u64 {
+        raw
+    }
+}
 
 /// Per-segment event counts.
 #[derive(Clone, Debug)]
@@ -54,7 +158,7 @@ pub struct InstanceReport {
 impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     /// Events with reconstructed effective addresses, by segment.
     pub fn segments(&self) -> Vec<SegmentRow> {
-        let map = self.kernel(&|b: &EventBatch, i: usize| b.ea_of(i).map(SegmentKind::of_addr));
+        let map = self.kernel(&BySegment);
         let mut rows: Vec<SegmentRow> = map
             .into_iter()
             .map(|(segment, samples)| SegmentRow { segment, samples })
@@ -113,21 +217,8 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
         let sinfo = self.syms.struct_by_name(struct_name)?;
         let size = sinfo.size;
 
-        let target = struct_name.to_string();
-        let map: HashMap<u64, Vec<u64>> = self.kernel(&move |b: &EventBatch, i: usize| {
-            let ea = b.ea_of(i)?;
-            if b.tag[i] != AttrTag::Data {
-                return None;
-            }
-            match &b.descs[b.desc[i] as usize] {
-                MemDesc::Member {
-                    struct_name: s,
-                    offset,
-                    ..
-                } if *s == target => Some(ea.wrapping_sub(*offset)),
-                _ => None,
-            }
-        });
+        let map: HashMap<u64, Vec<u64>> =
+            self.kernel(&ByInstanceBase::new(&self.batch, struct_name));
         if map.is_empty() {
             return Some(InstanceReport {
                 struct_name: struct_name.to_string(),

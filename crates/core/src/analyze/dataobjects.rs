@@ -10,8 +10,182 @@ use minic::MemDesc;
 
 use super::views::sort_by_metric;
 use super::{fmt_val_pct, Analysis, UnknownKind};
-use crate::batch::{AttrTag, EventBatch};
+use crate::batch::{AttrTag, EventBatch, GroupKey};
 use crate::experiment::EventSource;
+
+fn intern_key(
+    pool: &mut Vec<DataObjectKey>,
+    index: &mut HashMap<DataObjectKey, u64>,
+    key: DataObjectKey,
+) -> u64 {
+    *index.entry(key.clone()).or_insert_with(|| {
+        pool.push(key);
+        (pool.len() - 1) as u64
+    })
+}
+
+/// Group by [`DataObjectKey`] over the data columns — the Figure 6
+/// keyer. Every interned descriptor and `Unk*` tag is mapped to a
+/// pooled key id up front, so the key column is two table lookups
+/// per row and typed keys are cloned once per group, not per event.
+struct ByDataObject {
+    /// Is column `c` a backtracked data column?
+    col_is_data: Vec<bool>,
+    /// Pooled key id per interned descriptor id.
+    desc_raw: Vec<u64>,
+    /// Pooled key id per `AttrTag` discriminant (`Unk*` tags only).
+    tag_raw: [u64; 7],
+    /// The pool `desc_raw`/`tag_raw` index into.
+    pool: Vec<DataObjectKey>,
+}
+
+impl ByDataObject {
+    fn new(batch: &EventBatch, data_cols: &[usize], ncols: usize) -> ByDataObject {
+        let mut col_is_data = vec![false; ncols];
+        for &c in data_cols {
+            col_is_data[c] = true;
+        }
+        let mut pool = Vec::new();
+        let mut index = HashMap::new();
+        let desc_raw = batch
+            .descs
+            .iter()
+            .map(|d| {
+                let key = match d {
+                    MemDesc::Member { struct_name, .. } => {
+                        DataObjectKey::Struct(struct_name.clone())
+                    }
+                    MemDesc::Scalar { .. } => DataObjectKey::Scalars,
+                    _ => DataObjectKey::Unknown(UnknownKind::Unspecified),
+                };
+                intern_key(&mut pool, &mut index, key)
+            })
+            .collect();
+        let mut tag_raw = [u64::MAX; 7];
+        for tag in [
+            AttrTag::UnkUnspecified,
+            AttrTag::UnkUnresolvable,
+            AttrTag::UnkUnascertainable,
+            AttrTag::UnkUnidentified,
+            AttrTag::UnkUnverifiable,
+        ] {
+            tag_raw[tag as usize] = intern_key(
+                &mut pool,
+                &mut index,
+                DataObjectKey::Unknown(tag.unknown_kind().unwrap()),
+            );
+        }
+        ByDataObject {
+            col_is_data,
+            desc_raw,
+            tag_raw,
+            pool,
+        }
+    }
+}
+
+impl GroupKey for ByDataObject {
+    type Key = DataObjectKey;
+
+    fn key(&self, batch: &EventBatch, i: usize) -> Option<DataObjectKey> {
+        self.raw_of(batch, i)
+            .map(|raw| self.pool[raw as usize].clone())
+    }
+
+    fn key_column(
+        &self,
+        batch: &EventBatch,
+        range: std::ops::Range<usize>,
+        out: &mut Vec<Option<u64>>,
+    ) -> bool {
+        for i in range {
+            out.push(self.raw_of(batch, i));
+        }
+        true
+    }
+
+    fn decode_key(&self, _batch: &EventBatch, raw: u64) -> DataObjectKey {
+        self.pool[raw as usize].clone()
+    }
+}
+
+impl ByDataObject {
+    fn raw_of(&self, batch: &EventBatch, i: usize) -> Option<u64> {
+        if !self.col_is_data[batch.col[i] as usize] {
+            return None;
+        }
+        match batch.tag[i] {
+            AttrTag::Plain => None,
+            AttrTag::Data => Some(self.desc_raw[batch.desc[i] as usize]),
+            tag => Some(self.tag_raw[tag as usize]),
+        }
+    }
+}
+
+/// Group by member name within one target structure — the Figure 7
+/// keyer. The raw key is the interned descriptor id; descriptors of
+/// other structures resolve to `None` via a precomputed table.
+struct ByMemberName {
+    col_is_data: Vec<bool>,
+    /// Member name per interned descriptor id, for members of the
+    /// target structure only.
+    member: Vec<Option<String>>,
+}
+
+impl ByMemberName {
+    fn new(batch: &EventBatch, data_cols: &[usize], ncols: usize, target: &str) -> ByMemberName {
+        let mut col_is_data = vec![false; ncols];
+        for &c in data_cols {
+            col_is_data[c] = true;
+        }
+        let member = batch
+            .descs
+            .iter()
+            .map(|d| match d {
+                MemDesc::Member {
+                    struct_name,
+                    member,
+                    ..
+                } if struct_name == target => Some(member.clone()),
+                _ => None,
+            })
+            .collect();
+        ByMemberName {
+            col_is_data,
+            member,
+        }
+    }
+}
+
+impl GroupKey for ByMemberName {
+    type Key = String;
+
+    fn key(&self, batch: &EventBatch, i: usize) -> Option<String> {
+        if !self.col_is_data[batch.col[i] as usize] || batch.tag[i] != AttrTag::Data {
+            return None;
+        }
+        self.member[batch.desc[i] as usize].clone()
+    }
+
+    fn key_column(
+        &self,
+        batch: &EventBatch,
+        range: std::ops::Range<usize>,
+        out: &mut Vec<Option<u64>>,
+    ) -> bool {
+        for i in range {
+            let keep = self.col_is_data[batch.col[i] as usize]
+                && batch.tag[i] == AttrTag::Data
+                && self.member[batch.desc[i] as usize].is_some();
+            out.push(keep.then(|| batch.desc[i] as u64));
+        }
+        true
+    }
+
+    fn decode_key(&self, _batch: &EventBatch, raw: u64) -> String {
+        self.member[raw as usize].clone().unwrap()
+    }
+}
 
 /// The key a data-object row aggregates under.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -61,23 +235,11 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     /// backtracked memory counters have data-object information.
     pub fn data_objects(&self, sort_col: usize) -> Vec<DataObjectRow> {
         let data_cols = self.data_columns();
-        let cols = data_cols.clone();
-        let map = self.kernel(&move |b: &EventBatch, i: usize| {
-            if !cols.contains(&(b.col[i] as usize)) {
-                return None;
-            }
-            Some(match b.tag[i] {
-                AttrTag::Plain => return None,
-                AttrTag::Data => match &b.descs[b.desc[i] as usize] {
-                    MemDesc::Member { struct_name, .. } => {
-                        DataObjectKey::Struct(struct_name.clone())
-                    }
-                    MemDesc::Scalar { .. } => DataObjectKey::Scalars,
-                    _ => DataObjectKey::Unknown(UnknownKind::Unspecified),
-                },
-                tag => DataObjectKey::Unknown(tag.unknown_kind().unwrap()),
-            })
-        });
+        let map = self.kernel(&ByDataObject::new(
+            &self.batch,
+            &data_cols,
+            self.columns.len(),
+        ));
 
         let ncols = self.columns.len();
         let mut unknown_total = vec![0u64; ncols];
@@ -174,22 +336,12 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
 
         // One kernel pass keyed by member name; the whole-struct
         // total is the elementwise sum of the member rows.
-        let cols = data_cols.clone();
-        let target = struct_name.to_string();
-        let mut by_member: HashMap<String, Vec<u64>> =
-            self.kernel(&move |b: &EventBatch, i: usize| {
-                if !cols.contains(&(b.col[i] as usize)) || b.tag[i] != AttrTag::Data {
-                    return None;
-                }
-                match &b.descs[b.desc[i] as usize] {
-                    MemDesc::Member {
-                        struct_name: s,
-                        member,
-                        ..
-                    } if *s == target => Some(member.clone()),
-                    _ => None,
-                }
-            });
+        let mut by_member: HashMap<String, Vec<u64>> = self.kernel(&ByMemberName::new(
+            &self.batch,
+            &data_cols,
+            ncols,
+            struct_name,
+        ));
         let mut total = vec![0u64; ncols];
         for samples in by_member.values() {
             for (t, x) in total.iter_mut().zip(samples) {

@@ -170,7 +170,8 @@ pub struct Analysis<'a, S: EventSource + ?Sized = Experiment> {
     /// The columnar form of every validated event, built once and
     /// shared by all views.
     pub batch: EventBatch,
-    /// Shard count for the aggregation kernel (1 = serial).
+    /// Shard count for the aggregation kernel (0 = one shard per
+    /// available core, 1 = single-shard inline).
     pub shards: usize,
 }
 
@@ -182,8 +183,8 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     }
 
     /// Like [`Analysis::new`], but view aggregations run the sharded
-    /// kernel path across `shards` scoped threads. Results are
-    /// identical to the serial path.
+    /// kernel path across `shards` scoped threads (`0` = one shard
+    /// per available core). Results are identical to the serial path.
     pub fn with_shards(
         experiments: &[&'a S],
         syms: &'a SymbolTable,
@@ -281,7 +282,7 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
             syms,
             columns,
             batch,
-            shards: shards.max(1),
+            shards,
         }
     }
 

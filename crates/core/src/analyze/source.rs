@@ -12,7 +12,7 @@ use minic::render_memdesc;
 use simsparc_isa::disasm;
 
 use super::Analysis;
-use crate::batch::{ByLine, EventBatch, NO_ID};
+use crate::batch::{ByLine, ByLineInRange, ByPcInRange, NO_ID};
 use crate::experiment::EventSource;
 
 /// One line of annotated source.
@@ -56,14 +56,10 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
 
         // Accumulate samples per line, restricted to this function.
         // The batch caches each event's source line, so the keyer
-        // only needs the function's pc range (and stays `Sync`).
-        let (entry, end) = (f.entry, f.end);
-        let map = self.kernel(&move |b: &EventBatch, i: usize| {
-            let pc = b.pc[i];
-            if pc < entry || pc >= end {
-                return None;
-            }
-            b.line_of(i)
+        // only needs the function's pc range.
+        let map = self.kernel(&ByLineInRange {
+            entry: f.entry,
+            end: f.end,
         });
 
         // Line span of the function: from its metadata.
@@ -192,15 +188,16 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
         let ncols = self.columns.len();
 
         // Real-instruction samples.
-        let (entry, end) = (f.entry, f.end);
-        let real = self.kernel(&move |b: &EventBatch, i: usize| {
-            let pc = b.pc[i];
-            (!b.is_artificial(i) && pc >= entry && pc < end).then_some(pc)
+        let real = self.kernel(&ByPcInRange {
+            entry: f.entry,
+            end: f.end,
+            artificial: false,
         });
         // Artificial branch-target samples.
-        let artificial = self.kernel(&move |b: &EventBatch, i: usize| {
-            let pc = b.pc[i];
-            (b.is_artificial(i) && pc >= entry && pc < end).then_some(pc)
+        let artificial = self.kernel(&ByPcInRange {
+            entry: f.entry,
+            end: f.end,
+            artificial: true,
         });
 
         // Instructions from the first experiment's text are not

@@ -5,11 +5,21 @@
 //! address buckets) and the store's multi-experiment histograms all
 //! reduce the same event stream; [`EventBatch`] holds that stream
 //! once, as parallel arrays (struct-of-arrays), and
-//! [`aggregate_by`] folds it under any [`GroupKey`] — serially or
-//! sharded across scoped threads. Sharding splits the index space
-//! into contiguous ranges, fills one private map per shard, and
-//! merges by addition; addition commutes, so the sharded result is
-//! *identical* to the serial one, not merely equivalent.
+//! [`aggregate_by`] folds it under any [`GroupKey`].
+//!
+//! The fold is a radix-partition group-by, not a per-event hash
+//! fold: the keyer first materializes a *key column* (one raw `u64`
+//! per kept row, [`GroupKey::key_column`]), shards deal their rows
+//! into partitions by a bit-mixed key prefix, partitions fold in
+//! parallel through open-addressing tables with one flat sample
+//! array (no per-key allocation), and the raw groups are decoded
+//! back to typed keys once per *group* ([`GroupKey::decode_key`]),
+//! not once per event. Keyers without a raw encoding (ad-hoc
+//! closures) ride a generic variant of the same shape over
+//! materialized typed keys. Addition commutes, so every shard count
+//! produces output *identical* to [`aggregate_by_serial`] — the
+//! one-pass oracle fold kept for differential testing — not merely
+//! equivalent.
 //!
 //! Two producer profiles fill batches:
 //!
@@ -27,8 +37,11 @@
 //! A batch must be filled by exactly one of the two profiles; mixing
 //! them would misalign the arrays.
 
+use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
+use std::num::NonZeroUsize;
+use std::ops::Range;
 
 use minic::MemDesc;
 
@@ -204,6 +217,75 @@ impl EventBatch {
         self.tag.push(AttrTag::Plain);
     }
 
+    /// Bulk-append `n` plain rows and hand back the new region of
+    /// each varying column for direct writes: `(col, pc,
+    /// delivered_pc, candidate_pc, ea)`. `tag` is pre-filled
+    /// [`AttrTag::Plain`] and the candidate and ea columns
+    /// [`NO_ADDR`], so fills only write what varies — one resize per
+    /// column replaces `n` per-event pushes.
+    #[allow(clippy::type_complexity)]
+    pub fn grow_plain(
+        &mut self,
+        n: usize,
+    ) -> (&mut [u32], &mut [u64], &mut [u64], &mut [u64], &mut [u64]) {
+        debug_assert!(self.desc.is_empty(), "mixing plain and attributed rows");
+        let start = self.col.len();
+        self.col.resize(start + n, 0);
+        self.pc.resize(start + n, 0);
+        self.delivered_pc.resize(start + n, 0);
+        self.candidate_pc.resize(start + n, NO_ADDR);
+        self.ea.resize(start + n, NO_ADDR);
+        self.tag.resize(start + n, AttrTag::Plain);
+        (
+            &mut self.col[start..],
+            &mut self.pc[start..],
+            &mut self.delivered_pc[start..],
+            &mut self.candidate_pc[start..],
+            &mut self.ea[start..],
+        )
+    }
+
+    /// Bulk-append `n` rows of the *pc projection* — the column
+    /// subset a per-PC histogram reads (`col`, charged `pc`, `tag`) —
+    /// and hand back the new `col` and `pc` regions. The remaining
+    /// plain columns (`delivered_pc`, `candidate_pc`, `ea`) are never
+    /// materialized: a projected batch exists to feed [`aggregate_by`]
+    /// with a PC keyer, and writing three dead columns per event is
+    /// most of a plain fill's memory traffic. Keyers that read the
+    /// unprojected columns must not be run over a projected batch.
+    pub fn grow_pc_rows(&mut self, n: usize) -> (&mut [u32], &mut [u64]) {
+        debug_assert!(self.desc.is_empty(), "mixing plain and attributed rows");
+        let start = self.col.len();
+        self.col.resize(start + n, 0);
+        self.pc.resize(start + n, 0);
+        self.tag.resize(start + n, AttrTag::Plain);
+        (&mut self.col[start..], &mut self.pc[start..])
+    }
+
+    /// Pre-size the plain columns for `additional` more rows. Bulk
+    /// decode paths size batches from segment-index counts up front,
+    /// so the column vectors never reallocate mid-fill.
+    pub fn reserve_plain(&mut self, additional: usize) {
+        self.col.reserve(additional);
+        self.pc.reserve(additional);
+        self.delivered_pc.reserve(additional);
+        self.candidate_pc.reserve(additional);
+        self.ea.reserve(additional);
+        self.tag.reserve(additional);
+    }
+
+    /// Re-charge a row range to the candidate trigger PC where one
+    /// was recorded — the backtracked-counter half of the charge-PC
+    /// rule, applied column-wise after a bulk decode that charged
+    /// everything to the delivered PC.
+    pub fn charge_candidates(&mut self, range: Range<usize>) {
+        for i in range {
+            if self.candidate_pc[i] != NO_ADDR {
+                self.pc[i] = self.candidate_pc[i];
+            }
+        }
+    }
+
     pub fn ea_of(&self, i: usize) -> Option<u64> {
         match self.ea[i] {
             NO_ADDR => None,
@@ -275,9 +357,41 @@ impl EventBatch {
 /// A grouping key for [`aggregate_by`]: maps a batch row to the key
 /// its sample accumulates under, or `None` to skip the row. Closures
 /// `Fn(&EventBatch, usize) -> Option<K>` implement this directly.
+///
+/// Keyers whose key fits a raw `u64` additionally implement the bulk
+/// [`GroupKey::key_column`] / [`GroupKey::decode_key`] pair, which
+/// routes [`aggregate_by`] onto the radix-partition fast path: the
+/// key column is materialized range-wise, rows are partitioned and
+/// folded on the raw value alone, and typed keys are reconstructed
+/// once per distinct group.
 pub trait GroupKey {
     type Key: Hash + Eq + Clone + Send;
     fn key(&self, batch: &EventBatch, i: usize) -> Option<Self::Key>;
+
+    /// Bulk keying: append one entry per row of `range` to `out`
+    /// (`None` for skipped rows) and return `true`. The default
+    /// returns `false` — no raw encoding — routing [`aggregate_by`]
+    /// onto the generic materialized-key path. Implementations must
+    /// agree with [`GroupKey::key`]: `key(batch, i)` is `Some(k)`
+    /// exactly when the column holds `Some(raw)` at that row with
+    /// `decode_key(batch, raw) == k`.
+    fn key_column(
+        &self,
+        batch: &EventBatch,
+        range: Range<usize>,
+        out: &mut Vec<Option<u64>>,
+    ) -> bool {
+        let _ = (batch, range, out);
+        false
+    }
+
+    /// Decode a raw value produced by [`GroupKey::key_column`] back
+    /// into the typed key. Called once per distinct group, only with
+    /// values the key column yielded.
+    fn decode_key(&self, batch: &EventBatch, raw: u64) -> Self::Key {
+        let _ = (batch, raw);
+        unreachable!("decode_key on a keyer without a raw key column")
+    }
 }
 
 impl<K, F> GroupKey for F
@@ -301,6 +415,20 @@ impl GroupKey for ByPc {
     fn key(&self, batch: &EventBatch, i: usize) -> Option<u64> {
         Some(batch.pc[i])
     }
+
+    fn key_column(
+        &self,
+        batch: &EventBatch,
+        range: Range<usize>,
+        out: &mut Vec<Option<u64>>,
+    ) -> bool {
+        out.extend(batch.pc[range].iter().copied().map(Some));
+        true
+    }
+
+    fn decode_key(&self, _batch: &EventBatch, raw: u64) -> u64 {
+        raw
+    }
 }
 
 /// Group by enclosing-function id ([`NO_ID`] = outside any function).
@@ -311,6 +439,25 @@ impl GroupKey for ByFunc {
 
     fn key(&self, batch: &EventBatch, i: usize) -> Option<u32> {
         Some(batch.func_of(i))
+    }
+
+    fn key_column(
+        &self,
+        batch: &EventBatch,
+        range: Range<usize>,
+        out: &mut Vec<Option<u64>>,
+    ) -> bool {
+        if batch.func.is_empty() {
+            // Plain batch: every row is outside any function.
+            out.extend(range.map(|_| Some(NO_ID as u64)));
+        } else {
+            out.extend(batch.func[range].iter().map(|&f| Some(f as u64)));
+        }
+        true
+    }
+
+    fn decode_key(&self, _batch: &EventBatch, raw: u64) -> u32 {
+        raw as u32
     }
 }
 
@@ -324,6 +471,28 @@ impl GroupKey for ByLine {
     fn key(&self, batch: &EventBatch, i: usize) -> Option<(u32, u32)> {
         Some((batch.func_of(i), batch.line_of(i)?))
     }
+
+    fn key_column(
+        &self,
+        batch: &EventBatch,
+        range: Range<usize>,
+        out: &mut Vec<Option<u64>>,
+    ) -> bool {
+        if batch.line.is_empty() {
+            // Plain batch: no source lines, every row skipped.
+            out.extend(range.map(|_| None));
+        } else {
+            for i in range {
+                let line = batch.line[i];
+                out.push((line != NO_LINE).then(|| ((batch.func[i] as u64) << 32) | line as u64));
+            }
+        }
+        true
+    }
+
+    fn decode_key(&self, _batch: &EventBatch, raw: u64) -> (u32, u32) {
+        ((raw >> 32) as u32, raw as u32)
+    }
 }
 
 /// Group by interned data-object descriptor id (`Data` rows only).
@@ -334,6 +503,22 @@ impl GroupKey for ByDesc {
 
     fn key(&self, batch: &EventBatch, i: usize) -> Option<u32> {
         (batch.tag[i] == AttrTag::Data).then(|| batch.desc[i])
+    }
+
+    fn key_column(
+        &self,
+        batch: &EventBatch,
+        range: Range<usize>,
+        out: &mut Vec<Option<u64>>,
+    ) -> bool {
+        for i in range {
+            out.push((batch.tag[i] == AttrTag::Data).then(|| batch.desc[i] as u64));
+        }
+        true
+    }
+
+    fn decode_key(&self, _batch: &EventBatch, raw: u64) -> u32 {
+        raw as u32
     }
 }
 
@@ -351,78 +536,498 @@ impl GroupKey for ByAddrBucket {
         debug_assert!(self.bytes.is_power_of_two());
         Some(batch.ea_of(i)? & !(self.bytes - 1))
     }
+
+    fn key_column(
+        &self,
+        batch: &EventBatch,
+        range: Range<usize>,
+        out: &mut Vec<Option<u64>>,
+    ) -> bool {
+        debug_assert!(self.bytes.is_power_of_two());
+        let mask = !(self.bytes - 1);
+        out.extend(
+            batch.ea[range]
+                .iter()
+                .map(|&ea| (ea != NO_ADDR).then_some(ea & mask)),
+        );
+        true
+    }
+
+    fn decode_key(&self, _batch: &EventBatch, raw: u64) -> u64 {
+        raw
+    }
+}
+
+/// Group by charged PC restricted to one function's text range,
+/// split by artificiality — the keyer behind annotated disassembly.
+pub struct ByPcInRange {
+    pub entry: u64,
+    pub end: u64,
+    /// Keep only artificial (`<branch target>`) rows when set, only
+    /// real rows otherwise.
+    pub artificial: bool,
+}
+
+impl GroupKey for ByPcInRange {
+    type Key = u64;
+
+    fn key(&self, batch: &EventBatch, i: usize) -> Option<u64> {
+        let pc = batch.pc[i];
+        (batch.is_artificial(i) == self.artificial && pc >= self.entry && pc < self.end)
+            .then_some(pc)
+    }
+
+    fn key_column(
+        &self,
+        batch: &EventBatch,
+        range: Range<usize>,
+        out: &mut Vec<Option<u64>>,
+    ) -> bool {
+        for i in range {
+            out.push(self.key(batch, i));
+        }
+        true
+    }
+
+    fn decode_key(&self, _batch: &EventBatch, raw: u64) -> u64 {
+        raw
+    }
+}
+
+/// Group by source line for PCs within one function's text range —
+/// the keyer behind annotated source listings.
+pub struct ByLineInRange {
+    pub entry: u64,
+    pub end: u64,
+}
+
+impl GroupKey for ByLineInRange {
+    type Key = u32;
+
+    fn key(&self, batch: &EventBatch, i: usize) -> Option<u32> {
+        let pc = batch.pc[i];
+        if pc >= self.entry && pc < self.end {
+            batch.line_of(i)
+        } else {
+            None
+        }
+    }
+
+    fn key_column(
+        &self,
+        batch: &EventBatch,
+        range: Range<usize>,
+        out: &mut Vec<Option<u64>>,
+    ) -> bool {
+        for i in range {
+            out.push(self.key(batch, i).map(u64::from));
+        }
+        true
+    }
+
+    fn decode_key(&self, _batch: &EventBatch, raw: u64) -> u32 {
+        raw as u32
+    }
 }
 
 /// Serial group-by fold: one pass over the batch, one sample-count
-/// vector per key. This is the single reduction loop behind every
-/// analyzer view and the store histograms.
+/// vector per key, driven by per-row [`GroupKey::key`] calls. This is
+/// the *oracle* path: it never touches the key-column machinery, so
+/// differential tests pin the radix kernel against it.
 pub fn aggregate_by_serial<G: GroupKey>(
     batch: &EventBatch,
     keyer: &G,
 ) -> HashMap<G::Key, Vec<u64>> {
-    let mut map: HashMap<G::Key, Vec<u64>> = HashMap::new();
-    scan_range(batch, keyer, 0..batch.len(), &mut map);
-    map
-}
-
-fn scan_range<G: GroupKey>(
-    batch: &EventBatch,
-    keyer: &G,
-    range: std::ops::Range<usize>,
-    map: &mut HashMap<G::Key, Vec<u64>>,
-) {
     let ncols = batch.ncols();
-    for i in range {
+    let mut map: HashMap<G::Key, Vec<u64>> = HashMap::new();
+    for i in 0..batch.len() {
         if let Some(k) = keyer.key(batch, i) {
             map.entry(k).or_insert_with(|| vec![0; ncols])[batch.col[i] as usize] += 1;
         }
     }
+    map
 }
 
-/// Group-by fold with optional sharding: `shards <= 1` runs
-/// [`aggregate_by_serial`] on the calling thread; larger values split
-/// the batch's index space into contiguous ranges across that many
-/// scoped threads and merge the per-shard maps by addition. The
-/// result is identical to the serial path's.
-pub fn aggregate_by<G>(batch: &EventBatch, keyer: &G, shards: usize) -> HashMap<G::Key, Vec<u64>>
+/// `splitmix64` finalizer. Raw keys are low-entropy (small interned
+/// ids, word-aligned PCs, bucket bases), so both the partition index
+/// (top bits) and the probe slot (bottom bits) come from the mixed
+/// value, never the raw one.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Partition index of a raw key: the top `log2(parts)` bits of the
+/// mixed key. `parts` must be a power of two.
+#[inline]
+fn part_of(raw: u64, parts: usize) -> usize {
+    debug_assert!(parts.is_power_of_two());
+    if parts == 1 {
+        0
+    } else {
+        (mix(raw) >> (64 - parts.trailing_zeros())) as usize
+    }
+}
+
+/// How many radix partitions a fold uses: the shard count rounded up
+/// to a power of two (so the partition index is a bit prefix), capped
+/// to keep tiny partitions from dominating at silly shard counts.
+fn partition_count(shards: usize) -> usize {
+    shards.next_power_of_two().min(256)
+}
+
+/// One shard's rows, dealt into partition order:
+/// `entries[starts[p]..starts[p + 1]]` holds the shard's
+/// `(raw key, column)` pairs of partition `p`.
+struct ShardPartitions {
+    starts: Vec<usize>,
+    entries: Vec<(u64, u32)>,
+}
+
+/// Phase 1 of the raw fold, run once per shard: materialize the key
+/// column for a contiguous row range, then counting-sort the kept
+/// rows into partition order (histogram, prefix sums, scatter — two
+/// passes, no comparisons).
+fn shard_partitions<G: GroupKey>(
+    batch: &EventBatch,
+    keyer: &G,
+    range: Range<usize>,
+    parts: usize,
+) -> ShardPartitions {
+    let lo = range.start;
+    let mut keys: Vec<Option<u64>> = Vec::with_capacity(range.len());
+    let raw = keyer.key_column(batch, range, &mut keys);
+    debug_assert!(raw, "raw fold on a keyer without a key column");
+    let mut starts = vec![0usize; parts + 1];
+    for raw in keys.iter().flatten() {
+        starts[part_of(*raw, parts) + 1] += 1;
+    }
+    for p in 0..parts {
+        starts[p + 1] += starts[p];
+    }
+    let mut cursor = starts[..parts].to_vec();
+    let mut entries = vec![(0u64, 0u32); starts[parts]];
+    for (j, key) in keys.iter().enumerate() {
+        if let Some(raw) = *key {
+            let p = part_of(raw, parts);
+            entries[cursor[p]] = (raw, batch.col[lo + j]);
+            cursor[p] += 1;
+        }
+    }
+    ShardPartitions { starts, entries }
+}
+
+/// Open-addressing fold table keyed by raw values. Group indices live
+/// in the slot array, sample counts in one flat row-major array — no
+/// per-group allocation. The table is sized by the number of
+/// *distinct groups* (grown by rehashing the compact raw list), never
+/// by the entry count: group counts are thousands where entry counts
+/// are millions, and a group-sized table stays cache-resident while
+/// an entry-sized one makes every probe a memory stall.
+struct RawTable {
+    slots: Vec<u32>,
+    raws: Vec<u64>,
+    samples: Vec<u64>,
+    ncols: usize,
+}
+
+impl RawTable {
+    fn new(ncols: usize) -> RawTable {
+        RawTable {
+            slots: vec![u32::MAX; 1024],
+            raws: Vec::new(),
+            samples: Vec::new(),
+            ncols,
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, raw: u64, col: u32) {
+        let mask = self.slots.len() - 1;
+        let mut slot = mix(raw) as usize & mask;
+        let group = loop {
+            match self.slots[slot] {
+                u32::MAX => {
+                    let g = self.raws.len() as u32;
+                    self.slots[slot] = g;
+                    self.raws.push(raw);
+                    self.samples.resize(self.samples.len() + self.ncols, 0);
+                    if self.raws.len() * 2 >= self.slots.len() {
+                        self.grow();
+                    }
+                    break g;
+                }
+                g if self.raws[g as usize] == raw => break g,
+                _ => slot = (slot + 1) & mask,
+            }
+        };
+        self.samples[group as usize * self.ncols + col as usize] += 1;
+    }
+
+    /// Double the slot array and rehash from the compact raw list —
+    /// linear in groups, not entries.
+    #[cold]
+    fn grow(&mut self) {
+        let cap = self.slots.len() * 2;
+        let mask = cap - 1;
+        let mut slots = vec![u32::MAX; cap];
+        for (g, &raw) in self.raws.iter().enumerate() {
+            let mut slot = mix(raw) as usize & mask;
+            while slots[slot] != u32::MAX {
+                slot = (slot + 1) & mask;
+            }
+            slots[slot] = g as u32;
+        }
+        self.slots = slots;
+    }
+}
+
+/// Phase 2 of the raw fold, run once per partition: fold the
+/// partition's entries from every shard through a [`RawTable`]. Each
+/// partition owns a disjoint key range, so there is no
+/// cross-partition synchronization.
+fn fold_partition(shards: &[ShardPartitions], p: usize, ncols: usize) -> (Vec<u64>, Vec<u64>) {
+    let total: usize = shards.iter().map(|s| s.starts[p + 1] - s.starts[p]).sum();
+    if total == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let mut table = RawTable::new(ncols);
+    for shard in shards {
+        for &(raw, col) in &shard.entries[shard.starts[p]..shard.starts[p + 1]] {
+            table.add(raw, col);
+        }
+    }
+    (table.raws, table.samples)
+}
+
+/// The radix-partition fold for keyers with a raw `u64` encoding.
+fn aggregate_raw<G>(batch: &EventBatch, keyer: &G, shards: usize) -> HashMap<G::Key, Vec<u64>>
 where
     G: GroupKey + Sync,
 {
-    let shards = shards.max(1).min(batch.len().max(1));
+    let len = batch.len();
+    let ncols = batch.ncols();
     if shards == 1 {
-        return aggregate_by_serial(batch, keyer);
+        // Inline fold: with a single shard the counting sort would
+        // only copy the rows it is about to fold, so the partition
+        // phase is skipped entirely. The key column materializes in
+        // cache-sized blocks and each block folds while still warm —
+        // the full-length key vector of the sharded path would make
+        // a round trip through memory just to be read back once.
+        const BLOCK: usize = 1 << 16;
+        let mut keys: Vec<Option<u64>> = Vec::with_capacity(BLOCK.min(len));
+        let mut table = RawTable::new(ncols);
+        let mut lo = 0;
+        while lo < len {
+            let hi = (lo + BLOCK).min(len);
+            keys.clear();
+            let raw = keyer.key_column(batch, lo..hi, &mut keys);
+            debug_assert!(raw, "raw fold on a keyer without a key column");
+            for (key, &col) in keys.iter().zip(&batch.col[lo..hi]) {
+                if let Some(raw) = *key {
+                    table.add(raw, col);
+                }
+            }
+            lo = hi;
+        }
+        return decode_folded(batch, keyer, &[(table.raws, table.samples)], ncols);
     }
-    let per = batch.len().div_ceil(shards);
-    let shard_maps: Vec<HashMap<G::Key, Vec<u64>>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..shards)
-            .map(|s| {
-                scope.spawn(move || {
-                    let lo = (s * per).min(batch.len());
-                    let hi = ((s + 1) * per).min(batch.len());
-                    let mut map = HashMap::new();
-                    scan_range(batch, keyer, lo..hi, &mut map);
-                    map
+    let parts = partition_count(shards);
+    let shard_data: Vec<ShardPartitions> = {
+        let per = len.div_ceil(shards);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|s| {
+                    scope.spawn(move || {
+                        let lo = (s * per).min(len);
+                        let hi = ((s + 1) * per).min(len);
+                        shard_partitions(batch, keyer, lo..hi, parts)
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    let mut out: HashMap<G::Key, Vec<u64>> = HashMap::new();
-    for map in shard_maps {
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
+    let folded: Vec<(Vec<u64>, Vec<u64>)> = {
+        let shard_data = &shard_data;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..parts)
+                .map(|p| scope.spawn(move || fold_partition(shard_data, p, ncols)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
+    decode_folded(batch, keyer, &folded, ncols)
+}
+
+/// Decode once per group. Addition on collision keeps the fold
+/// correct even for a non-injective decode (several raw values
+/// mapping to one typed key).
+fn decode_folded<G: GroupKey>(
+    batch: &EventBatch,
+    keyer: &G,
+    folded: &[(Vec<u64>, Vec<u64>)],
+    ncols: usize,
+) -> HashMap<G::Key, Vec<u64>> {
+    let mut out: HashMap<G::Key, Vec<u64>> =
+        HashMap::with_capacity(folded.iter().map(|(raws, _)| raws.len()).sum());
+    for (raws, samples) in folded {
+        for (g, &raw) in raws.iter().enumerate() {
+            let row = &samples[g * ncols..(g + 1) * ncols];
+            match out.entry(keyer.decode_key(batch, raw)) {
+                Entry::Occupied(mut e) => {
+                    for (dst, src) in e.get_mut().iter_mut().zip(row) {
+                        *dst += src;
+                    }
+                }
+                Entry::Vacant(e) => {
+                    e.insert(row.to_vec());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Deterministic partition hash for typed keys (the generic path
+/// can't partition on raw bits it doesn't have).
+fn key_hash<K: Hash>(key: &K) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Phase 1 of the generic fold: materialize this shard's typed keys
+/// and deal the kept rows into per-partition buckets by mixed hash.
+fn generic_buckets<G: GroupKey>(
+    batch: &EventBatch,
+    keyer: &G,
+    range: Range<usize>,
+    parts: usize,
+) -> Vec<Vec<(G::Key, u32)>> {
+    let mut buckets: Vec<Vec<(G::Key, u32)>> = (0..parts).map(|_| Vec::new()).collect();
+    for i in range {
+        if let Some(k) = keyer.key(batch, i) {
+            let p = part_of(key_hash(&k), parts);
+            buckets[p].push((k, batch.col[i]));
+        }
+    }
+    buckets
+}
+
+/// One shard's output in the generic fold: for each partition, the
+/// `(key, column)` pairs of the shard's rows that hashed into it.
+type PartitionedKeys<K> = Vec<Vec<(K, u32)>>;
+
+/// Phase 2 of the generic fold: one partition's buckets from every
+/// shard, folded into a map.
+fn fold_generic<K: Hash + Eq>(buckets: Vec<Vec<(K, u32)>>, ncols: usize) -> HashMap<K, Vec<u64>> {
+    let mut map: HashMap<K, Vec<u64>> = HashMap::new();
+    for bucket in buckets {
+        for (k, col) in bucket {
+            map.entry(k).or_insert_with(|| vec![0; ncols])[col as usize] += 1;
+        }
+    }
+    map
+}
+
+/// The partitioned fold for keyers without a raw encoding: same
+/// shape as the raw path (materialize keys per shard, partition,
+/// fold partitions in parallel), but over typed keys.
+fn aggregate_generic<G>(batch: &EventBatch, keyer: &G, shards: usize) -> HashMap<G::Key, Vec<u64>>
+where
+    G: GroupKey + Sync,
+{
+    let len = batch.len();
+    let ncols = batch.ncols();
+    let parts = partition_count(shards);
+    let shard_buckets: Vec<PartitionedKeys<G::Key>> = if shards == 1 {
+        vec![generic_buckets(batch, keyer, 0..len, parts)]
+    } else {
+        let per = len.div_ceil(shards);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|s| {
+                    scope.spawn(move || {
+                        let lo = (s * per).min(len);
+                        let hi = ((s + 1) * per).min(len);
+                        generic_buckets(batch, keyer, lo..hi, parts)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
+    // Transpose so each partition owns its buckets from every shard.
+    let mut by_part: Vec<PartitionedKeys<G::Key>> =
+        (0..parts).map(|_| Vec::with_capacity(shards)).collect();
+    for shard in shard_buckets {
+        for (p, bucket) in shard.into_iter().enumerate() {
+            by_part[p].push(bucket);
+        }
+    }
+    let maps: Vec<HashMap<G::Key, Vec<u64>>> = if shards == 1 {
+        by_part
+            .into_iter()
+            .map(|buckets| fold_generic(buckets, ncols))
+            .collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = by_part
+                .into_iter()
+                .map(|buckets| scope.spawn(move || fold_generic(buckets, ncols)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
+    // A key lands in exactly one partition (the partition is a
+    // function of its hash), so this union is disjoint; merge by
+    // addition anyway so correctness never rests on that.
+    let mut out: HashMap<G::Key, Vec<u64>> =
+        HashMap::with_capacity(maps.iter().map(HashMap::len).sum());
+    for map in maps {
         for (k, samples) in map {
             match out.entry(k) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
+                Entry::Occupied(mut e) => {
                     for (dst, src) in e.get_mut().iter_mut().zip(&samples) {
                         *dst += src;
                     }
                 }
-                std::collections::hash_map::Entry::Vacant(e) => {
+                Entry::Vacant(e) => {
                     e.insert(samples);
                 }
             }
         }
     }
     out
+}
+
+/// The group-by kernel behind every analyzer view and store
+/// histogram: a sharded radix-partition fold over a materialized key
+/// column. `shards == 0` picks [`std::thread::available_parallelism`]
+/// automatically; `shards == 1` runs the same kernel inline without
+/// spawning. Every shard count produces output identical to
+/// [`aggregate_by_serial`]'s.
+pub fn aggregate_by<G>(batch: &EventBatch, keyer: &G, shards: usize) -> HashMap<G::Key, Vec<u64>>
+where
+    G: GroupKey + Sync,
+{
+    let shards = match shards {
+        0 => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
+    }
+    .min(batch.len().max(1));
+    let mut probe = Vec::new();
+    if keyer.key_column(batch, 0..0, &mut probe) {
+        aggregate_raw(batch, keyer, shards)
+    } else {
+        aggregate_generic(batch, keyer, shards)
+    }
 }
 
 #[cfg(test)]
@@ -446,7 +1051,8 @@ mod tests {
     #[test]
     fn serial_and_sharded_agree_on_every_key() {
         let b = bag(1000);
-        for shards in [2, 3, 7, 16] {
+        // 0 = auto (available parallelism); 1 = inline radix fold.
+        for shards in [0, 1, 2, 3, 7, 16] {
             assert_eq!(
                 aggregate_by(&b, &ByPc, shards),
                 aggregate_by_serial(&b, &ByPc)
@@ -455,7 +1061,92 @@ mod tests {
                 aggregate_by(&b, &ByAddrBucket { bytes: 64 }, shards),
                 aggregate_by_serial(&b, &ByAddrBucket { bytes: 64 })
             );
+            assert_eq!(
+                aggregate_by(&b, &ByFunc, shards),
+                aggregate_by_serial(&b, &ByFunc)
+            );
         }
+    }
+
+    #[test]
+    fn generic_fallback_agrees_with_serial() {
+        let b = bag(1000);
+        // A closure keyer has no raw key column, so this exercises
+        // the generic materialized-key path.
+        let keyer =
+            |b: &EventBatch, i: usize| -> Option<u64> { (b.col[i] == 1).then(|| b.pc[i] & !0xf) };
+        for shards in [0, 1, 2, 3, 7, 16] {
+            assert_eq!(
+                aggregate_by(&b, &keyer, shards),
+                aggregate_by_serial(&b, &keyer)
+            );
+        }
+    }
+
+    #[test]
+    fn range_keyers_agree_with_serial() {
+        let b = bag(1000);
+        let by_pc_range = ByPcInRange {
+            entry: 0x1008,
+            end: 0x1030,
+            artificial: false,
+        };
+        let by_line_range = ByLineInRange {
+            entry: 0x1008,
+            end: 0x1030,
+        };
+        for shards in [1, 3, 8] {
+            assert_eq!(
+                aggregate_by(&b, &by_pc_range, shards),
+                aggregate_by_serial(&b, &by_pc_range)
+            );
+            assert_eq!(
+                aggregate_by(&b, &by_line_range, shards),
+                aggregate_by_serial(&b, &by_line_range)
+            );
+        }
+    }
+
+    #[test]
+    fn key_columns_agree_with_per_row_keys() {
+        // The key_column/decode_key contract: for every row, the
+        // column's raw entry decodes to exactly key(batch, i).
+        fn check<G: GroupKey>(b: &EventBatch, keyer: &G)
+        where
+            G::Key: std::fmt::Debug,
+        {
+            let mut col = Vec::new();
+            assert!(keyer.key_column(b, 0..b.len(), &mut col));
+            assert_eq!(col.len(), b.len());
+            for (i, raw) in col.iter().enumerate() {
+                assert_eq!(
+                    raw.map(|r| keyer.decode_key(b, r)),
+                    keyer.key(b, i),
+                    "row {i}"
+                );
+            }
+        }
+        let b = bag(300);
+        check(&b, &ByPc);
+        check(&b, &ByFunc);
+        check(&b, &ByLine);
+        check(&b, &ByDesc);
+        check(&b, &ByAddrBucket { bytes: 64 });
+        check(
+            &b,
+            &ByPcInRange {
+                entry: 0x1008,
+                end: 0x1030,
+                artificial: false,
+            },
+        );
+        check(
+            &b,
+            &ByLineInRange {
+                entry: 0x1008,
+                end: 0x1030,
+            },
+        );
     }
 
     #[test]

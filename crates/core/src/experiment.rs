@@ -14,7 +14,7 @@ use std::path::Path;
 
 use simsparc_machine::{CounterEvent, EventCounts};
 
-use crate::batch::EventBatch;
+use crate::batch::{EventBatch, NO_ADDR};
 use crate::counters::CounterRequest;
 
 /// One hardware-counter overflow event, as recorded by the collector.
@@ -111,22 +111,114 @@ pub trait EventSource {
     /// shared by the analyzer-independent aggregation paths
     /// (`memprof-store` and its tools).
     fn fill_batch(&self, batch: &mut EventBatch, hwc_col: &[usize], clock_col: Option<usize>) {
+        let clock = if clock_col.is_some() {
+            self.clock_events().len()
+        } else {
+            0
+        };
+        batch.reserve_plain(self.hwc_events().len() + clock);
         if let Some(col) = clock_col {
-            for ev in self.clock_events() {
-                batch.push_plain(col, ev.pc, ev.pc, None, None);
-            }
+            fill_clock_rows(batch, col, self.clock_events());
         }
-        let counters = self.counters();
-        for ev in self.hwc_events() {
-            let col = hwc_col[ev.counter];
-            let charged = if counters[ev.counter].backtrack {
-                ev.candidate_pc.unwrap_or(ev.delivered_pc)
-            } else {
-                ev.delivered_pc
-            };
-            batch.push_plain(col, charged, ev.delivered_pc, ev.candidate_pc, ev.ea);
-        }
+        let ok = fill_hwc_rows(batch, self.counters(), hwc_col, self.hwc_events());
+        assert!(ok, "event references unknown counter");
     }
+}
+
+/// Append clock-profiling rows to a plain batch, charged at the tick
+/// PC — the clock half of the charge-PC rule. Split out of
+/// [`EventSource::fill_batch`] so range-parallel fills (the sharded
+/// aggregation engine splits event slices across threads) share the
+/// one definition instead of restating it. Rows land via one bulk
+/// resize and per-column slice writes, not per-event pushes.
+pub fn fill_clock_rows(batch: &mut EventBatch, col: usize, events: &[ClockEvent]) {
+    let (cols, pcs, delivered, _candidates, _eas) = batch.grow_plain(events.len());
+    for (i, ev) in events.iter().enumerate() {
+        cols[i] = col as u32;
+        pcs[i] = ev.pc;
+        delivered[i] = ev.pc;
+    }
+}
+
+/// Append counter-overflow rows to a plain batch: counter `c` lands
+/// in `hwc_col[c]`, charged at the candidate trigger PC when the
+/// counter was collected with backtracking (falling back to the
+/// delivered PC), else at the delivered PC — the hwc half of the
+/// charge-PC rule.
+///
+/// Returns `false` (leaving the rows it did append in place) if an
+/// event references a counter outside `counters` — callers either
+/// discard the batch and surface a corruption error, or assert.
+#[must_use]
+pub fn fill_hwc_rows(
+    batch: &mut EventBatch,
+    counters: &[CounterRequest],
+    hwc_col: &[usize],
+    events: &[HwcEvent],
+) -> bool {
+    // One tiny lookup table fuses the unknown-counter check into the
+    // fill loop — no separate validation pass over the events.
+    let col_bt: Vec<(u32, bool)> = hwc_col
+        .iter()
+        .zip(counters)
+        .map(|(&c, r)| (c as u32, r.backtrack))
+        .collect();
+    let (cols, pcs, delivered, candidates, eas) = batch.grow_plain(events.len());
+    for (i, ev) in events.iter().enumerate() {
+        let Some(&(col, backtrack)) = col_bt.get(ev.counter) else {
+            return false;
+        };
+        cols[i] = col;
+        pcs[i] = if backtrack {
+            ev.candidate_pc.unwrap_or(ev.delivered_pc)
+        } else {
+            ev.delivered_pc
+        };
+        delivered[i] = ev.delivered_pc;
+        candidates[i] = ev.candidate_pc.unwrap_or(NO_ADDR);
+        eas[i] = ev.ea.unwrap_or(NO_ADDR);
+    }
+    true
+}
+
+/// [`fill_clock_rows`] in the pc projection (see
+/// [`EventBatch::grow_pc_rows`]): column and charged PC only.
+pub fn fill_clock_pc_rows(batch: &mut EventBatch, col: usize, events: &[ClockEvent]) {
+    let (cols, pcs) = batch.grow_pc_rows(events.len());
+    for (i, ev) in events.iter().enumerate() {
+        cols[i] = col as u32;
+        pcs[i] = ev.pc;
+    }
+}
+
+/// [`fill_hwc_rows`] in the pc projection: the charge-PC rule applied
+/// inline, nothing else materialized. Returns `false` on an event
+/// referencing an unknown counter.
+#[must_use]
+pub fn fill_hwc_pc_rows(
+    batch: &mut EventBatch,
+    counters: &[CounterRequest],
+    hwc_col: &[usize],
+    events: &[HwcEvent],
+) -> bool {
+    let col_bt: Vec<(u32, bool)> = hwc_col
+        .iter()
+        .zip(counters)
+        .map(|(&c, r)| (c as u32, r.backtrack))
+        .collect();
+    let (cols, pcs) = batch.grow_pc_rows(events.len());
+    for (i, ev) in events.iter().enumerate() {
+        let Some(&(col, backtrack)) = col_bt.get(ev.counter) else {
+            return false;
+        };
+        cols[i] = col;
+        pcs[i] = if backtrack {
+            ev.candidate_pc.unwrap_or(ev.delivered_pc)
+        } else {
+            ev.delivered_pc
+        };
+    }
+    true
 }
 
 impl EventSource for Experiment {

@@ -68,7 +68,10 @@ pub use collect::{
     TextMap, MAX_BACKTRACK_INSNS,
 };
 pub use counters::{assign_slots, parse_counter_spec, CounterRequest, CounterSpecError, Interval};
-pub use experiment::{ClockEvent, EventSource, Experiment, HwcEvent, RunInfo};
+pub use experiment::{
+    fill_clock_pc_rows, fill_clock_rows, fill_hwc_pc_rows, fill_hwc_rows, ClockEvent, EventSource,
+    Experiment, HwcEvent, RunInfo,
+};
 pub use stream::{
     CallstackTable, CollectSink, PackedClockEvent, PackedHwcEvent, StackId, StreamConfig,
     StreamStats, EST_CYCLES_PER_SAMPLE,

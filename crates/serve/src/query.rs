@@ -20,6 +20,11 @@
 //! shutdown                     stop the daemon
 //! ```
 //!
+//! Any query may carry `--shards N` (alias `-j N`) anywhere on the
+//! line to bound the aggregation kernel's parallelism; `0` (the
+//! default) sizes it to the available cores. The flag never changes
+//! an answer — sharded aggregation is byte-identical to serial.
+//!
 //! `W` is a window label; views default to *all* windows where the
 //! grammar allows. Aggregate queries are served tier-first: a
 //! compacted window answers from its summary (tier 2), which
@@ -30,7 +35,8 @@
 use memprof_core::analyze::Analysis;
 use memprof_core::Experiment;
 use memprof_store::{
-    aggregate_refs, diff_aggregates, merge_experiments, Aggregate, ExperimentRef, StoreError,
+    aggregate_refs, diff_aggregates, merge_experiments_sharded, Aggregate, ExperimentRef,
+    StoreError,
 };
 use simsparc_machine::CounterEvent;
 
@@ -67,14 +73,18 @@ fn checked_label<'a>(dirs: &StoreDirs, w: &'a str) -> Result<&'a str, StoreError
 /// not yet compacted. Raw segments an interrupted compaction already
 /// folded into the packed store (hash-valid manifest entries) are
 /// skipped — counting them again would double every sample they hold.
-pub fn window_aggregate(dirs: &StoreDirs, window: &str) -> Result<Aggregate, StoreError> {
+pub fn window_aggregate(
+    dirs: &StoreDirs,
+    window: &str,
+    shards: usize,
+) -> Result<Aggregate, StoreError> {
     let mut parts: Vec<Aggregate> = Vec::new();
     let summary = dirs.summary_path(window);
     let packed = dirs.packed_path(window);
     if summary.exists() {
         parts.push(read_summary(&summary)?);
     } else if packed.exists() {
-        parts.push(aggregate_refs(&[ExperimentRef::open(&packed)?], 1)?);
+        parts.push(aggregate_refs(&[ExperimentRef::open(&packed)?], shards)?);
     }
     let raws = dirs.live_raw_segments(window)?.fresh;
     if !raws.is_empty() {
@@ -82,7 +92,7 @@ pub fn window_aggregate(dirs: &StoreDirs, window: &str) -> Result<Aggregate, Sto
             .iter()
             .map(|p| ExperimentRef::open(p))
             .collect::<Result<Vec<ExperimentRef>, StoreError>>()?;
-        parts.push(aggregate_refs(&refs, 1)?);
+        parts.push(aggregate_refs(&refs, shards)?);
     }
     let mut parts = parts.into_iter();
     let mut agg = parts
@@ -113,7 +123,11 @@ pub fn window_syms(dirs: &StoreDirs, window: &str) -> Option<minic::SymbolTable>
 /// Materialize a window as one merged [`Experiment`] — the form the
 /// analyzer views need. Input order matches compaction: packed store
 /// first, then raw segments in file-name order.
-fn window_experiment(dirs: &StoreDirs, window: &str) -> Result<Experiment, StoreError> {
+fn window_experiment(
+    dirs: &StoreDirs,
+    window: &str,
+    shards: usize,
+) -> Result<Experiment, StoreError> {
     let mut inputs = Vec::new();
     let packed = dirs.packed_path(window);
     if packed.exists() {
@@ -127,7 +141,7 @@ fn window_experiment(dirs: &StoreDirs, window: &str) -> Result<Experiment, Store
         .iter()
         .map(|p| ExperimentRef::open(p))
         .collect::<Result<Vec<ExperimentRef>, StoreError>>()?;
-    merge_experiments(&refs)
+    merge_experiments_sharded(&refs, shards)
 }
 
 /// Resolve the window arguments of an aggregate query: explicit
@@ -146,10 +160,14 @@ fn resolve_windows(dirs: &StoreDirs, args: &[&str]) -> Result<Vec<String>, Store
     }
 }
 
-fn merged_aggregate(dirs: &StoreDirs, windows: &[String]) -> Result<Aggregate, StoreError> {
-    let mut agg = window_aggregate(dirs, &windows[0])?;
+fn merged_aggregate(
+    dirs: &StoreDirs,
+    windows: &[String],
+    shards: usize,
+) -> Result<Aggregate, StoreError> {
+    let mut agg = window_aggregate(dirs, &windows[0], shards)?;
     for w in &windows[1..] {
-        agg.merge(&window_aggregate(dirs, w)?)?;
+        agg.merge(&window_aggregate(dirs, w, shards)?)?;
     }
     Ok(agg)
 }
@@ -170,10 +188,32 @@ fn analysis_col(analysis: &Analysis<'_>, arg: Option<&&str>) -> Result<usize, St
     }
 }
 
+/// Strip `--shards N` / `-j N` (anywhere on the line) from the query
+/// fields. `0` — the default when the flag is absent — sizes the
+/// kernel to the available cores.
+fn split_shards(fields: Vec<&str>) -> Result<(usize, Vec<&str>), StoreError> {
+    let mut shards = 0usize;
+    let mut out = Vec::with_capacity(fields.len());
+    let mut it = fields.into_iter();
+    while let Some(f) = it.next() {
+        if f == "-j" || f == "--shards" {
+            let n = it
+                .next()
+                .ok_or_else(|| bad(format!("`{f}` needs a count")))?;
+            shards = n
+                .parse()
+                .map_err(|_| bad(format!("bad shard count `{n}`")))?;
+        } else {
+            out.push(f);
+        }
+    }
+    Ok((shards, out))
+}
+
 /// Parse and answer one query line. Store-dependent queries run here;
 /// `compact` and `shutdown` are returned for the server to act on.
 pub fn answer(dirs: &StoreDirs, line: &str) -> Result<QueryOutcome, StoreError> {
-    let fields: Vec<&str> = line.split_whitespace().collect();
+    let (shards, fields) = split_shards(line.split_whitespace().collect())?;
     let out = match fields.split_first() {
         Some((&"windows", [])) => {
             let mut out = String::new();
@@ -195,13 +235,13 @@ pub fn answer(dirs: &StoreDirs, line: &str) -> Result<QueryOutcome, StoreError> 
         }
         Some((&"functions", rest)) => {
             let windows = resolve_windows(dirs, rest)?;
-            let agg = merged_aggregate(dirs, &windows)?;
+            let agg = merged_aggregate(dirs, &windows, shards)?;
             let syms = windows.iter().find_map(|w| window_syms(dirs, w));
             QueryOutcome::Text(agg.stat_json(syms.as_ref()))
         }
         Some((&"stat", rest)) => {
             let windows = resolve_windows(dirs, rest)?;
-            let agg = merged_aggregate(dirs, &windows)?;
+            let agg = merged_aggregate(dirs, &windows, shards)?;
             let mut out = agg.render();
             out.push_str(&format!("{} distinct PCs\n", agg.pc_samples.len()));
             QueryOutcome::Text(out)
@@ -209,7 +249,10 @@ pub fn answer(dirs: &StoreDirs, line: &str) -> Result<QueryOutcome, StoreError> 
         Some((&"diff", [wa, wb])) => {
             let wa = checked_label(dirs, wa)?;
             let wb = checked_label(dirs, wb)?;
-            let diff = diff_aggregates(&window_aggregate(dirs, wa)?, &window_aggregate(dirs, wb)?)?;
+            let diff = diff_aggregates(
+                &window_aggregate(dirs, wa, shards)?,
+                &window_aggregate(dirs, wb, shards)?,
+            )?;
             // Function-level when either side carries symbols, like
             // `mp-store diff`.
             let text = match window_syms(dirs, wa).or_else(|| window_syms(dirs, wb)) {
@@ -220,7 +263,7 @@ pub fn answer(dirs: &StoreDirs, line: &str) -> Result<QueryOutcome, StoreError> 
         }
         Some((&"objects", [w, col @ ..])) if col.len() <= 1 => {
             let w = checked_label(dirs, w)?;
-            let exp = window_experiment(dirs, w)?;
+            let exp = window_experiment(dirs, w, shards)?;
             let syms = window_syms(dirs, w).ok_or_else(|| bad("window has no symbol table"))?;
             let analysis = Analysis::new(&[&exp], &syms);
             let col = analysis_col(&analysis, col.first())?;
@@ -228,7 +271,7 @@ pub fn answer(dirs: &StoreDirs, line: &str) -> Result<QueryOutcome, StoreError> 
         }
         Some((&"segments", [w])) => {
             let w = checked_label(dirs, w)?;
-            let exp = window_experiment(dirs, w)?;
+            let exp = window_experiment(dirs, w, shards)?;
             let syms = window_syms(dirs, w).ok_or_else(|| bad("window has no symbol table"))?;
             let analysis = Analysis::new(&[&exp], &syms);
             let mut out = String::new();
@@ -244,7 +287,7 @@ pub fn answer(dirs: &StoreDirs, line: &str) -> Result<QueryOutcome, StoreError> 
         Some((&"pages", [w, n @ ..])) if n.len() <= 1 => {
             let w = checked_label(dirs, w)?;
             let n = parse_limit(n.first(), 10)?;
-            let exp = window_experiment(dirs, w)?;
+            let exp = window_experiment(dirs, w, shards)?;
             let syms = window_syms(dirs, w).ok_or_else(|| bad("window has no symbol table"))?;
             let analysis = Analysis::new(&[&exp], &syms);
             let mut out = String::new();
@@ -260,7 +303,7 @@ pub fn answer(dirs: &StoreDirs, line: &str) -> Result<QueryOutcome, StoreError> 
         Some((&"lines", [w, n @ ..])) if n.len() <= 1 => {
             let w = checked_label(dirs, w)?;
             let n = parse_limit(n.first(), 10)?;
-            let exp = window_experiment(dirs, w)?;
+            let exp = window_experiment(dirs, w, shards)?;
             let syms = window_syms(dirs, w).ok_or_else(|| bad("window has no symbol table"))?;
             let analysis = Analysis::new(&[&exp], &syms);
             let mut out = String::new();

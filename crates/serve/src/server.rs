@@ -342,7 +342,7 @@ fn recover_ingest(dirs: &StoreDirs) {
     };
     for entry in entries.flatten() {
         let path = entry.path();
-        if !path.extension().is_some_and(|x| x == "part") {
+        if path.extension().is_none_or(|x| x != "part") {
             continue;
         }
         let parsed = path

@@ -299,7 +299,7 @@ fn queries_answer_from_tiers_and_match_offline_aggregation() {
     let diff = serve::query(&addr, "diff wa wb").unwrap();
     let ra = ExperimentRef::open(&dirs.packed_path("wa")).unwrap();
     let rb = ExperimentRef::open(&dirs.packed_path("wb")).unwrap();
-    let offline_diff = memprof_store::diff_experiments(&ra, &rb).unwrap();
+    let offline_diff = memprof_store::diff_experiments(&ra, &rb, 0).unwrap();
     let offline_text = match ra.load_syms().or_else(|| rb.load_syms()) {
         Some(syms) => offline_diff.render_by_function(&syms),
         None => offline_diff.render(),

@@ -16,11 +16,14 @@
 //! and parallel results are *identical* — not just equivalent — which
 //! the tests assert byte-for-byte on the rendered output.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 
 use memprof_core::batch::ByPc;
-use memprof_core::{aggregate_by, CounterRequest, EventBatch, EventSource};
+use memprof_core::{
+    aggregate_by, fill_clock_pc_rows, fill_hwc_pc_rows, ClockEvent, CounterRequest, EventBatch,
+    EventSource, HwcEvent,
+};
 use simsparc_machine::CounterEvent;
 
 use crate::stream::EventStream;
@@ -128,11 +131,38 @@ fn finish(columns: Vec<ColSpec>, batch: &EventBatch, shards: usize) -> Aggregate
     }
 }
 
+/// One contiguous run of same-shaped events in the concatenated
+/// multi-experiment sequence, with its resolved column mapping — the
+/// unit the sharded fill splits by row range.
+enum Span<'a> {
+    Clock {
+        col: usize,
+        events: &'a [ClockEvent],
+    },
+    Hwc {
+        cols: &'a [usize],
+        counters: &'a [CounterRequest],
+        events: &'a [HwcEvent],
+    },
+}
+
+impl Span<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Span::Clock { events, .. } => events.len(),
+            Span::Hwc { events, .. } => events.len(),
+        }
+    }
+}
+
 /// Aggregate a set of experiments into a per-PC histogram.
 ///
-/// `shards = 1` runs serially on the calling thread; larger values
-/// split the batch across that many scoped threads. The result is
-/// identical either way.
+/// `shards = 1` runs serially on the calling thread (`0` sizes to the
+/// available cores); larger values split the *whole* pipeline — event
+/// validation, the batch fill, and the group-by fold — across that
+/// many scoped threads, each folding its contiguous slice of the
+/// concatenated event sequence and merging by addition. The result is
+/// identical at every shard count.
 pub fn aggregate<S: EventSource + ?Sized>(
     exps: &[&S],
     shards: usize,
@@ -142,18 +172,110 @@ pub fn aggregate<S: EventSource + ?Sized>(
         .map(|e| (e.clock_period(), e.counters()))
         .collect();
     let (columns, col_of, clock_col_of) = resolve_columns(&headers)?;
-    for exp in exps {
-        for ev in exp.hwc_events() {
-            if ev.counter >= exp.counters().len() {
+    let shards = match shards {
+        0 => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
+    };
+    if shards == 1 {
+        let mut batch = EventBatch::new(columns.len());
+        for (xi, exp) in exps.iter().enumerate() {
+            if let Some(col) = clock_col_of[xi] {
+                fill_clock_pc_rows(&mut batch, col, exp.clock_events());
+            }
+            if !fill_hwc_pc_rows(&mut batch, exp.counters(), &col_of[xi], exp.hwc_events()) {
                 return Err(StoreError::Corrupt("event references unknown counter"));
             }
         }
+        return Ok(finish(columns, &batch, 1));
     }
-    let mut batch = EventBatch::new(columns.len());
+    let mut spans: Vec<Span> = Vec::new();
     for (xi, exp) in exps.iter().enumerate() {
-        exp.fill_batch(&mut batch, &col_of[xi], clock_col_of[xi]);
+        if let Some(col) = clock_col_of[xi] {
+            spans.push(Span::Clock {
+                col,
+                events: exp.clock_events(),
+            });
+        }
+        spans.push(Span::Hwc {
+            cols: &col_of[xi],
+            counters: exp.counters(),
+            events: exp.hwc_events(),
+        });
     }
-    Ok(finish(columns, &batch, shards))
+    let total: usize = spans.iter().map(Span::len).sum();
+    let per = total.div_ceil(shards).max(1);
+    let ncols = columns.len();
+    let spans = &spans;
+    type ShardResult = Result<(HashMap<u64, Vec<u64>>, Vec<u64>), StoreError>;
+    let results: Vec<ShardResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|s| {
+                scope.spawn(move || -> ShardResult {
+                    let lo = (s * per).min(total);
+                    let hi = ((s + 1) * per).min(total);
+                    let mut batch = EventBatch::new(ncols);
+                    let mut base = 0usize;
+                    for span in spans {
+                        let (a, b) = (lo.max(base), hi.min(base + span.len()));
+                        if a < b {
+                            match span {
+                                Span::Clock { col, events } => {
+                                    fill_clock_pc_rows(
+                                        &mut batch,
+                                        *col,
+                                        &events[a - base..b - base],
+                                    );
+                                }
+                                Span::Hwc {
+                                    cols,
+                                    counters,
+                                    events,
+                                } => {
+                                    let events = &events[a - base..b - base];
+                                    if !fill_hwc_pc_rows(&mut batch, counters, cols, events) {
+                                        return Err(StoreError::Corrupt(
+                                            "event references unknown counter",
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                        base += span.len();
+                    }
+                    let map = aggregate_by(&batch, &ByPc, 1);
+                    Ok((map, batch.totals()))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut pc_samples: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut totals = vec![0u64; ncols];
+    for result in results {
+        let (map, shard_totals) = result?;
+        for (pc, samples) in map {
+            match pc_samples.entry(pc) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    for (dst, src) in e.get_mut().iter_mut().zip(&samples) {
+                        *dst += src;
+                    }
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(samples);
+                }
+            }
+        }
+        for (dst, src) in totals.iter_mut().zip(&shard_totals) {
+            *dst += src;
+        }
+    }
+    Ok(Aggregate {
+        columns,
+        pc_samples,
+        totals,
+    })
 }
 
 /// Aggregate a set of opened [`EventStream`]s — packed stores stream
@@ -167,7 +289,7 @@ pub fn aggregate_streams(streams: &[EventStream], shards: usize) -> Result<Aggre
     let (columns, col_of, clock_col_of) = resolve_columns(&headers)?;
     let mut batch = EventBatch::new(columns.len());
     for (xi, stream) in streams.iter().enumerate() {
-        stream.fill_batch(&mut batch, &col_of[xi], clock_col_of[xi])?;
+        stream.fill_pc_batch(&mut batch, &col_of[xi], clock_col_of[xi])?;
     }
     Ok(finish(columns, &batch, shards))
 }

@@ -129,6 +129,22 @@ pub(crate) fn get_stack(cur: &mut Cursor<'_>) -> Result<Vec<u64>, StoreError> {
     Ok(stack)
 }
 
+/// Skip one encoded callstack without materializing it: read the
+/// frame count, then consume the frame varints. The bulk columnar
+/// decode never looks at stacks, so this avoids the per-event `Vec`
+/// that [`get_stack`] allocates.
+pub(crate) fn skip_stack(cur: &mut Cursor<'_>) -> Result<(), StoreError> {
+    let n = cur.get_len(LIMIT)?;
+    for i in 0..n {
+        if i == 0 {
+            cur.get_u64()?;
+        } else {
+            cur.get_i64()?;
+        }
+    }
+    Ok(())
+}
+
 const FLAG_CANDIDATE: u8 = 1;
 const FLAG_EA: u8 = 2;
 /// The optional ground-truth EA column (absent in files written
@@ -210,6 +226,39 @@ pub(crate) fn get_hwc_event(
             truth_skid,
         },
     ))
+}
+
+/// Decode only the charge-relevant columns of one hwc event —
+/// `(delivered_pc, candidate_pc, ea)` — skipping the gap, the truth
+/// columns, and the callstack without allocating. The flag and skid
+/// validation matches [`get_hwc_event`] exactly, so a corrupt segment
+/// fails the same way on either path.
+pub(crate) fn get_hwc_plain(
+    cur: &mut Cursor<'_>,
+) -> Result<(u64, Option<u64>, Option<u64>), StoreError> {
+    cur.get_u64()?; // gap: unused by columnar aggregation
+    let flags = cur.take_byte()?;
+    if flags & !(FLAG_CANDIDATE | FLAG_EA | FLAG_TRUTH_EA) != 0 {
+        return Err(StoreError::Corrupt("unknown hwc event flags"));
+    }
+    let delivered_pc = cur.get_u64()?;
+    let candidate_pc = if flags & FLAG_CANDIDATE != 0 {
+        Some(delivered_pc.wrapping_add(cur.get_i64()? as u64))
+    } else {
+        None
+    };
+    let ea = if flags & FLAG_EA != 0 {
+        Some(cur.get_u64()?)
+    } else {
+        None
+    };
+    cur.get_i64()?; // truth trigger delta
+    if flags & FLAG_TRUTH_EA != 0 {
+        cur.get_u64()?;
+    }
+    u32::try_from(cur.get_u64()?).map_err(|_| StoreError::Corrupt("skid overflows u32"))?;
+    skip_stack(cur)?;
+    Ok((delivered_pc, candidate_pc, ea))
 }
 
 pub(crate) fn get_clock_event(cur: &mut Cursor<'_>) -> Result<ClockEvent, StoreError> {

@@ -23,6 +23,7 @@
 //! store magic.
 
 mod aggregate;
+mod dict;
 mod format;
 mod reader;
 mod stream;
@@ -56,6 +57,12 @@ pub enum StoreError {
     ChecksumMismatch,
     /// Structurally invalid content (with a static reason).
     Corrupt(&'static str),
+    /// Structurally invalid event indexing, naming the first global
+    /// index at which the contiguity check failed.
+    CorruptIndex {
+        why: &'static str,
+        index: u64,
+    },
     /// Experiments whose collection recipes do not line up.
     Incompatible(String),
     /// An event column could not be resolved against the combined
@@ -101,6 +108,9 @@ impl std::fmt::Display for StoreError {
             StoreError::BadVersion(v) => write!(f, "unsupported store version {v}"),
             StoreError::ChecksumMismatch => write!(f, "checksum mismatch (file corrupted?)"),
             StoreError::Corrupt(why) => write!(f, "corrupt store: {why}"),
+            StoreError::CorruptIndex { why, index } => {
+                write!(f, "corrupt store: {why} (first offending index {index})")
+            }
             StoreError::Incompatible(why) => write!(f, "incompatible experiments: {why}"),
             StoreError::ColumnMismatch(why) => write!(f, "column mismatch: {why}"),
             StoreError::At(path, e) => write!(f, "{}: {e}", path.display()),
@@ -347,20 +357,34 @@ pub fn merge_loaded(exps: &[Experiment]) -> Result<Experiment, StoreError> {
 }
 
 /// Load and merge a set of experiment references (text directories or
-/// packed stores, freely mixed).
+/// packed stores, freely mixed) through the shared callstack
+/// dictionary: interning happens once per merged store, not once per
+/// segment, and the result is identical to loading every input and
+/// calling [`merge_loaded`].
 pub fn merge_experiments(refs: &[ExperimentRef]) -> Result<Experiment, StoreError> {
-    let exps = refs
-        .iter()
-        .map(|r| r.load())
-        .collect::<Result<Vec<Experiment>, StoreError>>()?;
-    merge_loaded(&exps)
+    merge_experiments_sharded(refs, 1)
+}
+
+/// [`merge_experiments`] with the inputs decoded `shards` at a time
+/// on scoped threads (0 = one per available core). The merge itself
+/// — and its output — is identical at every shard count.
+pub fn merge_experiments_sharded(
+    refs: &[ExperimentRef],
+    shards: usize,
+) -> Result<Experiment, StoreError> {
+    dict::merge_inputs(dict::load_inputs(refs, shards)?)
 }
 
 /// Compare two experiments collected with the same recipe: aggregate
-/// each side and diff the per-PC histograms. Render the result with
+/// each side over `shards` shards (0 = one per available core) and
+/// diff the per-PC histograms. Render the result with
 /// [`AggDiff::render`] or, with a symbol table,
 /// [`AggDiff::render_by_function`].
-pub fn diff_experiments(a: &ExperimentRef, b: &ExperimentRef) -> Result<AggDiff, StoreError> {
+pub fn diff_experiments(
+    a: &ExperimentRef,
+    b: &ExperimentRef,
+    shards: usize,
+) -> Result<AggDiff, StoreError> {
     let sa = EventStream::open(a)?;
     let sb = EventStream::open(b)?;
     // Compatibility is a header property; packed stores are checked
@@ -373,8 +397,8 @@ pub fn diff_experiments(a: &ExperimentRef, b: &ExperimentRef) -> Result<AggDiff,
         sb.clock_period(),
         sb.clock_hz(),
     )?;
-    let agg_a = aggregate_streams(std::slice::from_ref(&sa), 1)?;
-    let agg_b = aggregate_streams(std::slice::from_ref(&sb), 1)?;
+    let agg_a = aggregate_streams(std::slice::from_ref(&sa), shards)?;
+    let agg_b = aggregate_streams(std::slice::from_ref(&sb), shards)?;
     diff_aggregates(&agg_a, &agg_b)
 }
 
@@ -540,6 +564,75 @@ mod tests {
         assert_eq!(m.clock_events.len(), 2 * a.clock_events.len());
         assert_eq!(m.run.counts.cycles, 2 * a.run.counts.cycles);
         assert_eq!(m.run.dropped, vec![6, 0]);
+    }
+
+    #[test]
+    fn dict_merge_matches_load_then_merge_loaded() {
+        use memprof_core::{CallstackTable, CollectSink as _, PackedClockEvent, PackedHwcEvent};
+        let exp = sample_experiment();
+
+        // Input 1: text directory.
+        let dir = scratch_path("dictmerge_text");
+        exp.save(&dir).unwrap();
+
+        // Input 2: v1 packed store.
+        let packed = scratch_path("dictmerge_v1");
+        std::fs::write(&packed, pack_experiment(&exp, &[])).unwrap();
+
+        // Input 3: v2 stream file carrying the same events, stacks
+        // pre-interned the way a streaming collector writes them.
+        let mut w = SegmentWriter::new(Vec::new());
+        w.begin(&exp.counters, exp.clock_period, exp.run.clock_hz)
+            .unwrap();
+        let mut table = CallstackTable::new();
+        let hwc: Vec<PackedHwcEvent> = exp
+            .hwc_events
+            .iter()
+            .map(|ev| PackedHwcEvent {
+                counter: ev.counter as u32,
+                delivered_pc: ev.delivered_pc,
+                candidate_pc: ev.candidate_pc,
+                ea: ev.ea,
+                stack: table.intern(&ev.callstack),
+                truth_trigger_pc: ev.truth_trigger_pc,
+                truth_ea: ev.truth_ea,
+                truth_skid: ev.truth_skid,
+            })
+            .collect();
+        let clock: Vec<PackedClockEvent> = exp
+            .clock_events
+            .iter()
+            .map(|ev| PackedClockEvent {
+                pc: ev.pc,
+                stack: table.intern(&ev.callstack),
+            })
+            .collect();
+        w.stacks(table.stacks_from(0)).unwrap();
+        w.hwc_segment(&hwc).unwrap();
+        w.clock_segment(&clock).unwrap();
+        w.finish(&exp.run, &exp.log).unwrap();
+        let stream = scratch_path("dictmerge_v2");
+        std::fs::write(&stream, w.into_inner()).unwrap();
+
+        let refs = vec![
+            ExperimentRef::TextDir(dir.clone()),
+            ExperimentRef::Packed(packed.clone()),
+            ExperimentRef::Packed(stream.clone()),
+        ];
+        let loaded: Vec<Experiment> = refs.iter().map(|r| r.load().unwrap()).collect();
+        let oracle = merge_loaded(&loaded).unwrap();
+        for shards in [1, 3] {
+            let merged = merge_experiments_sharded(&refs, shards).unwrap();
+            assert_eq!(merged.counters, oracle.counters);
+            assert_eq!(merged.clock_period, oracle.clock_period);
+            assert_eq!(merged.hwc_events, oracle.hwc_events);
+            assert_eq!(merged.clock_events, oracle.clock_events);
+            assert_eq!(merged.run, oracle.run);
+            assert_eq!(merged.log, oracle.log);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&packed).ok();
+        std::fs::remove_file(&stream).ok();
     }
 
     #[test]

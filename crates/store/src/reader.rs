@@ -9,10 +9,12 @@
 
 use std::path::Path;
 
+use memprof_core::batch::NO_ADDR;
 use memprof_core::{ClockEvent, CounterRequest, EventBatch, Experiment, HwcEvent, RunInfo};
 
 use crate::format::{
-    get_clock_event, get_hwc_event, parse_store, ParsedStore, Segment, SEG_CLOCK, SEG_HWC,
+    get_clock_event, get_hwc_event, get_hwc_plain, parse_store, skip_stack, ParsedStore, Segment,
+    SEG_CLOCK, SEG_HWC,
 };
 use crate::varint::Cursor;
 use crate::StoreError;
@@ -129,30 +131,113 @@ impl StoreFile {
     /// materializing an [`Experiment`]: the packed-store counterpart
     /// of [`memprof_core::EventSource::fill_batch`], with the same
     /// charge-PC rule (candidate trigger for backtracked counters,
-    /// delivered PC otherwise). Events are visited per segment, so
-    /// only one decoded event is live at a time.
+    /// delivered PC otherwise).
+    ///
+    /// This is the bulk decode path: the batch is pre-sized from the
+    /// segment-index counts, each segment's varint stream is decoded
+    /// straight into the batch columns (callstacks and truth columns
+    /// skipped, never allocated), and the charge-PC rule is applied
+    /// vectorized over each backtracked segment's row range instead
+    /// of being branched per event.
     pub fn fill_batch(
         &self,
         batch: &mut EventBatch,
         hwc_col: &[usize],
         clock_col: Option<usize>,
     ) -> Result<(), StoreError> {
+        let clock = if clock_col.is_some() {
+            self.clock_count()
+        } else {
+            0
+        };
+        batch.reserve_plain(self.hwc_total() + clock);
         if let Some(col) = clock_col {
-            for ev in self.clock_events() {
-                let ev = ev?;
-                batch.push_plain(col, ev.pc, ev.pc, None, None);
+            if let Some(seg) = self.segment(SEG_CLOCK, 0) {
+                let mut cur = Cursor::new(self.segment_bytes(seg));
+                let (cols, pcs, delivered, _candidates, _eas) = batch.grow_plain(seg.count);
+                for i in 0..seg.count {
+                    let pc = cur.get_u64()?;
+                    skip_stack(&mut cur)?;
+                    cols[i] = col as u32;
+                    pcs[i] = pc;
+                    delivered[i] = pc;
+                }
+                if !cur.is_empty() {
+                    return Err(StoreError::Corrupt("trailing bytes in segment"));
+                }
             }
         }
         for (ci, req) in self.counters().iter().enumerate() {
+            let Some(seg) = self.segment(SEG_HWC, ci) else {
+                continue;
+            };
             let col = hwc_col[ci];
-            for item in self.hwc_events(ci) {
-                let (_, ev) = item?;
-                let charged = if req.backtrack {
-                    ev.candidate_pc.unwrap_or(ev.delivered_pc)
+            let mut cur = Cursor::new(self.segment_bytes(seg));
+            let start = batch.len();
+            {
+                let (cols, pcs, delivered, candidates, eas) = batch.grow_plain(seg.count);
+                for i in 0..seg.count {
+                    let (delivered_pc, candidate_pc, ea) = get_hwc_plain(&mut cur)?;
+                    cols[i] = col as u32;
+                    pcs[i] = delivered_pc;
+                    delivered[i] = delivered_pc;
+                    candidates[i] = candidate_pc.unwrap_or(NO_ADDR);
+                    eas[i] = ea.unwrap_or(NO_ADDR);
+                }
+            }
+            if !cur.is_empty() {
+                return Err(StoreError::Corrupt("trailing bytes in segment"));
+            }
+            if req.backtrack {
+                batch.charge_candidates(start..batch.len());
+            }
+        }
+        Ok(())
+    }
+
+    /// [`StoreFile::fill_batch`] in the pc projection: the same bulk
+    /// varint decode, but the charge-PC rule is applied inline as each
+    /// backtracked segment is decoded and the columns a per-PC
+    /// histogram never reads are not written at all.
+    pub fn fill_pc_batch(
+        &self,
+        batch: &mut EventBatch,
+        hwc_col: &[usize],
+        clock_col: Option<usize>,
+    ) -> Result<(), StoreError> {
+        if let Some(col) = clock_col {
+            if let Some(seg) = self.segment(SEG_CLOCK, 0) {
+                let mut cur = Cursor::new(self.segment_bytes(seg));
+                let (cols, pcs) = batch.grow_pc_rows(seg.count);
+                for i in 0..seg.count {
+                    let pc = cur.get_u64()?;
+                    skip_stack(&mut cur)?;
+                    cols[i] = col as u32;
+                    pcs[i] = pc;
+                }
+                if !cur.is_empty() {
+                    return Err(StoreError::Corrupt("trailing bytes in segment"));
+                }
+            }
+        }
+        for (ci, req) in self.counters().iter().enumerate() {
+            let Some(seg) = self.segment(SEG_HWC, ci) else {
+                continue;
+            };
+            let col = hwc_col[ci];
+            let mut cur = Cursor::new(self.segment_bytes(seg));
+            let (cols, pcs) = batch.grow_pc_rows(seg.count);
+            for i in 0..seg.count {
+                let (delivered_pc, candidate_pc, _ea) = get_hwc_plain(&mut cur)?;
+                cols[i] = col as u32;
+                pcs[i] = if req.backtrack {
+                    candidate_pc.unwrap_or(delivered_pc)
                 } else {
-                    ev.delivered_pc
+                    delivered_pc
                 };
-                batch.push_plain(col, charged, ev.delivered_pc, ev.candidate_pc, ev.ea);
+            }
+            if !cur.is_empty() {
+                return Err(StoreError::Corrupt("trailing bytes in segment"));
             }
         }
         Ok(())
@@ -166,29 +251,62 @@ impl StoreFile {
             .sum()
     }
 
+    /// Visit every hwc event in global-index order without collecting
+    /// and sorting them first: a linear pick-min merge over the
+    /// per-counter streams (each segment is already ordered by global
+    /// index). Contiguity is verified as the merge runs — a gap or
+    /// duplicate surfaces as [`StoreError::CorruptIndex`] naming the
+    /// first offending index.
+    pub(crate) fn for_each_hwc_ordered(
+        &self,
+        mut f: impl FnMut(HwcEvent),
+    ) -> Result<(), StoreError> {
+        let mut iters: Vec<HwcIter<'_>> = (0..self.parsed.counters.len())
+            .map(|ci| self.hwc_events(ci))
+            .collect();
+        let mut heads: Vec<Option<(u64, HwcEvent)>> = Vec::with_capacity(iters.len());
+        for it in iters.iter_mut() {
+            heads.push(it.next().transpose()?);
+        }
+        let mut next = 0u64;
+        loop {
+            let Some(ci) = heads
+                .iter()
+                .enumerate()
+                .filter_map(|(ci, head)| head.as_ref().map(|(gi, _)| (ci, *gi)))
+                .min_by_key(|&(_, gi)| gi)
+                .map(|(ci, _)| ci)
+            else {
+                return Ok(());
+            };
+            let (gi, ev) = heads[ci].take().unwrap();
+            if gi != next {
+                return Err(StoreError::CorruptIndex {
+                    why: "event indices are not contiguous",
+                    index: gi,
+                });
+            }
+            next += 1;
+            f(ev);
+            heads[ci] = iters[ci].next().transpose()?;
+        }
+    }
+
     /// Decode the full store back into an [`Experiment`], merging the
     /// per-counter streams by global index to restore the original
-    /// interleaved event order.
+    /// interleaved event order. The event vector is pre-sized from the
+    /// segment index and filled by the streaming merge — the events
+    /// are never collected out of order and re-sorted.
     pub fn to_experiment(&self) -> Result<Experiment, StoreError> {
-        let mut indexed: Vec<(u64, HwcEvent)> = Vec::new();
-        for ci in 0..self.parsed.counters.len() {
-            for item in self.hwc_events(ci) {
-                indexed.push(item?);
-            }
-        }
-        indexed.sort_by_key(|(gi, _)| *gi);
-        for (want, (gi, _)) in indexed.iter().enumerate() {
-            if *gi != want as u64 {
-                return Err(StoreError::Corrupt("event indices are not contiguous"));
-            }
-        }
+        let mut hwc_events: Vec<HwcEvent> = Vec::with_capacity(self.hwc_total());
+        self.for_each_hwc_ordered(|ev| hwc_events.push(ev))?;
         let clock_events = self
             .clock_events()
             .collect::<Result<Vec<ClockEvent>, StoreError>>()?;
         Ok(Experiment {
             counters: self.parsed.counters.clone(),
             clock_period: self.parsed.clock_period,
-            hwc_events: indexed.into_iter().map(|(_, ev)| ev).collect(),
+            hwc_events,
             clock_events,
             run: self.parsed.run.clone(),
             log: self.parsed.log.clone(),
@@ -264,5 +382,37 @@ impl Iterator for ClockIter<'_> {
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         (0, Some(self.remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{fnv1a64, pack_experiment, PREAMBLE_LEN};
+    use crate::tests::sample_experiment;
+
+    #[test]
+    fn contiguity_error_names_first_offending_index() {
+        let exp = sample_experiment();
+        let mut bytes = pack_experiment(&exp, &[]);
+        // Bump the first gap varint of counter 0's segment (a
+        // one-byte `0`, so counter 0's events claim global indices 5
+        // and 7): the streaming merge then meets counter 1's event at
+        // index 1 while expecting index 0, and must name it.
+        let store = StoreFile::from_bytes(bytes.clone()).unwrap();
+        let seg = store.segment(SEG_HWC, 0).unwrap();
+        let gap_at = store.parsed.payload_start + seg.offset;
+        assert_eq!(bytes[gap_at], 0);
+        bytes[gap_at] = 5;
+        let checksum = fnv1a64(&bytes[PREAMBLE_LEN..]);
+        bytes[5..13].copy_from_slice(&checksum.to_le_bytes());
+        let corrupt = StoreFile::from_bytes(bytes).unwrap();
+        match corrupt.to_experiment() {
+            Err(StoreError::CorruptIndex { why, index }) => {
+                assert_eq!(why, "event indices are not contiguous");
+                assert_eq!(index, 1);
+            }
+            other => panic!("expected CorruptIndex, got {:?}", other.map(|_| ())),
+        }
     }
 }

@@ -122,4 +122,29 @@ impl EventStream {
             EventStream::Stream(s) => s.fill_batch(batch, hwc_col, clock_col),
         }
     }
+
+    /// [`EventStream::fill_batch`] in the pc projection (see
+    /// [`memprof_core::EventBatch::grow_pc_rows`]): only the columns
+    /// a per-PC histogram reads are materialized, with the charge-PC
+    /// rule applied inline as events are decoded.
+    pub fn fill_pc_batch(
+        &self,
+        batch: &mut EventBatch,
+        hwc_col: &[usize],
+        clock_col: Option<usize>,
+    ) -> Result<(), StoreError> {
+        match self {
+            EventStream::Loaded(e) => {
+                if let Some(col) = clock_col {
+                    memprof_core::fill_clock_pc_rows(batch, col, &e.clock_events);
+                }
+                if !memprof_core::fill_hwc_pc_rows(batch, &e.counters, hwc_col, &e.hwc_events) {
+                    return Err(StoreError::Corrupt("event references unknown counter"));
+                }
+                Ok(())
+            }
+            EventStream::Packed(s) => s.fill_pc_batch(batch, hwc_col, clock_col),
+            EventStream::Stream(s) => s.fill_pc_batch(batch, hwc_col, clock_col),
+        }
+    }
 }

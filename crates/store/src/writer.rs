@@ -664,6 +664,12 @@ impl StreamFile {
         hwc_col: &[usize],
         clock_col: Option<usize>,
     ) -> Result<(), StoreError> {
+        let clock = if clock_col.is_some() {
+            self.clock.len()
+        } else {
+            0
+        };
+        batch.reserve_plain(self.hwc.len() + clock);
         if let Some(col) = clock_col {
             for ev in &self.clock {
                 batch.push_plain(col, ev.pc, ev.pc, None, None);
@@ -678,6 +684,34 @@ impl StreamFile {
                 ev.delivered_pc
             };
             batch.push_plain(col, charged, ev.delivered_pc, ev.candidate_pc, ev.ea);
+        }
+        Ok(())
+    }
+
+    /// [`StreamFile::fill_batch`] in the pc projection: only the
+    /// columns a per-PC histogram reads are materialized.
+    pub fn fill_pc_batch(
+        &self,
+        batch: &mut EventBatch,
+        hwc_col: &[usize],
+        clock_col: Option<usize>,
+    ) -> Result<(), StoreError> {
+        if let Some(col) = clock_col {
+            let (cols, pcs) = batch.grow_pc_rows(self.clock.len());
+            for (i, ev) in self.clock.iter().enumerate() {
+                cols[i] = col as u32;
+                pcs[i] = ev.pc;
+            }
+        }
+        let (cols, pcs) = batch.grow_pc_rows(self.hwc.len());
+        for (i, ev) in self.hwc.iter().enumerate() {
+            let req = &self.counters[ev.counter as usize];
+            cols[i] = hwc_col[ev.counter as usize] as u32;
+            pcs[i] = if req.backtrack {
+                ev.candidate_pc.unwrap_or(ev.delivered_pc)
+            } else {
+                ev.delivered_pc
+            };
         }
         Ok(())
     }

@@ -1,6 +1,7 @@
 #!/bin/sh
-# Regenerate machine-readable benchmark results and compare them
-# against the checked-in BENCH_*.json baselines with bench_gate.
+# Regenerate machine-readable benchmark results, compare them against
+# the checked-in BENCH_*.json baselines with bench_gate, and append
+# each run's records to the accumulated perf trajectory.
 #
 #   scripts/bench-trajectory.sh [--threshold X]
 #
@@ -10,10 +11,19 @@
 # baseline after an intentional perf change:
 #
 #   cp target/bench-json/BENCH_store_aggregation.json BENCH_store_aggregation.json
+#
+# Every run also appends one line per bench to bench-trajectory.jsonl
+# — `{"rev", "date", "bench", "records"}` — so the checked-in file
+# accumulates the perf history across PRs. Set
+# BENCH_TRAJECTORY_APPEND=0 to skip the append (e.g. for throwaway
+# local runs).
 set -eu
 cd "$(dirname "$0")/.."
 
-BENCHES="store_aggregation view_aggregation"
+BENCHES="store_aggregation view_aggregation merged_store_aggregation"
+TRAJECTORY="bench-trajectory.jsonl"
+rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 mkdir -p target/bench-json
 fail=0
 for b in $BENCHES; do
@@ -22,6 +32,10 @@ for b in $BENCHES; do
     out="$PWD/target/bench-json/BENCH_$b.json"
     rm -f "$out"
     CRITERION_JSON="$out" cargo bench -p mcf-bench --bench "$b" --offline
+    if [ "${BENCH_TRAJECTORY_APPEND:-1}" != 0 ]; then
+        printf '{"rev":"%s","date":"%s","bench":"%s","records":%s}\n' \
+            "$rev" "$date" "$b" "$(tr -d '\n' < "$out")" >> "$TRAJECTORY"
+    fi
     if [ -f "BENCH_$b.json" ]; then
         cargo run -q --release --offline -p mcf-bench --bin bench_gate -- \
             "BENCH_$b.json" "$out" "$@" || fail=1
@@ -31,4 +45,7 @@ for b in $BENCHES; do
         fail=1
     fi
 done
+if [ "${BENCH_TRAJECTORY_APPEND:-1}" != 0 ]; then
+    echo "bench-trajectory: appended $(echo "$BENCHES" | wc -w | tr -d ' ') runs to $TRAJECTORY ($(wc -l < "$TRAJECTORY" | tr -d ' ') lines total)"
+fi
 exit $fail
