@@ -42,6 +42,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use minic::MemDesc;
 
@@ -392,6 +393,19 @@ pub trait GroupKey {
         let _ = (batch, raw);
         unreachable!("decode_key on a keyer without a raw key column")
     }
+
+    /// Borrow a batch column that *is* the raw key column: one raw
+    /// value per row with no skipped rows. When a keyer can return
+    /// one, the fold reads the batch's own array directly instead of
+    /// materializing 16-byte `Option<u64>` entries per row — on a
+    /// per-PC histogram that materialization is a full extra pass of
+    /// memory traffic. Must agree with [`GroupKey::key_column`]:
+    /// `dense_keys(batch)[i]` equals the raw value `key_column` would
+    /// yield for row `i`, for every row.
+    fn dense_keys<'a>(&self, batch: &'a EventBatch) -> Option<&'a [u64]> {
+        let _ = batch;
+        None
+    }
 }
 
 impl<K, F> GroupKey for F
@@ -428,6 +442,10 @@ impl GroupKey for ByPc {
 
     fn decode_key(&self, _batch: &EventBatch, raw: u64) -> u64 {
         raw
+    }
+
+    fn dense_keys<'a>(&self, batch: &'a EventBatch) -> Option<&'a [u64]> {
+        Some(&batch.pc)
     }
 }
 
@@ -679,45 +697,57 @@ fn partition_count(shards: usize) -> usize {
     shards.next_power_of_two().min(256)
 }
 
-/// One shard's rows, dealt into partition order:
-/// `entries[starts[p]..starts[p + 1]]` holds the shard's
-/// `(raw key, column)` pairs of partition `p`.
-struct ShardPartitions {
-    starts: Vec<usize>,
-    entries: Vec<(u64, u32)>,
+/// How many rows one morsel claims. Matches the serial path's block
+/// size: big enough that the claim (one `fetch_add`) is noise, small
+/// enough that a straggler thread holds at most one morsel of work
+/// while its peers sit idle.
+const MORSEL_ROWS: usize = 1 << 16;
+
+/// One worker's rows, dealt into per-partition `(raw key, column)`
+/// runs. Workers claim morsels off a shared cursor, so which rows a
+/// worker saw is nondeterministic — but addition commutes, so the
+/// fold's output never depends on the claim order.
+struct WorkerPartitions {
+    parts: Vec<Vec<(u64, u32)>>,
 }
 
-/// Phase 1 of the raw fold, run once per shard: materialize the key
-/// column for a contiguous row range, then counting-sort the kept
-/// rows into partition order (histogram, prefix sums, scatter — two
-/// passes, no comparisons).
-fn shard_partitions<G: GroupKey>(
+/// Phase 1 of the raw fold, run by each worker thread: claim morsels
+/// off the shared row cursor until the batch is exhausted,
+/// materialize each morsel's key column (or borrow the batch's own
+/// array on the dense path), and deal kept rows into per-partition
+/// runs.
+fn partition_morsels<G: GroupKey>(
     batch: &EventBatch,
     keyer: &G,
-    range: Range<usize>,
-    parts: usize,
-) -> ShardPartitions {
-    let lo = range.start;
-    let mut keys: Vec<Option<u64>> = Vec::with_capacity(range.len());
-    let raw = keyer.key_column(batch, range, &mut keys);
-    debug_assert!(raw, "raw fold on a keyer without a key column");
-    let mut starts = vec![0usize; parts + 1];
-    for raw in keys.iter().flatten() {
-        starts[part_of(*raw, parts) + 1] += 1;
-    }
-    for p in 0..parts {
-        starts[p + 1] += starts[p];
-    }
-    let mut cursor = starts[..parts].to_vec();
-    let mut entries = vec![(0u64, 0u32); starts[parts]];
-    for (j, key) in keys.iter().enumerate() {
-        if let Some(raw) = *key {
-            let p = part_of(raw, parts);
-            entries[cursor[p]] = (raw, batch.col[lo + j]);
-            cursor[p] += 1;
+    cursor: &AtomicUsize,
+    nparts: usize,
+) -> WorkerPartitions {
+    let len = batch.len();
+    let dense = keyer.dense_keys(batch);
+    let mut parts: Vec<Vec<(u64, u32)>> = (0..nparts).map(|_| Vec::new()).collect();
+    let mut keys: Vec<Option<u64>> = Vec::new();
+    loop {
+        let lo = cursor.fetch_add(MORSEL_ROWS, Ordering::Relaxed);
+        if lo >= len {
+            break;
+        }
+        let hi = (lo + MORSEL_ROWS).min(len);
+        if let Some(col) = dense {
+            for (&raw, &c) in col[lo..hi].iter().zip(&batch.col[lo..hi]) {
+                parts[part_of(raw, nparts)].push((raw, c));
+            }
+        } else {
+            keys.clear();
+            let raw_ok = keyer.key_column(batch, lo..hi, &mut keys);
+            debug_assert!(raw_ok, "raw fold on a keyer without a key column");
+            for (key, &c) in keys.iter().zip(&batch.col[lo..hi]) {
+                if let Some(raw) = *key {
+                    parts[part_of(raw, nparts)].push((raw, c));
+                }
+            }
         }
     }
-    ShardPartitions { starts, entries }
+    WorkerPartitions { parts }
 }
 
 /// Open-addressing fold table keyed by raw values. Group indices live
@@ -736,8 +766,17 @@ struct RawTable {
 
 impl RawTable {
     fn new(ncols: usize) -> RawTable {
+        RawTable::with_groups_hint(ncols, 0)
+    }
+
+    /// Size the slot array for an expected distinct-group count so
+    /// a fold over a known-large partition skips the early rehash
+    /// ladder. The hint is a ceiling estimate, not a promise — the
+    /// table still grows normally past it.
+    fn with_groups_hint(ncols: usize, groups: usize) -> RawTable {
+        let slots = (groups.max(1) * 2).next_power_of_two().clamp(1024, 1 << 17);
         RawTable {
-            slots: vec![u32::MAX; 1024],
+            slots: vec![u32::MAX; slots],
             raws: Vec::new(),
             samples: Vec::new(),
             ncols,
@@ -786,17 +825,18 @@ impl RawTable {
 }
 
 /// Phase 2 of the raw fold, run once per partition: fold the
-/// partition's entries from every shard through a [`RawTable`]. Each
+/// partition's entries from every worker through a [`RawTable`]. Each
 /// partition owns a disjoint key range, so there is no
-/// cross-partition synchronization.
-fn fold_partition(shards: &[ShardPartitions], p: usize, ncols: usize) -> (Vec<u64>, Vec<u64>) {
-    let total: usize = shards.iter().map(|s| s.starts[p + 1] - s.starts[p]).sum();
+/// cross-partition synchronization. The table is pre-sized from the
+/// partition's entry count (a distinct-group ceiling).
+fn fold_partition(workers: &[WorkerPartitions], p: usize, ncols: usize) -> (Vec<u64>, Vec<u64>) {
+    let total: usize = workers.iter().map(|w| w.parts[p].len()).sum();
     if total == 0 {
         return (Vec::new(), Vec::new());
     }
-    let mut table = RawTable::new(ncols);
-    for shard in shards {
-        for &(raw, col) in &shard.entries[shard.starts[p]..shard.starts[p + 1]] {
+    let mut table = RawTable::with_groups_hint(ncols, total / 4);
+    for worker in workers {
+        for &(raw, col) in &worker.parts[p] {
             table.add(raw, col);
         }
     }
@@ -811,18 +851,24 @@ where
     let len = batch.len();
     let ncols = batch.ncols();
     if shards == 1 {
-        // Inline fold: with a single shard the counting sort would
+        // Inline fold: with a single worker the partition deal would
         // only copy the rows it is about to fold, so the partition
-        // phase is skipped entirely. The key column materializes in
-        // cache-sized blocks and each block folds while still warm —
-        // the full-length key vector of the sharded path would make
-        // a round trip through memory just to be read back once.
-        const BLOCK: usize = 1 << 16;
-        let mut keys: Vec<Option<u64>> = Vec::with_capacity(BLOCK.min(len));
+        // phase is skipped entirely. On the dense path the batch's
+        // own key array feeds the table directly; otherwise the key
+        // column materializes in cache-sized blocks and each block
+        // folds while still warm — a full-length key vector would
+        // make a round trip through memory just to be read back once.
         let mut table = RawTable::new(ncols);
+        if let Some(col) = keyer.dense_keys(batch) {
+            for (&raw, &c) in col.iter().zip(&batch.col) {
+                table.add(raw, c);
+            }
+            return decode_folded(batch, keyer, &[(table.raws, table.samples)], ncols);
+        }
+        let mut keys: Vec<Option<u64>> = Vec::with_capacity(MORSEL_ROWS.min(len));
         let mut lo = 0;
         while lo < len {
-            let hi = (lo + BLOCK).min(len);
+            let hi = (lo + MORSEL_ROWS).min(len);
             keys.clear();
             let raw = keyer.key_column(batch, lo..hi, &mut keys);
             debug_assert!(raw, "raw fold on a keyer without a key column");
@@ -835,30 +881,50 @@ where
         }
         return decode_folded(batch, keyer, &[(table.raws, table.samples)], ncols);
     }
-    let parts = partition_count(shards);
-    let shard_data: Vec<ShardPartitions> = {
-        let per = len.div_ceil(shards);
+    let nparts = partition_count(shards);
+    let workers: Vec<WorkerPartitions> = {
+        let cursor = AtomicUsize::new(0);
+        let cursor = &cursor;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shards)
-                .map(|s| {
-                    scope.spawn(move || {
-                        let lo = (s * per).min(len);
-                        let hi = ((s + 1) * per).min(len);
-                        shard_partitions(batch, keyer, lo..hi, parts)
-                    })
-                })
+                .map(|_| scope.spawn(move || partition_morsels(batch, keyer, cursor, nparts)))
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         })
     };
+    // Fold partitions with the same work-stealing shape: `shards`
+    // threads claim partition indices off a cursor, so an unlucky
+    // thread stuck with the hottest partition doesn't serialize the
+    // rest behind it.
     let folded: Vec<(Vec<u64>, Vec<u64>)> = {
-        let shard_data = &shard_data;
+        let workers = &workers;
+        let cursor = AtomicUsize::new(0);
+        let cursor = &cursor;
+        let mut folded: Vec<(Vec<u64>, Vec<u64>)> =
+            (0..nparts).map(|_| (Vec::new(), Vec::new())).collect();
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..parts)
-                .map(|p| scope.spawn(move || fold_partition(shard_data, p, ncols)))
+            let handles: Vec<_> = (0..shards.min(nparts))
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let p = cursor.fetch_add(1, Ordering::Relaxed);
+                            if p >= nparts {
+                                break;
+                            }
+                            mine.push((p, fold_partition(workers, p, ncols)));
+                        }
+                        mine
+                    })
+                })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
+            for h in handles {
+                for (p, r) in h.join().unwrap() {
+                    folded[p] = r;
+                }
+            }
+        });
+        folded
     };
     decode_folded(batch, keyer, &folded, ncols)
 }
@@ -900,19 +966,28 @@ fn key_hash<K: Hash>(key: &K) -> u64 {
     hasher.finish()
 }
 
-/// Phase 1 of the generic fold: materialize this shard's typed keys
+/// Phase 1 of the generic fold, run by each worker thread: claim
+/// morsels off the shared row cursor, materialize the typed keys,
 /// and deal the kept rows into per-partition buckets by mixed hash.
-fn generic_buckets<G: GroupKey>(
+fn generic_morsels<G: GroupKey>(
     batch: &EventBatch,
     keyer: &G,
-    range: Range<usize>,
+    cursor: &AtomicUsize,
     parts: usize,
 ) -> Vec<Vec<(G::Key, u32)>> {
+    let len = batch.len();
     let mut buckets: Vec<Vec<(G::Key, u32)>> = (0..parts).map(|_| Vec::new()).collect();
-    for i in range {
-        if let Some(k) = keyer.key(batch, i) {
-            let p = part_of(key_hash(&k), parts);
-            buckets[p].push((k, batch.col[i]));
+    loop {
+        let lo = cursor.fetch_add(MORSEL_ROWS, Ordering::Relaxed);
+        if lo >= len {
+            break;
+        }
+        let hi = (lo + MORSEL_ROWS).min(len);
+        for i in lo..hi {
+            if let Some(k) = keyer.key(batch, i) {
+                let p = part_of(key_hash(&k), parts);
+                buckets[p].push((k, batch.col[i]));
+            }
         }
     }
     buckets
@@ -941,22 +1016,17 @@ fn aggregate_generic<G>(batch: &EventBatch, keyer: &G, shards: usize) -> HashMap
 where
     G: GroupKey + Sync,
 {
-    let len = batch.len();
     let ncols = batch.ncols();
     let parts = partition_count(shards);
     let shard_buckets: Vec<PartitionedKeys<G::Key>> = if shards == 1 {
-        vec![generic_buckets(batch, keyer, 0..len, parts)]
+        let cursor = AtomicUsize::new(0);
+        vec![generic_morsels(batch, keyer, &cursor, parts)]
     } else {
-        let per = len.div_ceil(shards);
+        let cursor = AtomicUsize::new(0);
+        let cursor = &cursor;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shards)
-                .map(|s| {
-                    scope.spawn(move || {
-                        let lo = (s * per).min(len);
-                        let hi = ((s + 1) * per).min(len);
-                        generic_buckets(batch, keyer, lo..hi, parts)
-                    })
-                })
+                .map(|_| scope.spawn(move || generic_morsels(batch, keyer, cursor, parts)))
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         })
@@ -1005,23 +1075,58 @@ where
     out
 }
 
+/// Floor on rows per worker thread: below this, spawn + join costs
+/// more than the fold itself, so the shard count is clamped until
+/// every worker has at least this many rows to chew on.
+pub const MIN_ROWS_PER_SHARD: usize = 8192;
+
+/// Resolve a requested shard count against the machine and the
+/// workload: `0` means "auto", any request is capped by
+/// [`std::thread::available_parallelism`] (threads beyond the core
+/// count only add spawn and scheduling overhead), and the result is
+/// clamped so every worker gets at least [`MIN_ROWS_PER_SHARD`] rows.
+/// On a single-core host this resolves every request to 1 — the
+/// sharded fold's output is identical anyway, so only wall clock
+/// changes.
+pub fn effective_shards(requested: usize, rows: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    let capped = match requested {
+        0 => hw,
+        n => n.min(hw),
+    };
+    capped.min(rows / MIN_ROWS_PER_SHARD).max(1)
+}
+
 /// The group-by kernel behind every analyzer view and store
-/// histogram: a sharded radix-partition fold over a materialized key
-/// column. `shards == 0` picks [`std::thread::available_parallelism`]
-/// automatically; `shards == 1` runs the same kernel inline without
-/// spawning. Every shard count produces output identical to
+/// histogram: a morsel-driven radix-partition fold over a
+/// materialized key column. The shard count is resolved through
+/// [`effective_shards`] — `0` picks the available parallelism, and
+/// any count is capped by the core count and a min-rows floor so
+/// small batches and single-core hosts never pay spawn overhead.
+/// Every shard count produces output identical to
 /// [`aggregate_by_serial`]'s.
 pub fn aggregate_by<G>(batch: &EventBatch, keyer: &G, shards: usize) -> HashMap<G::Key, Vec<u64>>
 where
     G: GroupKey + Sync,
 {
-    let shards = match shards {
-        0 => std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1),
-        n => n,
-    }
-    .min(batch.len().max(1));
+    aggregate_by_exact(batch, keyer, effective_shards(shards, batch.len()))
+}
+
+/// [`aggregate_by`] with the shard count honored exactly (only
+/// clamped to the row count): differential tests use this to drive
+/// the multi-worker morsel paths regardless of the host's core
+/// count. Production callers want [`aggregate_by`].
+pub fn aggregate_by_exact<G>(
+    batch: &EventBatch,
+    keyer: &G,
+    shards: usize,
+) -> HashMap<G::Key, Vec<u64>>
+where
+    G: GroupKey + Sync,
+{
+    let shards = shards.max(1).min(batch.len().max(1));
     let mut probe = Vec::new();
     if keyer.key_column(batch, 0..0, &mut probe) {
         aggregate_raw(batch, keyer, shards)
@@ -1051,21 +1156,54 @@ mod tests {
     #[test]
     fn serial_and_sharded_agree_on_every_key() {
         let b = bag(1000);
-        // 0 = auto (available parallelism); 1 = inline radix fold.
+        // `aggregate_by` resolves through effective_shards (0 = auto)
+        // and may collapse to the inline fold on a small box;
+        // `aggregate_by_exact` forces the multi-worker morsel path
+        // even on a single-core host.
         for shards in [0, 1, 2, 3, 7, 16] {
             assert_eq!(
                 aggregate_by(&b, &ByPc, shards),
                 aggregate_by_serial(&b, &ByPc)
             );
             assert_eq!(
-                aggregate_by(&b, &ByAddrBucket { bytes: 64 }, shards),
+                aggregate_by_exact(&b, &ByPc, shards),
+                aggregate_by_serial(&b, &ByPc)
+            );
+            assert_eq!(
+                aggregate_by_exact(&b, &ByAddrBucket { bytes: 64 }, shards),
                 aggregate_by_serial(&b, &ByAddrBucket { bytes: 64 })
             );
             assert_eq!(
-                aggregate_by(&b, &ByFunc, shards),
+                aggregate_by_exact(&b, &ByFunc, shards),
                 aggregate_by_serial(&b, &ByFunc)
             );
         }
+    }
+
+    #[test]
+    fn morsel_workers_agree_on_multi_morsel_batches() {
+        // More rows than one morsel, so multi-worker runs exercise
+        // real claim contention and per-worker partition runs.
+        let b = bag(MORSEL_ROWS * 2 + 123);
+        for shards in [2, 5] {
+            assert_eq!(
+                aggregate_by_exact(&b, &ByPc, shards),
+                aggregate_by_serial(&b, &ByPc)
+            );
+        }
+    }
+
+    #[test]
+    fn effective_shards_caps_by_floor_and_cores() {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // Tiny workloads stay serial no matter what was requested.
+        assert_eq!(effective_shards(8, 100), 1);
+        assert_eq!(effective_shards(0, 0), 1);
+        // Huge workloads are capped by the core count.
+        assert!(effective_shards(0, 100 * MIN_ROWS_PER_SHARD) <= hw);
+        assert!(effective_shards(64, 100 * MIN_ROWS_PER_SHARD) <= hw);
+        // A request never resolves above itself.
+        assert!(effective_shards(2, 100 * MIN_ROWS_PER_SHARD) <= 2);
     }
 
     #[test]
@@ -1077,7 +1215,7 @@ mod tests {
             |b: &EventBatch, i: usize| -> Option<u64> { (b.col[i] == 1).then(|| b.pc[i] & !0xf) };
         for shards in [0, 1, 2, 3, 7, 16] {
             assert_eq!(
-                aggregate_by(&b, &keyer, shards),
+                aggregate_by_exact(&b, &keyer, shards),
                 aggregate_by_serial(&b, &keyer)
             );
         }
@@ -1097,11 +1235,11 @@ mod tests {
         };
         for shards in [1, 3, 8] {
             assert_eq!(
-                aggregate_by(&b, &by_pc_range, shards),
+                aggregate_by_exact(&b, &by_pc_range, shards),
                 aggregate_by_serial(&b, &by_pc_range)
             );
             assert_eq!(
-                aggregate_by(&b, &by_line_range, shards),
+                aggregate_by_exact(&b, &by_line_range, shards),
                 aggregate_by_serial(&b, &by_line_range)
             );
         }
@@ -1124,6 +1262,14 @@ mod tests {
                     keyer.key(b, i),
                     "row {i}"
                 );
+            }
+            // A dense column, when offered, must be the key column:
+            // same raw value at every row, no skipped rows.
+            if let Some(dense) = keyer.dense_keys(b) {
+                assert_eq!(dense.len(), b.len());
+                for (i, (&d, raw)) in dense.iter().zip(&col).enumerate() {
+                    assert_eq!(Some(d), *raw, "dense row {i}");
+                }
             }
         }
         let b = bag(300);

@@ -11,7 +11,7 @@ use memprof_core::batch::{
     AttrTag, BatchEvent, ByAddrBucket, ByDesc, ByFunc, ByLine, ByLineInRange, ByPc, ByPcInRange,
     NO_ID, NO_LINE,
 };
-use memprof_core::{aggregate_by, aggregate_by_serial, EventBatch};
+use memprof_core::{aggregate_by, aggregate_by_exact, aggregate_by_serial, EventBatch};
 
 type RawRow = (usize, u64, bool, u64, bool, u64);
 
@@ -54,12 +54,18 @@ proptest! {
     ) {
         let batch = build_batch(4, &rows);
 
+        // `aggregate_by` may cap the request down to the hardware (on
+        // a small host these all collapse to the serial path);
+        // `aggregate_by_exact` honors the count, so the morsel workers
+        // and partition fold are exercised on any machine.
         let by_pc = aggregate_by_serial(&batch, &ByPc);
         prop_assert_eq!(aggregate_by(&batch, &ByPc, shards), by_pc.clone());
+        prop_assert_eq!(aggregate_by_exact(&batch, &ByPc, shards), by_pc.clone());
 
         let bucket = ByAddrBucket { bytes: 64 };
         let by_bucket = aggregate_by_serial(&batch, &bucket);
-        prop_assert_eq!(aggregate_by(&batch, &bucket, shards), by_bucket);
+        prop_assert_eq!(aggregate_by(&batch, &bucket, shards), by_bucket.clone());
+        prop_assert_eq!(aggregate_by_exact(&batch, &bucket, shards), by_bucket);
 
         // A filtering closure key (only even PCs in column 0), to
         // cover keys that skip rows.
@@ -67,7 +73,7 @@ proptest! {
             (b.col[i] == 0 && b.pc[i].is_multiple_of(8)).then(|| b.pc[i])
         };
         prop_assert_eq!(
-            aggregate_by(&batch, &keyer, shards),
+            aggregate_by_exact(&batch, &keyer, shards),
             aggregate_by_serial(&batch, &keyer)
         );
 
@@ -140,37 +146,43 @@ proptest! {
     ) {
         let batch = build_attr_batch(3, &rows);
 
+        // Both the capped entry point and the exact-shard one (which
+        // keeps the parallel machinery honest on single-core hosts).
         prop_assert_eq!(
             aggregate_by(&batch, &ByPc, shards),
             aggregate_by_serial(&batch, &ByPc)
         );
         prop_assert_eq!(
-            aggregate_by(&batch, &ByFunc, shards),
+            aggregate_by_exact(&batch, &ByPc, shards),
+            aggregate_by_serial(&batch, &ByPc)
+        );
+        prop_assert_eq!(
+            aggregate_by_exact(&batch, &ByFunc, shards),
             aggregate_by_serial(&batch, &ByFunc)
         );
         prop_assert_eq!(
-            aggregate_by(&batch, &ByLine, shards),
+            aggregate_by_exact(&batch, &ByLine, shards),
             aggregate_by_serial(&batch, &ByLine)
         );
         prop_assert_eq!(
-            aggregate_by(&batch, &ByDesc, shards),
+            aggregate_by_exact(&batch, &ByDesc, shards),
             aggregate_by_serial(&batch, &ByDesc)
         );
         let bucket = ByAddrBucket { bytes: 256 };
         prop_assert_eq!(
-            aggregate_by(&batch, &bucket, shards),
+            aggregate_by_exact(&batch, &bucket, shards),
             aggregate_by_serial(&batch, &bucket)
         );
         for artificial in [false, true] {
             let in_range = ByPcInRange { entry: 0x1_0800, end: 0x1_1000, artificial };
             prop_assert_eq!(
-                aggregate_by(&batch, &in_range, shards),
+                aggregate_by_exact(&batch, &in_range, shards),
                 aggregate_by_serial(&batch, &in_range)
             );
         }
         let line_range = ByLineInRange { entry: 0x1_0800, end: 0x1_1000 };
         prop_assert_eq!(
-            aggregate_by(&batch, &line_range, shards),
+            aggregate_by_exact(&batch, &line_range, shards),
             aggregate_by_serial(&batch, &line_range)
         );
     }
@@ -188,8 +200,10 @@ fn all_none_key_rows_aggregate_to_nothing() {
     for shards in [0, 1, 3, 8] {
         assert!(aggregate_by(&batch, &ByLine, shards).is_empty());
         assert!(aggregate_by(&batch, &ByDesc, shards).is_empty());
+        assert!(aggregate_by_exact(&batch, &ByLine, shards).is_empty());
+        assert!(aggregate_by_exact(&batch, &ByDesc, shards).is_empty());
         let never = |_: &EventBatch, _: usize| -> Option<u64> { None };
-        assert!(aggregate_by(&batch, &never, shards).is_empty());
+        assert!(aggregate_by_exact(&batch, &never, shards).is_empty());
     }
     assert!(aggregate_by_serial(&batch, &ByLine).is_empty());
 }
@@ -208,9 +222,10 @@ fn single_repeated_key_folds_to_one_group() {
     assert_eq!(serial[&0xBEEF].iter().sum::<u64>(), 10_000);
     for shards in [0, 1, 2, 7, 16, 23] {
         assert_eq!(aggregate_by(&batch, &ByPc, shards), serial);
+        assert_eq!(aggregate_by_exact(&batch, &ByPc, shards), serial);
         // Every EA is in the same bucket too.
         let bucket = ByAddrBucket { bytes: 4096 };
-        assert_eq!(aggregate_by(&batch, &bucket, shards).len(), 1);
+        assert_eq!(aggregate_by_exact(&batch, &bucket, shards).len(), 1);
     }
 }
 
@@ -228,5 +243,8 @@ fn keys_straddling_partition_boundaries_reunite() {
     assert_eq!(serial.len(), 999);
     for shards in [0, 2, 3, 8, 13] {
         assert_eq!(aggregate_by(&batch, &ByPc, shards), serial);
+        // The exact path forces real partitioning: boundaries fall
+        // inside key runs regardless of how many cores exist.
+        assert_eq!(aggregate_by_exact(&batch, &ByPc, shards), serial);
     }
 }

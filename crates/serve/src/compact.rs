@@ -13,9 +13,27 @@
 //! [`collect_attachments`] path with the same input order: the
 //! previous packed tier first, then raw segments in file-name order
 //! (session ids embed an arrival sequence number, so the order is
-//! deterministic). The tier-2 summary is regenerated from the inputs'
-//! event streams with the same `aggregate_refs` kernel `mp-store stat`
-//! uses.
+//! deterministic). The tier-2 summary is regenerated with the same
+//! aggregation kernel `mp-store stat` uses.
+//!
+//! ## Incremental compaction
+//!
+//! A long-lived daemon compacts the same windows over and over, and
+//! each pass used to re-read and re-decode the whole packed store just
+//! to fold in a handful of fresh segments — compaction cost grew with
+//! the *window*, not with the new data. The daemon now keeps a
+//! [`CompactCache`]: the merged [`Experiment`] (and the attachments it
+//! was packed with) from each window's previous pass, fingerprinted by
+//! the packed store's FNV-1a hash. When the on-disk store still
+//! matches the fingerprint — i.e. nobody replaced it behind the
+//! daemon's back — the next pass seeds the merge with the cached
+//! experiment ([`memprof_store::merge_experiments_seeded`]) and only
+//! decodes the fresh segments. Packing is lossless (`load(pack(x)) ==
+//! x`, pinned by the store tests), so the seeded merge's inputs are
+//! exactly what re-reading the store would have produced and the
+//! output bytes are identical either way. A hash mismatch, a missing
+//! cache entry (first pass, restarted daemon), or any failed pass
+//! falls back to the re-read path.
 //!
 //! ## Crash safety
 //!
@@ -25,7 +43,8 @@
 //! 1. delete stale leftovers (segments a *previous* pass already
 //!    folded in but crashed before deleting — identified by a
 //!    hash-valid [`Manifest`](crate::store::Manifest));
-//! 2. merge `[old packed] + fresh raws` in memory;
+//! 2. merge `[old packed] + fresh raws` in memory (seeded from the
+//!    cache when the fingerprint matches);
 //! 3. durably write the manifest naming the fresh raws, keyed by the
 //!    *new* store's hash — inert until that store lands;
 //! 4. durably rename the new packed store into place — this is the
@@ -42,17 +61,41 @@
 //! All tier writes go through [`write_durable`] (fsync before rename,
 //! directory fsync after), so "landed" means on disk, not in page
 //! cache — the raw segments deleted in step 6 are never the only copy
-//! of their events.
+//! of their events. The cache only ever *adds* a fast path: it is
+//! updated after the pass fully succeeds, consulted under the same
+//! tier lock that serializes compaction, and revalidated against the
+//! on-disk bytes before use.
 
+use std::collections::HashMap;
 use std::path::PathBuf;
 
+use memprof_core::Experiment;
+use memprof_store::pread::read_file_pooled;
 use memprof_store::{
-    aggregate_refs, collect_attachments, fnv1a64, merge_experiments, pack_experiment,
+    aggregate, collect_attachments, fnv1a64, merge_experiments_seeded, pack_experiment,
     ExperimentRef, StoreError,
 };
 
 use crate::store::{render_manifest, write_durable, Manifest, StoreDirs};
 use crate::summary::write_summary;
+
+/// One window's previous compaction result, reusable as the seed of
+/// the next pass while the on-disk packed store still hashes to
+/// `packed_hash`.
+struct CachedWindow {
+    packed_hash: u64,
+    merged: Experiment,
+    attachments: Vec<(String, String)>,
+}
+
+/// Per-window merge results carried between compaction passes (see
+/// the module docs). Owned by the daemon and protected by its tier
+/// lock; an empty cache is always correct — every lookup revalidates
+/// against the bytes on disk.
+#[derive(Default)]
+pub struct CompactCache {
+    windows: HashMap<String, CachedWindow>,
+}
 
 /// What one compaction pass did.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -79,17 +122,25 @@ impl CompactReport {
     }
 }
 
-/// Regenerate a window's tier-2 summary from its packed store.
+/// Regenerate a window's tier-2 summary from its packed store on
+/// disk. The main compaction path summarizes the in-memory merge
+/// instead; this serves the recovery paths that have no merge in
+/// hand.
 fn refresh_summary(dirs: &StoreDirs, window: &str) -> Result<(), StoreError> {
-    let agg = aggregate_refs(&[ExperimentRef::open(&dirs.packed_path(window))?], 1)?;
+    let agg = memprof_store::aggregate_refs(&[ExperimentRef::open(&dirs.packed_path(window))?], 0)?;
     write_summary(&dirs.summary_path(window), &agg)
 }
 
 /// Compact one window if it has sealed raw segments. Returns the
 /// number of segments folded in (0 = nothing to do, though stale
 /// leftovers from an interrupted earlier pass may still be cleaned
-/// up). See the module docs for the crash protocol.
-pub fn compact_window(dirs: &StoreDirs, window: &str) -> Result<usize, StoreError> {
+/// up). See the module docs for the crash protocol and the cache's
+/// role.
+pub fn compact_window(
+    dirs: &StoreDirs,
+    window: &str,
+    cache: &mut CompactCache,
+) -> Result<usize, StoreError> {
     let tier = dirs.live_raw_segments(window)?;
     let packed = dirs.packed_path(window);
 
@@ -108,8 +159,20 @@ pub fn compact_window(dirs: &StoreDirs, window: &str) -> Result<usize, StoreErro
         return Ok(0);
     }
 
+    // Seed from the cache when the on-disk store is still the one the
+    // cached experiment was packed into; otherwise (first pass,
+    // restart, or an externally replaced store) fall back to reading
+    // it like any other input. A pass that fails below leaves the
+    // entry removed, so the next attempt re-reads from disk.
+    let cached = cache.windows.remove(window).filter(|c| {
+        read_file_pooled(&packed).is_ok_and(|bytes| fnv1a64(&bytes) == c.packed_hash)
+    });
+    let (seeds, seed_attachments) = match cached {
+        Some(c) => (vec![c.merged], Some(c.attachments)),
+        None => (Vec::new(), None),
+    };
     let mut inputs: Vec<PathBuf> = Vec::new();
-    if packed.exists() {
+    if seeds.is_empty() && packed.exists() {
         inputs.push(packed.clone());
     }
     inputs.extend(tier.fresh.iter().cloned());
@@ -117,8 +180,15 @@ pub fn compact_window(dirs: &StoreDirs, window: &str) -> Result<usize, StoreErro
         .iter()
         .map(|p| ExperimentRef::open(p))
         .collect::<Result<Vec<ExperimentRef>, StoreError>>()?;
-    let merged = merge_experiments(&refs)?;
-    let attachments = collect_attachments(&refs);
+    let merged = merge_experiments_seeded(seeds, &refs, 0)?;
+    // Attachment rule: first input with any attachment wins. The
+    // cached attachments are exactly what the packed store carries, so
+    // using them (when non-empty) equals collecting over
+    // `[packed] + fresh`.
+    let attachments = match seed_attachments {
+        Some(atts) if !atts.is_empty() => atts,
+        _ => collect_attachments(&refs),
+    };
     let bytes = pack_experiment(&merged, &attachments);
 
     // Manifest first (inert until the store it hashes lands), then
@@ -138,11 +208,23 @@ pub fn compact_window(dirs: &StoreDirs, window: &str) -> Result<usize, StoreErro
     )?;
     write_durable(&packed, &bytes)?;
 
-    refresh_summary(dirs, window)?;
+    // The summary is the aggregate of the store just written; the
+    // merge is already in memory, so aggregate it directly instead of
+    // re-reading the file.
+    let agg = aggregate(&[&merged], 0)?;
+    write_summary(&dirs.summary_path(window), &agg)?;
 
     for raw in &tier.fresh {
         std::fs::remove_file(raw).map_err(|e| StoreError::Io(e).at(raw))?;
     }
+    cache.windows.insert(
+        window.to_string(),
+        CachedWindow {
+            packed_hash: manifest.packed_hash,
+            merged,
+            attachments,
+        },
+    );
     // The per-window raw dir stays (possibly empty); new sessions for
     // the window keep landing there.
     Ok(tier.fresh.len())
@@ -151,10 +233,10 @@ pub fn compact_window(dirs: &StoreDirs, window: &str) -> Result<usize, StoreErro
 /// Compact every window that has sealed raw segments. One window's
 /// failure (e.g. an incompatible collection recipe) doesn't block the
 /// others.
-pub fn compact_all(dirs: &StoreDirs) -> Result<CompactReport, StoreError> {
+pub fn compact_all(dirs: &StoreDirs, cache: &mut CompactCache) -> Result<CompactReport, StoreError> {
     let mut report = CompactReport::default();
     for window in dirs.windows()? {
-        match compact_window(dirs, &window) {
+        match compact_window(dirs, &window, cache) {
             Ok(0) => {}
             Ok(n) => report.windows.push((window, n)),
             Err(e) => report.errors.push((window, e.to_string())),

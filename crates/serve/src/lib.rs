@@ -26,7 +26,7 @@ pub mod store;
 pub mod summary;
 pub mod wire;
 
-pub use compact::{compact_all, compact_window, CompactReport};
+pub use compact::{compact_all, compact_window, CompactCache, CompactReport};
 pub use query::{answer, window_aggregate, window_syms, QueryOutcome};
 pub use server::{query, Server, ServerConfig};
 pub use sink::SocketSink;

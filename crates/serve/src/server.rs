@@ -40,9 +40,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use memprof_store::{StoreError, StreamFile};
+use memprof_store::{validate_stream_prefix, StoreError};
 
-use crate::compact::compact_all;
+use crate::compact::{compact_all, CompactCache};
 use crate::query::{answer, QueryOutcome};
 use crate::store::{valid_label, StoreDirs};
 use crate::wire::{
@@ -60,8 +60,10 @@ pub struct ServerConfig {
 
 struct Shared {
     dirs: StoreDirs,
-    /// Serializes tier mutations and reads (seal, compact, query).
-    tiers: Mutex<()>,
+    /// Serializes tier mutations and reads (seal, compact, query),
+    /// and carries the per-window merge results that make repeat
+    /// compaction incremental.
+    tiers: Mutex<CompactCache>,
     /// Arrival sequence for session ids; zero-padded into the file
     /// name so sorted-order merges are deterministic.
     seq: AtomicU64,
@@ -91,7 +93,7 @@ impl Server {
         let next_seq = dirs.max_existing_seq().saturating_add(1);
         let shared = Arc::new(Shared {
             dirs,
-            tiers: Mutex::new(()),
+            tiers: Mutex::new(CompactCache::default()),
             seq: AtomicU64::new(next_seq),
             stop: AtomicBool::new(false),
         });
@@ -121,8 +123,8 @@ impl Server {
                     std::thread::sleep(Duration::from_millis(100));
                     if last.elapsed() >= period {
                         last = Instant::now();
-                        let _guard = shared.tiers.lock().unwrap();
-                        match compact_all(&shared.dirs) {
+                        let mut cache = shared.tiers.lock().unwrap();
+                        match compact_all(&shared.dirs, &mut cache) {
                             Ok(report) if !report.windows.is_empty() => {
                                 eprint!("mp-serve: {}", report.render());
                             }
@@ -293,16 +295,19 @@ fn handle_session(shared: &Shared, mut stream: TcpStream, hello: &[u8]) -> std::
 /// Move a finished staging file into its window's tier-0 directory.
 /// Returns `Ok(false)` (and deletes the staging file) if the landed
 /// bytes are too short to parse as an MPES stream — nothing usable
-/// arrived. Callers serialize against compaction (the tiers lock);
-/// the startup recovery sweep runs before any other thread exists.
+/// arrived. The verdict comes from [`validate_stream_prefix`], which
+/// reads only the stream preamble and header chunk through positioned
+/// reads — a full parse can only fail on those, so sealing a large
+/// session no longer buffers its whole image just to decide yes/no.
+/// Callers serialize against compaction (the tiers lock); the startup
+/// recovery sweep runs before any other thread exists.
 fn seal_part(
     dirs: &StoreDirs,
     part: &Path,
     window: &str,
     session: &str,
 ) -> Result<bool, StoreError> {
-    let bytes = std::fs::read(part).map_err(|e| StoreError::Io(e).at(part))?;
-    if StreamFile::from_bytes(bytes).is_err() {
+    if !validate_stream_prefix(part).map_err(|e| e.at(part))? {
         let _ = std::fs::remove_file(part);
         return Ok(false);
     }
@@ -376,8 +381,8 @@ fn handle_query(shared: &Shared, mut stream: TcpStream, payload: &[u8]) -> std::
         Ok(QueryOutcome::Text(text)) => write_frame(&mut stream, TAG_RESULT, text.as_bytes()),
         Ok(QueryOutcome::Compact) => {
             let report = {
-                let _guard = shared.tiers.lock().unwrap();
-                compact_all(&shared.dirs)
+                let mut cache = shared.tiers.lock().unwrap();
+                compact_all(&shared.dirs, &mut cache)
             };
             match report {
                 Ok(r) => write_frame(&mut stream, TAG_RESULT, r.render().as_bytes()),

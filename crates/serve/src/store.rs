@@ -238,7 +238,10 @@ impl StoreDirs {
         }
         // Some on-disk segments are named by the manifest: hash the
         // packed store to decide whether they were really folded in.
-        let valid = std::fs::read(self.packed_path(window))
+        // Pooled positioned read — this runs on every query of a
+        // window with raw segments, so the allocation churn of a
+        // fresh read buffer per query is worth avoiding.
+        let valid = memprof_store::pread::read_file_pooled(&self.packed_path(window))
             .map(|bytes| fnv1a64(&bytes) == manifest.packed_hash)
             .unwrap_or(false);
         if !valid {

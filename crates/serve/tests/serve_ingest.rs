@@ -177,6 +177,82 @@ fn parallel_collectors_compact_to_the_offline_merge() {
     server.shutdown();
 }
 
+/// Incremental compaction must be invisible in the artifacts: a
+/// second pass that seeds from the daemon's in-memory cache has to
+/// produce exactly the bytes a cold-cache daemon (restarted between
+/// passes, so it re-reads the packed store) and the offline toolchain
+/// produce from the same inputs.
+#[test]
+fn incremental_compaction_matches_cold_cache_and_offline() {
+    // Run the same two-round ingest+compact sequence; `restart`
+    // decides whether round 2 sees a warm cache (same daemon) or a
+    // cold one (fresh boot).
+    let run = |tag: &str, restart: bool| -> (Vec<u8>, Vec<u8>, String) {
+        let data = scratch(tag);
+        let mut server = Server::start("127.0.0.1:0", &data, ServerConfig::default()).unwrap();
+        let mut addr = server.addr().to_string();
+        for seed in [1u64, 2] {
+            let mut sink = SocketSink::connect(&addr, &format!("run{seed}"), "w1").unwrap();
+            sink.attach("syms.txt", SYMS);
+            drive(&mut sink, seed, 2);
+        }
+        let report = serve::query(&addr, "compact").unwrap();
+        assert!(report.contains("compacted w1: 2 raw segments"), "{report}");
+        let dirs = StoreDirs::create(&data).unwrap();
+        let round1 = std::fs::read(dirs.packed_path("w1")).unwrap();
+        if restart {
+            server.shutdown();
+            server = Server::start("127.0.0.1:0", &data, ServerConfig::default()).unwrap();
+            addr = server.addr().to_string();
+        }
+        let mut sink = SocketSink::connect(&addr, "run3", "w1").unwrap();
+        sink.attach("syms.txt", SYMS);
+        drive(&mut sink, 3, 2);
+        let report = serve::query(&addr, "compact").unwrap();
+        assert!(report.contains("compacted w1: 1 raw segments"), "{report}");
+        let round2 = std::fs::read(dirs.packed_path("w1")).unwrap();
+        let stat = serve::query(&addr, "stat w1").unwrap();
+        server.shutdown();
+        (round1, round2, stat)
+    };
+
+    let (warm1, warm2, warm_stat) = run("incr_warm", false);
+    let (cold1, cold2, cold_stat) = run("incr_cold", true);
+    assert_eq!(warm1, cold1, "first passes diverge before any cache use");
+    assert_eq!(warm2, cold2, "seeded compaction differs from re-read compaction");
+    assert_eq!(warm_stat, cold_stat);
+
+    // And both equal the offline toolchain replaying the same rounds:
+    // merge round 1's segments, pack, then merge that store with
+    // round 2's segment.
+    let offline = scratch("incr_offline");
+    let mut files = Vec::new();
+    for (i, seed) in [1u64, 2].iter().enumerate() {
+        let path = offline.join(format!("000000000{}-run{seed}.mpes", i + 1));
+        std::fs::write(&path, local_bytes(*seed, 2)).unwrap();
+        files.push(path);
+    }
+    let refs: Vec<ExperimentRef> = files.iter().map(|p| ExperimentRef::open(p).unwrap()).collect();
+    let packed1_path = offline.join("w1.mps");
+    std::fs::write(
+        &packed1_path,
+        pack_experiment(&merge_experiments(&refs).unwrap(), &collect_attachments(&refs)),
+    )
+    .unwrap();
+    assert_eq!(std::fs::read(&packed1_path).unwrap(), warm1);
+    let round2_path = offline.join("0000000003-run3.mpes");
+    std::fs::write(&round2_path, local_bytes(3, 2)).unwrap();
+    let refs2 = vec![
+        ExperimentRef::open(&packed1_path).unwrap(),
+        ExperimentRef::open(&round2_path).unwrap(),
+    ];
+    let expected2 = pack_experiment(
+        &merge_experiments(&refs2).unwrap(),
+        &collect_attachments(&refs2),
+    );
+    assert_eq!(warm2, expected2, "compacted store differs from offline merge");
+}
+
 #[test]
 fn mid_chunk_disconnect_keeps_prefix_and_second_collector_unaffected() {
     let data = scratch("hostile");

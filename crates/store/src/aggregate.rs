@@ -124,11 +124,26 @@ fn resolve_columns(
 /// results are equal.
 fn finish(columns: Vec<ColSpec>, batch: &EventBatch, shards: usize) -> Aggregate {
     let map = aggregate_by(batch, &ByPc, shards);
+    // A per-PC grouping keeps every row, so the column totals are the
+    // sums of the group rows — no second pass over the events.
+    let totals = totals_of(&map, columns.len());
     Aggregate {
         columns,
         pc_samples: map.into_iter().collect::<BTreeMap<u64, Vec<u64>>>(),
-        totals: batch.totals(),
+        totals,
     }
+}
+
+/// Column totals recovered from a per-PC fold: equal to summing the
+/// source rows directly, because grouping by PC drops nothing.
+fn totals_of(map: &HashMap<u64, Vec<u64>>, ncols: usize) -> Vec<u64> {
+    let mut totals = vec![0u64; ncols];
+    for samples in map.values() {
+        for (dst, src) in totals.iter_mut().zip(samples) {
+            *dst += src;
+        }
+    }
+    totals
 }
 
 /// One contiguous run of same-shaped events in the concatenated
@@ -163,7 +178,27 @@ impl Span<'_> {
 /// many scoped threads, each folding its contiguous slice of the
 /// concatenated event sequence and merging by addition. The result is
 /// identical at every shard count.
+///
+/// Requests are capped by the hardware and by a minimum useful rows
+/// per shard ([`memprof_core::batch::effective_shards`]), so asking
+/// for 8 shards on a single-core host — or for a tiny profile — runs
+/// serially instead of paying thread spawns that cannot help.
 pub fn aggregate<S: EventSource + ?Sized>(
+    exps: &[&S],
+    shards: usize,
+) -> Result<Aggregate, StoreError> {
+    let rows: usize = exps
+        .iter()
+        .map(|e| e.hwc_events().len() + e.clock_events().len())
+        .sum();
+    aggregate_exact(exps, memprof_core::batch::effective_shards(shards, rows))
+}
+
+/// [`aggregate`] honoring the shard count exactly (0 acts as 1), with
+/// no hardware or row-count capping. The equivalence tests use this
+/// to exercise the sharded span-fill on any host; tools should call
+/// [`aggregate`].
+pub fn aggregate_exact<S: EventSource + ?Sized>(
     exps: &[&S],
     shards: usize,
 ) -> Result<Aggregate, StoreError> {
@@ -172,12 +207,7 @@ pub fn aggregate<S: EventSource + ?Sized>(
         .map(|e| (e.clock_period(), e.counters()))
         .collect();
     let (columns, col_of, clock_col_of) = resolve_columns(&headers)?;
-    let shards = match shards {
-        0 => std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
-        n => n,
-    };
+    let shards = shards.max(1);
     if shards == 1 {
         let mut batch = EventBatch::new(columns.len());
         for (xi, exp) in exps.iter().enumerate() {
@@ -245,7 +275,8 @@ pub fn aggregate<S: EventSource + ?Sized>(
                         base += span.len();
                     }
                     let map = aggregate_by(&batch, &ByPc, 1);
-                    Ok((map, batch.totals()))
+                    let totals = totals_of(&map, ncols);
+                    Ok((map, totals))
                 })
             })
             .collect();

@@ -1,201 +1,68 @@
-//! Cross-segment, cross-experiment callstack dictionary for merges.
+//! The merge pipeline: parallel input decode, allocation-free fold.
 //!
-//! Loading N same-recipe experiments and folding them with
-//! [`crate::merge_loaded`] rehydrates every event's callstack once
-//! per input and clones it again into the merged experiment — the
-//! interning work a stream file already did is thrown away and
-//! redone per segment. The dictionary path instead re-expresses each
-//! input's events over an interned [`CallstackTable`]:
+//! An earlier revision of this module folded every input through a
+//! *shared* callstack dictionary: text and v1 inputs interned each
+//! decoded event's stack, v2 stream tables were remapped id-for-id,
+//! and the merged store materialized every callstack from the shared
+//! table at the end. Measuring that path showed the dictionary to be
+//! pure overhead for this output shape: a merged [`Experiment`]
+//! carries each event's callstack as an owned `Vec<u64>`, so every
+//! stack must be materialized per *event* regardless — the shared
+//! table deduplicated storage that was about to be duplicated anyway,
+//! at the cost of an intern hash per event, a remap pass per input,
+//! and a second materialization pass over the whole event set.
 //!
-//! * text directories and v1 packed stores intern each decoded
-//!   event's stack into the input's table (duplicate call paths cost
-//!   a hash lookup, not an allocation);
-//! * v2 stream files arrive *already* interned — their stacks table
-//!   is remapped id-for-id, never per event;
-//! * the per-input tables then fold into **one** dictionary shared by
-//!   the whole merged store, so a stack common to every input is
-//!   stored once no matter how many experiments or segments carried
-//!   it, and callstacks materialize exactly once at the end.
+//! The pipeline is now two phases with all per-event work in the
+//! parallel one:
 //!
-//! The output [`Experiment`] is byte-identical to the
-//! load-everything-then-[`crate::merge_loaded`] path, which the tests
-//! pin.
+//! * **load** ([`load_inputs`]): each reference decodes to a full
+//!   [`Experiment`] on its own scoped thread (v1 stores run their
+//!   k-way segment merge, v2 streams materialize from their local
+//!   intern table, text directories parse) — this is where every
+//!   per-event allocation happens, and it scales with cores;
+//! * **fold** ([`merge_inputs`]): the decoded inputs are *moved* into
+//!   the merged experiment — event vectors append by memmove, stacks
+//!   travel as already-owned `Vec`s, and only the run summaries and
+//!   logs are actually computed. The serial tail of the merge is
+//!   O(inputs), not O(events).
+//!
+//! The output is byte-identical to the load-everything-then-
+//! [`crate::merge_loaded`] path, which the tests pin, and a caller
+//! holding an already-merged window can seed the fold with it
+//! ([`crate::merge_experiments_seeded`]) instead of re-reading its
+//! packed form — the incremental-compaction fast path.
 
 use std::num::NonZeroUsize;
 
-use memprof_core::{
-    CallstackTable, ClockEvent, CounterRequest, Experiment, HwcEvent, PackedClockEvent,
-    PackedHwcEvent, RunInfo,
-};
+use memprof_core::Experiment;
 
-use crate::reader::StoreFile;
-use crate::writer::StreamFile;
-use crate::{check_compatible_headers, open_packed, ExperimentRef, PackedFile, StoreError};
+use crate::{check_compatible, ExperimentRef, StoreError};
 
-/// One input experiment decoded for the dictionary merge: the header
-/// and run summary, plus events whose callstacks are ids into a
-/// local [`CallstackTable`].
-pub(crate) struct DictInput {
-    counters: Vec<CounterRequest>,
-    clock_period: Option<u64>,
-    run: RunInfo,
-    log: Vec<String>,
-    dict: CallstackTable,
-    hwc: Vec<PackedHwcEvent>,
-    clock: Vec<PackedClockEvent>,
-}
-
-/// Re-express a loaded experiment (text directory) over a local
-/// dictionary: one intern per event, allocation-free on repeats.
-fn input_from_experiment(exp: Experiment) -> DictInput {
-    let mut dict = CallstackTable::new();
-    let hwc = exp
-        .hwc_events
-        .iter()
-        .map(|ev| PackedHwcEvent {
-            counter: ev.counter as u32,
-            delivered_pc: ev.delivered_pc,
-            candidate_pc: ev.candidate_pc,
-            ea: ev.ea,
-            stack: dict.intern(&ev.callstack),
-            truth_trigger_pc: ev.truth_trigger_pc,
-            truth_ea: ev.truth_ea,
-            truth_skid: ev.truth_skid,
-        })
-        .collect();
-    let clock = exp
-        .clock_events
-        .iter()
-        .map(|ev| PackedClockEvent {
-            pc: ev.pc,
-            stack: dict.intern(&ev.callstack),
-        })
-        .collect();
-    DictInput {
-        counters: exp.counters,
-        clock_period: exp.clock_period,
-        run: exp.run,
-        log: exp.log,
-        dict,
-        hwc,
-        clock,
-    }
-}
-
-/// Stream-decode a v1 packed store into dictionary form: the k-way
-/// global-index merge yields events one at a time, and each decoded
-/// stack moves into the table instead of living on in the event.
-fn input_from_store(store: &StoreFile) -> Result<DictInput, StoreError> {
-    let mut dict = CallstackTable::new();
-    let mut hwc = Vec::with_capacity(store.hwc_total());
-    store.for_each_hwc_ordered(|ev| {
-        hwc.push(PackedHwcEvent {
-            counter: ev.counter as u32,
-            delivered_pc: ev.delivered_pc,
-            candidate_pc: ev.candidate_pc,
-            ea: ev.ea,
-            stack: dict.intern(&ev.callstack),
-            truth_trigger_pc: ev.truth_trigger_pc,
-            truth_ea: ev.truth_ea,
-            truth_skid: ev.truth_skid,
-        });
-    })?;
-    let mut clock = Vec::with_capacity(store.clock_count());
-    for ev in store.clock_events() {
-        let ev = ev?;
-        clock.push(PackedClockEvent {
-            pc: ev.pc,
-            stack: dict.intern(&ev.callstack),
-        });
-    }
-    Ok(DictInput {
-        counters: store.counters().to_vec(),
-        clock_period: store.clock_period(),
-        run: store.run().clone(),
-        log: store.log().to_vec(),
-        dict,
-        hwc,
-        clock,
-    })
-}
-
-/// A v2 stream file is already interned: remap its stacks table
-/// id-for-id (one intern per *distinct* stack) and copy the packed
-/// events with remapped ids. The truncation note becomes a log line,
-/// exactly as [`StreamFile::to_experiment`] records it.
-fn input_from_stream(stream: &StreamFile) -> DictInput {
-    let mut dict = CallstackTable::new();
-    let remap: Vec<u32> = (0..stream.stack_count())
-        .map(|id| dict.intern(stream.stack(id as u32)))
-        .collect();
-    let hwc = stream
-        .hwc_events()
-        .iter()
-        .map(|ev| PackedHwcEvent {
-            stack: remap[ev.stack as usize],
-            ..*ev
-        })
-        .collect();
-    let clock = stream
-        .clock_events()
-        .iter()
-        .map(|ev| PackedClockEvent {
-            pc: ev.pc,
-            stack: remap[ev.stack as usize],
-        })
-        .collect();
-    let mut log = stream.log().to_vec();
-    if let Some(why) = stream.truncation() {
-        log.push(format!("stream ended early: {why}"));
-    }
-    DictInput {
-        counters: stream.counters().to_vec(),
-        clock_period: stream.clock_period(),
-        run: stream.run().clone(),
-        log,
-        dict,
-        hwc,
-        clock,
-    }
-}
-
-fn load_input(r: &ExperimentRef) -> Result<DictInput, StoreError> {
-    use crate::PathContext as _;
-    match r {
-        ExperimentRef::TextDir(dir) => Ok(input_from_experiment(
-            Experiment::load(dir)
-                .map_err(StoreError::Io)
-                .path_context(dir)?,
-        )),
-        ExperimentRef::Packed(file) => match open_packed(file)? {
-            PackedFile::V1(store) => input_from_store(&store).path_context(file),
-            PackedFile::V2(stream) => Ok(input_from_stream(&stream)),
-        },
-    }
-}
-
-/// Decode every reference into dictionary form, `shards` inputs at a
-/// time (0 = one per available core). Inputs come back in argument
-/// order regardless of which thread decoded them.
+/// Decode every reference into a full [`Experiment`], `shards` inputs
+/// at a time (0 = auto; every request is capped by the available
+/// parallelism, so a single-core host decodes serially with no spawn
+/// overhead). Inputs come back in argument order regardless of which
+/// thread decoded them.
 pub(crate) fn load_inputs(
     refs: &[ExperimentRef],
     shards: usize,
-) -> Result<Vec<DictInput>, StoreError> {
+) -> Result<Vec<Experiment>, StoreError> {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
     let shards = match shards {
-        0 => std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1),
-        n => n,
+        0 => hw,
+        n => n.min(hw),
     }
     .min(refs.len().max(1));
     if shards <= 1 {
-        return refs.iter().map(load_input).collect();
+        return refs.iter().map(ExperimentRef::load).collect();
     }
     let per = refs.len().div_ceil(shards);
-    let chunks: Vec<Result<Vec<DictInput>, StoreError>> = std::thread::scope(|scope| {
+    let chunks: Vec<Result<Vec<Experiment>, StoreError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = refs
             .chunks(per)
-            .map(|chunk| scope.spawn(move || chunk.iter().map(load_input).collect()))
+            .map(|chunk| scope.spawn(move || chunk.iter().map(ExperimentRef::load).collect()))
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
@@ -206,25 +73,17 @@ pub(crate) fn load_inputs(
     Ok(inputs)
 }
 
-/// Fold dictionary-form inputs into one merged [`Experiment`] under a
-/// single shared callstack dictionary. Event order, run-summary
-/// accumulation, and log concatenation replicate
-/// [`crate::merge_loaded`] exactly; the only difference is that each
-/// distinct callstack is interned once per input (not once per event
-/// per segment) and materialized once at the end.
-pub(crate) fn merge_inputs(inputs: Vec<DictInput>) -> Result<Experiment, StoreError> {
+/// Fold decoded inputs into one merged [`Experiment`] by moving them:
+/// event vectors concatenate in input order, run summaries and
+/// ground-truth counts sum, and the logs concatenate under
+/// `merged from` markers — replicating [`crate::merge_loaded`]
+/// exactly, without cloning a single event.
+pub(crate) fn merge_inputs(inputs: Vec<Experiment>) -> Result<Experiment, StoreError> {
     let first = inputs
         .first()
         .ok_or(StoreError::Incompatible("nothing to merge".to_string()))?;
     for other in &inputs[1..] {
-        check_compatible_headers(
-            &first.counters,
-            first.clock_period,
-            first.run.clock_hz,
-            &other.counters,
-            other.clock_period,
-            other.run.clock_hz,
-        )?;
+        check_compatible(first, other)?;
     }
     let mut merged = Experiment {
         counters: first.counters.clone(),
@@ -234,33 +93,20 @@ pub(crate) fn merge_inputs(inputs: Vec<DictInput>) -> Result<Experiment, StoreEr
     merged.run.clock_hz = first.run.clock_hz;
     merged.run.exit_code = first.run.exit_code;
     merged.run.dropped = vec![0; first.counters.len()];
-
-    let mut dict = CallstackTable::new();
-    let mut hwc: Vec<PackedHwcEvent> = Vec::with_capacity(inputs.iter().map(|i| i.hwc.len()).sum());
-    let mut clock: Vec<PackedClockEvent> =
-        Vec::with_capacity(inputs.iter().map(|i| i.clock.len()).sum());
-    for (i, input) in inputs.into_iter().enumerate() {
-        // Local ids -> shared ids: one intern per distinct stack per
-        // input, never per event.
-        let remap: Vec<u32> = input
-            .dict
-            .stacks_from(0)
-            .iter()
-            .map(|s| dict.intern(s))
-            .collect();
-        hwc.extend(input.hwc.into_iter().map(|ev| PackedHwcEvent {
-            stack: remap[ev.stack as usize],
-            ..ev
-        }));
-        clock.extend(input.clock.into_iter().map(|ev| PackedClockEvent {
-            pc: ev.pc,
-            stack: remap[ev.stack as usize],
-        }));
-        merged.run.output.push_str(&input.run.output);
-        for (dst, src) in merged.run.dropped.iter_mut().zip(&input.run.dropped) {
+    merged
+        .hwc_events
+        .reserve(inputs.iter().map(|e| e.hwc_events.len()).sum());
+    merged
+        .clock_events
+        .reserve(inputs.iter().map(|e| e.clock_events.len()).sum());
+    for (i, mut exp) in inputs.into_iter().enumerate() {
+        merged.hwc_events.append(&mut exp.hwc_events);
+        merged.clock_events.append(&mut exp.clock_events);
+        merged.run.output.push_str(&exp.run.output);
+        for (dst, src) in merged.run.dropped.iter_mut().zip(&exp.run.dropped) {
             *dst += src;
         }
-        let (c, e) = (&mut merged.run.counts, &input.run.counts);
+        let (c, e) = (&mut merged.run.counts, &exp.run.counts);
         c.cycles += e.cycles;
         c.insts += e.insts;
         c.ic_miss += e.ic_miss;
@@ -272,28 +118,7 @@ pub(crate) fn merge_inputs(inputs: Vec<DictInput>) -> Result<Experiment, StoreEr
         c.loads += e.loads;
         c.stores += e.stores;
         merged.log.push(format!("merged from experiment {i}"));
-        merged.log.extend(input.log);
+        merged.log.append(&mut exp.log);
     }
-    // Materialize callstacks once, from the shared dictionary.
-    merged.hwc_events = hwc
-        .into_iter()
-        .map(|ev| HwcEvent {
-            counter: ev.counter as usize,
-            delivered_pc: ev.delivered_pc,
-            candidate_pc: ev.candidate_pc,
-            ea: ev.ea,
-            callstack: dict.resolve(ev.stack).to_vec(),
-            truth_trigger_pc: ev.truth_trigger_pc,
-            truth_ea: ev.truth_ea,
-            truth_skid: ev.truth_skid,
-        })
-        .collect();
-    merged.clock_events = clock
-        .into_iter()
-        .map(|ev| ClockEvent {
-            pc: ev.pc,
-            callstack: dict.resolve(ev.stack).to_vec(),
-        })
-        .collect();
     Ok(merged)
 }

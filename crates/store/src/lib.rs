@@ -25,6 +25,7 @@
 mod aggregate;
 mod dict;
 mod format;
+pub mod pread;
 mod reader;
 mod stream;
 mod varint;
@@ -35,12 +36,13 @@ use std::path::{Path, PathBuf};
 use memprof_core::{CounterRequest, Experiment};
 
 pub use aggregate::{
-    aggregate, aggregate_streams, diff_aggregates, AggDiff, Aggregate, ColSpec, DiffRow,
+    aggregate, aggregate_exact, aggregate_streams, diff_aggregates, AggDiff, Aggregate, ColSpec,
+    DiffRow,
 };
 pub use format::{fnv1a64, pack_dir, pack_experiment, unpack_to_dir, ATTACHMENT_FILES};
 pub use reader::{ClockIter, HwcIter, StoreFile};
 pub use stream::EventStream;
-pub use writer::{SegmentWriter, StreamFile};
+pub use writer::{validate_stream_prefix, SegmentWriter, StreamFile};
 
 /// Everything that can go wrong opening, decoding, or combining
 /// stores.
@@ -211,11 +213,14 @@ pub(crate) enum PackedFile {
 /// experiment" goes through here.
 pub(crate) fn open_packed(path: &Path) -> Result<PackedFile, StoreError> {
     let open = || -> Result<PackedFile, StoreError> {
-        let bytes = std::fs::read(path)?;
+        let bytes = pread::read_file_pooled(path)?;
         if bytes.get(4) == Some(&writer::STREAM_VERSION) {
-            Ok(PackedFile::V2(StreamFile::from_bytes(bytes)?))
+            // The stream parser decodes everything into owned
+            // structures, so the pooled image is released (back to
+            // the pool) as soon as parsing finishes.
+            Ok(PackedFile::V2(StreamFile::parse(&bytes)?))
         } else {
-            Ok(PackedFile::V1(StoreFile::from_bytes(bytes)?))
+            Ok(PackedFile::V1(StoreFile::from_buf(bytes)?))
         }
     };
     open().path_context(path)
@@ -357,22 +362,40 @@ pub fn merge_loaded(exps: &[Experiment]) -> Result<Experiment, StoreError> {
 }
 
 /// Load and merge a set of experiment references (text directories or
-/// packed stores, freely mixed) through the shared callstack
-/// dictionary: interning happens once per merged store, not once per
-/// segment, and the result is identical to loading every input and
-/// calling [`merge_loaded`].
+/// packed stores, freely mixed). Inputs decode in parallel — all
+/// per-event work lives in that phase — and the fold itself moves the
+/// decoded events, so its cost is proportional to the number of
+/// inputs, not events. The result is identical to loading every input
+/// and calling [`merge_loaded`].
 pub fn merge_experiments(refs: &[ExperimentRef]) -> Result<Experiment, StoreError> {
-    merge_experiments_sharded(refs, 1)
+    merge_experiments_sharded(refs, 0)
 }
 
 /// [`merge_experiments`] with the inputs decoded `shards` at a time
-/// on scoped threads (0 = one per available core). The merge itself
-/// — and its output — is identical at every shard count.
+/// on scoped threads (0 = one per available core; requests beyond the
+/// hardware are capped). The merge itself — and its output — is
+/// identical at every shard count.
 pub fn merge_experiments_sharded(
     refs: &[ExperimentRef],
     shards: usize,
 ) -> Result<Experiment, StoreError> {
     dict::merge_inputs(dict::load_inputs(refs, shards)?)
+}
+
+/// [`merge_experiments_sharded`], seeded with experiments the caller
+/// already holds in memory. The seeds fold in first, then the decoded
+/// `refs`, exactly as if every seed had been packed, referenced, and
+/// re-loaded — so an incremental compactor can fold fresh segments
+/// into last round's merged window without re-reading its packed
+/// image.
+pub fn merge_experiments_seeded(
+    seeds: Vec<Experiment>,
+    refs: &[ExperimentRef],
+    shards: usize,
+) -> Result<Experiment, StoreError> {
+    let mut inputs = seeds;
+    inputs.extend(dict::load_inputs(refs, shards)?);
+    dict::merge_inputs(inputs)
 }
 
 /// Compare two experiments collected with the same recipe: aggregate
@@ -397,9 +420,23 @@ pub fn diff_experiments(
         sb.clock_period(),
         sb.clock_hz(),
     )?;
-    let agg_a = aggregate_streams(std::slice::from_ref(&sa), shards)?;
-    let agg_b = aggregate_streams(std::slice::from_ref(&sb), shards)?;
-    diff_aggregates(&agg_a, &agg_b)
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let (agg_a, agg_b) = if hw > 1 {
+        // The two sides are independent; aggregate them concurrently.
+        std::thread::scope(|scope| {
+            let ha = scope.spawn(|| aggregate_streams(std::slice::from_ref(&sa), shards));
+            let hb = scope.spawn(|| aggregate_streams(std::slice::from_ref(&sb), shards));
+            (ha.join().unwrap(), hb.join().unwrap())
+        })
+    } else {
+        (
+            aggregate_streams(std::slice::from_ref(&sa), shards),
+            aggregate_streams(std::slice::from_ref(&sb), shards),
+        )
+    };
+    diff_aggregates(&agg_a?, &agg_b?)
 }
 
 /// Convenience for tools: aggregate whatever `refs` point at,
@@ -642,11 +679,18 @@ mod tests {
         let views: Vec<&Experiment> = vec![&a, &b];
         let serial = aggregate(&views, 1).unwrap();
         for shards in [2, 3, 8] {
-            let par = aggregate(&views, shards).unwrap();
-            assert_eq!(par.columns, serial.columns);
-            assert_eq!(par.pc_samples, serial.pc_samples);
-            assert_eq!(par.totals, serial.totals);
-            assert_eq!(par.render(), serial.render());
+            // `aggregate` may legitimately cap tiny inputs back to the
+            // serial path; the exact variant pins the sharded span
+            // fill itself on any host.
+            for par in [
+                aggregate(&views, shards).unwrap(),
+                aggregate_exact(&views, shards).unwrap(),
+            ] {
+                assert_eq!(par.columns, serial.columns);
+                assert_eq!(par.pc_samples, serial.pc_samples);
+                assert_eq!(par.totals, serial.totals);
+                assert_eq!(par.render(), serial.render());
+            }
         }
     }
 

@@ -1,0 +1,257 @@
+//! Positioned file reads into pooled, reusable buffers.
+//!
+//! Every consumer of "a packed file" used to call `std::fs::read`,
+//! which allocates a fresh `Vec` per open — in re-open-heavy paths
+//! (windowed queries, compaction sweeps, per-iteration bench decode)
+//! that allocation churn is pure overhead, and a daemon thread
+//! validating a large session image doubles its peak. This module
+//! replaces those reads with `pread(2)`-style positioned reads
+//! ([`ReadAt`], implemented by [`std::fs::File`] via
+//! `std::os::unix::fs::FileExt`) into buffers drawn from a
+//! thread-local pool ([`PooledBuf`]): N threads can each decode their
+//! own file concurrently with no shared file cursor and no
+//! per-open allocation once the pool is warm.
+//!
+//! `read_at` is allowed to return a *partial* fill at any moment (and
+//! `EINTR` on top); [`read_exact_at`] loops until the buffer is full,
+//! so callers never see a short read — a file that genuinely ends
+//! early surfaces as `UnexpectedEof`, which the format layer reports
+//! as a truncated store.
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::path::Path;
+
+/// A positioned-read source: fill `buf` from absolute `offset`,
+/// returning how many bytes were read (`0` means end of file).
+/// Partial fills are legal anywhere — the contract is `read_at(2)`'s,
+/// not `read_exact`'s. Test doubles implement this to inject short
+/// reads and interrupts.
+pub trait ReadAt {
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize>;
+}
+
+impl ReadAt for File {
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        std::os::unix::fs::FileExt::read_at(self, buf, offset)
+    }
+}
+
+/// Fill all of `buf` from `offset`, looping over partial fills and
+/// retrying `Interrupted`. Errors with `UnexpectedEof` if the source
+/// ends first.
+pub fn read_exact_at<R: ReadAt + ?Sized>(
+    src: &R,
+    mut buf: &mut [u8],
+    mut offset: u64,
+) -> io::Result<()> {
+    while !buf.is_empty() {
+        match src.read_at(buf, offset) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "file ended mid-read",
+                ))
+            }
+            Ok(n) => {
+                let rest = std::mem::take(&mut buf);
+                buf = &mut rest[n..];
+                offset += n as u64;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// How many idle buffers one thread keeps warm.
+const POOL_SLOTS: usize = 4;
+/// Buffers above this capacity are freed rather than pooled, so one
+/// giant file can't pin its footprint for the thread's lifetime.
+const POOL_MAX_CAPACITY: usize = 1 << 26;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+fn take_buffer(want: usize) -> Vec<u8> {
+    POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        // Prefer the smallest pooled buffer that already fits.
+        if let Some(i) = pool
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.capacity() >= want)
+            .min_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i)
+        {
+            return pool.swap_remove(i);
+        }
+        pool.pop().unwrap_or_default()
+    })
+}
+
+fn return_buffer(mut buf: Vec<u8>) {
+    if buf.capacity() == 0 || buf.capacity() > POOL_MAX_CAPACITY {
+        return;
+    }
+    buf.clear();
+    POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < POOL_SLOTS {
+            pool.push(buf);
+        }
+    });
+}
+
+/// An owned byte image drawn from the thread-local buffer pool; the
+/// backing allocation returns to the pool on drop. Dereferences to
+/// `[u8]`, so parsers consume it like any other byte slice.
+pub struct PooledBuf {
+    buf: Option<Vec<u8>>,
+}
+
+impl PooledBuf {
+    /// Adopt an already-materialized image (the `from_bytes`
+    /// entry points). Its allocation joins the pool when dropped.
+    pub fn from_vec(bytes: Vec<u8>) -> PooledBuf {
+        PooledBuf { buf: Some(bytes) }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        self.buf.as_deref().unwrap_or(&[])
+    }
+}
+
+impl Deref for PooledBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            return_buffer(buf);
+        }
+    }
+}
+
+impl std::fmt::Debug for PooledBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PooledBuf({} bytes)", self.as_slice().len())
+    }
+}
+
+/// Read a whole file through positioned reads into a pooled buffer:
+/// the drop-in replacement for `std::fs::read` on every packed-file
+/// open path.
+pub fn read_file_pooled(path: &Path) -> io::Result<PooledBuf> {
+    let file = File::open(path)?;
+    let len = file.metadata()?.len();
+    let len = usize::try_from(len)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+    let mut buf = take_buffer(len);
+    buf.resize(len, 0);
+    read_exact_at(&file, &mut buf, 0)?;
+    Ok(PooledBuf { buf: Some(buf) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A positioned source that serves at most `chunk` bytes per call
+    /// and injects one `Interrupted` error partway through — the
+    /// hostile end of the `read_at` contract.
+    struct ShortReader {
+        data: Vec<u8>,
+        chunk: usize,
+        calls: AtomicUsize,
+        interrupt_on: usize,
+    }
+
+    impl ReadAt for ShortReader {
+        fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+            let call = self.calls.fetch_add(1, Ordering::Relaxed);
+            if call == self.interrupt_on {
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+            }
+            let offset = offset as usize;
+            if offset >= self.data.len() {
+                return Ok(0);
+            }
+            let n = self.chunk.min(buf.len()).min(self.data.len() - offset);
+            buf[..n].copy_from_slice(&self.data[offset..offset + n]);
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn read_exact_at_survives_short_fills_and_interrupts() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        for chunk in [1, 7, 64, 10_000] {
+            let src = ShortReader {
+                data: data.clone(),
+                chunk,
+                calls: AtomicUsize::new(0),
+                interrupt_on: 2,
+            };
+            let mut out = vec![0u8; data.len()];
+            read_exact_at(&src, &mut out, 0).unwrap();
+            assert_eq!(out, data, "chunk {chunk}");
+            // And from a nonzero offset.
+            let mut tail = vec![0u8; 100];
+            read_exact_at(&src, &mut tail, 9_900).unwrap();
+            assert_eq!(tail, data[9_900..]);
+        }
+    }
+
+    #[test]
+    fn read_exact_at_reports_eof_as_error() {
+        let src = ShortReader {
+            data: vec![1, 2, 3],
+            chunk: 2,
+            calls: AtomicUsize::new(0),
+            interrupt_on: usize::MAX,
+        };
+        let mut out = vec![0u8; 10];
+        let err = read_exact_at(&src, &mut out, 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn pooled_reads_reuse_the_backing_allocation() {
+        let path = std::env::temp_dir().join(format!("memprof_pread_{}", std::process::id()));
+        std::fs::write(&path, vec![0xABu8; 4096]).unwrap();
+        let first = read_file_pooled(&path).unwrap();
+        assert_eq!(first.len(), 4096);
+        assert!(first.iter().all(|&b| b == 0xAB));
+        let cap = first.buf.as_ref().unwrap().capacity();
+        let ptr = first.buf.as_ref().unwrap().as_ptr();
+        drop(first);
+        // The next same-thread read draws the same allocation back
+        // out of the pool.
+        let second = read_file_pooled(&path).unwrap();
+        assert_eq!(second.buf.as_ref().unwrap().capacity(), cap);
+        assert_eq!(second.buf.as_ref().unwrap().as_ptr(), ptr);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_pooled() {
+        return_buffer(Vec::with_capacity(POOL_MAX_CAPACITY + 1));
+        POOL.with(|pool| {
+            assert!(pool
+                .borrow()
+                .iter()
+                .all(|b| b.capacity() <= POOL_MAX_CAPACITY));
+        });
+    }
+}

@@ -16,12 +16,16 @@ use crate::format::{
     get_clock_event, get_hwc_event, get_hwc_plain, parse_store, skip_stack, ParsedStore, Segment,
     SEG_CLOCK, SEG_HWC,
 };
+use crate::pread::{read_file_pooled, PooledBuf};
 use crate::varint::Cursor;
 use crate::StoreError;
 
 /// An open packed store: header in memory, events decoded lazily.
+/// The byte image lives in a pooled buffer, so repeated open/decode
+/// cycles (windowed queries, compaction) recycle one allocation per
+/// thread instead of churning a fresh `Vec` per file.
 pub struct StoreFile {
-    bytes: Vec<u8>,
+    bytes: PooledBuf,
     parsed: ParsedStore,
 }
 
@@ -29,15 +33,21 @@ impl StoreFile {
     /// Parse a packed store image, validating magic, version,
     /// checksum, and segment ranges.
     pub fn from_bytes(bytes: Vec<u8>) -> Result<StoreFile, StoreError> {
+        StoreFile::from_buf(PooledBuf::from_vec(bytes))
+    }
+
+    pub(crate) fn from_buf(bytes: PooledBuf) -> Result<StoreFile, StoreError> {
         let parsed = parse_store(&bytes)?;
         Ok(StoreFile { bytes, parsed })
     }
 
+    /// Open via positioned reads into a pooled buffer — no per-open
+    /// allocation once the calling thread's pool is warm.
     pub fn open(path: &Path) -> Result<StoreFile, StoreError> {
         use crate::PathContext as _;
-        std::fs::read(path)
+        read_file_pooled(path)
             .map_err(StoreError::Io)
-            .and_then(StoreFile::from_bytes)
+            .and_then(StoreFile::from_buf)
             .path_context(path)
     }
 

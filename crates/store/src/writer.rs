@@ -45,6 +45,7 @@ use memprof_core::{
 use simsparc_machine::{CounterEvent, EventCounts};
 
 use crate::format::{get_stack, put_stack, LIMIT, MAGIC};
+use crate::pread::{read_exact_at, read_file_pooled, ReadAt};
 use crate::varint::{get_str, put_i64, put_str, put_u64, Cursor};
 use crate::StoreError;
 
@@ -468,6 +469,14 @@ impl StreamFile {
     /// or the header chunk is unusable; damage after the header turns
     /// into a readable prefix (see [`StreamFile::truncation`]).
     pub fn from_bytes(bytes: Vec<u8>) -> Result<StreamFile, StoreError> {
+        StreamFile::parse(&bytes)
+    }
+
+    /// [`StreamFile::from_bytes`] over a borrowed image: everything
+    /// is decoded into owned structures, so the caller's buffer (a
+    /// pooled read, a socket staging area) is free to be recycled
+    /// the moment this returns.
+    pub(crate) fn parse(bytes: &[u8]) -> Result<StreamFile, StoreError> {
         if bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] != MAGIC {
             return Err(StoreError::BadMagic);
         }
@@ -582,9 +591,9 @@ impl StreamFile {
 
     pub fn open(path: &Path) -> Result<StreamFile, StoreError> {
         use crate::PathContext as _;
-        std::fs::read(path)
+        read_file_pooled(path)
             .map_err(StoreError::Io)
-            .and_then(StreamFile::from_bytes)
+            .and_then(|bytes| StreamFile::parse(&bytes))
             .path_context(path)
     }
 
@@ -757,6 +766,79 @@ impl StreamFile {
     }
 }
 
+/// Would [`StreamFile::open`] succeed on this file? Decided from the
+/// 5-byte preamble and the first chunk alone, via positioned reads —
+/// a stream is hard-rejected *only* when its preamble or header chunk
+/// is unusable (all later damage becomes a readable prefix), so the
+/// accept/reject verdict never needs the rest of the file. The
+/// `mp-serve` sealer uses this to validate an arbitrarily large
+/// landed session in memory bounded by the header chunk, instead of
+/// materializing the whole image just to throw it away.
+///
+/// Returns `Ok(false)` for an unreadable stream; I/O failures other
+/// than the file being shorter than its own metadata claimed (a
+/// concurrent truncation, which is just "unreadable") are `Err`.
+pub fn validate_stream_prefix(path: &Path) -> Result<bool, StoreError> {
+    let file = std::fs::File::open(path)?;
+    let size = file.metadata()?.len();
+    stream_prefix_is_readable(&file, size)
+}
+
+pub(crate) fn stream_prefix_is_readable<R: ReadAt + ?Sized>(
+    src: &R,
+    size: u64,
+) -> Result<bool, StoreError> {
+    fn read<R: ReadAt + ?Sized>(src: &R, buf: &mut [u8], off: u64) -> Result<bool, StoreError> {
+        match read_exact_at(src, buf, off) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(false),
+            Err(e) => Err(StoreError::Io(e)),
+        }
+    }
+    // Preamble: magic + version byte. Anything shorter, or with the
+    // wrong bytes, is a hard parse error in `StreamFile::parse`.
+    let preamble_len = MAGIC.len() + 1;
+    if size < preamble_len as u64 {
+        return Ok(false);
+    }
+    let mut pre = [0u8; 5];
+    if !read(src, &mut pre, 0)? {
+        return Ok(false);
+    }
+    if pre[..MAGIC.len()] != MAGIC || pre[MAGIC.len()] != STREAM_VERSION {
+        return Ok(false);
+    }
+    // First chunk: must be a complete, checksum-valid HEADER chunk.
+    // A truncated chunk header / overlong chunk / bad checksum here
+    // means the parser never gets a header, which is the one
+    // non-recoverable condition.
+    if size - (preamble_len as u64) < CHUNK_HEADER_LEN as u64 {
+        return Ok(false);
+    }
+    let mut head = [0u8; CHUNK_HEADER_LEN];
+    if !read(src, &mut head, preamble_len as u64)? {
+        return Ok(false);
+    }
+    let kind = head[0];
+    let len = u32::from_le_bytes(head[1..5].try_into().unwrap());
+    let stored = u64::from_le_bytes(head[5..13].try_into().unwrap());
+    if kind != CHUNK_HEADER {
+        return Ok(false);
+    }
+    let payload_off = (preamble_len + CHUNK_HEADER_LEN) as u64;
+    if len as u64 > size - payload_off {
+        return Ok(false);
+    }
+    let mut payload = vec![0u8; len as usize];
+    if !read(src, &mut payload, payload_off)? {
+        return Ok(false);
+    }
+    if chunk_checksum(kind, len, &payload) != stored {
+        return Ok(false);
+    }
+    Ok(parse_header_chunk(&payload).is_ok())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -921,6 +1003,69 @@ mod tests {
             StreamFile::from_bytes(bytes[..5].to_vec()),
             Err(StoreError::Truncated)
         ));
+    }
+
+    /// In-memory positioned source for driving the prefix validator
+    /// the way `seal_part` does, without temp files. Serves short
+    /// fills to exercise the `read_exact_at` loop as well.
+    struct SliceReader<'a>(&'a [u8]);
+
+    impl ReadAt for SliceReader<'_> {
+        fn read_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<usize> {
+            let offset = offset as usize;
+            if offset >= self.0.len() {
+                return Ok(0);
+            }
+            let n = buf.len().min(self.0.len() - offset).min(3);
+            buf[..n].copy_from_slice(&self.0[offset..offset + n]);
+            Ok(n)
+        }
+    }
+
+    fn streaming_verdict(bytes: &[u8]) -> bool {
+        stream_prefix_is_readable(&SliceReader(bytes), bytes.len() as u64).unwrap()
+    }
+
+    #[test]
+    fn prefix_validator_matches_full_parse_at_every_cut() {
+        let bytes = sample_stream();
+        for cut in 0..=bytes.len() {
+            assert_eq!(
+                streaming_verdict(&bytes[..cut]),
+                StreamFile::parse(&bytes[..cut]).is_ok(),
+                "verdicts diverge at cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_validator_matches_full_parse_under_corruption() {
+        let clean = sample_stream();
+        // Flip one byte at a time across the preamble, the header
+        // chunk, and a sample of the tail: the streaming verdict must
+        // track the full parser everywhere (accepting tail damage,
+        // rejecting header damage).
+        for i in (0..clean.len()).step_by(1) {
+            let mut bytes = clean.clone();
+            bytes[i] ^= 0x55;
+            assert_eq!(
+                streaming_verdict(&bytes),
+                StreamFile::parse(&bytes).is_ok(),
+                "verdicts diverge with byte {i} flipped"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_stream_prefix_reads_files() {
+        let path = std::env::temp_dir().join(format!("memprof_vsp_{}", std::process::id()));
+        std::fs::write(&path, sample_stream()).unwrap();
+        assert!(validate_stream_prefix(&path).unwrap());
+        std::fs::write(&path, b"junk, not a stream").unwrap();
+        assert!(!validate_stream_prefix(&path).unwrap());
+        std::fs::write(&path, b"").unwrap();
+        assert!(!validate_stream_prefix(&path).unwrap());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -344,6 +344,63 @@ fn stream_bit_flips_never_panic_and_never_misparse_silently() {
     }
 }
 
+/// The on-disk open path now goes through pooled positioned reads
+/// (`pread`). Truncating the file on disk at any point must behave
+/// exactly like truncating the in-memory image: v1 stores reject
+/// cleanly, v2 streams keep their readable prefix, and nothing
+/// panics. This pins the read-at loop (partial fills, EOF handling)
+/// against the parsers end to end.
+#[test]
+fn truncated_files_on_disk_match_in_memory_truncation() {
+    let dir = std::env::temp_dir().join(format!(
+        "memprof_store_pread_trunc_{}_{:?}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let exp = build_experiment((4001, 53), 10007, sample_events(), sample_clocks(), (1, 0));
+    let v1 = pack_experiment(&exp, &[("syms.txt".to_string(), "sym data\n".to_string())]);
+    let v2 = sample_stream_bytes();
+
+    for (name, bytes) in [("v1.mps", &v1), ("v2.mps", &v2)] {
+        let path = dir.join(name);
+        // Sample cut points (every byte would re-open thousands of
+        // files); always include the interesting boundaries.
+        let cuts: Vec<usize> = (0..bytes.len())
+            .step_by(7)
+            .chain([0, 1, 4, 5, bytes.len() - 1, bytes.len()])
+            .collect();
+        for cut in cuts {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let from_disk = memprof_store::ExperimentRef::Packed(path.clone()).load();
+            let in_memory = if bytes[..cut].get(4) == Some(&2) {
+                StreamFile::from_bytes(bytes[..cut].to_vec()).and_then(|s| s.to_experiment())
+            } else {
+                StoreFile::from_bytes(bytes[..cut].to_vec()).and_then(|s| s.to_experiment())
+            };
+            match (from_disk, in_memory) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.counters, b.counters, "{name} cut {cut}");
+                    assert_eq!(a.hwc_events, b.hwc_events, "{name} cut {cut}");
+                    assert_eq!(a.clock_events, b.clock_events, "{name} cut {cut}");
+                    assert_eq!(a.log, b.log, "{name} cut {cut}");
+                }
+                (Err(_), Err(_)) => {}
+                (disk, mem) => panic!(
+                    "{name} cut {cut}: disk {:?} vs memory {:?}",
+                    disk.is_ok(),
+                    mem.is_ok()
+                ),
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn event_decode_errors_stop_the_iterator() {
     let exp = build_experiment((4001, 53), 10007, sample_events(), sample_clocks(), (1, 0));

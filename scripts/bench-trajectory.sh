@@ -36,9 +36,26 @@ for b in $BENCHES; do
         printf '{"rev":"%s","date":"%s","bench":"%s","records":%s}\n' \
             "$rev" "$date" "$b" "$(tr -d '\n' < "$out")" >> "$TRAJECTORY"
     fi
+    # Machine-relative scaling shape: over-sharding must never lose
+    # to the serial path (the kernel caps shard requests to the
+    # hardware, so shards_8 on any host should track shards_1).
+    case $b in
+    store_aggregation)
+        scaling="--assert-scaling store_aggregation/aggregate_shards_8:store_aggregation/aggregate_shards_1:1.10"
+        ;;
+    view_aggregation)
+        scaling="--assert-scaling view_aggregation/aggregate_by_shards_8:view_aggregation/aggregate_by_shards_1:1.10"
+        ;;
+    merged_store_aggregation)
+        scaling="--assert-scaling merged_store_aggregation/aggregate_shards_8:merged_store_aggregation/aggregate_shards_1:1.10 \
+                 --assert-scaling merged_store_aggregation/merge_shards_4:merged_store_aggregation/merge_shards_1:1.10"
+        ;;
+    *) scaling="" ;;
+    esac
     if [ -f "BENCH_$b.json" ]; then
+        # shellcheck disable=SC2086  # $scaling is a flag list
         cargo run -q --release --offline -p mcf-bench --bin bench_gate -- \
-            "BENCH_$b.json" "$out" "$@" || fail=1
+            "BENCH_$b.json" "$out" $scaling "$@" || fail=1
     else
         echo "bench-trajectory: no baseline BENCH_$b.json checked in;"
         echo "  cp $out BENCH_$b.json   # to record one"
