@@ -44,7 +44,7 @@ fn bench_ablation(c: &mut Criterion) {
         cfg.skid = skid;
         let mut machine = Machine::new(cfg);
         machine.load(&binary.program.image);
-        mcf::stage_instance(&mut machine, &binary, &instance);
+        mcf::stage_instance(&mut machine, &binary.program, &instance);
         let config = CollectConfig {
             counters: parse_counter_spec("+ecrm,101").unwrap(),
             clock_profiling: false,

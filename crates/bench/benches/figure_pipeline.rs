@@ -46,7 +46,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let run_exp = |spec: &str, clock: bool| {
         let mut machine = Machine::new(paper_machine_config());
         machine.load(&binary.program.image);
-        mcf::stage_instance(&mut machine, &binary, &instance);
+        mcf::stage_instance(&mut machine, &binary.program, &instance);
         let config = CollectConfig {
             counters: parse_counter_spec(spec).unwrap(),
             clock_profiling: clock,

@@ -30,7 +30,7 @@ fn bench_perturbation(c: &mut Criterion) {
     let run_with_interval = |interval: u64| {
         let mut machine = Machine::new(paper_machine_config());
         machine.load(&binary.program.image);
-        mcf::stage_instance(&mut machine, &binary, &instance);
+        mcf::stage_instance(&mut machine, &binary.program, &instance);
         let config = CollectConfig {
             counters: parse_counter_spec(&format!("+ecref,{interval}")).unwrap(),
             clock_profiling: false,

@@ -91,7 +91,7 @@ pub fn run_paper_experiments(scale: Scale) -> PaperRun {
     let run_one = |spec: &str, clock: bool| -> Experiment {
         let mut machine = Machine::new(paper_machine_config());
         machine.load(&binary.program.image);
-        mcf::stage_instance(&mut machine, &binary, &instance);
+        mcf::stage_instance(&mut machine, &binary.program, &instance);
         let config = CollectConfig {
             counters: parse_counter_spec(spec).unwrap(),
             clock_profiling: clock,
@@ -149,7 +149,7 @@ pub fn run_paper_experiments_streamed(
     let run_one = |spec: &str, clock: bool, name: &str| -> (Experiment, StreamStats) {
         let mut machine = Machine::new(paper_machine_config());
         machine.load(&binary.program.image);
-        mcf::stage_instance(&mut machine, &binary, &instance);
+        mcf::stage_instance(&mut machine, &binary.program, &instance);
         let config = CollectConfig {
             counters: parse_counter_spec(spec).unwrap(),
             clock_profiling: clock,

@@ -23,8 +23,15 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
     /// pollute the caches, because the next address *is* the loaded
     /// value.
     pub fn prefetch_feedback(&self, col: usize, min_share: f64, lookahead: i64) -> Feedback {
+        // An out-of-range column or one with no samples at all (an
+        // experiment that simply saw no misses) has no shares to
+        // compare: every hint would divide by zero and trivially
+        // clear (or NaN past) any threshold. No misses, no hints.
         let totals = self.totals();
-        let total = totals[col].max(1);
+        let total = match totals.get(col) {
+            Some(&t) if t > 0 => t,
+            _ => return Feedback::default(),
+        };
 
         // Per PC: sample count and the EA sequence in event order
         // (the batch preserves collection order within a column, so
@@ -72,6 +79,9 @@ impl<'a, S: EventSource + ?Sized> Analysis<'a, S> {
             }
         }
         hints.sort_by(|a, b| (&a.function, a.line).cmp(&(&b.function, b.line)));
-        Feedback { hints }
+        Feedback {
+            hints,
+            ..Feedback::default()
+        }
     }
 }

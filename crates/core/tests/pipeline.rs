@@ -522,3 +522,39 @@ fn prefetch_feedback_targets_streams_not_chases() {
         "feedback prefetch should help a streaming workload: {pf_cycles} vs {base_cycles}"
     );
 }
+
+#[test]
+fn prefetch_feedback_of_empty_column_is_empty() {
+    // A tiny run whose miss counter never fires: the per-line shares
+    // would all be sample/0 — the guard must return an empty feedback
+    // instead of comparing NaN against `min_share`.
+    let src = r#"
+        long main() {
+            long i;
+            long s = 0;
+            for (i = 0; i < 50; i = i + 1) { s = s + i; }
+            print_long(s);
+            return 0;
+        }
+    "#;
+    let program = compile_and_link(&[("tiny.c", src)], CompileOptions::profiling()).unwrap();
+    let mut m = test_machine();
+    m.load(&program.image);
+    let config = CollectConfig {
+        // Interval far beyond anything this run can trigger.
+        counters: parse_counter_spec("+ecrm,99999999").unwrap(),
+        clock_profiling: false,
+        clock_period_cycles: 0,
+        ..CollectConfig::default()
+    };
+    let exp = collect(&mut m, &config).unwrap();
+    let analysis = Analysis::new(&[&exp], &program.syms);
+    let col = analysis.col_by_event(CounterEvent::ECReadMiss).unwrap();
+    assert_eq!(analysis.totals()[col], 0, "the column must really be empty");
+    // min_share = 0.0 is the trap: NaN >= 0.0 and NaN < 0.0 are both
+    // false, so without the guard hints could leak through whichever
+    // way the comparison is written.
+    assert!(analysis.prefetch_feedback(col, 0.0, 512).is_empty());
+    // Out-of-range columns have no shares either.
+    assert!(analysis.prefetch_feedback(99, 0.0, 512).is_empty());
+}

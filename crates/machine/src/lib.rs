@@ -47,7 +47,7 @@ pub use cpu::{
 };
 pub use image::{Image, Segment, SegmentKind};
 pub use mem::Memory;
-pub use tlb::{Tlb, TlbConfig, DEFAULT_PAGE_BYTES};
+pub use tlb::{page_size_supported, Tlb, TlbConfig, DEFAULT_PAGE_BYTES, SUPPORTED_PAGE_BYTES};
 
 /// Base virtual address of the text segment. Chosen at 2^32 so that
 /// PCs print like the paper's listings (`0x1000031b0`); text addresses
@@ -136,8 +136,21 @@ impl Default for MachineConfig {
 
 impl MachineConfig {
     /// The paper's `-xpagesize_heap=512k` variant.
-    pub fn with_large_heap_pages(mut self) -> Self {
-        self.heap_page_bytes = 512 * 1024;
+    pub fn with_large_heap_pages(self) -> Self {
+        self.with_heap_page_bytes(512 * 1024)
+    }
+
+    /// Select the heap segment's page size (the `-xpagesize_heap`
+    /// knob, generalized to every size the MMU supports). Panics on a
+    /// size the MMU cannot map — a feedback-directed driver must
+    /// validate its page-size decisions against
+    /// [`SUPPORTED_PAGE_BYTES`] before applying them.
+    pub fn with_heap_page_bytes(mut self, bytes: u64) -> Self {
+        assert!(
+            page_size_supported(bytes),
+            "unsupported heap page size {bytes}; the MMU maps {SUPPORTED_PAGE_BYTES:?}"
+        );
+        self.heap_page_bytes = bytes;
         self
     }
 

@@ -13,6 +13,16 @@
 /// The Solaris default page size on the paper's machine.
 pub const DEFAULT_PAGE_BYTES: u64 = 8 * 1024;
 
+/// The page sizes the UltraSPARC-III MMU supports — the legal values
+/// of a `-xpagesize_heap`-style request. (Solaris `ppgsz`/`-xpagesize`
+/// accept exactly these on the paper's machine.)
+pub const SUPPORTED_PAGE_BYTES: [u64; 4] = [8 * 1024, 64 * 1024, 512 * 1024, 4 * 1024 * 1024];
+
+/// Is `bytes` a page size the MMU can map?
+pub fn page_size_supported(bytes: u64) -> bool {
+    SUPPORTED_PAGE_BYTES.contains(&bytes)
+}
+
 /// TLB geometry.
 #[derive(Clone, Copy, Debug)]
 pub struct TlbConfig {
@@ -20,6 +30,16 @@ pub struct TlbConfig {
     pub entries: u32,
     /// Associativity.
     pub ways: u32,
+}
+
+impl TlbConfig {
+    /// Address bytes the TLB can map at once with uniform pages of
+    /// `page_bytes` — the quantity a page-size decision trades against
+    /// the working-set size (§3.3: 512 KB pages took the scaled DTLB's
+    /// reach past MCF's heap).
+    pub fn reach_bytes(&self, page_bytes: u64) -> u64 {
+        self.entries as u64 * page_bytes
+    }
 }
 
 impl Default for TlbConfig {

@@ -28,6 +28,6 @@ pub use instance::{
 pub use oracle::{McfProblem, OArc, OracleResult};
 pub use program::{dh_flags, mcf_source, Layout, McfParams, BIG_M};
 pub use runner::{
-    compile_mcf, paper_machine_config, parse_result, run_mcf, stage_instance,
-    verify_against_oracle, McfBinary, McfError, McfResult, MAX_INSNS,
+    compile_mcf, compile_mcf_with_feedback, paper_machine_config, parse_result, run_mcf,
+    stage_instance, verify_against_oracle, McfBinary, McfError, McfResult, MAX_INSNS,
 };

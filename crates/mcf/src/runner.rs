@@ -80,9 +80,29 @@ pub fn compile_mcf(
     })
 }
 
-/// Stage the instance into the binary's global arrays.
-pub fn stage_instance(machine: &mut Machine, binary: &McfBinary, inst: &Instance) {
-    let p = &binary.program;
+/// Compile MCF for an instance with a profile-feedback file: prefetch
+/// hints, `reorder` stanzas and `heapalign` all take effect in the
+/// binary. This is the path `mp-opt` drives — `Layout::Baseline` plus
+/// feedback reproduces mechanically what §3.3's authors did by
+/// hand-editing the source.
+pub fn compile_mcf_with_feedback(
+    inst: &Instance,
+    layout: Layout,
+    params: &McfParams,
+    options: CompileOptions,
+    feedback: &minic::Feedback,
+) -> Result<McfBinary, McfError> {
+    let src = mcf_source(inst, layout, params);
+    let program = minic::compile_and_link_with_feedback(&[("mcf.c", &src)], options, feedback)?;
+    Ok(McfBinary {
+        program,
+        layout,
+        options,
+    })
+}
+
+/// Stage the instance into the program's global arrays.
+pub fn stage_instance(machine: &mut Machine, p: &Program, inst: &Instance) {
     let write_array = |m: &mut Machine, name: &str, values: &dyn Fn(usize) -> i64| {
         let base = p
             .global_addr(name)
@@ -172,7 +192,7 @@ pub fn run_mcf(
     let binary = compile_mcf(inst, layout, params, options)?;
     let mut machine = Machine::new(config);
     machine.load(&binary.program.image);
-    stage_instance(&mut machine, &binary, inst);
+    stage_instance(&mut machine, &binary.program, inst);
     let outcome = machine.run(MAX_INSNS, &mut NullHook)?;
     let result = parse_result(&outcome)?;
     Ok((result, outcome))

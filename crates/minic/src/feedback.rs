@@ -2,12 +2,35 @@
 //! to construct a feedback file, allowing a recompilation of the
 //! target to be done with the insertion of prefetch instructions").
 //!
-//! A [`Feedback`] names source positions whose memory operations miss
-//! heavily; when recompiling with it, codegen emits a software
-//! prefetch of `address + lookahead` alongside each matching load —
-//! useful for streaming scans (positive lookahead covers the next
-//! cache line), useless for pointer chasing (no address to prefetch),
-//! exactly the economics the paper's related work discusses.
+//! A [`Feedback`] is the contract between the analyzer and the
+//! compiler: the analyzer (or the `mp-opt` driver) writes one from an
+//! experiment's views, and a recompilation applies it. It has grown
+//! from the original prefetch-only form into the full §3.3 decision
+//! set:
+//!
+//! * `prefetch FUNC LINE LOOKAHEAD` — emit a software prefetch of
+//!   `address + LOOKAHEAD` alongside each load at that source
+//!   position. Useful for streaming scans (positive lookahead covers
+//!   the next cache line), useless for pointer chasing (no address to
+//!   prefetch before the load that produces it).
+//! * `reorder STRUCT f1,f2,... [pad=N]` — lay the named structure out
+//!   with the listed members first, in that order (remaining members
+//!   follow in declaration order), optionally padding the struct to
+//!   `N` bytes. This is the paper's "re-arranging the members of the
+//!   node and arc structures according to their frequency of
+//!   reference" plus the 8-byte `node` pad.
+//! * `heapalign N` — round every heap allocation's base up to an
+//!   `N`-byte boundary (the paper's "aligning node and arc structures
+//!   on cache lines"). Applied by the runtime allocator.
+//! * `pagesize_heap N` — request `N`-byte pages for the heap segment
+//!   (the paper's `-xpagesize_heap=512k`). The compiler records it;
+//!   the machine that runs the binary applies it to its TLB.
+//!
+//! Parsing is strict: a malformed line fails the whole file with the
+//! offending line and reason ([`FeedbackError`]) rather than silently
+//! half-applying — a driver-emitted or hand-edited feedback file that
+//! drops decisions on the floor would corrupt the measured deltas it
+//! exists to produce.
 
 /// One feedback entry: "the loads at this source position miss; fetch
 /// ahead".
@@ -24,16 +47,63 @@ pub struct PrefetchHint {
     pub lookahead: i64,
 }
 
-/// A feedback file: the analyzer produces it, the compiler consumes
-/// it on recompilation.
+/// One structure re-layout decision: the named members move to the
+/// front in the given order; everything else keeps declaration order
+/// behind them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReorderHint {
+    /// The structure to re-lay-out.
+    pub struct_name: String,
+    /// Members to place first, hottest first. Names must exist in the
+    /// struct and not repeat; not every member needs to be listed.
+    pub order: Vec<String>,
+    /// Pad the struct to this many bytes (≥ natural size, multiple of
+    /// the struct's alignment).
+    pub pad_to: Option<u64>,
+}
+
+/// A feedback file: the analyzer produces it, the compiler (and the
+/// machine configuration, for the page-size decision) consumes it on
+/// recompilation.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Feedback {
     pub hints: Vec<PrefetchHint>,
+    pub reorders: Vec<ReorderHint>,
+    /// Alignment for heap allocations (power of two), if requested.
+    pub heap_align: Option<u64>,
+    /// Requested heap page size in bytes (power of two), if any.
+    pub heap_page_bytes: Option<u64>,
 }
+
+/// A feedback file failed to parse: the offending line and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FeedbackError {
+    /// 1-based line number of the offending line.
+    pub line_no: usize,
+    /// The offending line, verbatim.
+    pub line: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for FeedbackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "feedback line {}: {} (`{}`)",
+            self.line_no, self.reason, self.line
+        )
+    }
+}
+
+impl std::error::Error for FeedbackError {}
 
 impl Feedback {
     pub fn is_empty(&self) -> bool {
         self.hints.is_empty()
+            && self.reorders.is_empty()
+            && self.heap_align.is_none()
+            && self.heap_page_bytes.is_none()
     }
 
     /// Lookahead for a load at `(function, line)`, if hinted.
@@ -44,9 +114,28 @@ impl Feedback {
             .map(|h| h.lookahead)
     }
 
-    /// Serialize in the classic one-line-per-hint feedback-file form.
+    /// Re-layout decision for a structure, if any.
+    pub fn reorder_for(&self, struct_name: &str) -> Option<&ReorderHint> {
+        self.reorders.iter().find(|r| r.struct_name == struct_name)
+    }
+
+    /// Serialize in the classic one-line-per-decision feedback-file
+    /// form.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
+        for r in &self.reorders {
+            out.push_str(&format!("reorder {} {}", r.struct_name, r.order.join(",")));
+            if let Some(pad) = r.pad_to {
+                out.push_str(&format!(" pad={pad}"));
+            }
+            out.push('\n');
+        }
+        if let Some(align) = self.heap_align {
+            out.push_str(&format!("heapalign {align}\n"));
+        }
+        if let Some(bytes) = self.heap_page_bytes {
+            out.push_str(&format!("pagesize_heap {bytes}\n"));
+        }
         for h in &self.hints {
             out.push_str(&format!(
                 "prefetch {} {} {}\n",
@@ -56,23 +145,118 @@ impl Feedback {
         out
     }
 
-    /// Parse the text form; lines that do not parse are ignored
-    /// (feedback is advisory).
-    pub fn from_text(text: &str) -> Feedback {
-        let mut hints = Vec::new();
-        for line in text.lines() {
+    /// Parse the text form. Blank lines and `#` comments are allowed;
+    /// anything else must be a well-formed decision line, or the
+    /// whole file is rejected with the offending line — feedback
+    /// drives recompilation decisions, so a silently dropped line
+    /// would corrupt the experiment it was emitted for.
+    pub fn from_text(text: &str) -> Result<Feedback, FeedbackError> {
+        let mut fb = Feedback::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let err = |reason: String| FeedbackError {
+                line_no: idx + 1,
+                line: raw.to_string(),
+                reason,
+            };
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
             let f: Vec<&str> = line.split_whitespace().collect();
-            if f.len() == 4 && f[0] == "prefetch" {
-                if let (Ok(l), Ok(la)) = (f[2].parse(), f[3].parse()) {
-                    hints.push(PrefetchHint {
+            match f[0] {
+                "prefetch" => {
+                    if f.len() != 4 {
+                        return Err(err(format!(
+                            "prefetch takes 3 fields (function line lookahead), got {}",
+                            f.len() - 1
+                        )));
+                    }
+                    let line_nr: u32 = f[2]
+                        .parse()
+                        .map_err(|_| err(format!("bad line number `{}`", f[2])))?;
+                    let lookahead: i64 = f[3]
+                        .parse()
+                        .map_err(|_| err(format!("bad lookahead `{}`", f[3])))?;
+                    fb.hints.push(PrefetchHint {
                         function: f[1].to_string(),
-                        line: l,
-                        lookahead: la,
+                        line: line_nr,
+                        lookahead,
                     });
                 }
+                "reorder" => {
+                    if f.len() < 3 || f.len() > 4 {
+                        return Err(err(format!(
+                            "reorder takes 2-3 fields (struct members [pad=N]), got {}",
+                            f.len() - 1
+                        )));
+                    }
+                    let order: Vec<String> = f[2]
+                        .split(',')
+                        .filter(|m| !m.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                    if order.is_empty() {
+                        return Err(err("empty member list".to_string()));
+                    }
+                    for (i, m) in order.iter().enumerate() {
+                        if order[..i].contains(m) {
+                            return Err(err(format!("member `{m}` repeats in the order")));
+                        }
+                    }
+                    let pad_to = match f.get(3) {
+                        None => None,
+                        Some(p) => {
+                            let bytes = p
+                                .strip_prefix("pad=")
+                                .and_then(|v| v.parse::<u64>().ok())
+                                .filter(|&v| v > 0)
+                                .ok_or_else(|| err(format!("bad pad field `{p}`")))?;
+                            Some(bytes)
+                        }
+                    };
+                    if fb.reorder_for(f[1]).is_some() {
+                        return Err(err(format!("duplicate reorder for struct `{}`", f[1])));
+                    }
+                    fb.reorders.push(ReorderHint {
+                        struct_name: f[1].to_string(),
+                        order,
+                        pad_to,
+                    });
+                }
+                "heapalign" => {
+                    if f.len() != 2 {
+                        return Err(err("heapalign takes 1 field (bytes)".to_string()));
+                    }
+                    let align = f[1]
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|a| a.is_power_of_two())
+                        .ok_or_else(|| {
+                            err(format!("bad alignment `{}` (power of two required)", f[1]))
+                        })?;
+                    if fb.heap_align.replace(align).is_some() {
+                        return Err(err("duplicate heapalign".to_string()));
+                    }
+                }
+                "pagesize_heap" => {
+                    if f.len() != 2 {
+                        return Err(err("pagesize_heap takes 1 field (bytes)".to_string()));
+                    }
+                    let bytes = f[1]
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|b| b.is_power_of_two())
+                        .ok_or_else(|| {
+                            err(format!("bad page size `{}` (power of two required)", f[1]))
+                        })?;
+                    if fb.heap_page_bytes.replace(bytes).is_some() {
+                        return Err(err("duplicate pagesize_heap".to_string()));
+                    }
+                }
+                other => return Err(err(format!("unknown decision kind `{other}`"))),
             }
         }
-        Feedback { hints }
+        Ok(fb)
     }
 }
 
@@ -95,8 +279,15 @@ mod tests {
                     lookahead: -128,
                 },
             ],
+            reorders: vec![ReorderHint {
+                struct_name: "node".into(),
+                order: vec!["orientation".into(), "child".into(), "pred".into()],
+                pad_to: Some(128),
+            }],
+            heap_align: Some(512),
+            heap_page_bytes: Some(512 * 1024),
         };
-        assert_eq!(Feedback::from_text(&fb.to_text()), fb);
+        assert_eq!(Feedback::from_text(&fb.to_text()).unwrap(), fb);
     }
 
     #[test]
@@ -107,6 +298,7 @@ mod tests {
                 line: 10,
                 lookahead: 512,
             }],
+            ..Feedback::default()
         };
         assert_eq!(fb.lookahead_for("f", 10), Some(512));
         assert_eq!(fb.lookahead_for("f", 11), None);
@@ -114,9 +306,37 @@ mod tests {
     }
 
     #[test]
-    fn malformed_lines_ignored() {
-        let fb = Feedback::from_text("garbage\nprefetch f ten 512\nprefetch g 5 64\n");
+    fn malformed_lines_are_errors_with_position() {
+        let e = Feedback::from_text("prefetch g 5 64\ngarbage\n").unwrap_err();
+        assert_eq!(e.line_no, 2);
+        assert_eq!(e.line, "garbage");
+        assert!(e.reason.contains("unknown decision kind"), "{e}");
+
+        let e = Feedback::from_text("prefetch f ten 512\n").unwrap_err();
+        assert_eq!(e.line_no, 1);
+        assert!(e.reason.contains("bad line number"), "{e}");
+
+        // A failing file applies nothing: the error is the only out.
+        assert!(Feedback::from_text("reorder node x,x\n").is_err());
+        assert!(Feedback::from_text("reorder node\n").is_err());
+        assert!(Feedback::from_text("heapalign 100\n").is_err());
+        assert!(Feedback::from_text("pagesize_heap lots\n").is_err());
+        assert!(Feedback::from_text("pagesize_heap 8192\npagesize_heap 8192\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ok() {
+        let fb = Feedback::from_text("# produced by mp-opt\n\n  \nprefetch f 5 64\n").unwrap();
         assert_eq!(fb.hints.len(), 1);
-        assert_eq!(fb.hints[0].function, "g");
+        assert!(fb.reorders.is_empty());
+    }
+
+    #[test]
+    fn reorder_lookup_and_pad() {
+        let fb = Feedback::from_text("reorder arc ident,cost\nreorder node potential pad=128\n")
+            .unwrap();
+        assert_eq!(fb.reorder_for("arc").unwrap().order, vec!["ident", "cost"]);
+        assert_eq!(fb.reorder_for("node").unwrap().pad_to, Some(128));
+        assert!(fb.reorder_for("leaf").is_none());
     }
 }

@@ -45,7 +45,7 @@ mod types;
 pub use ast::{BinOp, UnOp};
 pub use codegen::{CompileOptions, ObjModule, RelocKind};
 pub use error::{CompileError, Phase, Result};
-pub use feedback::{Feedback, PrefetchHint};
+pub use feedback::{Feedback, FeedbackError, PrefetchHint, ReorderHint};
 pub use hir::MemDesc;
 pub use link::{link, Program};
 pub use symtab::{render_memdesc, FuncSym, GlobalSym, ModuleSym, PcMeta, SymbolTable};
@@ -56,9 +56,10 @@ pub fn compile_module(name: &str, src: &str, options: CompileOptions) -> Result<
     compile_module_with_feedback(name, src, options, &Feedback::default())
 }
 
-/// Compile one source module with profile-feedback prefetch hints
-/// (4 of the paper: the analyzer's feedback file drives prefetch
-/// insertion on recompilation).
+/// Compile one source module with profile feedback (§4 of the paper:
+/// the analyzer's feedback file drives recompilation decisions).
+/// Prefetch hints apply in codegen; structure re-layout hints apply
+/// during struct layout in sema.
 pub fn compile_module_with_feedback(
     name: &str,
     src: &str,
@@ -66,7 +67,7 @@ pub fn compile_module_with_feedback(
     feedback: &Feedback,
 ) -> Result<ObjModule> {
     let ast = parser::parse_module(name, src)?;
-    let hir = sema::analyze(&ast)?;
+    let hir = sema::analyze_with_feedback(&ast, feedback)?;
     codegen::generate(&hir, options, feedback)
 }
 
@@ -114,6 +115,52 @@ pub fn runtime_module() -> ObjModule {
     compile_module("libc_rt.c", RUNTIME_SOURCE, opts).expect("runtime module must always compile")
 }
 
+/// The runtime-support module with `malloc` returning `align`-byte
+/// aligned blocks (`align` a power of two > 16) — the §3.3 `heapalign`
+/// feedback decision ("aligning node and arc structures on cache
+/// lines"). The default 16-byte allocator keeps its exact historic
+/// code (and therefore code bytes) when no alignment is requested.
+pub fn runtime_module_aligned(align: u64) -> ObjModule {
+    assert!(align.is_power_of_two() && align > 16, "bad heapalign");
+    let opts = CompileOptions {
+        hwcprof: false,
+        dwarf: false,
+        prefetch: false,
+        opt: true,
+    };
+    let src = format!(
+        r#"
+// minic runtime: bump-pointer allocator over the simulated heap,
+// returning {align}-byte aligned blocks (profile feedback `heapalign`).
+long __heap_ptr;
+
+char *malloc(long nbytes) {{
+    long p;
+    long *hdr;
+    if (__heap_ptr == 0) {{
+        __heap_ptr = 1073741824; // HEAP_BASE = 0x4000_0000
+    }}
+    nbytes = nbytes + 15;
+    nbytes = nbytes - nbytes % 16;
+    p = __heap_ptr + 16;
+    p = (p + {pad}) / {align} * {align};
+    // Allocation header just below the aligned block, as in the
+    // unaligned allocator; events landing here stay (Unascertainable).
+    hdr = (long*)(p - 16);
+    *hdr = nbytes;
+    __heap_ptr = p + nbytes;
+    return (char*)p;
+}}
+
+void free(char *p) {{
+    // Allocation is bump-only; MCF frees nothing on the hot path.
+}}
+"#,
+        pad = align - 1,
+    );
+    compile_module("libc_rt.c", &src, opts).expect("aligned runtime module must always compile")
+}
+
 /// Compile the given sources with uniform options, add the runtime
 /// module, and link. Programs that call `malloc`/`free` must declare
 /// them (`extern char *malloc(long nbytes);`).
@@ -121,7 +168,11 @@ pub fn compile_and_link(sources: &[(&str, &str)], options: CompileOptions) -> Re
     compile_and_link_with_feedback(sources, options, &Feedback::default())
 }
 
-/// [`compile_and_link`] with profile-feedback prefetch hints.
+/// [`compile_and_link`] with profile feedback: prefetch hints,
+/// structure re-layout, and heap-allocation alignment all apply; the
+/// `pagesize_heap` decision is recorded in the feedback for whoever
+/// configures the machine (page size is a property of the MMU, not
+/// the binary).
 pub fn compile_and_link_with_feedback(
     sources: &[(&str, &str)],
     options: CompileOptions,
@@ -131,6 +182,9 @@ pub fn compile_and_link_with_feedback(
     for (name, src) in sources {
         modules.push(compile_module_with_feedback(name, src, options, feedback)?);
     }
-    modules.push(runtime_module());
+    modules.push(match feedback.heap_align {
+        Some(align) if align > 16 => runtime_module_aligned(align),
+        _ => runtime_module(),
+    });
     link(&modules)
 }

@@ -5,15 +5,25 @@ use std::collections::HashMap;
 
 use crate::ast::{self, BaseType, BinOp, ExprKind, Module, ParsedType, StmtKind, UnOp};
 use crate::error::{CompileError, Result};
+use crate::feedback::Feedback;
 use crate::hir::*;
 use crate::types::{layout_fields, StructId, StructInfo, Type};
 
 /// Type-check and lower one parsed module.
+#[cfg(test)]
 pub fn analyze(module: &Module) -> Result<HModule> {
+    analyze_with_feedback(module, &Feedback::default())
+}
+
+/// `analyze`, applying profile-feedback structure re-layout
+/// decisions (§3.3: "re-arranging the members of the node and arc
+/// structures according to their frequency of reference") during
+/// struct layout.
+pub fn analyze_with_feedback(module: &Module, feedback: &Feedback) -> Result<HModule> {
     let mut cx = Sema::new(&module.name);
     cx.register_structs(module)?;
     cx.register_typedefs(module)?;
-    cx.layout_structs(module)?;
+    cx.layout_structs(module, feedback)?;
     cx.register_globals(module)?;
     cx.register_signatures(module)?;
 
@@ -109,7 +119,7 @@ impl Sema {
         Ok(())
     }
 
-    fn layout_structs(&mut self, m: &Module) -> Result<()> {
+    fn layout_structs(&mut self, m: &Module, feedback: &Feedback) -> Result<()> {
         for s in &m.structs {
             let id = self.struct_ids[&s.name];
             let mut fields = Vec::with_capacity(s.fields.len());
@@ -129,13 +139,59 @@ impl Sema {
                 }
                 fields.push((f.name.clone(), ty, desc));
             }
-            let (fields, size, align) = layout_fields(fields, &self.structs);
+            if let Some(hint) = feedback.reorder_for(&s.name) {
+                fields = self.apply_reorder(fields, hint, s.line)?;
+            }
+            let (fields, mut size, align) = layout_fields(fields, &self.structs);
+            if let Some(pad) = feedback.reorder_for(&s.name).and_then(|h| h.pad_to) {
+                if pad < size || !pad.is_multiple_of(align) {
+                    return self.err(
+                        s.line,
+                        &format!(
+                            "reorder pad={pad} for struct `{}` must be >= its natural size \
+                             {size} and a multiple of its alignment {align}",
+                            s.name
+                        ),
+                    );
+                }
+                size = pad;
+            }
             let info = &mut self.structs[id];
             info.fields = fields;
             info.size = size;
             info.align = align;
         }
         Ok(())
+    }
+
+    /// The feedback-directed re-layout pass: members named by the
+    /// hint move to the front in hint order; all other members keep
+    /// declaration order behind them. Member accesses compile by name
+    /// against the final offsets, so the permutation cannot change
+    /// program meaning — only where the bytes land.
+    fn apply_reorder(
+        &self,
+        fields: Vec<(String, Type, String)>,
+        hint: &crate::feedback::ReorderHint,
+        line: u32,
+    ) -> Result<Vec<(String, Type, String)>> {
+        let mut front = Vec::with_capacity(hint.order.len());
+        let mut rest = fields;
+        for name in &hint.order {
+            let Some(pos) = rest.iter().position(|(n, _, _)| n == name) else {
+                return self.err(
+                    line,
+                    &format!(
+                        "reorder for struct `{}` names `{name}`, which is not a \
+                         member of it (or repeats in the order)",
+                        hint.struct_name
+                    ),
+                );
+            };
+            front.push(rest.remove(pos));
+        }
+        front.extend(rest);
+        Ok(front)
     }
 
     fn register_globals(&mut self, m: &Module) -> Result<()> {
@@ -973,6 +1029,32 @@ mod tests {
 
     fn analyze_src(src: &str) -> Result<HModule> {
         analyze(&parse_module("t", src).unwrap())
+    }
+
+    #[test]
+    fn reorder_hint_permutes_layout_and_pads() {
+        let src = r#"
+            struct rec { long a; long b; char *c; long d; };
+            long f(struct rec *r) { return r->d; }
+        "#;
+        let fb = Feedback::from_text("reorder rec d,c pad=64\n").unwrap();
+        let m = analyze_with_feedback(&parse_module("t", src).unwrap(), &fb).unwrap();
+        let rec = &m.structs[0];
+        let names: Vec<&str> = rec.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["d", "c", "a", "b"]);
+        assert_eq!(rec.fields[0].offset, 0);
+        assert_eq!(rec.fields[3].offset, 24);
+        assert_eq!(rec.size, 64, "padded to the requested size");
+        // Type descriptors travel with their fields.
+        assert_eq!(rec.fields[1].type_desc, "pointer+char");
+
+        // Unknown member and bad pads are hard errors.
+        let bad = Feedback::from_text("reorder rec nosuch\n").unwrap();
+        assert!(analyze_with_feedback(&parse_module("t", src).unwrap(), &bad).is_err());
+        let small = Feedback::from_text("reorder rec d pad=16\n").unwrap();
+        assert!(analyze_with_feedback(&parse_module("t", src).unwrap(), &small).is_err());
+        let misaligned = Feedback::from_text("reorder rec d pad=36\n").unwrap();
+        assert!(analyze_with_feedback(&parse_module("t", src).unwrap(), &misaligned).is_err());
     }
 
     #[test]

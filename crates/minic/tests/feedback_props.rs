@@ -1,0 +1,258 @@
+//! Property tests for the feedback-file contract between the
+//! analyzer/driver and the compiler.
+//!
+//! Two invariants:
+//!
+//! 1. **Round trip** — `Feedback::from_text(fb.to_text()) == fb` for
+//!    every combination of decision kinds (prefetch, reorder with and
+//!    without pad, heapalign, pagesize_heap), including the numeric
+//!    boundary values. A driver writes this file and a later
+//!    recompilation re-reads it; any lossy corner silently changes
+//!    measured deltas.
+//! 2. **Semantic preservation** — recompiling a struct-heavy program
+//!    under an arbitrary `reorder` (any member permutation, padded or
+//!    not, with or without heap alignment) never changes the
+//!    program's exit code or output. Layout is performance, not
+//!    meaning.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+use minic::{compile_and_link_with_feedback, CompileOptions, Feedback, PrefetchHint, ReorderHint};
+use simsparc_machine::{Machine, MachineConfig, NullHook};
+
+/// Identifier-shaped name (the text form is whitespace- and
+/// comma-delimited, so names must be identifiers — which is also all
+/// the compiler accepts).
+fn ident() -> BoxedStrategy<String> {
+    (any::<u64>(), 0usize..8).prop_map(|(bits, extra)| {
+        const HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyz_";
+        const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+        let mut bits = bits;
+        let mut s = String::new();
+        s.push(HEAD[(bits % HEAD.len() as u64) as usize] as char);
+        for _ in 0..extra {
+            bits /= 7;
+            s.push(TAIL[(bits % TAIL.len() as u64) as usize] as char);
+        }
+        s
+    })
+}
+
+fn prefetch_hint() -> BoxedStrategy<PrefetchHint> {
+    let line = prop_oneof![Just(0u32), Just(u32::MAX), (0u32..100_000).prop_map(|l| l),];
+    let lookahead = prop_oneof![
+        Just(i64::MIN),
+        Just(i64::MAX),
+        Just(0i64),
+        Just(-512i64),
+        -4096i64..4096,
+    ];
+    (ident(), line, lookahead)
+        .prop_map(|(function, line, lookahead)| PrefetchHint {
+            function,
+            line,
+            lookahead,
+        })
+        .boxed()
+}
+
+fn reorder_hint() -> BoxedStrategy<ReorderHint> {
+    let pad = prop_oneof![
+        Just(None),
+        Just(Some(1u64)),
+        Just(Some(u64::MAX)),
+        (1u64..4096).prop_map(Some),
+    ];
+    (ident(), proptest::collection::vec(ident(), 1..8), pad).prop_map(
+        |(struct_name, mut order, pad_to)| {
+            // The parser rejects repeated members; make the list a set.
+            order.sort();
+            order.dedup();
+            ReorderHint {
+                struct_name,
+                order,
+                pad_to,
+            }
+        },
+    )
+}
+
+fn power_of_two() -> BoxedStrategy<u64> {
+    prop_oneof![Just(0u32), Just(63u32), 0u32..64].prop_map(|shift| 1u64 << shift)
+}
+
+fn feedback() -> BoxedStrategy<Feedback> {
+    (
+        proptest::collection::vec(prefetch_hint(), 0..4),
+        proptest::collection::vec(reorder_hint(), 0..3),
+        prop_oneof![Just(None), power_of_two().prop_map(Some)],
+        prop_oneof![Just(None), power_of_two().prop_map(Some)],
+    )
+        .prop_map(|(hints, mut reorders, heap_align, heap_page_bytes)| {
+            // The parser rejects two reorders of the same struct.
+            reorders.sort_by(|a, b| a.struct_name.cmp(&b.struct_name));
+            reorders.dedup_by(|a, b| a.struct_name == b.struct_name);
+            Feedback {
+                hints,
+                reorders,
+                heap_align,
+                heap_page_bytes,
+            }
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn text_form_round_trips(fb in feedback()) {
+        let text = fb.to_text();
+        let back = Feedback::from_text(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\nfile:\n{text}")))?;
+        prop_assert_eq!(back, fb, "text:\n{}", text);
+    }
+}
+
+/// Deterministic boundary sweep on top of the random one: every
+/// numeric field at its extremes survives one round trip.
+#[test]
+fn boundary_values_round_trip() {
+    let fb = Feedback {
+        hints: vec![
+            PrefetchHint {
+                function: "f".into(),
+                line: 0,
+                lookahead: i64::MIN,
+            },
+            PrefetchHint {
+                function: "g".into(),
+                line: u32::MAX,
+                lookahead: i64::MAX,
+            },
+        ],
+        reorders: vec![
+            ReorderHint {
+                struct_name: "a".into(),
+                order: vec!["x".into()],
+                pad_to: Some(1),
+            },
+            ReorderHint {
+                struct_name: "b".into(),
+                order: vec!["y".into(), "z".into()],
+                pad_to: Some(u64::MAX),
+            },
+        ],
+        heap_align: Some(1),
+        heap_page_bytes: Some(1 << 63),
+    };
+    assert_eq!(Feedback::from_text(&fb.to_text()).unwrap(), fb);
+
+    let fb = Feedback {
+        heap_align: Some(1 << 63),
+        heap_page_bytes: Some(1),
+        ..Feedback::default()
+    };
+    assert_eq!(Feedback::from_text(&fb.to_text()).unwrap(), fb);
+}
+
+/// The pointer-chasing workload for the semantic oracle: builds a
+/// linked structure on the heap, walks it twice (field reads and
+/// writes through every member), and prints a digest. Any layout
+/// change that altered addressing of even one member access would
+/// change the digest or trap.
+const ORACLE_SRC: &str = r#"
+    extern char *malloc(long nbytes);
+    struct item {
+        long number;
+        struct item *next;
+        long potential;
+        char mark;
+        long flow;
+        struct item *pred;
+    };
+    long main() {
+        struct item *head = 0;
+        struct item *p;
+        struct item *q;
+        long i;
+        for (i = 0; i < 40; i = i + 1) {
+            p = (struct item*)malloc(sizeof(struct item));
+            p->number = i;
+            p->potential = i * 17;
+            p->mark = i % 3;
+            p->flow = 0 - i;
+            p->next = head;
+            p->pred = 0;
+            if (head) { head->pred = p; }
+            head = p;
+        }
+        long s = 0;
+        for (p = head; p; p = p->next) {
+            s = s + p->potential + p->flow + p->mark;
+            p->flow = s;
+        }
+        for (p = head; p; p = p->next) { q = p; }
+        for (p = q; p; p = p->pred) { s = s + p->flow - p->number; }
+        print_long(s);
+        return s % 251;
+    }
+"#;
+
+const ORACLE_MEMBERS: [&str; 6] = ["number", "next", "potential", "mark", "flow", "pred"];
+
+fn run_oracle(fb: &Feedback) -> (i64, String) {
+    let program =
+        compile_and_link_with_feedback(&[("oracle.c", ORACLE_SRC)], CompileOptions::default(), fb)
+            .unwrap_or_else(|e| panic!("compile failed under {:?}: {e}", fb));
+    let mut m = Machine::new(MachineConfig::default());
+    m.load(&program.image);
+    let out = m
+        .run(200_000_000, &mut NullHook)
+        .unwrap_or_else(|e| panic!("run failed under {:?}: {e}", fb));
+    (out.exit_code, out.output)
+}
+
+/// A permutation (or prefix) of the oracle struct's members plus a
+/// legal pad/heapalign choice.
+fn oracle_reorder() -> BoxedStrategy<Feedback> {
+    let perm = BoxedStrategy::new(|rng: &mut TestRng| {
+        let mut pool: Vec<&str> = ORACLE_MEMBERS.to_vec();
+        let keep = 1 + (rng.next_u64() % ORACLE_MEMBERS.len() as u64) as usize;
+        let mut order = Vec::new();
+        for _ in 0..keep {
+            let i = (rng.next_u64() % pool.len() as u64) as usize;
+            order.push(pool.remove(i).to_string());
+        }
+        order
+    });
+    // struct item: 4 long + 2 ptr + char ≈ 48 bytes with padding;
+    // pads are multiples of the 8-byte alignment at or above the
+    // natural size, as sema requires.
+    let pad = prop_oneof![Just(None), Just(Some(64u64)), Just(Some(128u64))];
+    let align = prop_oneof![Just(None), Just(Some(32u64)), Just(Some(512u64))];
+    (perm, pad, align)
+        .prop_map(|(order, pad_to, heap_align)| Feedback {
+            reorders: vec![ReorderHint {
+                struct_name: "item".into(),
+                order,
+                pad_to,
+            }],
+            heap_align,
+            ..Feedback::default()
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn reorder_preserves_program_semantics(fb in oracle_reorder()) {
+        let baseline = run_oracle(&Feedback::default());
+        let reordered = run_oracle(&fb);
+        prop_assert_eq!(
+            &reordered, &baseline,
+            "layout change altered semantics under {:?}", fb
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # memprof-opt — the feedback-directed optimization driver
+//!
+//! The paper's §3.3 case study is a *manual* loop: profile MCF, stare
+//! at the data-object views, re-arrange the `node` members by
+//! frequency of reference, pad the structure to a power of two, align
+//! it on cache lines, rebuild with `-xpagesize_heap=512k`, and measure
+//! again. This crate mechanizes every step of that loop:
+//!
+//! 1. **profile** — run the workload under the simulated counters
+//!    twice (the paper's E1 `+ecstall,+ecrm -p on` and E2
+//!    `+ecref,+dtlbm` experiments);
+//! 2. **gate** — replay every event through `mp-verify`'s differential
+//!    oracle; if backtracked attribution precision is below threshold
+//!    the profile is corrupted and no decision may be derived from it;
+//! 3. **decide** — walk the data-object / member / instance /
+//!    feedback views and emit concrete [`Decision`]s: structure member
+//!    reordering and padding, heap allocation alignment, heap page
+//!    size for the DTLB, and prefetch insertion points;
+//! 4. **measure** — recompile with each candidate decision alone (via
+//!    the grown `minic` feedback file), run unprofiled, and accept
+//!    only decisions that improve cycles *and* leave the program
+//!    output bit-identical (MCF additionally re-verifies against the
+//!    min-cost-flow oracle);
+//! 5. **iterate** — fold the accepted decisions into the feedback
+//!    state and go again, until a round yields nothing (fixed point).
+//!
+//! The per-decision and combined deltas come out in an [`OptReport`],
+//! mirroring the paper's Table: reorder 16.2%, large pages 3.9%,
+//! combined 20.7%.
+
+mod decide;
+mod driver;
+mod workloads;
+
+pub use decide::{decide, DecideConfig, Decision};
+pub use driver::{
+    optimize, Candidate, Measurement, OptConfig, OptError, OptReport, Round, Workload,
+};
+pub use workloads::{CSourceWorkload, McfWorkload};

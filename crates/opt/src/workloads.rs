@@ -1,0 +1,87 @@
+//! Workloads the driver knows how to optimize: the paper's MCF case
+//! study, and any self-contained mini-C source file.
+
+use mcf::{Instance, Layout, McfParams};
+use minic::{compile_and_link_with_feedback, CompileOptions, Feedback, Program};
+use simsparc_machine::{Machine, RunOutcome};
+
+use crate::driver::Workload;
+
+/// The §3.3 case study: MCF from the *baseline* (paper) layout, with
+/// every optimization arriving through the feedback file rather than
+/// the hand-tuned `Layout::Tuned` source. Each run is validated
+/// against the min-cost-flow oracle.
+pub struct McfWorkload {
+    pub instance: Instance,
+    pub params: McfParams,
+}
+
+impl McfWorkload {
+    pub fn new(instance: Instance) -> McfWorkload {
+        McfWorkload {
+            instance,
+            params: McfParams::default(),
+        }
+    }
+}
+
+impl Workload for McfWorkload {
+    fn name(&self) -> &str {
+        "mcf"
+    }
+
+    fn compile(&self, options: CompileOptions, feedback: &Feedback) -> Result<Program, String> {
+        mcf::compile_mcf_with_feedback(
+            &self.instance,
+            Layout::Baseline,
+            &self.params,
+            options,
+            feedback,
+        )
+        .map(|b| b.program)
+        .map_err(|e| e.to_string())
+    }
+
+    fn stage(&self, machine: &mut Machine, program: &Program) {
+        mcf::stage_instance(machine, program, &self.instance);
+    }
+
+    fn validate(&self, outcome: &RunOutcome) -> Result<(), String> {
+        let result = mcf::parse_result(outcome).map_err(|e| e.to_string())?;
+        mcf::verify_against_oracle(&self.instance, &result)
+    }
+}
+
+/// Any standalone mini-C program with a `main`. Inputs must be baked
+/// into the source; semantic preservation rests on the driver's
+/// output-equality check.
+pub struct CSourceWorkload {
+    pub file_name: String,
+    pub source: String,
+}
+
+impl CSourceWorkload {
+    pub fn new(file_name: impl Into<String>, source: impl Into<String>) -> CSourceWorkload {
+        CSourceWorkload {
+            file_name: file_name.into(),
+            source: source.into(),
+        }
+    }
+}
+
+impl Workload for CSourceWorkload {
+    fn name(&self) -> &str {
+        &self.file_name
+    }
+
+    fn compile(&self, options: CompileOptions, feedback: &Feedback) -> Result<Program, String> {
+        compile_and_link_with_feedback(&[(&self.file_name, &self.source)], options, feedback)
+            .map_err(|e| e.to_string())
+    }
+
+    fn stage(&self, _machine: &mut Machine, _program: &Program) {}
+
+    fn validate(&self, _outcome: &RunOutcome) -> Result<(), String> {
+        Ok(())
+    }
+}

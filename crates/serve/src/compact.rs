@@ -86,15 +86,77 @@ struct CachedWindow {
     packed_hash: u64,
     merged: Experiment,
     attachments: Vec<(String, String)>,
+    /// Value of the cache clock when this entry was last written —
+    /// the LRU eviction key.
+    last_used: u64,
 }
 
 /// Per-window merge results carried between compaction passes (see
 /// the module docs). Owned by the daemon and protected by its tier
 /// lock; an empty cache is always correct — every lookup revalidates
 /// against the bytes on disk.
-#[derive(Default)]
+///
+/// Each cached window pins a fully decoded [`Experiment`] in memory,
+/// so the cache holds at most [`CompactCache::DEFAULT_CACHED_WINDOWS`]
+/// entries unless [`CompactCache::with_cap`] says otherwise; beyond
+/// the cap the least-recently-compacted window is dropped and its next
+/// pass simply re-reads the packed store from disk (the slow path
+/// every entry starts from anyway).
 pub struct CompactCache {
     windows: HashMap<String, CachedWindow>,
+    /// Monotonic compaction counter; entries stamp it on insert.
+    clock: u64,
+    cap: usize,
+}
+
+impl Default for CompactCache {
+    fn default() -> Self {
+        Self::with_cap(Self::DEFAULT_CACHED_WINDOWS)
+    }
+}
+
+impl CompactCache {
+    /// Deliberately small: a daemon usually compacts a handful of hot
+    /// (recent) windows over and over while old windows go quiet, and
+    /// one entry can hold a large merged experiment.
+    pub const DEFAULT_CACHED_WINDOWS: usize = 4;
+
+    /// A cache that keeps at most `cap` windows; `0` disables seeding
+    /// entirely (every pass takes the re-read path).
+    pub fn with_cap(cap: usize) -> Self {
+        CompactCache {
+            windows: HashMap::new(),
+            clock: 0,
+            cap,
+        }
+    }
+
+    /// Windows currently cached (for tests and introspection).
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Record `window`'s pass result, evicting the least recently
+    /// compacted window if that pushes the cache over its cap.
+    fn insert(&mut self, window: &str, entry: CachedWindow) {
+        if self.cap == 0 {
+            return;
+        }
+        self.windows.insert(window.to_string(), entry);
+        while self.windows.len() > self.cap {
+            let oldest = self
+                .windows
+                .iter()
+                .min_by_key(|(_, c)| c.last_used)
+                .map(|(w, _)| w.clone())
+                .expect("cache over cap is non-empty");
+            self.windows.remove(&oldest);
+        }
+    }
 }
 
 /// What one compaction pass did.
@@ -164,9 +226,10 @@ pub fn compact_window(
     // restart, or an externally replaced store) fall back to reading
     // it like any other input. A pass that fails below leaves the
     // entry removed, so the next attempt re-reads from disk.
-    let cached = cache.windows.remove(window).filter(|c| {
-        read_file_pooled(&packed).is_ok_and(|bytes| fnv1a64(&bytes) == c.packed_hash)
-    });
+    let cached = cache
+        .windows
+        .remove(window)
+        .filter(|c| read_file_pooled(&packed).is_ok_and(|bytes| fnv1a64(&bytes) == c.packed_hash));
     let (seeds, seed_attachments) = match cached {
         Some(c) => (vec![c.merged], Some(c.attachments)),
         None => (Vec::new(), None),
@@ -217,12 +280,15 @@ pub fn compact_window(
     for raw in &tier.fresh {
         std::fs::remove_file(raw).map_err(|e| StoreError::Io(e).at(raw))?;
     }
-    cache.windows.insert(
-        window.to_string(),
+    cache.clock += 1;
+    let last_used = cache.clock;
+    cache.insert(
+        window,
         CachedWindow {
             packed_hash: manifest.packed_hash,
             merged,
             attachments,
+            last_used,
         },
     );
     // The per-window raw dir stays (possibly empty); new sessions for
@@ -233,7 +299,10 @@ pub fn compact_window(
 /// Compact every window that has sealed raw segments. One window's
 /// failure (e.g. an incompatible collection recipe) doesn't block the
 /// others.
-pub fn compact_all(dirs: &StoreDirs, cache: &mut CompactCache) -> Result<CompactReport, StoreError> {
+pub fn compact_all(
+    dirs: &StoreDirs,
+    cache: &mut CompactCache,
+) -> Result<CompactReport, StoreError> {
     let mut report = CompactReport::default();
     for window in dirs.windows()? {
         match compact_window(dirs, &window, cache) {

@@ -56,6 +56,11 @@ pub struct ServerConfig {
     /// Seconds between background compaction passes; `None` compacts
     /// only on explicit `compact` queries.
     pub compact_secs: Option<u64>,
+    /// Max windows whose merged experiments stay cached between
+    /// compaction passes; `None` uses
+    /// [`CompactCache::DEFAULT_CACHED_WINDOWS`], `Some(0)` disables
+    /// the cache (every pass re-reads the packed store).
+    pub cache_windows: Option<usize>,
 }
 
 struct Shared {
@@ -93,7 +98,11 @@ impl Server {
         let next_seq = dirs.max_existing_seq().saturating_add(1);
         let shared = Arc::new(Shared {
             dirs,
-            tiers: Mutex::new(CompactCache::default()),
+            tiers: Mutex::new(CompactCache::with_cap(
+                config
+                    .cache_windows
+                    .unwrap_or(CompactCache::DEFAULT_CACHED_WINDOWS),
+            )),
             seq: AtomicU64::new(next_seq),
             stop: AtomicBool::new(false),
         });

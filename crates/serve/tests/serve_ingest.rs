@@ -219,7 +219,10 @@ fn incremental_compaction_matches_cold_cache_and_offline() {
     let (warm1, warm2, warm_stat) = run("incr_warm", false);
     let (cold1, cold2, cold_stat) = run("incr_cold", true);
     assert_eq!(warm1, cold1, "first passes diverge before any cache use");
-    assert_eq!(warm2, cold2, "seeded compaction differs from re-read compaction");
+    assert_eq!(
+        warm2, cold2,
+        "seeded compaction differs from re-read compaction"
+    );
     assert_eq!(warm_stat, cold_stat);
 
     // And both equal the offline toolchain replaying the same rounds:
@@ -232,11 +235,17 @@ fn incremental_compaction_matches_cold_cache_and_offline() {
         std::fs::write(&path, local_bytes(*seed, 2)).unwrap();
         files.push(path);
     }
-    let refs: Vec<ExperimentRef> = files.iter().map(|p| ExperimentRef::open(p).unwrap()).collect();
+    let refs: Vec<ExperimentRef> = files
+        .iter()
+        .map(|p| ExperimentRef::open(p).unwrap())
+        .collect();
     let packed1_path = offline.join("w1.mps");
     std::fs::write(
         &packed1_path,
-        pack_experiment(&merge_experiments(&refs).unwrap(), &collect_attachments(&refs)),
+        pack_experiment(
+            &merge_experiments(&refs).unwrap(),
+            &collect_attachments(&refs),
+        ),
     )
     .unwrap();
     assert_eq!(std::fs::read(&packed1_path).unwrap(), warm1);
@@ -250,7 +259,10 @@ fn incremental_compaction_matches_cold_cache_and_offline() {
         &merge_experiments(&refs2).unwrap(),
         &collect_attachments(&refs2),
     );
-    assert_eq!(warm2, expected2, "compacted store differs from offline merge");
+    assert_eq!(
+        warm2, expected2,
+        "compacted store differs from offline merge"
+    );
 }
 
 #[test]
@@ -573,4 +585,66 @@ fn open_errors_carry_the_file_path() {
 fn open_as_stream(path: &Path) -> Result<memprof_store::EventStream, memprof_store::StoreError> {
     let r = ExperimentRef::open(path)?;
     memprof_store::EventStream::open(&r)
+}
+
+/// LRU cap satellite: a capped cache evicts the least recently
+/// compacted window, and an evicted window's next pass — forced onto
+/// the re-read-from-disk path — produces byte-identical packed stores
+/// and summaries to both an uncapped (always-seeded) cache and a
+/// disabled one (always re-read).
+#[test]
+fn lru_eviction_falls_back_to_disk_path_byte_identically() {
+    use memprof_serve::{compact_window, CompactCache};
+
+    const WINDOWS: [&str; 3] = ["w1", "w2", "w3"];
+
+    // Drive two rounds of segment-landing + compaction over three
+    // windows through one cache. With cap 1, each round's passes
+    // evict each other in turn, so round 2 finds w1 and w2 evicted
+    // (disk path) and only w3 still seeded.
+    let run = |tag: &str, cache: &mut CompactCache| -> Vec<(Vec<u8>, Vec<u8>)> {
+        let data = scratch(tag);
+        let dirs = StoreDirs::create(&data).unwrap();
+        for round in 0u64..2 {
+            for (i, window) in WINDOWS.iter().enumerate() {
+                std::fs::create_dir_all(dirs.raw_dir(window)).unwrap();
+                let session = format!("{:010}-r{round}", round * 10 + i as u64 + 1);
+                let seed = round * 10 + i as u64 + 1;
+                std::fs::write(dirs.raw_path(window, &session), local_bytes(seed, 2)).unwrap();
+                assert_eq!(compact_window(&dirs, window, cache).unwrap(), 1);
+            }
+        }
+        WINDOWS
+            .iter()
+            .map(|w| {
+                (
+                    std::fs::read(dirs.packed_path(w)).unwrap(),
+                    std::fs::read(dirs.summary_path(w)).unwrap(),
+                )
+            })
+            .collect()
+    };
+
+    let mut capped = CompactCache::with_cap(1);
+    let capped_tiers = run("lru_capped", &mut capped);
+    assert_eq!(capped.len(), 1, "cap 1 holds exactly one window");
+
+    let mut uncapped = CompactCache::with_cap(usize::MAX);
+    let uncapped_tiers = run("lru_uncapped", &mut uncapped);
+    assert_eq!(uncapped.len(), WINDOWS.len());
+
+    let mut disabled = CompactCache::with_cap(0);
+    let disabled_tiers = run("lru_disabled", &mut disabled);
+    assert!(disabled.is_empty(), "cap 0 caches nothing");
+
+    for (i, w) in WINDOWS.iter().enumerate() {
+        assert_eq!(
+            capped_tiers[i], uncapped_tiers[i],
+            "{w}: evicted (re-read) pass diverged from seeded pass"
+        );
+        assert_eq!(
+            capped_tiers[i], disabled_tiers[i],
+            "{w}: capped pass diverged from cache-disabled pass"
+        );
+    }
 }

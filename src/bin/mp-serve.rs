@@ -1,7 +1,8 @@
 //! `mp-serve` — the always-on profiling aggregation service.
 //!
 //! ```text
-//! mp-serve daemon --data DIR [--listen ADDR] [--compact-secs N] [--port-file P]
+//! mp-serve daemon --data DIR [--listen ADDR] [--compact-secs N]
+//!          [--cache-windows N] [--port-file P]
 //! mp-serve query ADDR QUERY...
 //! ```
 //!
@@ -11,7 +12,10 @@
 //! `--port-file` writes the resolved `host:port` for scripts to read.
 //! `--compact-secs N` folds sealed raw segments into packed stores
 //! every N seconds; without it, compaction runs only on an explicit
-//! `compact` query.
+//! `compact` query. `--cache-windows N` bounds how many windows' merge
+//! results stay resident between compaction passes (LRU, default 4;
+//! 0 disables the cache — evicted windows just re-read their packed
+//! store from disk).
 //!
 //! `query` sends one query line (the remaining arguments, joined) and
 //! prints the result. See `memprof_serve::query` for the grammar.
@@ -24,7 +28,8 @@ use memprof::serve::{self, Server, ServerConfig};
 fn usage(msg: &str) -> ! {
     eprintln!(
         "mp-serve: {msg}\n\
-         usage: mp-serve daemon --data DIR [--listen ADDR] [--compact-secs N] [--port-file P]\n\
+         usage: mp-serve daemon --data DIR [--listen ADDR] [--compact-secs N]\n\
+         \x20        [--cache-windows N] [--port-file P]\n\
          \x20      mp-serve query ADDR QUERY..."
     );
     exit(2)
@@ -42,6 +47,7 @@ fn main() {
             let mut listen = "127.0.0.1:7807".to_string();
             let mut data: Option<PathBuf> = None;
             let mut compact_secs = None;
+            let mut cache_windows = None;
             let mut port_file: Option<PathBuf> = None;
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
@@ -60,12 +66,23 @@ fn main() {
                                 .unwrap_or_else(|_| usage("bad --compact-secs")),
                         )
                     }
+                    "--cache-windows" => {
+                        cache_windows = Some(
+                            value("--cache-windows")
+                                .parse()
+                                .unwrap_or_else(|_| usage("bad --cache-windows")),
+                        )
+                    }
                     "--port-file" => port_file = Some(PathBuf::from(value("--port-file"))),
                     other => usage(&format!("unknown daemon flag `{other}`")),
                 }
             }
             let data = data.unwrap_or_else(|| usage("daemon needs --data DIR"));
-            let server = Server::start(&listen, &data, ServerConfig { compact_secs })
+            let config = ServerConfig {
+                compact_secs,
+                cache_windows,
+            };
+            let server = Server::start(&listen, &data, config)
                 .unwrap_or_else(|e| fail(&format!("cannot listen on {listen}"), e));
             eprintln!(
                 "mp-serve: listening on {}, data in {}",

@@ -25,6 +25,7 @@
 //! analyze user model of §2 of the paper.
 
 pub use memprof_core as profiler;
+pub use memprof_opt as opt;
 pub use memprof_serve as serve;
 pub use memprof_store as store;
 pub use minic;

@@ -31,7 +31,7 @@ fn run_experiments(inst: &Instance) -> (memprof::minic::Program, Experiment, Exp
     let run_one = |spec: &str, clock: bool| {
         let mut machine = Machine::new(paper_machine_config());
         machine.load(&binary.program.image);
-        mcf::stage_instance(&mut machine, &binary, inst);
+        mcf::stage_instance(&mut machine, &binary.program, inst);
         let config = CollectConfig {
             counters: parse_counter_spec(spec).unwrap(),
             clock_profiling: clock,

@@ -42,7 +42,7 @@ fn collect_mcf() -> (memprof::minic::Program, Experiment) {
     .unwrap();
     let mut machine = Machine::new(paper_machine_config());
     machine.load(&binary.program.image);
-    mcf::stage_instance(&mut machine, &binary, &inst);
+    mcf::stage_instance(&mut machine, &binary.program, &inst);
     let config = CollectConfig {
         counters: parse_counter_spec("+ecstall,4001,+ecrm,101").unwrap(),
         clock_profiling: true,

@@ -51,7 +51,7 @@ fn mcf_setup() -> (mcf::McfBinary, Instance, CollectConfig) {
 fn fresh_machine(binary: &mcf::McfBinary, inst: &Instance) -> Machine {
     let mut machine = Machine::new(paper_machine_config());
     machine.load(&binary.program.image);
-    mcf::stage_instance(&mut machine, binary, inst);
+    mcf::stage_instance(&mut machine, &binary.program, inst);
     machine
 }
 
