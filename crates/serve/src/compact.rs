@@ -62,12 +62,18 @@
 //! directory fsync after), so "landed" means on disk, not in page
 //! cache — the raw segments deleted in step 6 are never the only copy
 //! of their events. The cache only ever *adds* a fast path: it is
-//! updated after the pass fully succeeds, consulted under the same
-//! tier lock that serializes compaction, and revalidated against the
-//! on-disk bytes before use.
+//! updated after the pass fully succeeds and revalidated against the
+//! on-disk bytes before use. It lives behind its own mutex, held only
+//! for entry take/put — never across a merge — so windows compact
+//! concurrently; what serializes two passes over the *same* window is
+//! that window's exclusive lock in the
+//! [`WindowRegistry`](crate::registry::WindowRegistry), which
+//! [`compact_all_registered`] (the daemon's entry point) takes per
+//! window.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 use memprof_core::Experiment;
 use memprof_store::pread::read_file_pooled;
@@ -76,6 +82,7 @@ use memprof_store::{
     ExperimentRef, StoreError,
 };
 
+use crate::registry::WindowRegistry;
 use crate::store::{render_manifest, write_durable, Manifest, StoreDirs};
 use crate::summary::write_summary;
 
@@ -197,11 +204,13 @@ fn refresh_summary(dirs: &StoreDirs, window: &str) -> Result<(), StoreError> {
 /// number of segments folded in (0 = nothing to do, though stale
 /// leftovers from an interrupted earlier pass may still be cleaned
 /// up). See the module docs for the crash protocol and the cache's
-/// role.
+/// role. Callers must hold the window's exclusive lock (or otherwise
+/// guarantee one pass per window at a time) — the daemon path is
+/// [`compact_all_registered`] / [`compact_window_registered`].
 pub fn compact_window(
     dirs: &StoreDirs,
     window: &str,
-    cache: &mut CompactCache,
+    cache: &Mutex<CompactCache>,
 ) -> Result<usize, StoreError> {
     let tier = dirs.live_raw_segments(window)?;
     let packed = dirs.packed_path(window);
@@ -225,11 +234,13 @@ pub fn compact_window(
     // cached experiment was packed into; otherwise (first pass,
     // restart, or an externally replaced store) fall back to reading
     // it like any other input. A pass that fails below leaves the
-    // entry removed, so the next attempt re-reads from disk.
-    let cached = cache
-        .windows
-        .remove(window)
-        .filter(|c| read_file_pooled(&packed).is_ok_and(|bytes| fnv1a64(&bytes) == c.packed_hash));
+    // entry removed, so the next attempt re-reads from disk. The
+    // entry is taken out under a brief lock and the hash validated
+    // outside it — the disk read must not stall other windows' passes.
+    let cached =
+        cache.lock().unwrap().windows.remove(window).filter(|c| {
+            read_file_pooled(&packed).is_ok_and(|bytes| fnv1a64(&bytes) == c.packed_hash)
+        });
     let (seeds, seed_attachments) = match cached {
         Some(c) => (vec![c.merged], Some(c.attachments)),
         None => (Vec::new(), None),
@@ -280,28 +291,71 @@ pub fn compact_window(
     for raw in &tier.fresh {
         std::fs::remove_file(raw).map_err(|e| StoreError::Io(e).at(raw))?;
     }
-    cache.clock += 1;
-    let last_used = cache.clock;
-    cache.insert(
-        window,
-        CachedWindow {
-            packed_hash: manifest.packed_hash,
-            merged,
-            attachments,
-            last_used,
-        },
-    );
+    {
+        let mut cache = cache.lock().unwrap();
+        cache.clock += 1;
+        let last_used = cache.clock;
+        cache.insert(
+            window,
+            CachedWindow {
+                packed_hash: manifest.packed_hash,
+                merged,
+                attachments,
+                last_used,
+            },
+        );
+    }
     // The per-window raw dir stays (possibly empty); new sessions for
     // the window keep landing there.
     Ok(tier.fresh.len())
 }
 
-/// Compact every window that has sealed raw segments. One window's
-/// failure (e.g. an incompatible collection recipe) doesn't block the
-/// others.
+/// Compact one window under its exclusive registry lock, bumping the
+/// window's tier generation if the pass changed anything — the form
+/// every daemon-side caller (background loop, `compact` query,
+/// retention) uses.
+pub fn compact_window_registered(
+    dirs: &StoreDirs,
+    registry: &WindowRegistry,
+    window: &str,
+    cache: &Mutex<CompactCache>,
+) -> Result<usize, StoreError> {
+    let state = registry.state(window);
+    let folded = {
+        let _exclusive = state.lock_exclusive();
+        compact_window(dirs, window, cache)?
+    };
+    if folded > 0 {
+        state.bump_generation();
+    }
+    Ok(folded)
+}
+
+/// Compact every window that has sealed raw segments, taking each
+/// window's exclusive lock only for its own pass — queries and seals
+/// on other windows proceed throughout. One window's failure (e.g. an
+/// incompatible collection recipe) doesn't block the others.
+pub fn compact_all_registered(
+    dirs: &StoreDirs,
+    registry: &WindowRegistry,
+    cache: &Mutex<CompactCache>,
+) -> Result<CompactReport, StoreError> {
+    let mut report = CompactReport::default();
+    for window in dirs.windows()? {
+        match compact_window_registered(dirs, registry, &window, cache) {
+            Ok(0) => {}
+            Ok(n) => report.windows.push((window, n)),
+            Err(e) => report.errors.push((window, e.to_string())),
+        }
+    }
+    Ok(report)
+}
+
+/// [`compact_all_registered`] without a registry, for embedders and
+/// tests that already serialize passes themselves.
 pub fn compact_all(
     dirs: &StoreDirs,
-    cache: &mut CompactCache,
+    cache: &Mutex<CompactCache>,
 ) -> Result<CompactReport, StoreError> {
     let mut report = CompactReport::default();
     for window in dirs.windows()? {

@@ -8,7 +8,11 @@
 //! guarantees as local streaming ([`server`]), folds them into
 //! per-window packed stores and summaries in the background
 //! ([`compact`], [`store`], [`summary`]), and answers analyzer-view
-//! queries from the tiers ([`query`]).
+//! queries from the tiers ([`query`]). Tier access is coordinated
+//! per window ([`registry`]): compaction of one window never blocks
+//! ingest, queries, or live `watch` subscriptions on another, and
+//! retention ([`retention`]) bounds the raw tier by aging idle
+//! windows through the same compaction path.
 //!
 //! The design invariant throughout is *offline equivalence*: every
 //! artifact the daemon produces is byte-identical to what the offline
@@ -20,15 +24,22 @@
 
 pub mod compact;
 pub mod query;
+pub mod registry;
+pub mod retention;
 pub mod server;
 pub mod sink;
 pub mod store;
 pub mod summary;
 pub mod wire;
 
-pub use compact::{compact_all, compact_window, CompactCache, CompactReport};
-pub use query::{answer, window_aggregate, window_syms, QueryOutcome};
-pub use server::{query, Server, ServerConfig};
+pub use compact::{
+    compact_all, compact_all_registered, compact_window, compact_window_registered, CompactCache,
+    CompactReport,
+};
+pub use query::{answer, watch_frame, window_aggregate, window_syms, QueryOutcome};
+pub use registry::{ExclusiveGuard, SharedGuard, WindowRegistry, WindowState};
+pub use retention::{enforce_retention, RetentionPolicy, RetentionReport};
+pub use server::{query, watch, Server, ServerConfig, WatchClient};
 pub use sink::SocketSink;
 pub use store::{parse_manifest, render_manifest, Manifest, RawTier, StoreDirs};
 pub use summary::{parse_summary, read_summary, render_summary, write_summary};

@@ -31,6 +31,13 @@
 //! round-trips the aggregate exactly, so the answer is byte-identical
 //! to re-aggregating the packed store; uncompacted raw segments are
 //! aggregated on the fly and merged in.
+//!
+//! Locking: each store-reading arm takes the *shared* registry lock
+//! of exactly the windows it resolves — in sorted label order when
+//! there are several ([`WindowRegistry::read_windows`]) — for only as
+//! long as it reads. A query against window A therefore completes
+//! while window B is mid-compaction; only a query *on the compacting
+//! window itself* waits.
 
 use memprof_core::analyze::Analysis;
 use memprof_core::Experiment;
@@ -40,6 +47,7 @@ use memprof_store::{
 };
 use simsparc_machine::CounterEvent;
 
+use crate::registry::WindowRegistry;
 use crate::store::{valid_label, StoreDirs};
 use crate::summary::read_summary;
 
@@ -210,14 +218,50 @@ fn split_shards(fields: Vec<&str>) -> Result<(usize, Vec<&str>), StoreError> {
     Ok((shards, out))
 }
 
-/// Parse and answer one query line. Store-dependent queries run here;
-/// `compact` and `shutdown` are returned for the server to act on.
-pub fn answer(dirs: &StoreDirs, line: &str) -> Result<QueryOutcome, StoreError> {
+/// The `stat` answer text for an aggregate — also the body of every
+/// watch PUSH frame, so a dashboard following a window live renders
+/// the same text a one-shot `stat` query would have returned.
+pub fn stat_text(agg: &Aggregate) -> String {
+    let mut out = agg.render();
+    out.push_str(&format!("{} distinct PCs\n", agg.pc_samples.len()));
+    out
+}
+
+/// One watch PUSH payload: a `window LABEL generation G events TOTAL`
+/// header line, then the `stat` text (or `no data` while the window
+/// is empty — a dashboard may subscribe before the first collector
+/// arrives). Callers hold the window's shared lock.
+pub fn watch_frame(dirs: &StoreDirs, window: &str, generation: u64) -> String {
+    match window_aggregate(dirs, window, 0) {
+        Ok(agg) => {
+            let total: u64 = agg.totals.iter().sum();
+            format!(
+                "window {window} generation {generation} events {total}\n{}",
+                stat_text(&agg)
+            )
+        }
+        Err(_) => format!("window {window} generation {generation} events 0\nno data\n"),
+    }
+}
+
+/// Parse and answer one query line, taking the shared registry lock
+/// of exactly the windows each arm reads. Store-dependent queries run
+/// here; `compact` and `shutdown` are returned for the server to act
+/// on.
+pub fn answer(
+    dirs: &StoreDirs,
+    registry: &WindowRegistry,
+    line: &str,
+) -> Result<QueryOutcome, StoreError> {
     let (shards, fields) = split_shards(line.split_whitespace().collect())?;
     let out = match fields.split_first() {
         Some((&"windows", [])) => {
             let mut out = String::new();
             for w in dirs.windows()? {
+                // One window's shared lock at a time: the listing is a
+                // per-window snapshot, and holding them all would make
+                // `windows` wait on every in-flight compaction at once.
+                let _guard = registry.state(&w).lock_shared();
                 let raws = dirs.live_raw_segments(&w)?.fresh.len();
                 let packed = dirs.packed_path(&w).exists();
                 let summary = dirs.summary_path(&w).exists();
@@ -235,20 +279,20 @@ pub fn answer(dirs: &StoreDirs, line: &str) -> Result<QueryOutcome, StoreError> 
         }
         Some((&"functions", rest)) => {
             let windows = resolve_windows(dirs, rest)?;
+            let _guards = registry.read_windows(&windows);
             let agg = merged_aggregate(dirs, &windows, shards)?;
             let syms = windows.iter().find_map(|w| window_syms(dirs, w));
             QueryOutcome::Text(agg.stat_json(syms.as_ref()))
         }
         Some((&"stat", rest)) => {
             let windows = resolve_windows(dirs, rest)?;
-            let agg = merged_aggregate(dirs, &windows, shards)?;
-            let mut out = agg.render();
-            out.push_str(&format!("{} distinct PCs\n", agg.pc_samples.len()));
-            QueryOutcome::Text(out)
+            let _guards = registry.read_windows(&windows);
+            QueryOutcome::Text(stat_text(&merged_aggregate(dirs, &windows, shards)?))
         }
         Some((&"diff", [wa, wb])) => {
             let wa = checked_label(dirs, wa)?;
             let wb = checked_label(dirs, wb)?;
+            let _guards = registry.read_windows(&[wa.to_string(), wb.to_string()]);
             let diff = diff_aggregates(
                 &window_aggregate(dirs, wa, shards)?,
                 &window_aggregate(dirs, wb, shards)?,
@@ -263,6 +307,7 @@ pub fn answer(dirs: &StoreDirs, line: &str) -> Result<QueryOutcome, StoreError> 
         }
         Some((&"objects", [w, col @ ..])) if col.len() <= 1 => {
             let w = checked_label(dirs, w)?;
+            let _guard = registry.state(w).lock_shared();
             let exp = window_experiment(dirs, w, shards)?;
             let syms = window_syms(dirs, w).ok_or_else(|| bad("window has no symbol table"))?;
             let analysis = Analysis::new(&[&exp], &syms);
@@ -271,6 +316,7 @@ pub fn answer(dirs: &StoreDirs, line: &str) -> Result<QueryOutcome, StoreError> 
         }
         Some((&"segments", [w])) => {
             let w = checked_label(dirs, w)?;
+            let _guard = registry.state(w).lock_shared();
             let exp = window_experiment(dirs, w, shards)?;
             let syms = window_syms(dirs, w).ok_or_else(|| bad("window has no symbol table"))?;
             let analysis = Analysis::new(&[&exp], &syms);
@@ -287,6 +333,7 @@ pub fn answer(dirs: &StoreDirs, line: &str) -> Result<QueryOutcome, StoreError> 
         Some((&"pages", [w, n @ ..])) if n.len() <= 1 => {
             let w = checked_label(dirs, w)?;
             let n = parse_limit(n.first(), 10)?;
+            let _guard = registry.state(w).lock_shared();
             let exp = window_experiment(dirs, w, shards)?;
             let syms = window_syms(dirs, w).ok_or_else(|| bad("window has no symbol table"))?;
             let analysis = Analysis::new(&[&exp], &syms);
@@ -303,6 +350,7 @@ pub fn answer(dirs: &StoreDirs, line: &str) -> Result<QueryOutcome, StoreError> 
         Some((&"lines", [w, n @ ..])) if n.len() <= 1 => {
             let w = checked_label(dirs, w)?;
             let n = parse_limit(n.first(), 10)?;
+            let _guard = registry.state(w).lock_shared();
             let exp = window_experiment(dirs, w, shards)?;
             let syms = window_syms(dirs, w).ok_or_else(|| bad("window has no symbol table"))?;
             let analysis = Analysis::new(&[&exp], &syms);

@@ -1,0 +1,317 @@
+//! Per-window concurrency control: one lock and one tier generation
+//! per window, so the daemon's three long-running activities — sealing
+//! sessions, compacting, and answering queries — only contend when
+//! they touch the *same* window.
+//!
+//! The registry replaces the daemon's original single tier lock, under
+//! which one slow window compaction froze ingest and every dashboard.
+//! The protocol it enforces is deliberately small:
+//!
+//! * **Queries** take a window's *shared* acquisition: any number of
+//!   readers aggregate a window concurrently, and none can observe the
+//!   window mid-compaction.
+//! * **Compaction** (and retention, which is forced compaction) takes
+//!   the *exclusive* acquisition of the one window it is folding, for
+//!   the whole pass. Windows compact independently; a pass never holds
+//!   two windows.
+//! * **Sealing** takes no tier lock at all. A seal is a single atomic
+//!   rename into `raw/WINDOW/`: a concurrent reader either sees the
+//!   complete segment or doesn't see it, and a concurrent compaction
+//!   pass captured its fresh-segment list before the new segment
+//!   existed, so the manifest it publishes won't name it — the segment
+//!   simply stays fresh for the next pass. No crash-protocol change is
+//!   needed, which is exactly why the manifest protocol (DESIGN.md
+//!   §12) stays byte-identical to `mp-store merge`.
+//!
+//! Readers that span several windows (`diff WA WB`, multi-window
+//! `stat`) must acquire their shared locks in **sorted label order**
+//! ([`WindowRegistry::read_windows`] does). Writers are prioritized —
+//! a waiting exclusive acquisition blocks new readers, so a query
+//! storm cannot starve compaction — and with writer priority, two
+//! multi-window readers acquiring in opposite orders could each wedge
+//! behind a writer queued on the other's held window; a single global
+//! acquisition order makes that cycle impossible (writers only ever
+//! hold one window).
+//!
+//! Each window also carries a **tier generation**: a counter bumped
+//! whenever the window's observable contents change (a session seals
+//! into it, a compaction pass folds segments, retention ages its raw
+//! tier out). `watch` connections park on it
+//! ([`WindowState::wait_past`]) and push a fresh summary frame per
+//! advance — the daemon's live-follow primitive.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Lock word + generation for one window, behind one mutex so lock
+/// transitions and generation waits share a condvar.
+struct Core {
+    readers: u32,
+    writer: bool,
+    writers_waiting: u32,
+    generation: u64,
+}
+
+/// One window's lock and tier generation. Obtained from
+/// [`WindowRegistry::state`]; all methods take `&Arc<Self>` where a
+/// guard must keep the state alive.
+pub struct WindowState {
+    core: Mutex<Core>,
+    cv: Condvar,
+}
+
+impl WindowState {
+    fn new() -> WindowState {
+        WindowState {
+            core: Mutex::new(Core {
+                readers: 0,
+                writer: false,
+                writers_waiting: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Shared acquisition: blocks while a writer holds the window *or
+    /// is waiting for it* (writer priority — see the module docs).
+    pub fn lock_shared(self: &Arc<Self>) -> SharedGuard {
+        let mut core = self.core.lock().unwrap();
+        while core.writer || core.writers_waiting > 0 {
+            core = self.cv.wait(core).unwrap();
+        }
+        core.readers += 1;
+        SharedGuard {
+            state: Arc::clone(self),
+        }
+    }
+
+    /// Exclusive acquisition: blocks until every reader and writer is
+    /// gone. Holders must only ever hold one window at a time.
+    pub fn lock_exclusive(self: &Arc<Self>) -> ExclusiveGuard {
+        let mut core = self.core.lock().unwrap();
+        core.writers_waiting += 1;
+        while core.writer || core.readers > 0 {
+            core = self.cv.wait(core).unwrap();
+        }
+        core.writers_waiting -= 1;
+        core.writer = true;
+        ExclusiveGuard {
+            state: Arc::clone(self),
+        }
+    }
+
+    /// The window's current tier generation.
+    pub fn generation(&self) -> u64 {
+        self.core.lock().unwrap().generation
+    }
+
+    /// Record that the window's observable tier contents changed,
+    /// waking every [`WindowState::wait_past`] parker.
+    pub fn bump_generation(&self) {
+        self.core.lock().unwrap().generation += 1;
+        self.cv.notify_all();
+    }
+
+    /// Park until the generation advances past `seen` or `timeout`
+    /// elapses; returns the generation at wake-up either way. Watch
+    /// handlers call this in a loop with a short timeout so they can
+    /// interleave disconnect/shutdown checks.
+    pub fn wait_past(&self, seen: u64, timeout: Duration) -> u64 {
+        let mut core = self.core.lock().unwrap();
+        let deadline = std::time::Instant::now() + timeout;
+        while core.generation <= seen {
+            let Some(left) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                break;
+            };
+            let (c, wait) = self.cv.wait_timeout(core, left).unwrap();
+            core = c;
+            if wait.timed_out() {
+                break;
+            }
+        }
+        core.generation
+    }
+}
+
+/// Shared (read) hold on a window; released on drop.
+pub struct SharedGuard {
+    state: Arc<WindowState>,
+}
+
+impl Drop for SharedGuard {
+    fn drop(&mut self) {
+        let mut core = self.state.core.lock().unwrap();
+        core.readers -= 1;
+        drop(core);
+        self.state.cv.notify_all();
+    }
+}
+
+/// Exclusive (write) hold on a window; released on drop.
+pub struct ExclusiveGuard {
+    state: Arc<WindowState>,
+}
+
+impl Drop for ExclusiveGuard {
+    fn drop(&mut self) {
+        let mut core = self.state.core.lock().unwrap();
+        core.writer = false;
+        drop(core);
+        self.state.cv.notify_all();
+    }
+}
+
+/// Window label → [`WindowState`], created on first touch. States are
+/// never removed: a label is a few dozen bytes and an idle state is
+/// inert, while removal would have to prove no thread is about to
+/// lock it.
+#[derive(Default)]
+pub struct WindowRegistry {
+    map: Mutex<HashMap<String, Arc<WindowState>>>,
+}
+
+impl WindowRegistry {
+    pub fn new() -> WindowRegistry {
+        WindowRegistry::default()
+    }
+
+    /// The state for `window`, creating it on first use. The map lock
+    /// is held only for the lookup — never across a tier-lock
+    /// acquisition.
+    pub fn state(&self, window: &str) -> Arc<WindowState> {
+        let mut map = self.map.lock().unwrap();
+        Arc::clone(
+            map.entry(window.to_string())
+                .or_insert_with(|| Arc::new(WindowState::new())),
+        )
+    }
+
+    /// Shared guards over every window in `windows`, acquired in
+    /// sorted, deduplicated label order — the one order all
+    /// multi-window readers must share (module docs).
+    pub fn read_windows(&self, windows: &[String]) -> Vec<SharedGuard> {
+        let mut labels: Vec<&String> = windows.iter().collect();
+        labels.sort();
+        labels.dedup();
+        labels
+            .into_iter()
+            .map(|w| self.state(w).lock_shared())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Instant;
+
+    #[test]
+    fn shared_holds_coexist_and_exclusive_waits() {
+        let reg = WindowRegistry::new();
+        let state = reg.state("w");
+        let r1 = state.lock_shared();
+        let r2 = state.lock_shared();
+
+        let acquired = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let state = Arc::clone(&state);
+            let acquired = Arc::clone(&acquired);
+            std::thread::spawn(move || {
+                let _x = state.lock_exclusive();
+                acquired.store(true, Ordering::SeqCst);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            !acquired.load(Ordering::SeqCst),
+            "exclusive acquired under shared holders"
+        );
+        drop(r1);
+        drop(r2);
+        handle.join().unwrap();
+        assert!(acquired.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn windows_lock_independently() {
+        let reg = WindowRegistry::new();
+        let a = reg.state("a");
+        let b = reg.state("b");
+        let _xa = a.lock_exclusive();
+        // Window b is untouched by a's exclusive hold.
+        let start = Instant::now();
+        let _rb = b.lock_shared();
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn waiting_writer_blocks_new_readers() {
+        let reg = WindowRegistry::new();
+        let state = reg.state("w");
+        let r1 = state.lock_shared();
+        let writer_in = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let state = Arc::clone(&state);
+            let writer_in = Arc::clone(&writer_in);
+            std::thread::spawn(move || {
+                let _x = state.lock_exclusive();
+                writer_in.store(true, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(50));
+            })
+        };
+        // Give the writer time to queue, then try to read: the reader
+        // must wait until the writer has been through.
+        std::thread::sleep(Duration::from_millis(50));
+        drop(r1);
+        let _r2 = state.lock_shared();
+        assert!(
+            writer_in.load(Ordering::SeqCst),
+            "a queued writer was starved by a new reader"
+        );
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn generation_waits_wake_on_bump_and_time_out() {
+        let reg = WindowRegistry::new();
+        let state = reg.state("w");
+        assert_eq!(state.generation(), 0);
+
+        // Timeout path: nothing bumps, wait returns the old value.
+        let start = Instant::now();
+        assert_eq!(state.wait_past(0, Duration::from_millis(30)), 0);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+
+        // Wake path: a bump from another thread releases the parker.
+        let waker = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                state.bump_generation();
+            })
+        };
+        assert_eq!(state.wait_past(0, Duration::from_secs(10)), 1);
+        waker.join().unwrap();
+
+        // Already-advanced generations return immediately.
+        let start = Instant::now();
+        assert_eq!(state.wait_past(0, Duration::from_secs(10)), 1);
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn read_windows_deduplicates_and_sorts() {
+        let reg = WindowRegistry::new();
+        let guards = reg.read_windows(&["b".into(), "a".into(), "b".into()]);
+        assert_eq!(guards.len(), 2);
+        // Both windows are read-held; exclusive must wait on each.
+        for w in ["a", "b"] {
+            let state = reg.state(w);
+            let core = state.core.lock().unwrap();
+            assert_eq!(core.readers, 1, "window {w}");
+        }
+    }
+}

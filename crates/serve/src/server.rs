@@ -2,11 +2,18 @@
 //! TCP listener, land raw segments, and run background compaction.
 //!
 //! Threading model: one accept loop, one handler thread per
-//! connection, one optional compactor thread. Ingest streaming is
-//! lock-free (each session appends to its own staging file); a single
-//! tier lock serializes the operations that change or read the tier
-//! layout as a whole — sealing a session into tier 0, compaction, and
-//! queries — so a query never observes a window mid-compaction.
+//! connection (capped by `--max-conns`), one optional background
+//! thread for periodic compaction and retention sweeps. Ingest
+//! streaming is lock-free (each session appends to its own staging
+//! file), and sealing a finished session into tier 0 is a single
+//! atomic rename that needs no lock either (see
+//! [`crate::registry`] for why). The operations that *read or rewrite*
+//! a window's tiers — compaction, retention, queries, watch frames —
+//! coordinate through the per-window [`WindowRegistry`]: compaction
+//! takes one window's exclusive lock, readers take shared locks on
+//! exactly the windows they touch, and windows never wait on each
+//! other. Sealing into window A, compacting window B, and querying
+//! window C all proceed concurrently.
 //!
 //! Session lifecycle:
 //!
@@ -31,24 +38,54 @@
 //! format is self-delimiting and checksummed, so a damaged tail is
 //! detected and dropped by [`StreamFile`] exactly as for a local
 //! crash. A prefix too short to parse (lost before the preamble
-//! landed) is discarded.
+//! landed) is discarded. A connection that simply goes *silent* is
+//! treated the same way: after `--idle-secs` without a frame the
+//! daemon seals the readable prefix and drops the connection, so a
+//! wedged collector cannot pin its staging file (or a handler thread)
+//! forever.
+//!
+//! [`StreamFile`]: memprof_store::StreamFile
 
-use std::io::Write as _;
+use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use memprof_store::{validate_stream_prefix, StoreError};
 
-use crate::compact::{compact_all, CompactCache};
-use crate::query::{answer, QueryOutcome};
+use crate::compact::{compact_all_registered, CompactCache};
+use crate::query::{answer, watch_frame, QueryOutcome};
+use crate::registry::{WindowRegistry, WindowState};
+use crate::retention::{enforce_retention, RetentionPolicy};
 use crate::store::{valid_label, StoreDirs};
 use crate::wire::{
-    parse_hello, read_frame, write_frame, WireError, TAG_CHUNK, TAG_END, TAG_END_OK, TAG_ERROR,
-    TAG_HELLO, TAG_HELLO_OK, TAG_QUERY, TAG_RESULT,
+    is_timeout, parse_hello, read_frame, write_frame, WireError, TAG_CHUNK, TAG_END, TAG_END_OK,
+    TAG_ERROR, TAG_HELLO, TAG_HELLO_OK, TAG_PUSH, TAG_QUERY, TAG_RESULT, TAG_WATCH,
 };
+
+/// Default seconds a connection may sit silent before the daemon
+/// seals its readable prefix and drops it.
+pub const DEFAULT_IDLE_SECS: u64 = 300;
+
+/// Default cap on concurrent connections; past it the daemon sheds
+/// new connections with an ERROR frame instead of spawning threads
+/// without bound.
+pub const DEFAULT_MAX_CONNS: usize = 256;
+
+/// Cadence of the background retention sweep (independent of
+/// `--compact-secs`: retention has to notice idle windows even when
+/// periodic compaction is off).
+pub const RETENTION_PERIOD: Duration = Duration::from_secs(1);
+
+/// How often a watch handler probes its socket for disconnects while
+/// parked waiting for the window's generation to advance.
+const WATCH_PROBE: Duration = Duration::from_millis(25);
+
+/// How long one `wait_past` park lasts before the watch handler
+/// re-checks the stop flag and the socket.
+const WATCH_PARK: Duration = Duration::from_millis(100);
 
 /// Daemon configuration.
 #[derive(Default)]
@@ -61,18 +98,50 @@ pub struct ServerConfig {
     /// [`CompactCache::DEFAULT_CACHED_WINDOWS`], `Some(0)` disables
     /// the cache (every pass re-reads the packed store).
     pub cache_windows: Option<usize>,
+    /// Seconds a connection may sit idle between frames before its
+    /// readable prefix is sealed exactly as a disconnect would seal
+    /// it; `None` uses [`DEFAULT_IDLE_SECS`], `Some(0)` disables the
+    /// timeout.
+    pub idle_secs: Option<u64>,
+    /// Cap on concurrent connections; `None` uses
+    /// [`DEFAULT_MAX_CONNS`], `Some(0)` removes the cap.
+    pub max_conns: Option<usize>,
+    /// Raw-tier retention; inactive by default.
+    pub retention: RetentionPolicy,
 }
 
 struct Shared {
     dirs: StoreDirs,
-    /// Serializes tier mutations and reads (seal, compact, query),
-    /// and carries the per-window merge results that make repeat
-    /// compaction incremental.
-    tiers: Mutex<CompactCache>,
+    /// Per-window tier locks and generation counters; see
+    /// [`crate::registry`].
+    registry: WindowRegistry,
+    /// Per-window merge results that make repeat compaction
+    /// incremental. Held only to take or put one window's entry,
+    /// never across a merge.
+    cache: Mutex<CompactCache>,
     /// Arrival sequence for session ids; zero-padded into the file
     /// name so sorted-order merges are deterministic.
     seq: AtomicU64,
     stop: AtomicBool,
+    /// Live connection count, for `--max-conns` shedding.
+    conns: AtomicUsize,
+    /// Read/write timeout applied to accepted streams; `None`
+    /// disables idling out.
+    idle: Option<Duration>,
+    max_conns: usize,
+    retention: RetentionPolicy,
+}
+
+/// Decrements the live connection count when a handler thread
+/// finishes, however it exits.
+struct ConnSlot {
+    shared: Arc<Shared>,
+}
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.shared.conns.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A running daemon; dropping the handle does not stop it — call
@@ -81,7 +150,7 @@ pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
-    compact_thread: Option<std::thread::JoinHandle<()>>,
+    background_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -96,15 +165,24 @@ impl Server {
         // on disk so restarts never reuse an id.
         recover_ingest(&dirs);
         let next_seq = dirs.max_existing_seq().saturating_add(1);
+        let idle = match config.idle_secs.unwrap_or(DEFAULT_IDLE_SECS) {
+            0 => None,
+            secs => Some(Duration::from_secs(secs)),
+        };
         let shared = Arc::new(Shared {
             dirs,
-            tiers: Mutex::new(CompactCache::with_cap(
+            registry: WindowRegistry::new(),
+            cache: Mutex::new(CompactCache::with_cap(
                 config
                     .cache_windows
                     .unwrap_or(CompactCache::DEFAULT_CACHED_WINDOWS),
             )),
             seq: AtomicU64::new(next_seq),
             stop: AtomicBool::new(false),
+            conns: AtomicUsize::new(0),
+            idle,
+            max_conns: config.max_conns.unwrap_or(DEFAULT_MAX_CONNS),
+            retention: config.retention.clone(),
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -114,48 +192,89 @@ impl Server {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
+                let active = accept_shared.conns.fetch_add(1, Ordering::SeqCst) + 1;
+                if accept_shared.max_conns > 0 && active > accept_shared.max_conns {
+                    accept_shared.conns.fetch_sub(1, Ordering::SeqCst);
+                    shed_connection(stream, accept_shared.max_conns);
+                    continue;
+                }
                 let conn_shared = Arc::clone(&accept_shared);
                 std::thread::spawn(move || {
+                    let slot = ConnSlot {
+                        shared: Arc::clone(&conn_shared),
+                    };
                     if let Err(e) = handle_connection(&conn_shared, stream) {
                         eprintln!("mp-serve: connection error: {e}");
                     }
+                    drop(slot);
                 });
             }
         });
 
-        let compact_thread = config.compact_secs.map(|secs| {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || {
-                let period = Duration::from_secs(secs.max(1));
-                let mut last = Instant::now();
-                while !shared.stop.load(Ordering::SeqCst) {
-                    std::thread::sleep(Duration::from_millis(100));
-                    if last.elapsed() >= period {
-                        last = Instant::now();
-                        let mut cache = shared.tiers.lock().unwrap();
-                        match compact_all(&shared.dirs, &mut cache) {
-                            Ok(report) if !report.windows.is_empty() => {
-                                eprint!("mp-serve: {}", report.render());
+        let background_thread = (config.compact_secs.is_some() || shared.retention.is_active())
+            .then(|| {
+                let shared = Arc::clone(&shared);
+                let compact_period = config.compact_secs.map(|s| Duration::from_secs(s.max(1)));
+                std::thread::spawn(move || {
+                    let mut last_compact = Instant::now();
+                    let mut last_retention = Instant::now();
+                    while !shared.stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(100));
+                        if compact_period.is_some_and(|p| last_compact.elapsed() >= p) {
+                            last_compact = Instant::now();
+                            match compact_all_registered(
+                                &shared.dirs,
+                                &shared.registry,
+                                &shared.cache,
+                            ) {
+                                Ok(report) if !report.windows.is_empty() => {
+                                    eprint!("mp-serve: {}", report.render());
+                                }
+                                Ok(_) => {}
+                                Err(e) => eprintln!("mp-serve: compaction failed: {e}"),
                             }
-                            Ok(_) => {}
-                            Err(e) => eprintln!("mp-serve: compaction failed: {e}"),
+                        }
+                        if shared.retention.is_active()
+                            && last_retention.elapsed() >= RETENTION_PERIOD
+                        {
+                            last_retention = Instant::now();
+                            match enforce_retention(
+                                &shared.dirs,
+                                &shared.registry,
+                                &shared.cache,
+                                &shared.retention,
+                            ) {
+                                Ok(report) if report != Default::default() => {
+                                    eprint!("mp-serve: {}", report.render());
+                                }
+                                Ok(_) => {}
+                                Err(e) => eprintln!("mp-serve: retention sweep failed: {e}"),
+                            }
                         }
                     }
-                }
-            })
-        });
+                })
+            });
 
         Ok(Server {
             addr,
             shared,
             accept_thread: Some(accept_thread),
-            compact_thread: Some(compact_thread).flatten(),
+            background_thread,
         })
     }
 
     /// The bound address (resolves port 0 binds).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The registry state for `window` — exposed so embedders and
+    /// tests can hold a window's tier lock or observe its generation
+    /// from outside the daemon (e.g. to pin that a query against one
+    /// window completes while another window's exclusive lock is
+    /// held, as during compaction).
+    pub fn window_state(&self, window: &str) -> Arc<WindowState> {
+        self.shared.registry.state(window)
     }
 
     /// Stop the daemon and wait for its threads.
@@ -166,7 +285,7 @@ impl Server {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        if let Some(t) = self.compact_thread.take() {
+        if let Some(t) = self.background_thread.take() {
             let _ = t.join();
         }
     }
@@ -177,19 +296,34 @@ impl Server {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        if let Some(t) = self.compact_thread.take() {
+        if let Some(t) = self.background_thread.take() {
             let _ = t.join();
         }
     }
 }
 
+/// Refuse a connection past the `--max-conns` cap: a proper ERROR
+/// frame (under a short write timeout so a slow peer cannot stall the
+/// accept loop), then drop.
+fn shed_connection(mut stream: TcpStream, cap: usize) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let msg = format!("server at connection limit ({cap}); retry later");
+    let _ = write_frame(&mut stream, TAG_ERROR, msg.as_bytes());
+}
+
 /// Dispatch a fresh connection on its first frame: HELLO starts a
-/// collector session, QUERY answers one query.
+/// collector session, QUERY answers one query, WATCH streams summary
+/// frames.
 fn handle_connection(shared: &Shared, mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(shared.idle)?;
+    stream.set_write_timeout(shared.idle)?;
     let first = match read_frame(&mut stream) {
         Ok(f) => f,
-        // Port probes and shutdown wake-ups close without a frame.
-        Err(WireError::Closed) | Err(WireError::TruncatedFrame { .. }) => return Ok(()),
+        // Port probes and shutdown wake-ups close without a frame; a
+        // connection that never sends one times out just as silently.
+        Err(WireError::Closed)
+        | Err(WireError::TruncatedFrame { .. })
+        | Err(WireError::TimedOut) => return Ok(()),
         Err(WireError::Io(e)) => return Err(e),
         Err(e) => {
             let _ = write_frame(&mut stream, TAG_ERROR, e.to_string().as_bytes());
@@ -199,8 +333,9 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) -> std::io::Result<
     match first.tag {
         TAG_HELLO => handle_session(shared, stream, &first.payload),
         TAG_QUERY => handle_query(shared, stream, &first.payload),
+        TAG_WATCH => handle_watch(shared, stream, &first.payload),
         tag => {
-            let msg = format!("expected HELLO or QUERY, got tag {tag}");
+            let msg = format!("expected HELLO, QUERY, or WATCH, got tag {tag}");
             let _ = write_frame(&mut stream, TAG_ERROR, msg.as_bytes());
             Ok(())
         }
@@ -243,8 +378,8 @@ fn handle_session(shared: &Shared, mut stream: TcpStream, hello: &[u8]) -> std::
     let mut file = std::fs::File::create(&part)?;
     write_frame(&mut stream, TAG_HELLO_OK, session.as_bytes())?;
 
-    // Ingest until END or disconnect. Every CHUNK payload is MPES v2
-    // bytes, appended verbatim.
+    // Ingest until END, disconnect, or idle timeout. Every CHUNK
+    // payload is MPES v2 bytes, appended verbatim.
     let mut clean_end = false;
     loop {
         match read_frame(&mut stream) {
@@ -259,10 +394,15 @@ fn handle_session(shared: &Shared, mut stream: TcpStream, hello: &[u8]) -> std::
                 break;
             }
             Err(WireError::Closed) => break,
+            // A collector silent past the idle timeout is sealed
+            // exactly like a disconnect: the readable prefix lands, a
+            // mid-frame stall additionally keeps its partial chunk
+            // bytes (the MPES checksums drop the damaged tail).
+            Err(WireError::TimedOut) => {
+                eprintln!("mp-serve: session {session}: idle timeout, sealing prefix");
+                break;
+            }
             Err(WireError::TruncatedFrame { tag, partial }) => {
-                // The connection died mid-frame. Land the partial
-                // chunk bytes: the MPES checksums make the damaged
-                // tail detectable, and everything before it readable.
                 if tag == TAG_CHUNK {
                     file.write_all(&partial)?;
                 }
@@ -308,8 +448,11 @@ fn handle_session(shared: &Shared, mut stream: TcpStream, hello: &[u8]) -> std::
 /// reads only the stream preamble and header chunk through positioned
 /// reads — a full parse can only fail on those, so sealing a large
 /// session no longer buffers its whole image just to decide yes/no.
-/// Callers serialize against compaction (the tiers lock); the startup
-/// recovery sweep runs before any other thread exists.
+/// Needs no tier lock: the rename is atomic, so a concurrent reader
+/// sees the complete segment or no segment, and a concurrent
+/// compaction pass captured its fresh list before the rename (the
+/// manifest it publishes won't name the new segment, which therefore
+/// stays fresh for the next pass — never double-counted, never lost).
 fn seal_part(
     dirs: &StoreDirs,
     part: &Path,
@@ -342,8 +485,12 @@ fn seal_session(
     window: &str,
     session: &str,
 ) -> Result<bool, StoreError> {
-    let _guard = shared.tiers.lock().unwrap();
-    seal_part(&shared.dirs, part, window, session)
+    let sealed = seal_part(&shared.dirs, part, window, session)?;
+    if sealed {
+        // Wake watchers: the window has new data.
+        shared.registry.state(window).bump_generation();
+    }
+    Ok(sealed)
 }
 
 /// Startup sweep of `ingest/`: a staging file left by a crashed boot
@@ -382,18 +529,14 @@ fn recover_ingest(dirs: &StoreDirs) {
 
 fn handle_query(shared: &Shared, mut stream: TcpStream, payload: &[u8]) -> std::io::Result<()> {
     let line = String::from_utf8_lossy(payload);
-    let outcome = {
-        let _guard = shared.tiers.lock().unwrap();
-        answer(&shared.dirs, line.trim())
-    };
+    // `answer` takes the shared lock of exactly the windows the query
+    // reads — no global lock, so a query against one window completes
+    // while another window is mid-compaction.
+    let outcome = answer(&shared.dirs, &shared.registry, line.trim());
     match outcome {
         Ok(QueryOutcome::Text(text)) => write_frame(&mut stream, TAG_RESULT, text.as_bytes()),
         Ok(QueryOutcome::Compact) => {
-            let report = {
-                let mut cache = shared.tiers.lock().unwrap();
-                compact_all(&shared.dirs, &mut cache)
-            };
-            match report {
+            match compact_all_registered(&shared.dirs, &shared.registry, &shared.cache) {
                 Ok(r) => write_frame(&mut stream, TAG_RESULT, r.render().as_bytes()),
                 Err(e) => write_frame(&mut stream, TAG_ERROR, e.to_string().as_bytes()),
             }
@@ -408,6 +551,57 @@ fn handle_query(shared: &Shared, mut stream: TcpStream, payload: &[u8]) -> std::
             Ok(())
         }
         Err(e) => write_frame(&mut stream, TAG_ERROR, e.to_string().as_bytes()),
+    }
+}
+
+/// Serve one watch subscription: push a summary frame now, then
+/// another every time the window's tier generation advances (seal,
+/// compaction fold, retention aging). Several bumps between frames
+/// collapse into one push — each frame reflects the tiers at build
+/// time, so a dashboard is at most one frame behind, never replaying
+/// history. The shared tier lock is held only while a frame is built,
+/// so a parked watcher costs its window nothing.
+fn handle_watch(shared: &Shared, mut stream: TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    let window = String::from_utf8_lossy(payload).trim().to_string();
+    if !valid_label(&window) {
+        let msg = format!("bad window label `{window}`");
+        let _ = write_frame(&mut stream, TAG_ERROR, msg.as_bytes());
+        return Ok(());
+    }
+    // The client never sends after WATCH, so reads only probe
+    // liveness; a short timeout keeps the probes non-blocking.
+    stream.set_read_timeout(Some(WATCH_PROBE))?;
+    let state = shared.registry.state(&window);
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let (generation, text) = {
+            let _guard = state.lock_shared();
+            let generation = state.generation();
+            (generation, watch_frame(&shared.dirs, &window, generation))
+        };
+        if write_frame(&mut stream, TAG_PUSH, text.as_bytes()).is_err() {
+            return Ok(()); // client gone
+        }
+        // Park until the generation moves past what we just pushed,
+        // waking periodically to notice shutdown or a departed
+        // client.
+        loop {
+            if shared.stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            let mut probe = [0u8; 1];
+            match stream.read(&mut probe) {
+                Ok(0) => return Ok(()), // disconnect
+                Ok(_) => {}             // watch clients shouldn't send; ignore
+                Err(e) if is_timeout(&e) => {}
+                Err(_) => return Ok(()),
+            }
+            if state.wait_past(generation, WATCH_PARK) > generation {
+                break;
+            }
+        }
     }
 }
 
@@ -429,4 +623,39 @@ pub fn query(addr: &str, line: &str) -> std::io::Result<String> {
             "unexpected query reply (tag {tag})"
         ))),
     }
+}
+
+/// Client side of a watch subscription; pull frames with
+/// [`WatchClient::next_frame`].
+pub struct WatchClient {
+    stream: TcpStream,
+}
+
+impl WatchClient {
+    /// Block for the next PUSH frame. `Ok(None)` means the daemon
+    /// closed the stream (shutdown).
+    pub fn next_frame(&mut self) -> std::io::Result<Option<String>> {
+        match read_frame(&mut self.stream) {
+            Ok(f) if f.tag == TAG_PUSH => Ok(Some(String::from_utf8_lossy(&f.payload).to_string())),
+            Ok(f) if f.tag == TAG_ERROR => Err(std::io::Error::other(
+                String::from_utf8_lossy(&f.payload).to_string(),
+            )),
+            Ok(f) => Err(std::io::Error::other(format!(
+                "unexpected watch frame (tag {})",
+                f.tag
+            ))),
+            Err(WireError::Closed) | Err(WireError::TruncatedFrame { .. }) => Ok(None),
+            Err(WireError::Io(e)) => Err(e),
+            Err(other) => Err(std::io::Error::other(other.to_string())),
+        }
+    }
+}
+
+/// Subscribe to live summary frames for `window`. The first frame
+/// arrives immediately (even for an empty window); subsequent frames
+/// follow the window's tier generation.
+pub fn watch(addr: &str, window: &str) -> std::io::Result<WatchClient> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_frame(&mut stream, TAG_WATCH, window.as_bytes())?;
+    Ok(WatchClient { stream })
 }

@@ -138,8 +138,8 @@ pub struct RawTier {
 }
 
 /// The leading arrival-sequence number of a session file name
-/// (`0000000012-name` → 12).
-fn leading_seq(name: &str) -> Option<u64> {
+/// (`0000000012-name` → 12). Retention ranks window recency with it.
+pub(crate) fn leading_seq(name: &str) -> Option<u64> {
     let end = name
         .find(|c: char| !c.is_ascii_digit())
         .unwrap_or(name.len());

@@ -21,14 +21,33 @@
 //! 6 QUERY     one query line (UTF-8)
 //! 7 RESULT    query result text (UTF-8)
 //! 8 ERROR     query/ingest failure message (UTF-8)
+//! 9 WATCH     subscribe to one window (payload: window label, UTF-8)
+//! 10 PUSH     one streamed summary frame (UTF-8, see below)
 //!
 //! str16 := len:u16le bytes
 //! ```
 //!
-//! A connection is either a *collector session* (HELLO first) or a
-//! *query* (QUERY first); the daemon dispatches on the first frame's
-//! tag. Query connections are one-shot: one QUERY, one RESULT or
-//! ERROR, close.
+//! A connection is a *collector session* (HELLO first), a *query*
+//! (QUERY first), or a *watch* (WATCH first); the daemon dispatches
+//! on the first frame's tag. Query connections are one-shot: one
+//! QUERY, one RESULT or ERROR, close.
+//!
+//! A watch connection stays open: the daemon pushes one PUSH frame
+//! immediately and another every time the window's tier generation
+//! advances (a session seals into it, compaction folds it, retention
+//! ages its raw tier out), until either side closes. A PUSH payload
+//! is one header line —
+//!
+//! ```text
+//! window LABEL generation G events TOTAL
+//! ```
+//!
+//! — followed by the same aggregate text a `stat LABEL` query would
+//! return at that instant (or `no data` while the window is empty).
+//! `TOTAL` sums every column's samples, so a dashboard can follow a
+//! window's event total without parsing the body; it is monotone
+//! non-decreasing over a connection's lifetime because seals only add
+//! events and compaction only re-tiers them.
 
 use std::io::{Read, Write};
 
@@ -46,6 +65,8 @@ pub const TAG_END_OK: u8 = 5;
 pub const TAG_QUERY: u8 = 6;
 pub const TAG_RESULT: u8 = 7;
 pub const TAG_ERROR: u8 = 8;
+pub const TAG_WATCH: u8 = 9;
+pub const TAG_PUSH: u8 = 10;
 
 /// One decoded frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -66,6 +87,12 @@ pub enum WireError {
         tag: u8,
         partial: Vec<u8>,
     },
+    /// No bytes arrived within the socket's read timeout while
+    /// waiting *between* frames — the peer is idle or half-dead. A
+    /// timeout that strikes mid-frame reports as
+    /// [`WireError::TruncatedFrame`] instead, so ingest still lands
+    /// the readable prefix.
+    TimedOut,
     /// A frame violated the protocol (oversized, bad handshake...).
     Protocol(String),
     Io(std::io::Error),
@@ -82,6 +109,7 @@ impl std::fmt::Display for WireError {
                     partial.len()
                 )
             }
+            WireError::TimedOut => write!(f, "connection idle past the read timeout"),
             WireError::Protocol(why) => write!(f, "protocol violation: {why}"),
             WireError::Io(e) => write!(f, "{e}"),
         }
@@ -109,9 +137,23 @@ pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> std::io::Resu
     w.flush()
 }
 
+/// True for the error kinds a socket read returns when its configured
+/// read timeout expires with nothing received (`SO_RCVTIMEO` surfaces
+/// as either, platform-dependently).
+pub(crate) fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 /// Read one frame. Distinguishes a clean close (between frames) from
 /// a mid-frame disconnect, returning whatever partial payload arrived
-/// in the latter case.
+/// in the latter case. On a transport with a read timeout, an expiry
+/// between frames is [`WireError::TimedOut`]; an expiry mid-frame —
+/// the peer started a frame and went silent — is treated like a
+/// disconnect ([`WireError::TruncatedFrame`] with the partial bytes),
+/// so a half-dead collector's readable prefix still lands.
 pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
     let mut head = [0u8; 5];
     let mut got = 0usize;
@@ -126,6 +168,13 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
             }
             Ok(n) => got += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) && got == 0 => return Err(WireError::TimedOut),
+            Err(e) if is_timeout(&e) => {
+                return Err(WireError::TruncatedFrame {
+                    tag: head[0],
+                    partial: Vec::new(),
+                })
+            }
             Err(e) => return Err(WireError::Io(e)),
         }
     }
@@ -149,6 +198,13 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
             }
             Ok(n) => got += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                payload.truncate(got);
+                return Err(WireError::TruncatedFrame {
+                    tag,
+                    partial: payload,
+                });
+            }
             Err(e) => return Err(WireError::Io(e)),
         }
     }

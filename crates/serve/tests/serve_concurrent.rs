@@ -1,0 +1,286 @@
+//! Concurrency regression tests for the per-window tier registry and
+//! the connection-hygiene fixes: silent clients idle out (sealing
+//! their readable prefix exactly like a disconnect), the connection
+//! cap sheds with a proper error frame and releases slots, a query
+//! against one window completes while another window is
+//! mid-compaction, and `watch` pushes a fresh frame whenever a
+//! window's tiers advance.
+
+use std::io::Read as _;
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use memprof_serve::wire::{
+    hello_payload, read_frame, write_frame, TAG_CHUNK, TAG_END, TAG_END_OK, TAG_ERROR, TAG_HELLO,
+    TAG_HELLO_OK,
+};
+use memprof_serve::{self as serve, RetentionPolicy, Server, ServerConfig, SocketSink, StoreDirs};
+
+mod common;
+use common::{drive, local_bytes, scratch, wait_for, SYMS};
+
+/// A connected collector that goes silent (no END, no disconnect)
+/// idles out after `--idle-secs`, and the daemon seals its readable
+/// prefix exactly as a disconnect would have.
+#[test]
+fn silent_client_idles_out_and_its_prefix_seals() {
+    let data = scratch("idle");
+    let server = Server::start(
+        "127.0.0.1:0",
+        &data,
+        ServerConfig {
+            idle_secs: Some(1),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Hand-rolled session: HELLO, one CHUNK carrying a complete MPES
+    // stream, then silence with the connection held open.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write_frame(&mut stream, TAG_HELLO, &hello_payload("quiet", "w1")).unwrap();
+    let hello_ok = read_frame(&mut stream).unwrap();
+    assert_eq!(hello_ok.tag, TAG_HELLO_OK);
+    let session = String::from_utf8(hello_ok.payload).unwrap();
+    let bytes = local_bytes(7, 2);
+    write_frame(&mut stream, TAG_CHUNK, &bytes).unwrap();
+
+    // Without sending END, the segment still seals once the idle
+    // timeout fires — and byte-identically to the local rendition,
+    // since the whole stream arrived.
+    let dirs = StoreDirs::create(&data).unwrap();
+    let raw = dirs.raw_path("w1", &session);
+    let started = Instant::now();
+    wait_for("idle timeout to seal the silent session", || {
+        raw.exists().then_some(())
+    });
+    assert!(
+        started.elapsed() >= Duration::from_millis(900),
+        "sealed before the idle timeout could have fired"
+    );
+    assert_eq!(std::fs::read(&raw).unwrap(), bytes);
+
+    // The daemon dropped its end: the socket reads EOF.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = [0u8; 16];
+    assert_eq!(stream.read(&mut buf).unwrap(), 0, "connection still open");
+
+    server.shutdown();
+}
+
+/// `--max-conns` sheds connections past the cap with an ERROR frame
+/// and releases the slot when a session finishes.
+#[test]
+fn connection_cap_sheds_with_an_error_frame_and_releases() {
+    let data = scratch("maxconns");
+    let server = Server::start(
+        "127.0.0.1:0",
+        &data,
+        ServerConfig {
+            max_conns: Some(1),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // First connection occupies the single slot (HELLO_OK proves its
+    // handler is running).
+    let mut first = TcpStream::connect(addr).unwrap();
+    write_frame(&mut first, TAG_HELLO, &hello_payload("holder", "w1")).unwrap();
+    assert_eq!(read_frame(&mut first).unwrap().tag, TAG_HELLO_OK);
+
+    // Second connection is shed with a proper error frame, not a
+    // silent drop.
+    let mut second = TcpStream::connect(addr).unwrap();
+    let shed = read_frame(&mut second).unwrap();
+    assert_eq!(shed.tag, TAG_ERROR);
+    let msg = String::from_utf8(shed.payload).unwrap();
+    assert!(msg.contains("connection limit"), "unexpected shed: {msg}");
+    drop(second);
+
+    // Finish the first session; its slot frees and a new connection
+    // gets through.
+    write_frame(&mut first, TAG_CHUNK, &local_bytes(1, 1)).unwrap();
+    write_frame(&mut first, TAG_END, b"").unwrap();
+    assert_eq!(read_frame(&mut first).unwrap().tag, TAG_END_OK);
+    drop(first);
+
+    wait_for("freed slot to admit a connection", || {
+        let mut retry = TcpStream::connect(addr).ok()?;
+        write_frame(&mut retry, TAG_HELLO, &hello_payload("retry", "w1")).ok()?;
+        let reply = read_frame(&mut retry).ok()?;
+        (reply.tag == TAG_HELLO_OK).then(|| {
+            write_frame(&mut retry, TAG_END, b"").unwrap();
+            let _ = read_frame(&mut retry);
+        })
+    });
+
+    server.shutdown();
+}
+
+/// The tentpole invariant: with per-window locks, a query against
+/// window A answers — and a new session seals into A — while window
+/// B's exclusive lock is held (as during B's compaction); only work
+/// on B itself waits.
+#[test]
+fn window_a_answers_while_window_b_is_mid_compaction() {
+    let data = scratch("perwindow");
+    let server = Server::start("127.0.0.1:0", &data, ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+
+    for (window, seed) in [("wa", 1u64), ("wb", 2u64)] {
+        let mut sink = SocketSink::connect(&addr, "run", window).unwrap();
+        sink.attach("syms.txt", SYMS);
+        drive(&mut sink, seed, 2);
+    }
+
+    // Hold wb's exclusive tier lock, exactly what its compaction pass
+    // would hold.
+    let wb = server.window_state("wb");
+    let wb_guard = wb.lock_exclusive();
+
+    // A query against wa completes promptly.
+    let stat_wa = {
+        let addr = addr.clone();
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = tx.send(serve::query(&addr, "stat wa"));
+        });
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("stat wa blocked behind wb's compaction lock")
+            .unwrap()
+    };
+    assert!(stat_wa.contains("distinct PCs"), "bad stat: {stat_wa}");
+
+    // Sealing a new session into wa completes too.
+    let mut sink = SocketSink::connect(&addr, "run2", "wa").unwrap();
+    sink.attach("syms.txt", SYMS);
+    drive(&mut sink, 3, 1);
+
+    // A query against wb itself waits for the lock...
+    let (tx, rx) = mpsc::channel();
+    {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let _ = tx.send(serve::query(&addr, "stat wb"));
+        });
+    }
+    assert!(
+        rx.recv_timeout(Duration::from_millis(300)).is_err(),
+        "stat wb answered while wb's exclusive lock was held"
+    );
+
+    // ...and answers once the pass releases it.
+    drop(wb_guard);
+    let stat_wb = rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("stat wb still blocked after the lock released")
+        .unwrap();
+    assert!(stat_wb.contains("distinct PCs"), "bad stat: {stat_wb}");
+
+    server.shutdown();
+}
+
+fn parse_header(frame: &str) -> (u64, u64) {
+    let header = frame.lines().next().unwrap_or_default();
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    match fields.as_slice() {
+        ["window", _, "generation", g, "events", t] => (g.parse().unwrap(), t.parse().unwrap()),
+        _ => panic!("bad watch header: {header}"),
+    }
+}
+
+/// `watch` pushes a frame immediately, then again on every tier
+/// advance — new session sealed, compaction fold — with a strictly
+/// increasing generation and a non-decreasing event total.
+#[test]
+fn watch_streams_frames_as_the_window_advances() {
+    let data = scratch("watch");
+    let server = Server::start("127.0.0.1:0", &data, ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+
+    let mut client = serve::watch(&addr, "w1").unwrap();
+
+    // Subscribing to an empty window yields a frame right away.
+    let first = client.next_frame().unwrap().expect("stream closed early");
+    let (gen0, total0) = parse_header(&first);
+    assert_eq!(total0, 0);
+    assert!(first.contains("no data"), "empty frame: {first}");
+
+    // A sealed session produces a frame with real data.
+    let mut sink = SocketSink::connect(&addr, "run", "w1").unwrap();
+    sink.attach("syms.txt", SYMS);
+    drive(&mut sink, 1, 2);
+    let second = client.next_frame().unwrap().expect("stream closed early");
+    let (gen1, total1) = parse_header(&second);
+    assert!(gen1 > gen0);
+    assert!(total1 > 0);
+    assert!(second.contains("distinct PCs"), "bad frame: {second}");
+
+    // Another session grows the total; compaction folds the raws and
+    // pushes a frame with the same events from the packed store.
+    let mut sink = SocketSink::connect(&addr, "run2", "w1").unwrap();
+    sink.attach("syms.txt", SYMS);
+    drive(&mut sink, 2, 2);
+    let third = client.next_frame().unwrap().expect("stream closed early");
+    let (gen2, total2) = parse_header(&third);
+    assert!(gen2 > gen1);
+    assert!(total2 > total1);
+
+    serve::query(&addr, "compact").unwrap();
+    let fourth = client.next_frame().unwrap().expect("stream closed early");
+    let (gen3, total3) = parse_header(&fourth);
+    assert!(gen3 > gen2);
+    assert_eq!(total3, total2, "compaction changed the event total");
+
+    server.shutdown();
+}
+
+/// Retention ages an idle window's raw tier out through the ordinary
+/// compaction path: the raws are gone, but the packed store still
+/// answers queries with all its events.
+#[test]
+fn retention_ages_raws_out_but_keeps_answers() {
+    let data = scratch("retention");
+    let server = Server::start(
+        "127.0.0.1:0",
+        &data,
+        ServerConfig {
+            retention: RetentionPolicy {
+                raw_windows: Some(1),
+                age_secs: None,
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    // Two windows; w1's session arrives first, so once w2 lands, w1
+    // ranks below the single retained slot and ages out.
+    for (window, seed) in [("w1", 1u64), ("w2", 2u64)] {
+        let mut sink = SocketSink::connect(&addr, "run", window).unwrap();
+        sink.attach("syms.txt", SYMS);
+        drive(&mut sink, seed, 2);
+    }
+
+    let dirs = StoreDirs::create(&data).unwrap();
+    wait_for("retention to age w1 out", || {
+        let fresh = dirs.live_raw_segments("w1").ok()?.fresh;
+        fresh.is_empty().then_some(())
+    });
+    assert!(dirs.packed_path("w1").exists(), "aged window lost its pack");
+
+    let stat = serve::query(&addr, "stat w1").unwrap();
+    assert!(
+        stat.contains("distinct PCs"),
+        "aged-out window stopped answering: {stat}"
+    );
+
+    server.shutdown();
+}

@@ -10,106 +10,18 @@
 
 use std::io::Write as _;
 use std::net::TcpStream;
-use std::path::{Path, PathBuf};
-use std::time::{Duration, Instant};
+use std::path::Path;
 
-use memprof_core::{CollectSink, CounterRequest, PackedClockEvent, PackedHwcEvent, RunInfo};
 use memprof_serve::wire::{
     hello_payload, read_frame, write_frame, TAG_CHUNK, TAG_HELLO, TAG_HELLO_OK,
 };
 use memprof_serve::{self as serve, Server, ServerConfig, SocketSink, StoreDirs};
 use memprof_store::{
-    collect_attachments, merge_experiments, pack_experiment, ExperimentRef, SegmentWriter,
-    StreamFile,
+    collect_attachments, merge_experiments, pack_experiment, ExperimentRef, StreamFile,
 };
-use simsparc_machine::CounterEvent;
 
-fn scratch(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "memprof_serve_{tag}_{}_{}",
-        std::process::id(),
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .unwrap()
-            .as_nanos()
-    ));
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
-}
-
-/// A minimal valid symbol table covering the synthetic PCs, so the
-/// function-level views have something to resolve.
-const SYMS: &str =
-    "simsparc-syms text_base=0x10000\nMODULE 1 1 m m.c\nFUNC 0x10000 0x20000 0 1 func\n";
-
-fn counters() -> Vec<CounterRequest> {
-    vec![CounterRequest {
-        event: CounterEvent::ECStallCycles,
-        backtrack: true,
-        interval: 4001,
-    }]
-}
-
-/// Replay a deterministic synthetic run into any sink. `seed` varies
-/// the PCs so different collectors contribute distinguishable events.
-fn drive(sink: &mut impl CollectSink, seed: u64, segments: usize) {
-    sink.begin(&counters(), Some(10007), 900_000_000).unwrap();
-    sink.stacks(&[vec![0x1_0000], vec![0x1_0000, 0x1_0400]])
-        .unwrap();
-    for seg in 0..segments {
-        let events: Vec<PackedHwcEvent> = (0..16)
-            .map(|i| {
-                let pc = 0x1_0000 + 4 * (seed * 31 + seg as u64 * 7 + i);
-                PackedHwcEvent {
-                    counter: 0,
-                    delivered_pc: pc + 8,
-                    candidate_pc: Some(pc),
-                    ea: Some(0x4000_0000 + 64 * i),
-                    stack: (i % 2) as u32,
-                    truth_trigger_pc: pc,
-                    truth_ea: Some(0x4000_0000 + 64 * i),
-                    truth_skid: 2,
-                }
-            })
-            .collect();
-        sink.hwc_segment(&events).unwrap();
-        let ticks: Vec<PackedClockEvent> = (0..4)
-            .map(|i| PackedClockEvent {
-                pc: 0x1_0000 + 4 * (seed + i),
-                stack: 0,
-            })
-            .collect();
-        sink.clock_segment(&ticks).unwrap();
-    }
-    let run = RunInfo {
-        exit_code: 0,
-        output: format!("run {seed}\n"),
-        clock_hz: 900_000_000,
-        dropped: vec![0],
-        ..Default::default()
-    };
-    sink.finish(&run, &[format!("{seed} collect start")])
-        .unwrap();
-}
-
-/// The same run rendered to local bytes with a plain [`SegmentWriter`].
-fn local_bytes(seed: u64, segments: usize) -> Vec<u8> {
-    let mut writer = SegmentWriter::new(Vec::new());
-    writer.attach("syms.txt", SYMS);
-    drive(&mut writer, seed, segments);
-    writer.into_inner()
-}
-
-fn wait_for<T>(what: &str, mut probe: impl FnMut() -> Option<T>) -> T {
-    let deadline = Instant::now() + Duration::from_secs(10);
-    loop {
-        if let Some(v) = probe() {
-            return v;
-        }
-        assert!(Instant::now() < deadline, "timed out waiting for {what}");
-        std::thread::sleep(Duration::from_millis(20));
-    }
-}
+mod common;
+use common::{drive, local_bytes, scratch, wait_for, SYMS};
 
 #[test]
 fn parallel_collectors_compact_to_the_offline_merge() {
@@ -602,7 +514,7 @@ fn lru_eviction_falls_back_to_disk_path_byte_identically() {
     // windows through one cache. With cap 1, each round's passes
     // evict each other in turn, so round 2 finds w1 and w2 evicted
     // (disk path) and only w3 still seeded.
-    let run = |tag: &str, cache: &mut CompactCache| -> Vec<(Vec<u8>, Vec<u8>)> {
+    let run = |tag: &str, cache: &std::sync::Mutex<CompactCache>| -> Vec<(Vec<u8>, Vec<u8>)> {
         let data = scratch(tag);
         let dirs = StoreDirs::create(&data).unwrap();
         for round in 0u64..2 {
@@ -625,17 +537,21 @@ fn lru_eviction_falls_back_to_disk_path_byte_identically() {
             .collect()
     };
 
-    let mut capped = CompactCache::with_cap(1);
-    let capped_tiers = run("lru_capped", &mut capped);
-    assert_eq!(capped.len(), 1, "cap 1 holds exactly one window");
+    let capped = std::sync::Mutex::new(CompactCache::with_cap(1));
+    let capped_tiers = run("lru_capped", &capped);
+    assert_eq!(
+        capped.lock().unwrap().len(),
+        1,
+        "cap 1 holds exactly one window"
+    );
 
-    let mut uncapped = CompactCache::with_cap(usize::MAX);
-    let uncapped_tiers = run("lru_uncapped", &mut uncapped);
-    assert_eq!(uncapped.len(), WINDOWS.len());
+    let uncapped = std::sync::Mutex::new(CompactCache::with_cap(usize::MAX));
+    let uncapped_tiers = run("lru_uncapped", &uncapped);
+    assert_eq!(uncapped.lock().unwrap().len(), WINDOWS.len());
 
-    let mut disabled = CompactCache::with_cap(0);
-    let disabled_tiers = run("lru_disabled", &mut disabled);
-    assert!(disabled.is_empty(), "cap 0 caches nothing");
+    let disabled = std::sync::Mutex::new(CompactCache::with_cap(0));
+    let disabled_tiers = run("lru_disabled", &disabled);
+    assert!(disabled.lock().unwrap().is_empty(), "cap 0 caches nothing");
 
     for (i, w) in WINDOWS.iter().enumerate() {
         assert_eq!(

@@ -52,6 +52,10 @@ impl Drop for DaemonGuard {
 }
 
 fn start_daemon(data: &std::path::Path) -> (DaemonGuard, String) {
+    start_daemon_with(data, &[])
+}
+
+fn start_daemon_with(data: &std::path::Path, extra: &[&str]) -> (DaemonGuard, String) {
     let port_file = data.join("port");
     let child = Command::new(serve_bin())
         .args([
@@ -63,6 +67,7 @@ fn start_daemon(data: &std::path::Path) -> (DaemonGuard, String) {
             "--port-file",
             port_file.to_str().unwrap(),
         ])
+        .args(extra)
         .stdout(Stdio::null())
         .stderr(Stdio::null())
         .spawn()
@@ -189,4 +194,80 @@ fn daemon_serves_two_concurrent_collectors_and_matches_offline_tools() {
 
     // Clean daemon shutdown through the protocol.
     assert_eq!(query(&addr, &["shutdown"]), "shutting down\n");
+}
+
+/// `mp-serve watch` follows a window live: one frame on subscribe
+/// (empty window), another once a collector's session seals, clean
+/// exit when the daemon shuts down. The daemon runs with the
+/// connection-hygiene flags to prove they parse and serve.
+#[test]
+fn watch_subcommand_streams_frames_until_shutdown() {
+    use std::io::BufRead as _;
+
+    let data = scratch("watch");
+    let (_daemon, addr) = start_daemon_with(&data, &["--max-conns", "64", "--idle-secs", "30"]);
+
+    let mut watch = Command::new(serve_bin())
+        .args(["watch", &addr, "wa"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn mp-serve watch");
+    let mut lines = std::io::BufReader::new(watch.stdout.take().unwrap()).lines();
+
+    // First frame arrives before any data: the empty-window form.
+    let mut first = String::new();
+    for line in lines.by_ref() {
+        let line = line.unwrap();
+        if line == "---" {
+            break;
+        }
+        first.push_str(&line);
+        first.push('\n');
+    }
+    assert!(
+        first.contains("window wa generation") && first.contains("events 0"),
+        "unexpected first frame: {first}"
+    );
+
+    // A collector session seals into the window; the next frame
+    // carries its profile.
+    let src = small_workload(&data, "wa", 40_000);
+    let out = Command::new(collect_bin())
+        .args([
+            "--connect",
+            &addr,
+            "--window",
+            "wa",
+            "-h",
+            "+ecstall,4001",
+            "--period",
+            "4001",
+        ])
+        .arg(&src)
+        .output()
+        .expect("run mp-collect");
+    assert!(
+        out.status.success(),
+        "mp-collect --connect failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut second = String::new();
+    for line in lines.by_ref() {
+        let line = line.unwrap();
+        if line == "---" {
+            break;
+        }
+        second.push_str(&line);
+        second.push('\n');
+    }
+    assert!(
+        second.contains("window wa generation") && !second.contains("events 0"),
+        "frame after seal still empty: {second}"
+    );
+
+    // Daemon shutdown ends the stream and the watch exits cleanly.
+    assert_eq!(query(&addr, &["shutdown"]), "shutting down\n");
+    let status = watch.wait().expect("wait for mp-serve watch");
+    assert!(status.success(), "watch exited with {status}");
 }
